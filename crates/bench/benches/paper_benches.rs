@@ -1,0 +1,149 @@
+//! Criterion benches, one group per paper table/figure plus the D-series
+//! ablations. Kept deliberately small-N so `cargo bench --workspace`
+//! completes in minutes; the `table5`/`table6`/`table7` binaries run the
+//! full-size configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laminar_bench::{run_astro_direct, run_astro_laminar, table6_mrr, table7_clone, Table5Config};
+use laminar_dataflow::mapping::{Mapping, MpiMapping, MultiMapping, RedisMapping, SimpleMapping};
+use laminar_dataflow::{RunOptions, WorkflowGraph};
+use std::time::Duration;
+
+/// Table 5: Internal Extinction under each execution method.
+fn bench_table5(c: &mut Criterion) {
+    let cfg = Table5Config::quick();
+    let mut g = c.benchmark_group("table5_internal_extinction");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    for multi in [false, true] {
+        let tag = if multi { "multi" } else { "simple" };
+        g.bench_with_input(BenchmarkId::new("dispel4py_direct", tag), &multi, |b, &m| {
+            b.iter(|| run_astro_direct(&cfg, m))
+        });
+        g.bench_with_input(BenchmarkId::new("laminar_local", tag), &multi, |b, &m| {
+            b.iter(|| run_astro_laminar(&cfg, m, false))
+        });
+    }
+    g.finish();
+}
+
+/// Table 6: MRR evaluation cost per model (the retrieval pipeline itself).
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6_code_search");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    for model in ["unixcoder-base", "unixcoder-code-search"] {
+        g.bench_with_input(BenchmarkId::new("csn_mrr", model), &model, |b, m| {
+            b.iter(|| table6_mrr(m, "CSN", 60, 1))
+        });
+    }
+    g.finish();
+}
+
+/// Table 7: clone retrieval cost for the chosen completion model vs the
+/// weakest baseline.
+fn bench_table7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table7_clone_detection");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    for model in ["ReACC-retriever-py", "CodeBERT"] {
+        g.bench_with_input(BenchmarkId::new("map_p1", model), &model, |b, m| {
+            b.iter(|| table7_clone(m, 25, 4, 3))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 1 / D4: the four mappings over the IsPrime pipeline.
+fn bench_mappings(c: &mut Criterion) {
+    let graph =
+        WorkflowGraph::from_script(laminar_workloads::isprime::SOURCE_SEQUENTIAL, "IsPrime").unwrap();
+    let mut g = c.benchmark_group("figure1_mappings");
+    g.sample_size(10).measurement_time(Duration::from_secs(6));
+    let mappings: Vec<(&str, Box<dyn Mapping>)> = vec![
+        ("simple", Box::new(SimpleMapping)),
+        ("multi", Box::new(MultiMapping)),
+        ("mpi", Box::new(MpiMapping)),
+        ("redis", Box::new(RedisMapping::default())),
+    ];
+    for (name, mapping) in &mappings {
+        g.bench_function(*name, |b| {
+            b.iter(|| mapping.execute(&graph, &RunOptions::iterations(500).with_processes(5)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// D1 ablation: query latency with stored vs recomputed embeddings.
+fn bench_stored_embeddings(c: &mut Criterion) {
+    let model = laminar_embed::model_by_name("unixcoder-code-search").unwrap();
+    let ds = laminar_embed::datasets::gen_csn(80, 5);
+    let corpus: Vec<String> = ds.examples.iter().map(|e| e.code.clone()).collect();
+    let stored: Vec<_> = corpus.iter().map(|c| model.embed_code(c)).collect();
+    let mut g = c.benchmark_group("d1_stored_embeddings");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    g.bench_function("stored", |b| {
+        b.iter(|| {
+            let q = model.embed_text("compute the running average");
+            laminar_embed::top_k(&q, &stored, 5)
+        })
+    });
+    g.bench_function("recomputed", |b| {
+        b.iter(|| {
+            let q = model.embed_text("compute the running average");
+            let fresh: Vec<_> = corpus.iter().map(|c| model.embed_code(c)).collect();
+            laminar_embed::top_k(&q, &fresh, 5)
+        })
+    });
+    g.finish();
+}
+
+/// Registry operation throughput (the substrate behind every endpoint).
+fn bench_registry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registry_ops");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("register_pe", |b| {
+        b.iter_with_setup(
+            || {
+                let mut r = laminar_registry::Registry::in_memory();
+                r.register_user("u", "password").unwrap();
+                r
+            },
+            |mut r| {
+                r.register_pe(
+                    "u",
+                    "pe Bench : producer { output output; process { emit(randint(1, 10)); } }",
+                    Some("bench pe"),
+                )
+                .unwrap()
+            },
+        )
+    });
+    g.bench_function("semantic_search_20pes", |b| {
+        let mut r = laminar_registry::Registry::in_memory();
+        r.register_user("u", "password").unwrap();
+        let ds = laminar_embed::datasets::gen_csn(20, 2);
+        for (i, ex) in ds.examples.iter().enumerate() {
+            let renamed = ex.code.replacen("pe ", &format!("pe N{i}"), 1).replacen(&format!("pe N{i}"), &format!("pe N{i}_"), 1);
+            let _ = r.register_pe("u", &renamed, Some(&ex.doc));
+        }
+        b.iter(|| {
+            r.search(
+                "u",
+                "a PE that checks if a number is prime",
+                laminar_registry::SearchType::Pe,
+                laminar_registry::QueryType::Text,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table5,
+    bench_table6,
+    bench_table7,
+    bench_mappings,
+    bench_stored_embeddings,
+    bench_registry
+);
+criterion_main!(benches);

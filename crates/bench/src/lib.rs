@@ -1,0 +1,138 @@
+//! Shared harness code for the table/figure regeneration binaries and the
+//! criterion benches. Each function reproduces one experiment from the
+//! paper's evaluation (see DESIGN.md §5 for the index).
+
+use laminar_dataflow::mapping::{Mapping, MultiMapping, SimpleMapping};
+use laminar_dataflow::{RunOptions, WorkflowGraph};
+use laminar_json::Value;
+use laminar_script::Host;
+use laminar_workloads::astro::{coordinates_file, VoService, SOURCE as ASTRO_SOURCE};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of one Table 5 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Config {
+    /// Number of coordinates in the input file.
+    pub coordinates: usize,
+    /// Simulated VO service latency per query.
+    pub vo_latency: Duration,
+    /// Processes for the Multi mapping (paper: 5).
+    pub processes: usize,
+}
+
+impl Table5Config {
+    /// The default profile used by the `table5` binary: large enough for
+    /// stable ratios, small enough to run in seconds.
+    pub fn default_profile() -> Table5Config {
+        Table5Config { coordinates: 60, vo_latency: Duration::from_millis(12), processes: 5 }
+    }
+
+    /// Fast profile for criterion (sub-second per iteration).
+    pub fn quick() -> Table5Config {
+        Table5Config { coordinates: 10, vo_latency: Duration::from_millis(2), processes: 5 }
+    }
+}
+
+/// Run the Internal Extinction workflow directly on the dataflow engine —
+/// the "original dispel4py" baseline rows of Table 5.
+pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
+    struct Shim {
+        text: String,
+        vo: VoService,
+    }
+    impl Host for Shim {
+        fn call(&self, module: &str, name: &str, args: &[Value]) -> Result<Value, laminar_script::ScriptError> {
+            if module == "resources" && name == "lines" {
+                return Ok(Value::Array(
+                    self.text.lines().filter(|l| !l.is_empty()).map(|l| Value::Str(l.into())).collect(),
+                ));
+            }
+            self.vo.call(module, name, args)
+        }
+    }
+    let host: Arc<dyn Host + Send + Sync> = Arc::new(Shim {
+        text: coordinates_file(cfg.coordinates),
+        vo: VoService::new(cfg.vo_latency, 4),
+    });
+    let graph = WorkflowGraph::from_script_with_host(ASTRO_SOURCE, "Astrophysics", host).unwrap();
+    let options = RunOptions::data(vec![Value::Str("coordinates.txt".into())]).with_processes(cfg.processes);
+    let t0 = std::time::Instant::now();
+    if multi {
+        MultiMapping.execute(&graph, &options).unwrap();
+    } else {
+        SimpleMapping.execute(&graph, &options).unwrap();
+    }
+    t0.elapsed()
+}
+
+/// Run the workflow through the full Laminar stack (client → server →
+/// registry → engine) — the "with Laminar" rows of Table 5.
+///
+/// `remote` switches the in-process transport for HTTP over loopback plus
+/// the WAN-modelled engine.
+pub fn run_astro_laminar(cfg: &Table5Config, multi: bool, remote: bool) -> Duration {
+    use laminar_client::{LaminarClient, RunConfig};
+    use laminar_engine::{ExecutionEngine, NetModel};
+    use laminar_registry::Registry;
+    use laminar_server::{HttpServer, LaminarServer};
+
+    let engine = if remote {
+        ExecutionEngine::new().with_net(NetModel::wan())
+    } else {
+        ExecutionEngine::new()
+    };
+    engine.hosts().register("vo", Arc::new(VoService::new(cfg.vo_latency, 4)));
+    engine.hosts().register("astropy", Arc::new(VoService::new(Duration::ZERO, 4)));
+    let server = LaminarServer::new(Registry::in_memory(), engine);
+
+    let (mut client, http) = if remote {
+        let http = HttpServer::start(server).unwrap();
+        (LaminarClient::connect(http.addr()), Some(http))
+    } else {
+        (LaminarClient::in_process(server), None)
+    };
+    client.register("bench", "password").unwrap();
+    client.login("bench", "password").unwrap();
+    // Register once (outside the timed window, like the paper's setup).
+    client
+        .register_workflow(ASTRO_SOURCE, "Astrophysics", Some("internal extinction"))
+        .unwrap();
+
+    let mapping = if multi { laminar_dataflow::MappingKind::Multi } else { laminar_dataflow::MappingKind::Simple };
+    let config = RunConfig::data(vec![Value::Str("coordinates.txt".into())])
+        .with_mapping(mapping, cfg.processes)
+        .with_resource("coordinates.txt", coordinates_file(cfg.coordinates).into_bytes());
+
+    let t0 = std::time::Instant::now();
+    client.run_registered("Astrophysics", config).unwrap();
+    let elapsed = t0.elapsed();
+    if let Some(h) = http {
+        h.stop();
+    }
+    elapsed
+}
+
+/// Table 6 driver: zero-shot text-to-code MRR for one model on one
+/// dataset.
+pub fn table6_mrr(model_name: &str, dataset: &str, n: usize, seed: u64) -> f64 {
+    let model = laminar_embed::model_by_name(model_name).expect("model exists");
+    let ds = match dataset {
+        "CosQA" => laminar_embed::datasets::gen_cosqa(n, seed),
+        "CSN" => laminar_embed::datasets::gen_csn(n, seed),
+        other => panic!("unknown dataset {other}"),
+    };
+    laminar_embed::datasets::eval_search(model.as_ref(), &ds)
+}
+
+/// Table 7 driver: zero-shot clone retrieval (MAP@100, P@1) for one model.
+pub fn table7_clone(model_name: &str, problems: usize, variants: usize, seed: u64) -> (f64, f64) {
+    let model = laminar_embed::model_by_name(model_name).expect("model exists");
+    let ds = laminar_embed::datasets::gen_codenet(problems, variants, seed);
+    laminar_embed::datasets::eval_clone(model.as_ref(), &ds, 100)
+}
+
+/// Format a duration like the paper's "642 sec." column.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2} sec.", d.as_secs_f64())
+}

@@ -1,0 +1,492 @@
+//! The client layer: the thirteen user-facing functions of paper §3.4.1.
+
+use crate::web::{self, InProcessTransport, TcpTransport, Transport};
+use laminar_dataflow::MappingKind;
+use laminar_engine::ExecutionOutput;
+use laminar_json::Value;
+use laminar_server::{ApiResponse, LaminarServer};
+
+/// Client-side error: either a transport failure or a structured server
+/// error envelope (paper §3.2.5).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The transport failed (connection refused, protocol error…).
+    Transport(String),
+    /// The server answered with an error envelope.
+    Api {
+        /// HTTP-style status.
+        status: u16,
+        /// Error type tag.
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Api { status, kind, message } => write!(f, "server error {status} ({kind}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// What to run: a registered workflow (by name or id) or inline source.
+#[derive(Debug, Clone)]
+pub enum RunTarget {
+    /// A registered workflow's entry point or id.
+    Registered(String),
+    /// Inline LamScript source (like passing a `WorkflowGraph` object).
+    Source(String),
+}
+
+/// Execution configuration for [`LaminarClient::run`] — mirrors the
+/// paper's `run(workflow, input, process, args, resources)` signature.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Iteration count, or explicit input data.
+    pub input: Value,
+    /// Mapping (`process=` parameter; SIMPLE is inferred when omitted).
+    pub mapping: MappingKind,
+    /// Process count (`args={'num': N}`).
+    pub processes: usize,
+    /// Resources to stage, as (name, bytes).
+    pub resources: Vec<(String, Vec<u8>)>,
+}
+
+impl RunConfig {
+    /// Run for `n` iterations with the Simple mapping.
+    pub fn iterations(n: i64) -> RunConfig {
+        RunConfig { input: Value::Int(n), mapping: MappingKind::Simple, processes: 1, resources: vec![] }
+    }
+
+    /// Feed explicit data.
+    pub fn data(values: Vec<Value>) -> RunConfig {
+        RunConfig {
+            input: Value::Array(values),
+            mapping: MappingKind::Simple,
+            processes: 1,
+            resources: vec![],
+        }
+    }
+
+    /// Choose the mapping and process count.
+    pub fn with_mapping(mut self, mapping: MappingKind, processes: usize) -> RunConfig {
+        self.mapping = mapping;
+        self.processes = processes;
+        self
+    }
+
+    /// Stage a resource file.
+    pub fn with_resource(mut self, name: &str, bytes: Vec<u8>) -> RunConfig {
+        self.resources.push((name.to_string(), bytes));
+        self
+    }
+}
+
+/// The Laminar client.
+pub struct LaminarClient {
+    transport: Box<dyn Transport>,
+    user: Option<String>,
+    token: Option<String>,
+}
+
+impl LaminarClient {
+    /// Client bound to an in-process server (local deployment).
+    pub fn in_process(server: LaminarServer) -> LaminarClient {
+        LaminarClient { transport: Box::new(InProcessTransport::new(server)), user: None, token: None }
+    }
+
+    /// Client bound to a shared in-process transport.
+    pub fn with_transport(transport: Box<dyn Transport>) -> LaminarClient {
+        LaminarClient { transport, user: None, token: None }
+    }
+
+    /// Client talking HTTP to a remote server.
+    pub fn connect(addr: std::net::SocketAddr) -> LaminarClient {
+        LaminarClient { transport: Box::new(TcpTransport::new(addr)), user: None, token: None }
+    }
+
+    /// The logged-in user name.
+    pub fn user(&self) -> Option<&str> {
+        self.user.as_deref()
+    }
+
+    fn call(&self, request: &laminar_server::ApiRequest) -> Result<Value, ClientError> {
+        let resp: ApiResponse = self.transport.call(request).map_err(ClientError::Transport)?;
+        if resp.is_ok() {
+            Ok(resp.body)
+        } else {
+            Err(ClientError::Api {
+                status: resp.status,
+                kind: resp.body["error"].as_str().unwrap_or("Unknown").to_string(),
+                message: resp.body["message"].as_str().unwrap_or("").to_string(),
+            })
+        }
+    }
+
+    fn current_user(&self) -> Result<&str, ClientError> {
+        self.user.as_deref().ok_or(ClientError::Api {
+            status: 401,
+            kind: "Unauthorized".into(),
+            message: "call login() first".into(),
+        })
+    }
+
+    // ---- 1 & 2: register / login -------------------------------------------
+
+    /// `client.register("zz46", "password")` (fn 1).
+    pub fn register(&mut self, user_name: &str, password: &str) -> Result<(), ClientError> {
+        let mut body = Value::Null;
+        body.set("userName", user_name).set("password", password);
+        self.call(&web::post("/auth/register", body))?;
+        Ok(())
+    }
+
+    /// `client.login("zz46", "password")` (fn 2). Stores the session.
+    pub fn login(&mut self, user_name: &str, password: &str) -> Result<(), ClientError> {
+        let mut body = Value::Null;
+        body.set("userName", user_name).set("password", password);
+        let resp = self.call(&web::post("/auth/login", body))?;
+        self.user = Some(user_name.to_string());
+        self.token = resp["token"].as_str().map(str::to_string);
+        Ok(())
+    }
+
+    // ---- 3 & 4: registration --------------------------------------------------
+
+    /// `client.register_PE(NumberProducer, "Random numbers producer")`
+    /// (fn 3). `source` is LamScript defining the PE; code is shipped
+    /// serialized (lampickle+base64), like cloudpickle in the paper.
+    pub fn register_pe(&mut self, source: &str, description: Option<&str>) -> Result<i64, ClientError> {
+        let user = self.current_user()?.to_string();
+        let mut body = Value::Null;
+        body.set("code", web::serialize_code(source))
+            .set("imports", Value::Array(web::analyze_imports(source).into_iter().map(Value::Str).collect()));
+        if let Some(d) = description {
+            body.set("description", d);
+        }
+        let resp = self.call(&web::post(format!("/registry/{user}/pe/add"), body))?;
+        Ok(resp["peId"].as_i64().unwrap_or(0))
+    }
+
+    /// `client.register_Workflow(graph, "isPrime", "…")` (fn 4).
+    pub fn register_workflow(
+        &mut self,
+        source: &str,
+        workflow_name: &str,
+        description: Option<&str>,
+    ) -> Result<i64, ClientError> {
+        let user = self.current_user()?.to_string();
+        let mut body = Value::Null;
+        body.set("code", web::serialize_code(source)).set("entryPoint", workflow_name);
+        if let Some(d) = description {
+            body.set("description", d);
+        }
+        let resp = self.call(&web::post(format!("/registry/{user}/workflow/add"), body))?;
+        Ok(resp["workflowId"].as_i64().unwrap_or(0))
+    }
+
+    // ---- 5 & 6: removal ----------------------------------------------------------
+
+    /// `client.remove_PE("NumberProducer")` (fn 5) — name or id.
+    pub fn remove_pe(&mut self, pe: &str) -> Result<(), ClientError> {
+        let user = self.current_user()?.to_string();
+        let path = match pe.parse::<i64>() {
+            Ok(id) => format!("/registry/{user}/pe/remove/id/{id}"),
+            Err(_) => format!("/registry/{user}/pe/remove/name/{pe}"),
+        };
+        self.call(&web::delete(path))?;
+        Ok(())
+    }
+
+    /// `client.remove_Workflow("IsPrime")` (fn 6) — name or id.
+    pub fn remove_workflow(&mut self, workflow: &str) -> Result<(), ClientError> {
+        let user = self.current_user()?.to_string();
+        let path = match workflow.parse::<i64>() {
+            Ok(id) => format!("/registry/{user}/workflow/remove/id/{id}"),
+            Err(_) => format!("/registry/{user}/workflow/remove/name/{workflow}"),
+        };
+        self.call(&web::delete(path))?;
+        Ok(())
+    }
+
+    // ---- 7, 8, 9: retrieval ---------------------------------------------------------
+
+    /// `pe1 = client.get_PE("NumberProducer")` (fn 7). Returns the decoded
+    /// LamScript source, ready for composing into new workflows.
+    pub fn get_pe(&self, pe: &str) -> Result<(Value, String), ClientError> {
+        let user = self.current_user()?.to_string();
+        let path = match pe.parse::<i64>() {
+            Ok(id) => format!("/registry/{user}/pe/id/{id}"),
+            Err(_) => format!("/registry/{user}/pe/name/{pe}"),
+        };
+        let meta = self.call(&web::get(path))?;
+        let source = meta["peCode"]
+            .as_str()
+            .and_then(laminar_registry::entities::decode_code)
+            .ok_or(ClientError::Transport("server returned undecodable PE code".into()))?;
+        Ok((meta, source))
+    }
+
+    /// `graph = client.get_Workflow("IsPrime")` (fn 8).
+    pub fn get_workflow(&self, workflow: &str) -> Result<(Value, String), ClientError> {
+        let user = self.current_user()?.to_string();
+        let path = match workflow.parse::<i64>() {
+            Ok(id) => format!("/registry/{user}/workflow/id/{id}"),
+            Err(_) => format!("/registry/{user}/workflow/name/{workflow}"),
+        };
+        let meta = self.call(&web::get(path))?;
+        let source = meta["workflowCode"]
+            .as_str()
+            .and_then(laminar_registry::entities::decode_code)
+            .ok_or(ClientError::Transport("server returned undecodable workflow code".into()))?;
+        Ok((meta, source))
+    }
+
+    /// `pes = client.get_PEs_By_Workflow("IsPrime")` (fn 9).
+    pub fn get_pes_by_workflow(&self, workflow: &str) -> Result<Vec<Value>, ClientError> {
+        let user = self.current_user()?.to_string();
+        let path = match workflow.parse::<i64>() {
+            Ok(id) => format!("/registry/{user}/workflow/pes/id/{id}"),
+            Err(_) => format!("/registry/{user}/workflow/pes/name/{workflow}"),
+        };
+        let resp = self.call(&web::get(path))?;
+        Ok(resp.as_array().unwrap_or(&[]).to_vec())
+    }
+
+    // ---- 10: search ------------------------------------------------------------------
+
+    /// `client.search_Registry("isPrime", "workflow", "text")` (fn 10).
+    pub fn search_registry(
+        &self,
+        search: &str,
+        search_type: &str,
+        query_type: &str,
+    ) -> Result<Vec<Value>, ClientError> {
+        let user = self.current_user()?.to_string();
+        let mut body = Value::Null;
+        body.set("queryType", query_type);
+        let resp = self.call(&laminar_server::ApiRequest::new(
+            laminar_server::api::Method::Get,
+            format!("/registry/{user}/search/{search}/type/{search_type}"),
+            body,
+        ))?;
+        Ok(resp.as_array().unwrap_or(&[]).to_vec())
+    }
+
+    // ---- 11 & 12: describe / get_Registry ------------------------------------------------
+
+    /// `client.describe(IsPrime)` (fn 11): fetches and formats name and
+    /// description.
+    pub fn describe(&self, name_or_id: &str) -> Result<String, ClientError> {
+        if let Ok((meta, _)) = self.get_pe(name_or_id) {
+            return Ok(format!(
+                "PE {} (id {}): {}",
+                meta["peName"].as_str().unwrap_or("?"),
+                meta["peId"].as_i64().unwrap_or(0),
+                meta["description"].as_str().unwrap_or("")
+            ));
+        }
+        let (meta, _) = self.get_workflow(name_or_id)?;
+        Ok(format!(
+            "Workflow {} (id {}, entry '{}'): {}",
+            meta["workflowName"].as_str().unwrap_or("?"),
+            meta["workflowId"].as_i64().unwrap_or(0),
+            meta["entryPoint"].as_str().unwrap_or("?"),
+            meta["description"].as_str().unwrap_or("")
+        ))
+    }
+
+    /// `registry = client.get_Registry()` (fn 12).
+    pub fn get_registry(&self) -> Result<Value, ClientError> {
+        let user = self.current_user()?.to_string();
+        self.call(&web::get(format!("/registry/{user}/all")))
+    }
+
+    // ---- 13: run -----------------------------------------------------------------------
+
+    /// `client.run("IsPrime", input=5, process=MULTI, args={'num':5})`
+    /// (fn 13). Accepts a registered workflow name/id or inline source.
+    pub fn run(&mut self, target: RunTarget, config: RunConfig) -> Result<ExecutionOutput, ClientError> {
+        let user = self.current_user()?.to_string();
+        let mut body = Value::Null;
+        match target {
+            RunTarget::Registered(key) => {
+                body.set("workflow", key.as_str());
+            }
+            RunTarget::Source(src) => {
+                body.set("source", src.as_str());
+            }
+        }
+        body.set("input", config.input.clone())
+            .set("mapping", config.mapping.as_str())
+            .set("processes", config.processes);
+        let resources: Value = config
+            .resources
+            .iter()
+            .map(|(name, bytes)| {
+                let mut r = Value::Null;
+                r.set("name", name.as_str()).set("data", laminar_codec::base64::encode(bytes));
+                r
+            })
+            .collect();
+        body.set("resources", resources);
+        let resp = self.call(&web::post(format!("/execution/{user}/run"), body))?;
+        ExecutionOutput::from_value(&resp)
+            .ok_or(ClientError::Transport("server returned a malformed execution output".into()))
+    }
+
+    /// Convenience: run inline source.
+    pub fn run_source(&mut self, source: &str, config: RunConfig) -> Result<ExecutionOutput, ClientError> {
+        self.run(RunTarget::Source(source.to_string()), config)
+    }
+
+    /// Convenience: run a registered workflow by name/id.
+    pub fn run_registered(&mut self, workflow: &str, config: RunConfig) -> Result<ExecutionOutput, ClientError> {
+        self.run(RunTarget::Registered(workflow.to_string()), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WF_SRC: &str = r#"
+        pe Seq : producer { output output; process { emit(iteration + 1); } }
+        pe IsPrime : iterative {
+            input num; output output;
+            process {
+                let i = 2;
+                let prime = num > 1;
+                while i * i <= num { if num % i == 0 { prime = false; break; } i = i + 1; }
+                if prime { emit(num); }
+            }
+        }
+        pe PrintPrime : consumer { input num; process { print("the num", num, "is prime"); } }
+        workflow IsPrimeFlow {
+            doc "Workflow that prints random prime numbers";
+            nodes { s = Seq; i = IsPrime; p = PrintPrime; }
+            connect s.output -> i.num;
+            connect i.output -> p.num;
+        }
+    "#;
+
+    fn logged_in_client() -> LaminarClient {
+        let mut c = LaminarClient::in_process(LaminarServer::in_memory());
+        c.register("zz46", "password").unwrap();
+        c.login("zz46", "password").unwrap();
+        c
+    }
+
+    #[test]
+    fn register_login_required() {
+        let c = LaminarClient::in_process(LaminarServer::in_memory());
+        assert!(matches!(c.get_registry(), Err(ClientError::Api { status: 401, .. })));
+    }
+
+    #[test]
+    fn bad_login_surfaces_envelope() {
+        let mut c = LaminarClient::in_process(LaminarServer::in_memory());
+        c.register("zz46", "password").unwrap();
+        let err = c.login("zz46", "nope").unwrap_err();
+        assert!(matches!(err, ClientError::Api { status: 401, .. }));
+    }
+
+    #[test]
+    fn full_pe_lifecycle() {
+        let mut c = logged_in_client();
+        let id = c
+            .register_pe(
+                "pe NumberProducer : producer { output output; process { emit(randint(1, 1000)); } }",
+                Some("Random numbers producer"),
+            )
+            .unwrap();
+        assert!(id > 0);
+        let (meta, source) = c.get_pe("NumberProducer").unwrap();
+        assert_eq!(meta["description"].as_str(), Some("Random numbers producer"));
+        assert!(source.contains("pe NumberProducer"));
+        let described = c.describe("NumberProducer").unwrap();
+        assert!(described.contains("Random numbers producer"));
+        c.remove_pe("NumberProducer").unwrap();
+        assert!(c.get_pe("NumberProducer").is_err());
+    }
+
+    #[test]
+    fn workflow_lifecycle_and_run() {
+        let mut c = logged_in_client();
+        let wid = c
+            .register_workflow(WF_SRC, "isPrime", Some("Workflow that prints random prime numbers"))
+            .unwrap();
+        assert!(wid > 0);
+        let pes = c.get_pes_by_workflow("isPrime").unwrap();
+        assert_eq!(pes.len(), 3);
+        let (_, source) = c.get_workflow("isPrime").unwrap();
+        assert!(source.contains("workflow IsPrimeFlow"));
+
+        // The Listing-4 execution: Multi mapping, 5 iterations, 5 procs.
+        let out = c
+            .run_registered("isPrime", RunConfig::iterations(20).with_mapping(MappingKind::Multi, 5))
+            .unwrap();
+        assert_eq!(out.printed.len(), 8);
+
+        c.remove_workflow("isPrime").unwrap();
+        assert!(c.get_workflow("isPrime").is_err());
+    }
+
+    #[test]
+    fn search_registry_three_modes() {
+        let mut c = logged_in_client();
+        c.register_workflow(WF_SRC, "isPrime", Some("Workflow that prints random prime numbers")).unwrap();
+        // Figure 6: text search for workflows.
+        let hits = c.search_registry("prime", "workflow", "text").unwrap();
+        assert_eq!(hits[0]["name"].as_str(), Some("isPrime"));
+        // Figure 7: semantic PE search.
+        let hits = c.search_registry("A PE that checks if a number is prime", "pe", "text").unwrap();
+        assert_eq!(hits[0]["name"].as_str(), Some("IsPrime"), "hits: {hits:?}");
+        // Figure 8: code completion.
+        let hits = c.search_registry("emit(iteration + 1)", "pe", "code").unwrap();
+        assert!(!hits.is_empty());
+        for h in &hits {
+            assert!(h["score"].as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn get_registry_dump() {
+        let mut c = logged_in_client();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let dump = c.get_registry().unwrap();
+        assert!(dump["pes"].as_array().unwrap().len() >= 3);
+        assert_eq!(dump["workflows"][0]["entryPoint"].as_str(), Some("isPrime"));
+    }
+
+    #[test]
+    fn run_with_explicit_data() {
+        let mut c = logged_in_client();
+        let src = "pe Double : iterative { input x; output output; process { emit(x * 2); } }";
+        let out = c
+            .run_source(src, RunConfig::data(vec![Value::Int(4), Value::Int(6)]))
+            .unwrap();
+        let vals = out.port_values("Double", "output");
+        assert_eq!(vals.iter().filter_map(Value::as_i64).collect::<Vec<_>>(), vec![8, 12]);
+    }
+
+    #[test]
+    fn over_tcp_everything_still_works() {
+        let http = laminar_server::HttpServer::start(LaminarServer::in_memory()).unwrap();
+        let mut c = LaminarClient::connect(http.addr());
+        c.register("remote", "password").unwrap();
+        c.login("remote", "password").unwrap();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let out = c.run_registered("isPrime", RunConfig::iterations(10)).unwrap();
+        assert_eq!(out.printed.len(), 4);
+        // Search with spaces travels over HTTP percent-encoded.
+        let hits = c.search_registry("prints random prime", "workflow", "text").unwrap();
+        assert_eq!(hits.len(), 1);
+        http.stop();
+    }
+}

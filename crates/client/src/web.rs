@@ -1,0 +1,152 @@
+//! The web_client layer (paper §3.4.2): transports, serialization and
+//! envelope shaping between the client functions and the server API.
+
+use laminar_json::Value;
+use laminar_server::{api::Method, ApiRequest, ApiResponse, LaminarServer};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A transport carrying API requests to a Laminar server.
+pub trait Transport: Send {
+    /// Execute one request/response exchange.
+    fn call(&self, request: &ApiRequest) -> Result<ApiResponse, String>;
+    /// Human-readable endpoint description.
+    fn endpoint(&self) -> String;
+}
+
+/// In-process transport: client and server share the process (the "local
+/// execution" configuration of Table 5).
+#[derive(Clone)]
+pub struct InProcessTransport {
+    server: Arc<Mutex<LaminarServer>>,
+}
+
+impl InProcessTransport {
+    /// Wrap a server.
+    pub fn new(server: LaminarServer) -> InProcessTransport {
+        InProcessTransport { server: Arc::new(Mutex::new(server)) }
+    }
+
+    /// Shared handle to the server (to register hosts, inspect state).
+    pub fn server(&self) -> Arc<Mutex<LaminarServer>> {
+        Arc::clone(&self.server)
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn call(&self, request: &ApiRequest) -> Result<ApiResponse, String> {
+        Ok(self.server.lock().handle(request))
+    }
+
+    fn endpoint(&self) -> String {
+        "in-process".to_string()
+    }
+}
+
+/// TCP transport: talks HTTP to a remote [`laminar_server::HttpServer`]
+/// (the "remote execution" configuration of Table 5).
+#[derive(Clone)]
+pub struct TcpTransport {
+    addr: std::net::SocketAddr,
+}
+
+impl TcpTransport {
+    /// Connect to a server address.
+    pub fn new(addr: std::net::SocketAddr) -> TcpTransport {
+        TcpTransport { addr }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, request: &ApiRequest) -> Result<ApiResponse, String> {
+        laminar_server::http::http_call(self.addr, request).map_err(|e| format!("transport error: {e}"))
+    }
+
+    fn endpoint(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+}
+
+/// Serialize LamScript source for the `code` field the way the paper's
+/// client pickles Python objects: lampickle + base64.
+pub fn serialize_code(source: &str) -> String {
+    laminar_registry::entities::encode_code(source)
+}
+
+/// Import analysis (findimports equivalent) run client-side so the request
+/// can declare its dependencies (paper §3.4.2).
+pub fn analyze_imports(source: &str) -> Vec<String> {
+    match laminar_script::parse_script(source) {
+        Ok(script) => laminar_script::analysis::imports(&script),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Build a GET request.
+pub fn get(path: impl Into<String>) -> ApiRequest {
+    ApiRequest::new(Method::Get, path, Value::Null)
+}
+
+/// Build a POST request.
+pub fn post(path: impl Into<String>, body: Value) -> ApiRequest {
+    ApiRequest::new(Method::Post, path, body)
+}
+
+/// Build a DELETE request.
+pub fn delete(path: impl Into<String>) -> ApiRequest {
+    ApiRequest::new(Method::Delete, path, Value::Null)
+}
+
+/// Build a PUT request.
+pub fn put(path: impl Into<String>) -> ApiRequest {
+    ApiRequest::new(Method::Put, path, Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_json::jobj;
+
+    #[test]
+    fn in_process_transport_round_trip() {
+        let t = InProcessTransport::new(LaminarServer::in_memory());
+        let r = t
+            .call(&post("/auth/register", jobj! { "userName" => "u1", "password" => "password" }))
+            .unwrap();
+        assert!(r.is_ok());
+        assert_eq!(t.endpoint(), "in-process");
+    }
+
+    #[test]
+    fn serialize_code_round_trips() {
+        let src = "pe X : producer { output o; process { emit(1); } }";
+        let enc = serialize_code(src);
+        assert_eq!(laminar_registry::entities::decode_code(&enc).as_deref(), Some(src));
+    }
+
+    #[test]
+    fn analyze_imports_finds_deps() {
+        let src = r#"
+            pe A : iterative {
+                import astropy;
+                input x; output output;
+                process { emit(vo.fetch(x)); }
+            }
+        "#;
+        let imports = analyze_imports(src);
+        assert!(imports.contains(&"astropy".to_string()));
+        assert!(analyze_imports("not valid !!").is_empty());
+    }
+
+    #[test]
+    fn tcp_transport_against_live_server() {
+        let http = laminar_server::HttpServer::start(LaminarServer::in_memory()).unwrap();
+        let t = TcpTransport::new(http.addr());
+        let r = t
+            .call(&post("/auth/register", jobj! { "userName" => "tcp", "password" => "password" }))
+            .unwrap();
+        assert!(r.is_ok(), "{r:?}");
+        assert!(t.endpoint().starts_with("http://127.0.0.1"));
+        http.stop();
+    }
+}

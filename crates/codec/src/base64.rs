@@ -1,0 +1,154 @@
+//! RFC 4648 base64 (standard alphabet, `=` padding).
+//!
+//! The registry stores serialized PE and workflow code as base64 text — the
+//! same portability trick the paper applies to cloudpickle byte strings.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// A byte outside the alphabet (and not padding) was encountered.
+    InvalidByte { position: usize, byte: u8 },
+    /// Input length is not a multiple of 4.
+    InvalidLength(usize),
+    /// Padding appeared somewhere other than the final one or two bytes.
+    MalformedPadding,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::InvalidByte { position, byte } => {
+                write!(f, "invalid base64 byte 0x{byte:02x} at position {position}")
+            }
+            Base64Error::InvalidLength(n) => write!(f, "base64 length {n} is not a multiple of 4"),
+            Base64Error::MalformedPadding => write!(f, "malformed base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Encode bytes to base64 text.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut chunks = data.chunks_exact(3);
+    for c in &mut chunks {
+        let n = ((c[0] as u32) << 16) | ((c[1] as u32) << 8) | c[2] as u32;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+        out.push(ALPHABET[n as usize & 63] as char);
+    }
+    match chunks.remainder() {
+        [] => {}
+        [a] => {
+            let n = (*a as u32) << 16;
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push_str("==");
+        }
+        [a, b] => {
+            let n = ((*a as u32) << 16) | ((*b as u32) << 8);
+            out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+            out.push(ALPHABET[(n >> 6) as usize & 63] as char);
+            out.push('=');
+        }
+        _ => unreachable!("chunks_exact(3) remainder is < 3"),
+    }
+    out
+}
+
+fn decode_byte(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode base64 text produced by [`encode`] (strict: no whitespace, no
+/// URL-safe alphabet).
+pub fn decode(text: &str) -> Result<Vec<u8>, Base64Error> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(Base64Error::InvalidLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (chunk_idx, c) in bytes.chunks_exact(4).enumerate() {
+        let last = chunk_idx == bytes.len() / 4 - 1;
+        let pads = c.iter().rev().take_while(|&&b| b == b'=').count();
+        if pads > 2 || (!last && pads > 0) {
+            return Err(Base64Error::MalformedPadding);
+        }
+        // Padding must be a suffix: reject `=A` patterns inside the chunk.
+        if c[..4 - pads].contains(&b'=') {
+            return Err(Base64Error::MalformedPadding);
+        }
+        let mut n: u32 = 0;
+        for (i, &b) in c[..4 - pads].iter().enumerate() {
+            let v = decode_byte(b).ok_or(Base64Error::InvalidByte {
+                position: chunk_idx * 4 + i,
+                byte: b,
+            })?;
+            n |= (v as u32) << (18 - 6 * i);
+        }
+        out.push((n >> 16) as u8);
+        if pads < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pads == 0 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // The canonical test vectors from RFC 4648 §10.
+        let cases = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in cases {
+            assert_eq!(encode(plain.as_bytes()), enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), Err(Base64Error::InvalidLength(3)));
+        assert!(matches!(decode("a?=="), Err(Base64Error::InvalidByte { position: 1, byte: b'?' })));
+        assert_eq!(decode("===="), Err(Base64Error::MalformedPadding));
+        assert_eq!(decode("Zg==Zg=="), Err(Base64Error::MalformedPadding));
+        assert_eq!(decode("Z=g="), Err(Base64Error::MalformedPadding));
+    }
+
+    #[test]
+    fn rejects_whitespace() {
+        assert!(decode("Zm9v\n").is_err());
+        assert!(decode(" Zm9v").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Every lampickle frame carries a CRC so the execution engine can detect
+//! corrupted code payloads before attempting to run them.
+
+/// Lazily-built 256-entry lookup table for the reflected polynomial
+/// 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Final checksum.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot checksum of `data`.
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+        assert_eq!(checksum(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"laminar serverless stream framework";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), checksum(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"payload bytes".to_vec();
+        let before = checksum(&data);
+        data[4] ^= 0x01;
+        assert_ne!(checksum(&data), before);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: lampickle and base64 are inverses; decoders never panic.
+
+use laminar_codec::{base64, pickle};
+use laminar_json::{Map, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        prop::num::f64::NORMAL.prop_map(Value::Float),
+        "\\PC{0,16}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,5}", inner, 0..5)
+                .prop_map(|m| Value::Object(m.into_iter().collect::<Map>())),
+        ]
+    })
+}
+
+proptest! {
+    /// loads ∘ dumps = id for arbitrary value trees.
+    #[test]
+    fn pickle_round_trip(v in arb_value()) {
+        prop_assert_eq!(pickle::loads(&pickle::dumps(&v)).unwrap(), v);
+    }
+
+    /// The b64 storage form also round-trips.
+    #[test]
+    fn pickle_b64_round_trip(v in arb_value()) {
+        prop_assert_eq!(pickle::loads_b64(&pickle::dumps_b64(&v)).unwrap(), v);
+    }
+
+    /// decode ∘ encode = id on arbitrary byte strings.
+    #[test]
+    fn base64_round_trip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    }
+
+    /// Encoded length matches the closed form ceil(n/3)*4.
+    #[test]
+    fn base64_length(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64::encode(&data).len(), data.len().div_ceil(3) * 4);
+    }
+
+    /// The frame decoder never panics on arbitrary bytes.
+    #[test]
+    fn loads_never_panics(data in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = pickle::loads(&data);
+    }
+
+    /// Flipping any single payload byte is detected (CRC or structural error).
+    #[test]
+    fn single_flip_detected(v in arb_value(), flip in any::<u8>(), pos_seed in any::<usize>()) {
+        let mut frame = pickle::dumps(&v);
+        if frame.len() > 12 {
+            let payload_span = frame.len() - 12;
+            let pos = 8 + pos_seed % payload_span;
+            if flip != 0 {
+                frame[pos] ^= flip;
+                prop_assert!(pickle::loads(&frame).is_err());
+            }
+        }
+    }
+}

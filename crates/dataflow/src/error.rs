@@ -1,0 +1,56 @@
+//! Dataflow error type.
+
+use laminar_script::ScriptError;
+use std::fmt;
+
+/// Errors produced while building or enacting workflows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataflowError {
+    /// Graph construction error (unknown node, bad port, duplicate name…).
+    Graph(String),
+    /// The graph failed validation before enactment.
+    Validation(String),
+    /// A PE failed at runtime; carries the PE name and the script error.
+    PeFailed { pe: String, error: ScriptError },
+    /// A mapping back-end failed (worker panic, broker closed…).
+    Enactment(String),
+    /// Run options were inconsistent (e.g. zero processes).
+    Options(String),
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::Graph(m) => write!(f, "graph error: {m}"),
+            DataflowError::Validation(m) => write!(f, "validation error: {m}"),
+            DataflowError::PeFailed { pe, error } => write!(f, "PE '{pe}' failed: {error}"),
+            DataflowError::Enactment(m) => write!(f, "enactment error: {m}"),
+            DataflowError::Options(m) => write!(f, "options error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+impl From<ScriptError> for DataflowError {
+    fn from(e: ScriptError) -> Self {
+        DataflowError::PeFailed { pe: "<unknown>".into(), error: e }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_script::ErrorKind;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataflowError::Graph("x".into()).to_string().contains("graph error"));
+        let pf = DataflowError::PeFailed {
+            pe: "IsPrime".into(),
+            error: ScriptError::new(ErrorKind::TypeError, "boom"),
+        };
+        assert!(pf.to_string().contains("IsPrime"));
+        assert!(pf.to_string().contains("boom"));
+    }
+}

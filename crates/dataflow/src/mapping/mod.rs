@@ -1,0 +1,219 @@
+//! Enactment back-ends ("mappings" in dispel4py terminology).
+//!
+//! All mappings execute the same abstract graph with identical semantics;
+//! they differ in the transport between PE instances:
+//!
+//! | Mapping  | Paper equivalent        | Transport                          |
+//! |----------|-------------------------|------------------------------------|
+//! | [`SimpleMapping`] | Simple (sequential) | in-process FIFO queue        |
+//! | [`MultiMapping`]  | Multi(processing)   | threads + crossbeam channels |
+//! | [`MpiMapping`]    | MPI                 | rank/tag messages, serialized payloads |
+//! | [`RedisMapping`]  | Redis               | broker work queues, serialized payloads |
+
+mod mpi;
+mod multi;
+mod redis;
+mod simple;
+pub mod worker;
+
+pub use mpi::{Communicator, Envelope, MpiMapping, RankEndpoint, TAG_DATA, TAG_EOS};
+pub use multi::MultiMapping;
+pub use redis::RedisMapping;
+pub use simple::SimpleMapping;
+
+use crate::error::DataflowError;
+use crate::graph::WorkflowGraph;
+use laminar_json::Value;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Which mapping to use — the client's `process=` parameter accepts these
+/// names (paper §3.4.1: SIMPLE, MULTI, MPI, REDIS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Sequential in-process execution.
+    Simple,
+    /// Shared-memory parallel execution.
+    Multi,
+    /// Message-passing execution over a simulated communicator.
+    Mpi,
+    /// Broker-queue execution over laminar-redisim.
+    Redis,
+}
+
+impl MappingKind {
+    /// Parse the client-facing name (case-insensitive).
+    pub fn parse(s: &str) -> Option<MappingKind> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SIMPLE" => MappingKind::Simple,
+            "MULTI" => MappingKind::Multi,
+            "MPI" => MappingKind::Mpi,
+            "REDIS" => MappingKind::Redis,
+            _ => return None,
+        })
+    }
+
+    /// The client-facing name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MappingKind::Simple => "SIMPLE",
+            MappingKind::Multi => "MULTI",
+            MappingKind::Mpi => "MPI",
+            MappingKind::Redis => "REDIS",
+        }
+    }
+
+    /// Instantiate the mapping back-end.
+    pub fn build(&self) -> Box<dyn Mapping> {
+        match self {
+            MappingKind::Simple => Box::new(SimpleMapping),
+            MappingKind::Multi => Box::new(MultiMapping),
+            MappingKind::Mpi => Box::new(MpiMapping),
+            MappingKind::Redis => Box::new(RedisMapping::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for MappingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What drives the root producers.
+#[derive(Debug, Clone)]
+pub enum RunInput {
+    /// Run each producer for `n` iterations (the paper's `input=5`).
+    Iterations(i64),
+    /// Feed this explicit datum list (the paper's
+    /// `input=[{"input": "resources/coordinates.txt"}]` form). Each datum
+    /// becomes one producer invocation, bound to `input`.
+    Data(Vec<Value>),
+}
+
+/// Options for one enactment.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Producer drive.
+    pub input: RunInput,
+    /// Requested process count for parallel mappings (the `args={'num': N}`
+    /// parameter). Ignored by Simple.
+    pub processes: usize,
+    /// Safety timeout for distributed queue pops.
+    pub queue_timeout: Duration,
+}
+
+impl RunOptions {
+    /// Run producers for `n` iterations with the default process count (5,
+    /// matching the paper's showcase configuration).
+    pub fn iterations(n: i64) -> RunOptions {
+        RunOptions { input: RunInput::Iterations(n), processes: 5, queue_timeout: Duration::from_secs(10) }
+    }
+
+    /// Feed explicit data to the producers.
+    pub fn data(values: Vec<Value>) -> RunOptions {
+        RunOptions { input: RunInput::Data(values), processes: 5, queue_timeout: Duration::from_secs(10) }
+    }
+
+    /// Set the process count.
+    pub fn with_processes(mut self, n: usize) -> RunOptions {
+        self.processes = n;
+        self
+    }
+
+    /// Number of producer invocations this input implies.
+    pub fn invocations(&self) -> usize {
+        match &self.input {
+            RunInput::Iterations(n) => (*n).max(0) as usize,
+            RunInput::Data(d) => d.len(),
+        }
+    }
+
+    /// Datum for iteration `i` (None for pure iteration drive).
+    pub fn datum_for(&self, i: usize) -> Option<Value> {
+        match &self.input {
+            RunInput::Iterations(_) => None,
+            RunInput::Data(d) => d.get(i).cloned(),
+        }
+    }
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Data processed per PE (by name).
+    pub processed: BTreeMap<String, u64>,
+    /// Data emitted per PE (by name).
+    pub emitted: BTreeMap<String, u64>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Instances used per PE (by name).
+    pub instances: BTreeMap<String, usize>,
+}
+
+/// The outcome of an enactment.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Values emitted on terminal ports, keyed by `(pe_name, port)`.
+    pub outputs: BTreeMap<(String, String), Vec<Value>>,
+    /// Captured `print` lines from all instances (the engine forwards these
+    /// to the client — paper Figure 9).
+    pub printed: Vec<String>,
+    /// Statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Values emitted on a terminal port (empty slice if none).
+    pub fn port_values(&self, pe_name: &str, port: &str) -> &[Value] {
+        self.outputs
+            .get(&(pe_name.to_string(), port.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total terminal output count.
+    pub fn total_outputs(&self) -> usize {
+        self.outputs.values().map(Vec::len).sum()
+    }
+}
+
+/// An enactment back-end.
+pub trait Mapping {
+    /// Which kind this is.
+    fn kind(&self) -> MappingKind;
+    /// Execute the graph to completion.
+    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_kind_parse_round_trip() {
+        for k in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+            assert_eq!(MappingKind::parse(k.as_str()), Some(k));
+            assert_eq!(MappingKind::parse(&k.as_str().to_lowercase()), Some(k));
+        }
+        assert_eq!(MappingKind::parse("SPARK"), None);
+    }
+
+    #[test]
+    fn run_options_invocations() {
+        assert_eq!(RunOptions::iterations(5).invocations(), 5);
+        assert_eq!(RunOptions::iterations(-1).invocations(), 0);
+        let d = RunOptions::data(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(d.invocations(), 2);
+        assert_eq!(d.datum_for(1), Some(Value::Int(2)));
+        assert_eq!(d.datum_for(9), None);
+        assert_eq!(RunOptions::iterations(3).datum_for(0), None);
+    }
+
+    #[test]
+    fn build_constructs_each_kind() {
+        for k in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+            assert_eq!(k.build().kind(), k);
+        }
+    }
+}

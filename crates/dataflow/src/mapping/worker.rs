@@ -1,0 +1,390 @@
+//! Shared per-instance execution machinery used by every mapping.
+//!
+//! An [`InstanceRunner`] wraps one PE instance together with its routing
+//! tables. Mappings feed it data and deliver the routed emissions over
+//! their own transport.
+
+use crate::error::DataflowError;
+use crate::graph::{NodeId, WorkflowGraph};
+use crate::pe::Pe;
+use crate::planner::{ConcretePlan, InstanceId};
+use crate::routing::{Grouping, Router};
+use laminar_json::Value;
+use laminar_script::VecSink;
+use std::collections::BTreeMap;
+
+/// One outgoing edge from the perspective of a sender instance.
+pub struct OutEdge {
+    /// Source port on this PE.
+    pub from_port: String,
+    /// Destination node.
+    pub to_node: NodeId,
+    /// Destination input port.
+    pub to_port: String,
+    /// Stateful router over the destination's instances.
+    pub router: Router,
+}
+
+/// A datum addressed to a concrete destination instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedDatum {
+    /// Destination instance.
+    pub dest: InstanceId,
+    /// Destination input port.
+    pub port: String,
+    /// Payload.
+    pub value: Value,
+}
+
+/// Emissions of one `process` call, classified.
+#[derive(Debug, Default)]
+pub struct Emissions {
+    /// Data to forward to downstream instances.
+    pub routed: Vec<RoutedDatum>,
+    /// Terminal-port emissions `(port, value)`.
+    pub collected: Vec<(String, Value)>,
+    /// Captured print lines.
+    pub printed: Vec<String>,
+}
+
+/// Per-instance stats counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Data (or producer iterations) processed.
+    pub processed: u64,
+    /// Data emitted on any port.
+    pub emitted: u64,
+}
+
+/// A PE instance plus its routing state.
+pub struct InstanceRunner {
+    /// Identity within the concrete plan.
+    pub inst: InstanceId,
+    /// PE name (for results/stats).
+    pub node_name: String,
+    pe: Box<dyn Pe>,
+    outgoing: Vec<OutEdge>,
+    terminal_ports: Vec<String>,
+    /// Number of upstream EOS signals this instance must observe before it
+    /// can finish.
+    pub expected_eos: usize,
+    /// Stats counters.
+    pub stats: InstanceStats,
+    iteration: i64,
+    sink: VecSink,
+}
+
+impl InstanceRunner {
+    /// Build the runner for instance `inst` under `plan`.
+    pub fn new(graph: &WorkflowGraph, plan: &ConcretePlan, inst: InstanceId) -> Result<InstanceRunner, DataflowError> {
+        let factory = graph.node(inst.node)?;
+        let meta = factory.meta();
+        let node_name = meta.name.clone();
+        let mut outgoing = Vec::new();
+        for c in graph.connections().iter().filter(|c| c.from == inst.node) {
+            outgoing.push(OutEdge {
+                from_port: c.from_port.clone(),
+                to_node: c.to,
+                to_port: c.to_port.clone(),
+                router: Router::new(c.grouping, plan.count(c.to)),
+            });
+        }
+        let connected: Vec<&str> = outgoing.iter().map(|e| e.from_port.as_str()).collect();
+        let terminal_ports = meta
+            .outputs
+            .iter()
+            .filter(|p| !connected.contains(&p.as_str()))
+            .cloned()
+            .collect();
+        let expected_eos = graph
+            .connections()
+            .iter()
+            .filter(|c| c.to == inst.node)
+            .map(|c| plan.count(c.from))
+            .sum();
+        let mut pe = factory.instantiate();
+        let mut sink = VecSink::default();
+        pe.setup(inst.index, plan.count(inst.node), &mut sink)?;
+        let mut runner = InstanceRunner {
+            inst,
+            node_name,
+            pe,
+            outgoing,
+            terminal_ports,
+            expected_eos,
+            stats: InstanceStats::default(),
+            iteration: 0,
+            sink: VecSink::default(),
+        };
+        // Anything printed during setup is preserved.
+        runner.sink.printed = sink.printed;
+        Ok(runner)
+    }
+
+    /// Whether the instance is a source (no upstream edges).
+    pub fn is_source(&self) -> bool {
+        self.expected_eos == 0
+    }
+
+    /// Run one producer iteration (sources only).
+    pub fn run_iteration(&mut self, datum: Option<Value>) -> Result<Emissions, DataflowError> {
+        let input = datum.map(|v| ("input".to_string(), v));
+        self.invoke(input)
+    }
+
+    /// Process one incoming datum.
+    pub fn run_datum(&mut self, port: String, value: Value) -> Result<Emissions, DataflowError> {
+        self.invoke(Some((port, value)))
+    }
+
+    fn invoke(&mut self, input: Option<(String, Value)>) -> Result<Emissions, DataflowError> {
+        let it = self.iteration;
+        self.iteration += 1;
+        self.stats.processed += 1;
+        let mut call_sink = std::mem::take(&mut self.sink);
+        call_sink.emitted.clear();
+        let borrowed = input.as_ref().map(|(p, v)| (p.as_str(), v.clone()));
+        let result = self.pe.process(borrowed, it, &mut call_sink);
+        let mut emissions = Emissions {
+            printed: std::mem::take(&mut call_sink.printed),
+            ..Default::default()
+        };
+        let emitted = std::mem::take(&mut call_sink.emitted);
+        self.sink = call_sink;
+        result?;
+        self.stats.emitted += emitted.len() as u64;
+        for (port, value) in emitted {
+            let mut routed_any = false;
+            for edge in self.outgoing.iter_mut().filter(|e| e.from_port == port) {
+                routed_any = true;
+                for dest_index in edge.router.route(&value) {
+                    emissions.routed.push(RoutedDatum {
+                        dest: InstanceId { node: edge.to_node, index: dest_index },
+                        port: edge.to_port.clone(),
+                        value: value.clone(),
+                    });
+                }
+            }
+            if !routed_any && self.terminal_ports.iter().any(|p| *p == port) {
+                emissions.collected.push((port, value));
+            }
+        }
+        Ok(emissions)
+    }
+
+    /// Downstream instances that must be told when this instance finishes:
+    /// every instance of every successor node, once per outgoing edge.
+    pub fn eos_targets(&self, plan: &ConcretePlan) -> Vec<InstanceId> {
+        let mut out = Vec::new();
+        for edge in &self.outgoing {
+            for i in 0..plan.count(edge.to_node) {
+                out.push(InstanceId { node: edge.to_node, index: i });
+            }
+        }
+        out
+    }
+
+    /// Grouping of the first outgoing edge on `port` (used by tests).
+    pub fn grouping_of(&self, port: &str) -> Option<Grouping> {
+        self.outgoing.iter().find(|e| e.from_port == port).map(|e| e.router.grouping())
+    }
+}
+
+/// Merge per-instance stats into per-PE aggregates.
+pub fn merge_stats(
+    per_instance: impl IntoIterator<Item = (String, InstanceStats)>,
+    plan_counts: &BTreeMap<String, usize>,
+) -> super::RunStats {
+    let mut stats = super::RunStats { instances: plan_counts.clone(), ..Default::default() };
+    for (name, s) in per_instance {
+        *stats.processed.entry(name.clone()).or_insert(0) += s.processed;
+        *stats.emitted.entry(name).or_insert(0) += s.emitted;
+    }
+    stats
+}
+
+/// Plan-level instance counts keyed by PE name.
+pub fn plan_counts(graph: &WorkflowGraph, plan: &ConcretePlan) -> BTreeMap<String, usize> {
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.meta().name.clone(), plan.count(NodeId(i))))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Generic worker loop shared by the parallel mappings
+// ---------------------------------------------------------------------------
+
+/// A message as seen by a receiving instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportMsg {
+    /// A datum for one of this instance's input ports.
+    Data {
+        /// Destination input port.
+        port: String,
+        /// Payload.
+        value: Value,
+    },
+    /// One upstream instance finished.
+    Eos,
+}
+
+/// The transport a parallel mapping provides to each worker.
+pub trait Transport {
+    /// Deliver a datum to another instance.
+    fn send_data(&mut self, dest: InstanceId, port: &str, value: &Value) -> Result<(), DataflowError>;
+    /// Deliver an end-of-stream signal to another instance.
+    fn send_eos(&mut self, dest: InstanceId) -> Result<(), DataflowError>;
+    /// Block for the next message addressed to this instance.
+    fn recv(&mut self) -> Result<TransportMsg, DataflowError>;
+}
+
+/// Everything a worker brings home after its instance finishes.
+#[derive(Debug, Default)]
+pub struct WorkerOutcome {
+    /// PE name.
+    pub node_name: String,
+    /// Counters.
+    pub stats: InstanceStats,
+    /// Terminal emissions `(pe, port, value)`.
+    pub outputs: Vec<(String, String, Value)>,
+    /// Captured print lines.
+    pub printed: Vec<String>,
+}
+
+/// Drive one instance to completion over `transport`.
+///
+/// Sources run the configured invocations (striped across sibling source
+/// instances), then signal EOS downstream. Sinks/relays consume data until
+/// every upstream instance has signalled EOS, then propagate EOS.
+pub fn run_worker<T: Transport>(
+    mut runner: InstanceRunner,
+    mut transport: T,
+    plan: &ConcretePlan,
+    options: &super::RunOptions,
+) -> Result<WorkerOutcome, DataflowError> {
+    let mut outcome = WorkerOutcome { node_name: runner.node_name.clone(), ..Default::default() };
+    let deliver = |runner: &InstanceRunner,
+                       emissions: Emissions,
+                       transport: &mut T,
+                       outcome: &mut WorkerOutcome|
+     -> Result<(), DataflowError> {
+        for r in emissions.routed {
+            transport.send_data(r.dest, &r.port, &r.value)?;
+        }
+        for (port, value) in emissions.collected {
+            outcome.outputs.push((runner.node_name.clone(), port, value));
+        }
+        outcome.printed.extend(emissions.printed);
+        Ok(())
+    };
+
+    if runner.is_source() {
+        let siblings = plan.count(runner.inst.node);
+        let my_index = runner.inst.index;
+        for i in 0..options.invocations() {
+            if i % siblings != my_index {
+                continue;
+            }
+            let emissions = runner.run_iteration(options.datum_for(i))?;
+            deliver(&runner, emissions, &mut transport, &mut outcome)?;
+        }
+    } else {
+        let mut remaining = runner.expected_eos;
+        while remaining > 0 {
+            match transport.recv()? {
+                TransportMsg::Data { port, value } => {
+                    let emissions = runner.run_datum(port, value)?;
+                    deliver(&runner, emissions, &mut transport, &mut outcome)?;
+                }
+                TransportMsg::Eos => remaining -= 1,
+            }
+        }
+    }
+    for dest in runner.eos_targets(plan) {
+        transport.send_eos(dest)?;
+    }
+    outcome.stats = runner.stats;
+    Ok(outcome)
+}
+
+/// Fold worker outcomes into a [`super::RunResult`].
+pub fn merge_outcomes(
+    outcomes: Vec<WorkerOutcome>,
+    counts: &BTreeMap<String, usize>,
+) -> super::RunResult {
+    let mut result = super::RunResult::default();
+    let mut stats_parts = Vec::new();
+    for o in outcomes {
+        for (pe, port, value) in o.outputs {
+            result.outputs.entry((pe, port)).or_default().push(value);
+        }
+        result.printed.extend(o.printed);
+        stats_parts.push((o.node_name, o.stats));
+    }
+    result.stats = merge_stats(stats_parts, counts);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowGraph;
+    use crate::pe::{iterative_fn, producer_fn};
+
+    fn graph_and_plan() -> (WorkflowGraph, ConcretePlan) {
+        let mut g = WorkflowGraph::new("t");
+        let a = g.add(producer_fn("A", Value::Int));
+        let b = g.add(iterative_fn("B", Some));
+        g.connect(a, "output", b, "input").unwrap();
+        let plan = ConcretePlan::distribute(&g, 3).unwrap();
+        (g, plan)
+    }
+
+    #[test]
+    fn source_runner_routes_round_robin() {
+        let (g, plan) = graph_and_plan();
+        assert_eq!(plan.instances, vec![1, 2]);
+        let mut runner = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
+        assert!(runner.is_source());
+        let e1 = runner.run_iteration(None).unwrap();
+        let e2 = runner.run_iteration(None).unwrap();
+        assert_eq!(e1.routed[0].dest.index, 0);
+        assert_eq!(e2.routed[0].dest.index, 1);
+        assert_eq!(e1.routed[0].port, "input");
+        assert_eq!(runner.stats.processed, 2);
+        assert_eq!(runner.stats.emitted, 2);
+    }
+
+    #[test]
+    fn terminal_collection() {
+        let (g, plan) = graph_and_plan();
+        let mut b = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(1), index: 0 }).unwrap();
+        assert!(!b.is_source());
+        assert_eq!(b.expected_eos, 1);
+        let e = b.run_datum("input".into(), Value::Int(7)).unwrap();
+        assert!(e.routed.is_empty());
+        assert_eq!(e.collected, vec![("output".to_string(), Value::Int(7))]);
+    }
+
+    #[test]
+    fn eos_targets_cover_all_downstream_instances() {
+        let (g, plan) = graph_and_plan();
+        let a = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
+        let targets = a.eos_targets(&plan);
+        assert_eq!(targets.len(), 2);
+        assert!(targets.iter().all(|t| t.node == NodeId(1)));
+    }
+
+    #[test]
+    fn iteration_counter_feeds_producer() {
+        let (g, plan) = graph_and_plan();
+        let mut a = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
+        let e1 = a.run_iteration(None).unwrap();
+        let e2 = a.run_iteration(None).unwrap();
+        assert_eq!(e1.routed[0].value, Value::Int(0));
+        assert_eq!(e2.routed[0].value, Value::Int(1));
+    }
+}

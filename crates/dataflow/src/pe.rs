@@ -1,0 +1,469 @@
+//! Runtime Processing Elements.
+//!
+//! Two families implement the same [`Pe`] trait:
+//!
+//! * [`ScriptPe`] — a LamScript `pe` declaration interpreted at runtime.
+//!   This is the serverless path: the source travels through the registry
+//!   and the engine, and each instance keeps its own interpreter state.
+//! * [`NativePe`] / the [`producer_fn`]/[`iterative_fn`]/[`consumer_fn`]
+//!   builders — Rust closures, used by baselines and benchmarks where
+//!   interpreter overhead must be excluded.
+
+use crate::error::DataflowError;
+use laminar_json::Value;
+use laminar_script::{analysis, parse_script, to_source, Host, Interp, NullHost, PeDecl, PeKind, PortDecl, Script, Sink};
+use std::sync::Arc;
+
+/// Static description of a PE: ports, kind, provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeMeta {
+    /// PE class name.
+    pub name: String,
+    /// Archetype.
+    pub kind: PeKind,
+    /// Input ports (with group-by info).
+    pub inputs: Vec<PortDecl>,
+    /// Output port names.
+    pub outputs: Vec<String>,
+    /// Canonical LamScript source, if this PE is scripted.
+    pub source: Option<String>,
+    /// Declared + inferred library imports (drives the engine installer).
+    pub imports: Vec<String>,
+    /// Optional human description (the registry may overwrite with a
+    /// generated summary).
+    pub description: Option<String>,
+    /// Whether the PE keeps per-instance state.
+    pub stateful: bool,
+}
+
+impl PeMeta {
+    /// Metadata extracted from a parsed LamScript PE declaration.
+    pub fn from_decl(decl: &PeDecl) -> PeMeta {
+        PeMeta {
+            name: decl.name.clone(),
+            kind: decl.kind,
+            inputs: decl.inputs.clone(),
+            outputs: decl.outputs.clone(),
+            source: None,
+            imports: analysis::pe_imports(decl),
+            description: decl.doc.clone(),
+            stateful: decl.is_stateful(),
+        }
+    }
+
+    /// Does this PE have an input port with the given name?
+    pub fn has_input(&self, port: &str) -> bool {
+        self.inputs.iter().any(|p| p.name == port)
+    }
+
+    /// Does this PE have an output port with the given name?
+    pub fn has_output(&self, port: &str) -> bool {
+        self.outputs.iter().any(|p| p == port)
+    }
+
+    /// Group-by key for an input port, if declared.
+    pub fn groupby(&self, port: &str) -> Option<usize> {
+        self.inputs.iter().find(|p| p.name == port).and_then(|p| p.groupby)
+    }
+}
+
+/// A runtime PE instance. One instance == one unit of parallelism.
+pub trait Pe: Send {
+    /// Static metadata.
+    fn meta(&self) -> &PeMeta;
+
+    /// Called once before any data, with the instance index (0-based) and
+    /// total instance count — PEs occasionally need them (e.g. sharded
+    /// producers).
+    fn setup(&mut self, _instance: usize, _total: usize, _out: &mut dyn Sink) -> Result<(), DataflowError> {
+        Ok(())
+    }
+
+    /// Process one datum (`Some((port, value))`) or one producer iteration
+    /// (`None`). Emissions go to `out`.
+    fn process(
+        &mut self,
+        input: Option<(&str, Value)>,
+        iteration: i64,
+        out: &mut dyn Sink,
+    ) -> Result<(), DataflowError>;
+}
+
+/// A cloneable recipe producing fresh [`Pe`] instances; the graph stores
+/// factories, mappings instantiate them per-instance.
+pub trait PeFactory: Send + Sync {
+    /// Static metadata (shared by all instances).
+    fn meta(&self) -> &PeMeta;
+    /// Create a fresh instance with isolated state.
+    fn instantiate(&self) -> Box<dyn Pe>;
+}
+
+// ---------------------------------------------------------------------------
+// Scripted PEs
+// ---------------------------------------------------------------------------
+
+/// Factory for script-defined PEs.
+pub struct ScriptPeFactory {
+    script: Arc<Script>,
+    decl: PeDecl,
+    meta: PeMeta,
+    host: Arc<dyn Host + Send + Sync>,
+    fuel: u64,
+    seed: u64,
+}
+
+impl ScriptPeFactory {
+    /// Parse `source` and build a factory for the PE named `pe_name`.
+    pub fn from_source(source: &str, pe_name: &str) -> Result<Self, DataflowError> {
+        Self::from_source_with_host(source, pe_name, Arc::new(NullHost))
+    }
+
+    /// Like [`Self::from_source`] but with a host providing external
+    /// (simulated) services to the script.
+    pub fn from_source_with_host(
+        source: &str,
+        pe_name: &str,
+        host: Arc<dyn Host + Send + Sync>,
+    ) -> Result<Self, DataflowError> {
+        let script = parse_script(source).map_err(|e| DataflowError::PeFailed { pe: pe_name.into(), error: e })?;
+        let decl = script
+            .pe(pe_name)
+            .cloned()
+            .ok_or_else(|| DataflowError::Graph(format!("source defines no PE named '{pe_name}'")))?;
+        let mut meta = PeMeta::from_decl(&decl);
+        meta.source = Some(to_source(&script));
+        Ok(ScriptPeFactory {
+            script: Arc::new(script),
+            decl,
+            meta,
+            host,
+            fuel: laminar_script::interp::DEFAULT_FUEL,
+            seed: 0x1a31_4a12,
+        })
+    }
+
+    /// Override the per-invocation fuel budget for instances.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Seed the per-instance RNGs (instance `i` gets `seed + i`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl PeFactory for ScriptPeFactory {
+    fn meta(&self) -> &PeMeta {
+        &self.meta
+    }
+
+    fn instantiate(&self) -> Box<dyn Pe> {
+        Box::new(ScriptPe {
+            script: Arc::clone(&self.script),
+            decl: self.decl.clone(),
+            meta: self.meta.clone(),
+            host: Arc::clone(&self.host),
+            fuel: self.fuel,
+            seed: self.seed,
+            interp: None,
+            state: Value::Null,
+        })
+    }
+}
+
+/// A running scripted PE instance.
+pub struct ScriptPe {
+    script: Arc<Script>,
+    decl: PeDecl,
+    meta: PeMeta,
+    host: Arc<dyn Host + Send + Sync>,
+    fuel: u64,
+    seed: u64,
+    interp: Option<Interp>,
+    state: Value,
+}
+
+impl Pe for ScriptPe {
+    fn meta(&self) -> &PeMeta {
+        &self.meta
+    }
+
+    fn setup(&mut self, instance: usize, _total: usize, out: &mut dyn Sink) -> Result<(), DataflowError> {
+        let interp = Interp::new(&self.script, Arc::clone(&self.host))
+            .with_fuel(self.fuel)
+            .with_seed(self.seed.wrapping_add(instance as u64));
+        self.interp = Some(interp);
+        let interp = self.interp.as_mut().expect("just set");
+        interp
+            .run_init(&self.decl, &mut self.state, out)
+            .map_err(|e| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e })
+    }
+
+    fn process(&mut self, input: Option<(&str, Value)>, iteration: i64, out: &mut dyn Sink) -> Result<(), DataflowError> {
+        if self.interp.is_none() {
+            self.setup(0, 1, out)?;
+        }
+        let interp = self.interp.as_mut().expect("setup ran");
+        let (value, port) = match input {
+            Some((p, v)) => (Some(v), Some(p)),
+            None => (None, None),
+        };
+        let returned = interp
+            .run_process(&self.decl, value, port, iteration, &mut self.state, out)
+            .map_err(|e| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e })?;
+        // dispel4py shorthand: a returned value is written to the default
+        // output port.
+        if let Some(v) = returned {
+            if let Some(port) = self.decl.default_output() {
+                out.emit(port, v);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Native PEs
+// ---------------------------------------------------------------------------
+
+type NativeFn = dyn FnMut(Option<(&str, Value)>, i64, &mut dyn Sink) -> Result<(), DataflowError> + Send;
+
+/// A PE whose behaviour is a Rust closure. Build via [`producer_fn`],
+/// [`iterative_fn`], [`consumer_fn`] or [`NativePe::generic`].
+pub struct NativePe {
+    meta: PeMeta,
+    behaviour: Box<NativeFn>,
+}
+
+impl Pe for NativePe {
+    fn meta(&self) -> &PeMeta {
+        &self.meta
+    }
+
+    fn process(&mut self, input: Option<(&str, Value)>, iteration: i64, out: &mut dyn Sink) -> Result<(), DataflowError> {
+        (self.behaviour)(input, iteration, out)
+    }
+}
+
+/// Factory for native PEs: holds a constructor closure so each instance
+/// gets fresh captured state.
+pub struct NativePeFactory {
+    meta: PeMeta,
+    make: Box<dyn Fn() -> Box<NativeFn> + Send + Sync>,
+}
+
+impl NativePeFactory {
+    /// Generic constructor: full control over ports and behaviour.
+    pub fn new(
+        meta: PeMeta,
+        make: impl Fn() -> Box<NativeFn> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(NativePeFactory { meta, make: Box::new(make) })
+    }
+}
+
+impl PeFactory for NativePeFactory {
+    fn meta(&self) -> &PeMeta {
+        &self.meta
+    }
+
+    fn instantiate(&self) -> Box<dyn Pe> {
+        Box::new(NativePe { meta: self.meta.clone(), behaviour: (self.make)() })
+    }
+}
+
+fn native_meta(name: &str, kind: PeKind, inputs: Vec<PortDecl>, outputs: Vec<String>, stateful: bool) -> PeMeta {
+    PeMeta {
+        name: name.to_string(),
+        kind,
+        inputs,
+        outputs,
+        source: None,
+        imports: vec![],
+        description: None,
+        stateful,
+    }
+}
+
+/// Native producer: `f(iteration)` returns the datum for the default output.
+pub fn producer_fn<F>(name: &str, f: F) -> Arc<NativePeFactory>
+where
+    F: Fn(i64) -> Value + Send + Sync + Clone + 'static,
+{
+    let meta = native_meta(name, PeKind::Producer, vec![], vec!["output".into()], false);
+    NativePeFactory::new(meta, move || {
+        let f = f.clone();
+        Box::new(move |_input, iteration, out| {
+            out.emit("output", f(iteration));
+            Ok(())
+        })
+    })
+}
+
+/// Native iterative PE: `f(datum)` returns `Some(mapped)` to forward or
+/// `None` to drop.
+pub fn iterative_fn<F>(name: &str, f: F) -> Arc<NativePeFactory>
+where
+    F: Fn(Value) -> Option<Value> + Send + Sync + Clone + 'static,
+{
+    let meta = native_meta(
+        name,
+        PeKind::Iterative,
+        vec![PortDecl { name: "input".into(), groupby: None }],
+        vec!["output".into()],
+        false,
+    );
+    NativePeFactory::new(meta, move || {
+        let f = f.clone();
+        Box::new(move |input, _iteration, out| {
+            if let Some((_, v)) = input {
+                if let Some(mapped) = f(v) {
+                    out.emit("output", mapped);
+                }
+            }
+            Ok(())
+        })
+    })
+}
+
+/// Native consumer: `f(datum)` runs for its side effects (often `print`).
+pub fn consumer_fn<F>(name: &str, f: F) -> Arc<NativePeFactory>
+where
+    F: Fn(Value, &mut dyn Sink) + Send + Sync + Clone + 'static,
+{
+    let meta = native_meta(
+        name,
+        PeKind::Consumer,
+        vec![PortDecl { name: "input".into(), groupby: None }],
+        vec![],
+        false,
+    );
+    NativePeFactory::new(meta, move || {
+        let f = f.clone();
+        Box::new(move |input, _iteration, out| {
+            if let Some((_, v)) = input {
+                f(v, out);
+            }
+            Ok(())
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_script::VecSink;
+
+    const SRC: &str = r#"
+        pe Producer : producer { output output; process { emit(iteration * 10); } }
+        pe Stateful : iterative {
+            input x; output output;
+            init { state.seen = 0; }
+            process { state.seen = state.seen + 1; emit(state.seen); }
+        }
+    "#;
+
+    #[test]
+    fn script_pe_meta() {
+        let f = ScriptPeFactory::from_source(SRC, "Stateful").unwrap();
+        let m = f.meta();
+        assert_eq!(m.name, "Stateful");
+        assert_eq!(m.kind, PeKind::Iterative);
+        assert!(m.stateful);
+        assert!(m.source.as_ref().unwrap().contains("pe Stateful"));
+        assert!(m.has_input("x"));
+        assert!(m.has_output("output"));
+        assert!(!m.has_input("nope"));
+    }
+
+    #[test]
+    fn unknown_pe_name_fails() {
+        assert!(matches!(
+            ScriptPeFactory::from_source(SRC, "Missing"),
+            Err(DataflowError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn instances_have_isolated_state() {
+        let f = ScriptPeFactory::from_source(SRC, "Stateful").unwrap();
+        let mut a = f.instantiate();
+        let mut b = f.instantiate();
+        let mut sink = VecSink::default();
+        for _ in 0..3 {
+            a.process(Some(("x", Value::Int(0))), 0, &mut sink).unwrap();
+        }
+        b.process(Some(("x", Value::Int(0))), 0, &mut sink).unwrap();
+        let counts: Vec<i64> = sink.emitted.iter().map(|(_, v)| v.as_i64().unwrap()).collect();
+        // a counted 1,2,3; b restarted at 1.
+        assert_eq!(counts, vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn producer_iteration_flows() {
+        let f = ScriptPeFactory::from_source(SRC, "Producer").unwrap();
+        let mut p = f.instantiate();
+        let mut sink = VecSink::default();
+        for it in 0..3 {
+            p.process(None, it, &mut sink).unwrap();
+        }
+        let vals: Vec<i64> = sink.emitted.iter().map(|(_, v)| v.as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn distinct_instances_get_distinct_rng_streams() {
+        let src = "pe R : producer { output output; process { emit(randint(1, 1000000)); } }";
+        let f = ScriptPeFactory::from_source(src, "R").unwrap().with_seed(99);
+        let mut a = f.instantiate();
+        let mut b = f.instantiate();
+        let mut sa = VecSink::default();
+        let mut sb = VecSink::default();
+        a.setup(0, 2, &mut sa).unwrap();
+        b.setup(1, 2, &mut sb).unwrap();
+        a.process(None, 0, &mut sa).unwrap();
+        b.process(None, 0, &mut sb).unwrap();
+        assert_ne!(sa.emitted, sb.emitted, "instance RNGs must differ");
+    }
+
+    #[test]
+    fn native_pes() {
+        let prod = producer_fn("Nums", |i| Value::Int(i + 1));
+        let doubler = iterative_fn("Double", |v| v.as_i64().map(|n| Value::Int(n * 2)));
+        let mut sink = VecSink::default();
+        let mut p = prod.instantiate();
+        p.process(None, 4, &mut sink).unwrap();
+        assert_eq!(sink.emitted[0].1, Value::Int(5));
+        let mut d = doubler.instantiate();
+        d.process(Some(("input", Value::Int(5))), 0, &mut sink).unwrap();
+        assert_eq!(sink.emitted[1].1, Value::Int(10));
+        // Dropping filter
+        let dropper = iterative_fn("Drop", |_| None);
+        let mut dr = dropper.instantiate();
+        let before = sink.emitted.len();
+        dr.process(Some(("input", Value::Int(1))), 0, &mut sink).unwrap();
+        assert_eq!(sink.emitted.len(), before);
+    }
+
+    #[test]
+    fn consumer_fn_side_effects() {
+        let cons = consumer_fn("Printer", |v, out| out.print(&format!("got {v}")));
+        let mut c = cons.instantiate();
+        let mut sink = VecSink::default();
+        c.process(Some(("input", Value::Int(7))), 0, &mut sink).unwrap();
+        assert_eq!(sink.printed, vec!["got 7"]);
+        assert!(c.meta().outputs.is_empty());
+        assert_eq!(c.meta().kind, PeKind::Consumer);
+    }
+
+    #[test]
+    fn groupby_surfaces_in_meta() {
+        let src = r#"pe G : generic { input input groupby 1; output output; process { emit(input); } }"#;
+        let f = ScriptPeFactory::from_source(src, "G").unwrap();
+        assert_eq!(f.meta().groupby("input"), Some(1));
+        assert_eq!(f.meta().groupby("other"), None);
+    }
+}

@@ -1,0 +1,193 @@
+//! Dense embeddings via feature hashing (the "hashing trick").
+//!
+//! Every model maps an input to a bag of weighted string features; features
+//! are hashed into a fixed-dimension vector with a sign hash, then
+//! L2-normalized. Cosine similarity over these vectors is exactly the
+//! bi-encoder retrieval rule of paper §2.4.
+
+use laminar_json::Value;
+
+/// A dense embedding vector (always L2-normalized unless all-zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// Vector components.
+    pub values: Vec<f32>,
+}
+
+impl Embedding {
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Serialize for registry storage (the `codeEmbedding` /
+    /// `descEmbedding` columns).
+    pub fn to_value(&self) -> Value {
+        Value::Array(self.values.iter().map(|f| Value::Float(*f as f64)).collect())
+    }
+
+    /// Inverse of [`Self::to_value`].
+    pub fn from_value(v: &Value) -> Option<Embedding> {
+        let arr = v.as_array()?;
+        let mut values = Vec::with_capacity(arr.len());
+        for e in arr {
+            values.push(e.as_f64()? as f32);
+        }
+        Some(Embedding { values })
+    }
+}
+
+/// FNV-1a, 64-bit — the feature hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Accumulates weighted features into a hashed vector.
+pub struct FeatureHasher {
+    values: Vec<f32>,
+}
+
+impl FeatureHasher {
+    /// A hasher with output dimension `dim`.
+    pub fn new(dim: usize) -> FeatureHasher {
+        assert!(dim > 0);
+        FeatureHasher { values: vec![0.0; dim] }
+    }
+
+    /// Add one feature occurrence with a weight. The feature's hash picks
+    /// the bucket; a second hash bit picks the sign (reduces collision
+    /// bias).
+    pub fn add(&mut self, feature: &str, weight: f32) {
+        let h = fnv1a(feature.as_bytes());
+        let dim = self.values.len() as u64;
+        let bucket = (h % dim) as usize;
+        let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+        self.values[bucket] += sign * weight;
+    }
+
+    /// Add a whole channel of `(feature, weight)` pairs scaled by
+    /// `channel_weight`.
+    pub fn add_channel<'a>(
+        &mut self,
+        features: impl IntoIterator<Item = (String, f32)>,
+        channel_weight: f32,
+        prefix: &'a str,
+    ) {
+        for (f, w) in features {
+            self.add(&format!("{prefix}:{f}"), w * channel_weight);
+        }
+    }
+
+    /// Finish: L2-normalize and return the embedding.
+    pub fn finish(mut self) -> Embedding {
+        let norm: f32 = self.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in &mut self.values {
+                *v /= norm;
+            }
+        }
+        Embedding { values: self.values }
+    }
+}
+
+/// Cosine similarity. Normalized inputs make this a dot product, but the
+/// full formula keeps the function safe for un-normalized vectors too.
+pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
+    assert_eq!(a.dim(), b.dim(), "cosine over mismatched dimensions");
+    let dot: f32 = a.values.iter().zip(&b.values).map(|(x, y)| x * y).sum();
+    let na: f32 = a.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+    let nb: f32 = b.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Indices of the `k` corpus embeddings most similar to `query`, best
+/// first. Ties break toward the lower index (deterministic).
+pub fn top_k(query: &Embedding, corpus: &[Embedding], k: usize) -> Vec<(usize, f32)> {
+    let mut scored: Vec<(usize, f32)> = corpus.iter().enumerate().map(|(i, e)| (i, cosine(query, e))).collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embed(features: &[(&str, f32)], dim: usize) -> Embedding {
+        let mut h = FeatureHasher::new(dim);
+        for (f, w) in features {
+            h.add(f, *w);
+        }
+        h.finish()
+    }
+
+    #[test]
+    fn normalization() {
+        let e = embed(&[("a", 3.0), ("b", 4.0)], 64);
+        let norm: f32 = e.values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_features_identical_embeddings() {
+        let a = embed(&[("x", 1.0), ("y", 2.0)], 128);
+        let b = embed(&[("x", 1.0), ("y", 2.0)], 128);
+        assert_eq!(a, b);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn overlap_orders_similarity() {
+        let base = embed(&[("a", 1.0), ("b", 1.0), ("c", 1.0)], 512);
+        let near = embed(&[("a", 1.0), ("b", 1.0), ("z", 1.0)], 512);
+        let far = embed(&[("p", 1.0), ("q", 1.0), ("r", 1.0)], 512);
+        assert!(cosine(&base, &near) > cosine(&base, &far));
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_zero() {
+        let z = Embedding { values: vec![0.0; 8] };
+        let e = embed(&[("a", 1.0)], 8);
+        assert_eq!(cosine(&z, &e), 0.0);
+    }
+
+    #[test]
+    fn top_k_ordering_and_ties() {
+        let q = embed(&[("a", 1.0)], 256);
+        let corpus = vec![
+            embed(&[("b", 1.0)], 256),
+            embed(&[("a", 1.0)], 256),
+            embed(&[("a", 1.0), ("b", 1.0)], 256),
+        ];
+        let top = top_k(&q, &corpus, 2);
+        assert_eq!(top[0].0, 1, "exact match first");
+        assert_eq!(top[1].0, 2, "partial overlap second");
+        // k larger than corpus is fine.
+        assert_eq!(top_k(&q, &corpus, 10).len(), 3);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let e = embed(&[("a", 1.0), ("b", -2.0)], 16);
+        let back = Embedding::from_value(&e.to_value()).unwrap();
+        assert_eq!(back, e);
+        assert!(Embedding::from_value(&Value::Str("no".into())).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched dimensions")]
+    fn dim_mismatch_panics() {
+        let a = embed(&[("a", 1.0)], 8);
+        let b = embed(&[("a", 1.0)], 16);
+        let _ = cosine(&a, &b);
+    }
+}

@@ -1,0 +1,411 @@
+//! The execution engine proper.
+
+use crate::env::EnvironmentManager;
+use crate::hosts::HostRegistry;
+use crate::netmodel::NetModel;
+use crate::request::ExecutionRequest;
+use laminar_dataflow::mapping::{RunOptions, RunResult};
+use laminar_dataflow::{DataflowError, ScriptPeFactory, WorkflowGraph};
+use laminar_json::Value;
+use laminar_script::{analysis, parse_script, VecSink};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use laminar_dataflow::pe::{Pe, PeFactory as _};
+
+/// Outcome of a serverless execution, returned to the client
+/// (paper Figure 9 shows `printed` forwarded verbatim).
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionOutput {
+    /// Terminal port emissions, keyed `"<pe>.<port>"`.
+    pub outputs: laminar_json::Map,
+    /// Captured stdout of the workflow.
+    pub printed: Vec<String>,
+    /// Libraries installed for this run.
+    pub installed: Vec<String>,
+    /// Environment provisioning time (setup + installs).
+    pub provision_time: Duration,
+    /// Pure enactment time.
+    pub execute_time: Duration,
+    /// End-to-end engine time (provision + stage + execute + teardown).
+    pub total_time: Duration,
+    /// Per-PE processed counts.
+    pub processed: std::collections::BTreeMap<String, u64>,
+}
+
+impl ExecutionOutput {
+    /// Serialize for the wire.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("outputs", Value::Object(self.outputs.clone()))
+            .set("printed", Value::Array(self.printed.iter().map(|p| Value::Str(p.clone())).collect()))
+            .set("installed", Value::Array(self.installed.iter().map(|p| Value::Str(p.clone())).collect()))
+            .set("provision_ms", self.provision_time.as_millis() as i64)
+            .set("execute_ms", self.execute_time.as_millis() as i64)
+            .set("total_ms", self.total_time.as_millis() as i64)
+            .set(
+                "processed",
+                self.processed.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
+            );
+        v
+    }
+
+    /// Parse from the wire.
+    pub fn from_value(v: &Value) -> Option<ExecutionOutput> {
+        let mut out = ExecutionOutput {
+            outputs: v["outputs"].as_object()?.clone(),
+            printed: v["printed"]
+                .as_array()?
+                .iter()
+                .filter_map(|p| p.as_str().map(str::to_string))
+                .collect(),
+            installed: v["installed"]
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|p| p.as_str().map(str::to_string))
+                .collect(),
+            provision_time: Duration::from_millis(v["provision_ms"].as_i64().unwrap_or(0).max(0) as u64),
+            execute_time: Duration::from_millis(v["execute_ms"].as_i64().unwrap_or(0).max(0) as u64),
+            total_time: Duration::from_millis(v["total_ms"].as_i64().unwrap_or(0).max(0) as u64),
+            processed: Default::default(),
+        };
+        if let Some(m) = v["processed"].as_object() {
+            for (k, n) in m {
+                out.processed.insert(k.clone(), n.as_i64().unwrap_or(0).max(0) as u64);
+            }
+        }
+        Some(out)
+    }
+
+    /// Values emitted on a terminal port.
+    pub fn port_values(&self, pe: &str, port: &str) -> Vec<Value> {
+        self.outputs
+            .get(&format!("{pe}.{port}"))
+            .and_then(|v| v.as_array().map(<[Value]>::to_vec))
+            .unwrap_or_default()
+    }
+}
+
+/// The serverless execution engine (paper §3.3). One engine handles
+/// requests sequentially — the paper's deployment runs one engine per
+/// container, scaling by adding engines.
+pub struct ExecutionEngine {
+    env: EnvironmentManager,
+    hosts: HostRegistry,
+    net: NetModel,
+    runs: u64,
+}
+
+impl Default for ExecutionEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecutionEngine {
+    /// A local engine (no network model, cold environments).
+    pub fn new() -> ExecutionEngine {
+        ExecutionEngine {
+            env: EnvironmentManager::new(),
+            hosts: HostRegistry::new(),
+            net: NetModel::local(),
+            runs: 0,
+        }
+    }
+
+    /// An engine with free provisioning (unit tests).
+    pub fn instant() -> ExecutionEngine {
+        ExecutionEngine {
+            env: EnvironmentManager::new().instant(),
+            hosts: HostRegistry::new(),
+            net: NetModel::local(),
+            runs: 0,
+        }
+    }
+
+    /// Attach a network model (remote deployments).
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Keep the library cache warm across runs.
+    pub fn keep_warm(mut self, warm: bool) -> Self {
+        self.env.keep_warm = warm;
+        self
+    }
+
+    /// The host registry — workloads register simulated services here.
+    pub fn hosts(&self) -> &HostRegistry {
+        &self.hosts
+    }
+
+    /// Number of runs served.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Handle one execution request end-to-end.
+    pub fn run(&mut self, req: &ExecutionRequest) -> Result<ExecutionOutput, DataflowError> {
+        let t0 = Instant::now();
+        self.runs += 1;
+
+        // 0. Network: the request crosses the link to the engine.
+        self.net.charge(req.wire_size());
+
+        // 1. Parse and analyze imports (the findimports pass runs client-
+        //    side in the paper; the engine re-derives the list defensively).
+        let script = parse_script(&req.source)
+            .map_err(|e| DataflowError::PeFailed { pe: "<request>".into(), error: e })?;
+        let imports = analysis::imports(&script);
+
+        // 2. Provision the environment and install libraries.
+        let report = self.env.provision(&imports);
+        let provision_time = report.setup_time + report.install_time;
+
+        // 3. Stage resources.
+        for (name, bytes) in &req.resources {
+            self.hosts.stage_resource(name, bytes.clone());
+        }
+
+        // 4. Build the graph. Initial-PE detection is automatic: the graph
+        //    computes its roots during validation (paper §3.3).
+        let host: Arc<dyn laminar_script::Host + Send + Sync> = Arc::new(self.hosts.clone());
+        let exec_t0 = Instant::now();
+        let result = self.enact(req, &script, host)?;
+        let execute_time = exec_t0.elapsed();
+
+        // 5. Ephemeral teardown.
+        self.hosts.clear_resources();
+        self.env.teardown();
+
+        // 6. Network: the response returns to the client.
+        let mut output = ExecutionOutput {
+            printed: result.printed,
+            installed: report.installed,
+            provision_time,
+            execute_time,
+            total_time: Duration::ZERO,
+            processed: result.stats.processed,
+            ..Default::default()
+        };
+        for ((pe, port), values) in result.outputs {
+            output.outputs.insert(format!("{pe}.{port}"), Value::Array(values));
+        }
+        let resp_bytes = laminar_json::to_string(&output.to_value()).len();
+        self.net.charge(resp_bytes);
+        output.total_time = t0.elapsed();
+        Ok(output)
+    }
+
+    fn enact(
+        &self,
+        req: &ExecutionRequest,
+        script: &laminar_script::Script,
+        host: Arc<dyn laminar_script::Host + Send + Sync>,
+    ) -> Result<RunResult, DataflowError> {
+        let workflow_names: Vec<String> = script.workflows().map(|w| w.name.clone()).collect();
+        let pe_names: Vec<String> = script.pes().map(|p| p.name.clone()).collect();
+
+        let target_workflow = match (&req.workflow, workflow_names.len()) {
+            (Some(name), _) => Some(name.clone()),
+            (None, 0) => None,
+            (None, _) => Some(workflow_names[0].clone()),
+        };
+
+        let mut options = RunOptions::iterations(0).with_processes(req.processes);
+        options.input = req.input.clone();
+
+        if let Some(wf) = target_workflow {
+            let graph = WorkflowGraph::from_script_with_host(&req.source, &wf, host)?;
+            let mapping = req.mapping.build();
+            mapping.execute(&graph, &options)
+        } else if pe_names.len() == 1 {
+            // FaaS-style single-PE execution (paper §3.4.1).
+            self.run_single_pe(req, &pe_names[0], host, &options)
+        } else {
+            Err(DataflowError::Options(
+                "request has no workflow and more than one PE; name the workflow to run".into(),
+            ))
+        }
+    }
+
+    /// Run one PE like a traditional FaaS function: drive it with the
+    /// input and collect everything it emits.
+    fn run_single_pe(
+        &self,
+        req: &ExecutionRequest,
+        pe_name: &str,
+        host: Arc<dyn laminar_script::Host + Send + Sync>,
+        options: &RunOptions,
+    ) -> Result<RunResult, DataflowError> {
+        let factory = ScriptPeFactory::from_source_with_host(&req.source, pe_name, host)?;
+        let meta = factory.meta().clone();
+        let mut pe: Box<dyn Pe> = factory.instantiate();
+        let mut sink = VecSink::default();
+        pe.setup(0, 1, &mut sink)?;
+        let is_producer = meta.inputs.is_empty();
+        let default_in = meta.inputs.first().map(|p| p.name.clone()).unwrap_or_else(|| "input".into());
+        for i in 0..options.invocations() {
+            let datum = options.datum_for(i);
+            let input = match (&datum, is_producer) {
+                (Some(v), _) => Some((default_in.as_str(), v.clone())),
+                (None, true) => None,
+                (None, false) => Some((default_in.as_str(), Value::Int(i as i64))),
+            };
+            pe.process(input, i as i64, &mut sink)?;
+        }
+        let mut result = RunResult::default();
+        for (port, value) in sink.emitted {
+            result.outputs.entry((meta.name.clone(), port)).or_default().push(value);
+        }
+        result.printed = sink.printed;
+        result.stats.processed.insert(meta.name.clone(), options.invocations() as u64);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_dataflow::MappingKind;
+
+    const WF_SRC: &str = r#"
+        pe Seq : producer { output output; process { emit(iteration + 1); } }
+        pe IsPrime : iterative {
+            input num; output output;
+            process {
+                let i = 2;
+                let prime = num > 1;
+                while i * i <= num { if num % i == 0 { prime = false; break; } i = i + 1; }
+                if prime { emit(num); }
+            }
+        }
+        pe PrintPrime : consumer { input num; process { print("the num", num, "is prime"); } }
+        workflow IsPrimeFlow {
+            nodes { s = Seq; i = IsPrime; p = PrintPrime; }
+            connect s.output -> i.num;
+            connect i.output -> p.num;
+        }
+    "#;
+
+    #[test]
+    fn full_workflow_run_captures_prints() {
+        let mut engine = ExecutionEngine::instant();
+        let req = ExecutionRequest::simple("zz46", WF_SRC, 10);
+        let out = engine.run(&req).unwrap();
+        assert_eq!(
+            out.printed,
+            vec![
+                "the num 2 is prime",
+                "the num 3 is prime",
+                "the num 5 is prime",
+                "the num 7 is prime",
+            ]
+        );
+        assert_eq!(out.processed["Seq"], 10);
+        assert_eq!(engine.runs(), 1);
+    }
+
+    #[test]
+    fn multi_mapping_run() {
+        let mut engine = ExecutionEngine::instant();
+        let req = ExecutionRequest::simple("zz46", WF_SRC, 20).with_mapping(MappingKind::Multi, 5);
+        let out = engine.run(&req).unwrap();
+        assert_eq!(out.printed.len(), 8, "primes up to 20");
+        assert_eq!(out.processed["IsPrime"], 20);
+    }
+
+    #[test]
+    fn imports_installed_then_forgotten_cold() {
+        let src = r#"
+            pe A : producer { import astropy; output output; process { emit(1); } }
+            workflow W { nodes { a = A; } }
+        "#;
+        let mut engine = ExecutionEngine::instant();
+        let out1 = engine.run(&ExecutionRequest::simple("u", src, 1)).unwrap();
+        assert_eq!(out1.installed, vec!["astropy"]);
+        // Cold engine: the next run reinstalls.
+        let out2 = engine.run(&ExecutionRequest::simple("u", src, 1)).unwrap();
+        assert_eq!(out2.installed, vec!["astropy"]);
+        // Warm engine: cached.
+        let mut warm = ExecutionEngine::instant().keep_warm(true);
+        warm.run(&ExecutionRequest::simple("u", src, 1)).unwrap();
+        let out3 = warm.run(&ExecutionRequest::simple("u", src, 1)).unwrap();
+        assert!(out3.installed.is_empty());
+    }
+
+    #[test]
+    fn single_pe_faas_producer() {
+        let src = "pe Gen : producer { output output; process { emit(iteration * iteration); } }";
+        let mut engine = ExecutionEngine::instant();
+        let out = engine.run(&ExecutionRequest::simple("u", src, 4)).unwrap();
+        let vals = out.port_values("Gen", "output");
+        assert_eq!(vals.iter().filter_map(Value::as_i64).collect::<Vec<_>>(), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn single_pe_faas_with_data() {
+        let src = r#"pe Double : iterative { input x; output output; process { emit(x * 2); } }"#;
+        let mut engine = ExecutionEngine::instant();
+        let req = ExecutionRequest::simple("u", src, 0).with_data(vec![Value::Int(5), Value::Int(9)]);
+        let out = engine.run(&req).unwrap();
+        let vals = out.port_values("Double", "output");
+        assert_eq!(vals.iter().filter_map(Value::as_i64).collect::<Vec<_>>(), vec![10, 18]);
+    }
+
+    #[test]
+    fn resources_staged_and_cleared() {
+        let src = r#"
+            pe Reader : producer {
+                output output;
+                process {
+                    let lines = resources.lines("coords.txt");
+                    for l in lines { emit(l); }
+                }
+            }
+            workflow R { nodes { r = Reader; } }
+        "#;
+        let mut engine = ExecutionEngine::instant();
+        let req = ExecutionRequest::simple("u", src, 1).with_resource("coords.txt", b"a b\nc d\n".to_vec());
+        let out = engine.run(&req).unwrap();
+        assert_eq!(out.port_values("Reader", "output").len(), 2);
+        // Ephemerality: resources are gone after the run.
+        assert!(engine.hosts().resource_names().is_empty());
+        // A second run without the resource fails inside the PE.
+        let bare = ExecutionRequest::simple("u", src, 1);
+        assert!(engine.run(&bare).is_err());
+    }
+
+    #[test]
+    fn ambiguous_request_rejected() {
+        let src = r#"
+            pe A : producer { output output; process { emit(1); } }
+            pe B : producer { output output; process { emit(2); } }
+        "#;
+        let mut engine = ExecutionEngine::instant();
+        let err = engine.run(&ExecutionRequest::simple("u", src, 1)).unwrap_err();
+        assert!(matches!(err, DataflowError::Options(_)));
+    }
+
+    #[test]
+    fn output_round_trips_via_value() {
+        let mut engine = ExecutionEngine::instant();
+        let out = engine.run(&ExecutionRequest::simple("u", WF_SRC, 5)).unwrap();
+        let back = ExecutionOutput::from_value(&out.to_value()).unwrap();
+        assert_eq!(back.printed, out.printed);
+        assert_eq!(back.processed, out.processed);
+    }
+
+    #[test]
+    fn remote_engine_pays_the_wan() {
+        let mut local = ExecutionEngine::instant();
+        let mut remote = ExecutionEngine::instant()
+            .with_net(NetModel { one_way_latency: Duration::from_millis(10), bytes_per_ms: 0 });
+        let req = ExecutionRequest::simple("u", WF_SRC, 1);
+        let t_local = local.run(&req).unwrap().total_time;
+        let t_remote = remote.run(&req).unwrap().total_time;
+        assert!(t_remote >= t_local + Duration::from_millis(15), "{t_remote:?} vs {t_local:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Host-function registry: the bridge between LamScript PEs and
+//! (simulated) external services.
+//!
+//! Workloads register module hosts (`vo.*` for the Virtual Observatory
+//! simulation, etc.); the engine always provides `resources.*` for the
+//! staged files of paper §3.3.
+
+use laminar_json::Value;
+use laminar_script::{ErrorKind, Host, ScriptError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A composite host that routes module calls to registered sub-hosts.
+#[derive(Clone, Default)]
+pub struct HostRegistry {
+    modules: Arc<RwLock<HashMap<String, Arc<dyn Host + Send + Sync>>>>,
+    resources: Arc<RwLock<HashMap<String, Vec<u8>>>>,
+}
+
+impl HostRegistry {
+    /// Empty registry.
+    pub fn new() -> HostRegistry {
+        HostRegistry::default()
+    }
+
+    /// Register a host for a module name (e.g. `"vo"`).
+    pub fn register(&self, module: &str, host: Arc<dyn Host + Send + Sync>) {
+        self.modules.write().insert(module.to_string(), host);
+    }
+
+    /// Stage a resource file (the `resources/` directory of §3.3/§5.2).
+    pub fn stage_resource(&self, name: &str, bytes: Vec<u8>) {
+        self.resources.write().insert(name.to_string(), bytes);
+    }
+
+    /// Clear staged resources (ephemeral teardown).
+    pub fn clear_resources(&self) {
+        self.resources.write().clear();
+    }
+
+    /// Names of staged resources.
+    pub fn resource_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.resources.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl Host for HostRegistry {
+    fn call(&self, module: &str, name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        if module == "resources" {
+            return self.call_resources(name, args);
+        }
+        let host = self.modules.read().get(module).cloned();
+        match host {
+            Some(h) => h.call(module, name, args),
+            None => Err(ScriptError::new(
+                ErrorKind::NameError,
+                format!("module '{module}' is not installed on this engine"),
+            )),
+        }
+    }
+}
+
+impl HostRegistry {
+    fn call_resources(&self, name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        let arg_name = match args {
+            [Value::Str(s)] => s.clone(),
+            _ => {
+                return Err(ScriptError::new(
+                    ErrorKind::ArgumentError,
+                    format!("resources.{name}(path) expects one string argument"),
+                ))
+            }
+        };
+        let res = self.resources.read();
+        let bytes = res.get(&arg_name).ok_or_else(|| {
+            ScriptError::new(
+                ErrorKind::HostError,
+                format!("resource '{arg_name}' was not staged (available: {:?})", {
+                    let mut v: Vec<&String> = res.keys().collect();
+                    v.sort();
+                    v
+                }),
+            )
+        })?;
+        match name {
+            // Full text of the resource.
+            "read" => Ok(Value::Str(String::from_utf8_lossy(bytes).into_owned())),
+            // Non-empty lines of the resource.
+            "lines" => Ok(Value::Array(
+                String::from_utf8_lossy(bytes)
+                    .lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(|l| Value::Str(l.to_string()))
+                    .collect(),
+            )),
+            // Size in bytes.
+            "size" => Ok(Value::Int(bytes.len() as i64)),
+            other => Err(ScriptError::new(ErrorKind::NameError, format!("unknown function resources.{other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_json::jobj;
+
+    struct Echo;
+    impl Host for Echo {
+        fn call(&self, module: &str, name: &str, _args: &[Value]) -> Result<Value, ScriptError> {
+            Ok(jobj! { "module" => module, "name" => name })
+        }
+    }
+
+    #[test]
+    fn routes_to_registered_module() {
+        let reg = HostRegistry::new();
+        reg.register("vo", Arc::new(Echo));
+        let out = reg.call("vo", "fetch", &[]).unwrap();
+        assert_eq!(out["module"].as_str(), Some("vo"));
+        let err = reg.call("unknown", "f", &[]).unwrap_err();
+        assert!(err.message.contains("not installed"));
+    }
+
+    #[test]
+    fn resources_read_and_lines() {
+        let reg = HostRegistry::new();
+        reg.stage_resource("coordinates.txt", b"10.5 41.2\n\n83.8 -5.4\n".to_vec());
+        let text = reg.call("resources", "read", &[Value::Str("coordinates.txt".into())]).unwrap();
+        assert!(text.as_str().unwrap().contains("83.8"));
+        let lines = reg.call("resources", "lines", &[Value::Str("coordinates.txt".into())]).unwrap();
+        assert_eq!(lines.as_array().unwrap().len(), 2, "empty line dropped");
+        let size = reg.call("resources", "size", &[Value::Str("coordinates.txt".into())]).unwrap();
+        assert_eq!(size.as_i64(), Some(21));
+        assert_eq!(reg.resource_names(), vec!["coordinates.txt"]);
+    }
+
+    #[test]
+    fn missing_resource_is_a_host_error() {
+        let reg = HostRegistry::new();
+        let err = reg.call("resources", "read", &[Value::Str("nope.txt".into())]).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::HostError);
+        assert!(err.message.contains("nope.txt"));
+    }
+
+    #[test]
+    fn bad_args_rejected() {
+        let reg = HostRegistry::new();
+        assert!(reg.call("resources", "read", &[]).is_err());
+        reg.stage_resource("f", vec![]);
+        assert!(reg.call("resources", "write", &[Value::Str("f".into())]).is_err());
+    }
+
+    #[test]
+    fn clear_resources_empties() {
+        let reg = HostRegistry::new();
+        reg.stage_resource("a", vec![1]);
+        reg.clear_resources();
+        assert!(reg.resource_names().is_empty());
+    }
+}

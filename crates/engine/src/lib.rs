@@ -1,0 +1,26 @@
+//! # laminar-engine
+//!
+//! The serverless core of Laminar (paper §3.3): a single entry point that
+//! receives a workflow (code + configuration), provisions an ephemeral
+//! environment, installs the declared library dependencies, stages any
+//! additional resources, detects the initial PE, enacts the workflow with
+//! the requested mapping, and returns the captured output to the caller —
+//! then tears the environment down.
+//!
+//! Hardware substitution (DESIGN.md): the conda environment and pip
+//! installs are modelled by [`env::EnvironmentManager`] with calibrated
+//! deterministic costs, and remote engines add the [`netmodel::NetModel`]
+//! WAN delay — together these reproduce the overhead structure that
+//! Table 5 measures.
+
+pub mod engine;
+pub mod env;
+pub mod hosts;
+pub mod netmodel;
+pub mod request;
+
+pub use engine::{ExecutionEngine, ExecutionOutput};
+pub use env::{EnvironmentManager, InstallReport};
+pub use hosts::HostRegistry;
+pub use netmodel::NetModel;
+pub use request::ExecutionRequest;

@@ -1,0 +1,187 @@
+//! The execution request: everything `/execution/{user}/run` carries
+//! (paper §3.3 — workflows, PEs, runtime configs, arguments, imports and
+//! mappings).
+
+use laminar_dataflow::mapping::RunInput;
+use laminar_dataflow::MappingKind;
+use laminar_json::Value;
+
+/// A serverless execution request.
+#[derive(Debug, Clone)]
+pub struct ExecutionRequest {
+    /// Requesting user.
+    pub user: String,
+    /// LamScript source defining the PEs and the workflow to run.
+    pub source: String,
+    /// Workflow name inside the source; `None` runs the only workflow
+    /// present, or a single PE if the source defines exactly one PE and no
+    /// workflow (the FaaS-style path of §3.4.1).
+    pub workflow: Option<String>,
+    /// Mapping to enact with.
+    pub mapping: MappingKind,
+    /// Producer drive: iterations or explicit data.
+    pub input: RunInput,
+    /// Process count for parallel mappings (`args={'num': N}`).
+    pub processes: usize,
+    /// Named resources to stage (`resources=True` + resources dir).
+    pub resources: Vec<(String, Vec<u8>)>,
+}
+
+impl ExecutionRequest {
+    /// Minimal request: run `source` with the Simple mapping for `n`
+    /// iterations.
+    pub fn simple(user: &str, source: &str, iterations: i64) -> ExecutionRequest {
+        ExecutionRequest {
+            user: user.to_string(),
+            source: source.to_string(),
+            workflow: None,
+            mapping: MappingKind::Simple,
+            input: RunInput::Iterations(iterations),
+            processes: 1,
+            resources: Vec::new(),
+        }
+    }
+
+    /// Switch the mapping.
+    pub fn with_mapping(mut self, mapping: MappingKind, processes: usize) -> Self {
+        self.mapping = mapping;
+        self.processes = processes;
+        self
+    }
+
+    /// Name the workflow to run.
+    pub fn with_workflow(mut self, name: &str) -> Self {
+        self.workflow = Some(name.to_string());
+        self
+    }
+
+    /// Feed explicit data instead of iteration counts.
+    pub fn with_data(mut self, data: Vec<Value>) -> Self {
+        self.input = RunInput::Data(data);
+        self
+    }
+
+    /// Stage a resource.
+    pub fn with_resource(mut self, name: &str, bytes: Vec<u8>) -> Self {
+        self.resources.push((name.to_string(), bytes));
+        self
+    }
+
+    /// Serialize to the JSON envelope the wire protocol uses.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("user", self.user.as_str())
+            .set("source", self.source.as_str())
+            .set("workflow", self.workflow.clone())
+            .set("mapping", self.mapping.as_str())
+            .set("processes", self.processes);
+        match &self.input {
+            RunInput::Iterations(n) => {
+                v.set("input", *n);
+            }
+            RunInput::Data(d) => {
+                v.set("input", Value::Array(d.clone()));
+            }
+        }
+        let resources: Value = self
+            .resources
+            .iter()
+            .map(|(name, bytes)| {
+                let mut r = Value::Null;
+                r.set("name", name.as_str()).set("data", laminar_codec::base64::encode(bytes));
+                r
+            })
+            .collect();
+        v.set("resources", resources);
+        v
+    }
+
+    /// Parse the JSON envelope. Defaults mirror the client: SIMPLE mapping,
+    /// 5 iterations, 5 processes.
+    pub fn from_value(v: &Value) -> Option<ExecutionRequest> {
+        let input = match &v["input"] {
+            Value::Int(n) => RunInput::Iterations(*n),
+            Value::Array(a) => RunInput::Data(a.clone()),
+            Value::Null => RunInput::Iterations(5),
+            _ => return None,
+        };
+        let mut resources = Vec::new();
+        for r in v["resources"].as_array().unwrap_or(&[]) {
+            let name = r["name"].as_str()?;
+            let bytes = laminar_codec::base64::decode(r["data"].as_str()?).ok()?;
+            resources.push((name.to_string(), bytes));
+        }
+        Some(ExecutionRequest {
+            user: v["user"].as_str().unwrap_or("anonymous").to_string(),
+            source: v["source"].as_str()?.to_string(),
+            workflow: v["workflow"].as_str().map(str::to_string),
+            mapping: MappingKind::parse(v["mapping"].as_str().unwrap_or("SIMPLE"))?,
+            input,
+            processes: v["processes"].as_i64().unwrap_or(5).max(1) as usize,
+            resources,
+        })
+    }
+
+    /// Approximate wire size in bytes (drives the WAN transfer model).
+    pub fn wire_size(&self) -> usize {
+        laminar_json::to_string(&self.to_value()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_via_value() {
+        let req = ExecutionRequest::simple("zz46", "pe X : producer { output o; process { emit(1); } }", 7)
+            .with_mapping(MappingKind::Multi, 5)
+            .with_workflow("main")
+            .with_resource("coords.txt", b"1 2".to_vec());
+        let v = req.to_value();
+        let back = ExecutionRequest::from_value(&v).unwrap();
+        assert_eq!(back.user, "zz46");
+        assert_eq!(back.workflow.as_deref(), Some("main"));
+        assert_eq!(back.mapping, MappingKind::Multi);
+        assert_eq!(back.processes, 5);
+        assert!(matches!(back.input, RunInput::Iterations(7)));
+        assert_eq!(back.resources[0].0, "coords.txt");
+        assert_eq!(back.resources[0].1, b"1 2");
+    }
+
+    #[test]
+    fn data_input_round_trip() {
+        let req = ExecutionRequest::simple("u", "src", 0).with_data(vec![Value::Int(1), Value::Str("x".into())]);
+        let back = ExecutionRequest::from_value(&req.to_value()).unwrap();
+        match back.input {
+            RunInput::Data(d) => assert_eq!(d.len(), 2),
+            other => panic!("expected data input, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let mut v = Value::Null;
+        v.set("source", "pe X : producer { output o; process { emit(1); } }");
+        let req = ExecutionRequest::from_value(&v).unwrap();
+        assert_eq!(req.mapping, MappingKind::Simple);
+        assert_eq!(req.processes, 5);
+        assert!(matches!(req.input, RunInput::Iterations(5)));
+        assert_eq!(req.user, "anonymous");
+    }
+
+    #[test]
+    fn invalid_envelopes_rejected() {
+        assert!(ExecutionRequest::from_value(&Value::Null).is_none());
+        let mut v = Value::Null;
+        v.set("source", "x").set("mapping", "SPARK");
+        assert!(ExecutionRequest::from_value(&v).is_none());
+    }
+
+    #[test]
+    fn wire_size_is_positive_and_grows() {
+        let small = ExecutionRequest::simple("u", "short", 1);
+        let big = ExecutionRequest::simple("u", &"long ".repeat(1000), 1);
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

@@ -1,0 +1,47 @@
+//! Parse-error reporting with line/column positions.
+
+use std::fmt;
+
+/// Result alias for JSON operations.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+/// A JSON parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong, e.g. `"expected ':' after object key"`.
+    pub message: String,
+    /// 1-based line of the offending byte.
+    pub line: usize,
+    /// 1-based column of the offending byte.
+    pub column: usize,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl JsonError {
+    pub(crate) fn new(message: impl Into<String>, line: usize, column: usize, offset: usize) -> Self {
+        JsonError { message: message.into(), line, column, offset }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = JsonError::new("unexpected 'x'", 3, 14, 40);
+        let s = e.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("column 14"));
+        assert!(s.contains("unexpected 'x'"));
+    }
+}

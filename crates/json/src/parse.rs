@@ -1,0 +1,393 @@
+//! Recursive-descent JSON parser.
+//!
+//! Accepts the full JSON grammar (RFC 8259). Rejects: trailing content,
+//! NaN/Infinity literals, unescaped control characters, lone surrogates.
+//! Depth is bounded to protect the server from hostile payloads.
+
+use crate::error::{JsonError, Result};
+use crate::value::{Map, Value};
+
+/// Maximum nesting depth accepted by [`parse`]. The Laminar server parses
+/// untrusted client payloads, so recursion must be bounded.
+pub const MAX_DEPTH: usize = 256;
+
+/// Parse a complete JSON document.
+///
+/// ```
+/// let v = laminar_json::parse("[1, 2.5, \"x\"]").unwrap();
+/// assert_eq!(v[0].as_i64(), Some(1));
+/// ```
+pub fn parse(input: &str) -> Result<Value> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Streaming-ish parser over a borrowed input. Exposed so the HTTP layer can
+/// parse a value and then inspect the remaining offset.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Create a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    /// Byte offset of the next unconsumed byte.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    /// Skip JSON whitespace.
+    pub fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        JsonError::new(msg, line, col, self.pos)
+    }
+
+    fn expect(&mut self, b: u8, what: &str) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    /// Parse one JSON value starting at the current position.
+    pub fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal, expected '{kw}'")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{', "'{'")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':', "':' after object key")?;
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[', "'['")?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(out)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"', "'\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: require a following \uXXXX low half.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate escape"));
+                            }
+                            let lo = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            out.push(char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"))?);
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err(self.err("unexpected low surrogate"));
+                        } else {
+                            out.push(char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?);
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8 byte"))?;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 sequence"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: 0 alone, or non-zero leading digit.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b) if b.is_ascii_digit() => {
+                while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number slice");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            // Integer overflow falls back to float, like most JSON parsers.
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        if f.is_nan() || f.is_infinite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Value::Float(f))
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0xC2..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF4 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jarr, jobj};
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap(), Value::Float(-0.015));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(parse("[]").unwrap(), jarr![]);
+        assert_eq!(parse("[1,2,3]").unwrap(), jarr![1, 2, 3]);
+        assert_eq!(parse("{}").unwrap(), jobj! {});
+        assert_eq!(
+            parse(r#"{"a": [1, {"b": null}], "c": "d"}"#).unwrap(),
+            jobj! { "a" => jarr![1, jobj!{ "b" => Value::Null }], "c" => "d" }
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let v = parse(" \n\t{ \"a\" :\r 1 , \"b\" : [ ] } \n").unwrap();
+        assert_eq!(v["a"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\n\t\r\b\f""#).unwrap(),
+            Value::Str("a\"b\\c/d\n\t\r\u{8}\u{c}".into())
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), Value::Str("A".into()));
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        assert_eq!(parse("\"héllo ∆\"").unwrap(), Value::Str("héllo ∆".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "", "tru", "01", "1.", ".5", "1e", "+1", "nan", "Infinity", "[1,]", "[1 2]", "{\"a\"}",
+            "{\"a\":}", "{a:1}", "\"unterminated", "\"\\q\"", "\"\\uD800\"", "\"\\uDC00x\"", "[1] extra",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn control_char_rejected() {
+        assert!(parse("\"a\u{1}b\"").is_err());
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn int_overflow_degrades_to_float() {
+        let v = parse("99999999999999999999999").unwrap();
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v["a"].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let e = parse("{\n  \"a\": @\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.column >= 8, "column was {}", e.column);
+    }
+}

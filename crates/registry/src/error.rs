@@ -1,0 +1,114 @@
+//! Registry error type — mirrors the server's structured error design
+//! (paper §3.2.5): every error carries a type, a code and the failing
+//! parameter, and serializes to the standard JSON envelope.
+
+use laminar_json::{jobj, Value};
+use std::fmt;
+
+/// Errors surfaced by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Entity not found; carries (entity kind, key).
+    NotFound { entity: &'static str, key: String },
+    /// Unique constraint violated; carries (table, column, value).
+    Duplicate { entity: &'static str, field: &'static str, value: String },
+    /// Login failed or session invalid.
+    Unauthorized(String),
+    /// Input failed validation (bad name, unparsable code…).
+    Invalid { field: &'static str, message: String },
+    /// The storage engine failed (I/O, corruption).
+    Storage(String),
+}
+
+impl RegistryError {
+    /// Stable machine-readable error code (used by clients and tests).
+    pub fn code(&self) -> u32 {
+        match self {
+            RegistryError::NotFound { .. } => 404,
+            RegistryError::Duplicate { .. } => 409,
+            RegistryError::Unauthorized(_) => 401,
+            RegistryError::Invalid { .. } => 400,
+            RegistryError::Storage(_) => 500,
+        }
+    }
+
+    /// Short type tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RegistryError::NotFound { .. } => "NotFound",
+            RegistryError::Duplicate { .. } => "Duplicate",
+            RegistryError::Unauthorized(_) => "Unauthorized",
+            RegistryError::Invalid { .. } => "Invalid",
+            RegistryError::Storage(_) => "Storage",
+        }
+    }
+
+    /// The standardized JSON error envelope of paper §3.2.5.
+    pub fn to_value(&self) -> Value {
+        let mut v = jobj! {
+            "error" => self.kind(),
+            "code" => self.code() as i64,
+            "message" => self.to_string(),
+        };
+        match self {
+            RegistryError::NotFound { key, .. } => {
+                v.set("parameter", key.as_str());
+            }
+            RegistryError::Duplicate { value, .. } => {
+                v.set("parameter", value.as_str());
+            }
+            RegistryError::Invalid { field, .. } => {
+                v.set("parameter", *field);
+            }
+            _ => {}
+        }
+        v
+    }
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::NotFound { entity, key } => write!(f, "{entity} '{key}' not found"),
+            RegistryError::Duplicate { entity, field, value } => {
+                write!(f, "{entity} with {field} '{value}' already exists")
+            }
+            RegistryError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
+            RegistryError::Invalid { field, message } => write!(f, "invalid {field}: {message}"),
+            RegistryError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_envelope() {
+        let e = RegistryError::NotFound { entity: "PE", key: "IsPrime".into() };
+        assert_eq!(e.code(), 404);
+        let v = e.to_value();
+        assert_eq!(v["error"].as_str(), Some("NotFound"));
+        assert_eq!(v["code"].as_i64(), Some(404));
+        assert_eq!(v["parameter"].as_str(), Some("IsPrime"));
+        assert!(v["message"].as_str().unwrap().contains("IsPrime"));
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            RegistryError::NotFound { entity: "User", key: "x".into() },
+            RegistryError::Duplicate { entity: "User", field: "userName", value: "x".into() },
+            RegistryError::Unauthorized("bad password".into()),
+            RegistryError::Invalid { field: "peCode", message: "parse error".into() },
+            RegistryError::Storage("disk".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(v.code() >= 400);
+        }
+    }
+}

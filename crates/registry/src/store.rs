@@ -1,0 +1,427 @@
+//! The embedded table store: typed tables of JSON rows with auto-increment
+//! primary keys, unique indexes and junction (many-to-many) tables.
+//!
+//! This is the MySQL substitution (DESIGN.md): the DAO layer above it
+//! performs the same CRUD it would against the paper's hosted database.
+
+use crate::error::RegistryError;
+use laminar_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One table: rows keyed by auto-increment id, with declared unique
+/// columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    next_id: i64,
+    rows: BTreeMap<i64, Value>,
+    unique_columns: Vec<String>,
+    unique_index: BTreeMap<String, BTreeMap<String, i64>>,
+}
+
+impl Table {
+    /// Create a table with the given unique columns.
+    pub fn new(name: &str, unique_columns: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            next_id: 1,
+            rows: BTreeMap::new(),
+            unique_columns: unique_columns.iter().map(|s| s.to_string()).collect(),
+            unique_index: unique_columns.iter().map(|c| (c.to_string(), BTreeMap::new())).collect(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn unique_key(row: &Value, col: &str) -> Option<String> {
+        row.get(col).map(|v| match v {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })
+    }
+
+    /// Insert a row (object), assigning and returning its id. The id is
+    /// also written into the row under `id_column`.
+    pub fn insert(&mut self, mut row: Value, id_column: &str) -> Result<i64, RegistryError> {
+        for col in &self.unique_columns {
+            if let Some(key) = Self::unique_key(&row, col) {
+                if self.unique_index[col].contains_key(&key) {
+                    return Err(RegistryError::Duplicate {
+                        entity: "row",
+                        field: Box::leak(col.clone().into_boxed_str()),
+                        value: key,
+                    });
+                }
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        row.set(id_column, id);
+        for col in &self.unique_columns {
+            if let Some(key) = Self::unique_key(&row, col) {
+                self.unique_index.get_mut(col).expect("declared column").insert(key, id);
+            }
+        }
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Insert with a caller-chosen id (used by WAL replay).
+    pub fn insert_with_id(&mut self, id: i64, row: Value) -> Result<(), RegistryError> {
+        if self.rows.contains_key(&id) {
+            return Err(RegistryError::Duplicate { entity: "row", field: "id", value: id.to_string() });
+        }
+        for col in &self.unique_columns {
+            if let Some(key) = Self::unique_key(&row, col) {
+                self.unique_index.get_mut(col).expect("declared column").insert(key, id);
+            }
+        }
+        self.next_id = self.next_id.max(id + 1);
+        self.rows.insert(id, row);
+        Ok(())
+    }
+
+    /// Fetch a row by id.
+    pub fn get(&self, id: i64) -> Option<&Value> {
+        self.rows.get(&id)
+    }
+
+    /// Look up a row id via a unique column.
+    pub fn find_unique(&self, column: &str, key: &str) -> Option<i64> {
+        self.unique_index.get(column)?.get(key).copied()
+    }
+
+    /// Replace a row in place. Unique indexes are maintained.
+    pub fn update(&mut self, id: i64, new_row: Value) -> Result<(), RegistryError> {
+        let old = self
+            .rows
+            .get(&id)
+            .cloned()
+            .ok_or(RegistryError::NotFound { entity: "row", key: id.to_string() })?;
+        // Check unique conflicts against OTHER rows first.
+        for col in &self.unique_columns {
+            if let Some(new_key) = Self::unique_key(&new_row, col) {
+                if let Some(&owner) = self.unique_index[col].get(&new_key) {
+                    if owner != id {
+                        return Err(RegistryError::Duplicate {
+                            entity: "row",
+                            field: Box::leak(col.clone().into_boxed_str()),
+                            value: new_key,
+                        });
+                    }
+                }
+            }
+        }
+        for col in &self.unique_columns {
+            if let Some(old_key) = Self::unique_key(&old, col) {
+                self.unique_index.get_mut(col).expect("declared").remove(&old_key);
+            }
+            if let Some(new_key) = Self::unique_key(&new_row, col) {
+                self.unique_index.get_mut(col).expect("declared").insert(new_key, id);
+            }
+        }
+        self.rows.insert(id, new_row);
+        Ok(())
+    }
+
+    /// Delete a row.
+    pub fn delete(&mut self, id: i64) -> Result<Value, RegistryError> {
+        let row = self
+            .rows
+            .remove(&id)
+            .ok_or(RegistryError::NotFound { entity: "row", key: id.to_string() })?;
+        for col in &self.unique_columns {
+            if let Some(key) = Self::unique_key(&row, col) {
+                self.unique_index.get_mut(col).expect("declared").remove(&key);
+            }
+        }
+        Ok(row)
+    }
+
+    /// Iterate `(id, row)` in id order.
+    pub fn scan(&self) -> impl Iterator<Item = (i64, &Value)> {
+        self.rows.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Serialize the table for snapshots.
+    pub fn to_value(&self) -> Value {
+        let rows: Value = self
+            .rows
+            .iter()
+            .map(|(id, row)| {
+                let mut v = Value::Null;
+                v.set("id", *id).set("row", row.clone());
+                v
+            })
+            .collect();
+        let mut v = Value::Null;
+        v.set("name", self.name.as_str())
+            .set("next_id", self.next_id)
+            .set("unique", Value::Array(self.unique_columns.iter().map(|c| Value::Str(c.clone())).collect()))
+            .set("rows", rows);
+        v
+    }
+
+    /// Rebuild from a snapshot value.
+    pub fn from_value(v: &Value) -> Result<Table, RegistryError> {
+        let name = v["name"].as_str().ok_or(RegistryError::Storage("table missing name".into()))?;
+        let unique: Vec<&str> = v["unique"]
+            .as_array()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|u| u.as_str())
+            .collect();
+        let mut t = Table::new(name, &unique);
+        for entry in v["rows"].as_array().unwrap_or(&[]) {
+            let id = entry["id"].as_i64().ok_or(RegistryError::Storage("row missing id".into()))?;
+            t.insert_with_id(id, entry["row"].clone())?;
+        }
+        t.next_id = v["next_id"].as_i64().unwrap_or(t.next_id);
+        Ok(t)
+    }
+}
+
+/// A many-to-many junction table (unordered pairs of foreign keys).
+#[derive(Debug, Clone, Default)]
+pub struct Junction {
+    pairs: BTreeSet<(i64, i64)>,
+}
+
+impl Junction {
+    /// Empty junction.
+    pub fn new() -> Junction {
+        Junction::default()
+    }
+
+    /// Link `left` and `right`. Returns false if already linked.
+    pub fn link(&mut self, left: i64, right: i64) -> bool {
+        self.pairs.insert((left, right))
+    }
+
+    /// Remove a link.
+    pub fn unlink(&mut self, left: i64, right: i64) -> bool {
+        self.pairs.remove(&(left, right))
+    }
+
+    /// Is the pair linked?
+    pub fn linked(&self, left: i64, right: i64) -> bool {
+        self.pairs.contains(&(left, right))
+    }
+
+    /// All right-ids linked to `left`.
+    pub fn rights_of(&self, left: i64) -> Vec<i64> {
+        self.pairs.iter().filter(|(l, _)| *l == left).map(|(_, r)| *r).collect()
+    }
+
+    /// All left-ids linked to `right`.
+    pub fn lefts_of(&self, right: i64) -> Vec<i64> {
+        self.pairs.iter().filter(|(_, r)| *r == right).map(|(l, _)| *l).collect()
+    }
+
+    /// Remove every pair touching `left` on the left side.
+    pub fn remove_left(&mut self, left: i64) {
+        self.pairs.retain(|(l, _)| *l != left);
+    }
+
+    /// Remove every pair touching `right` on the right side.
+    pub fn remove_right(&mut self, right: i64) {
+        self.pairs.retain(|(_, r)| *r != right);
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no links exist.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Serialize for snapshots.
+    pub fn to_value(&self) -> Value {
+        self.pairs
+            .iter()
+            .map(|(l, r)| Value::Array(vec![Value::Int(*l), Value::Int(*r)]))
+            .collect()
+    }
+
+    /// Rebuild from a snapshot value.
+    pub fn from_value(v: &Value) -> Junction {
+        let mut j = Junction::new();
+        for pair in v.as_array().unwrap_or(&[]) {
+            if let (Some(l), Some(r)) = (pair[0].as_i64(), pair[1].as_i64()) {
+                j.link(l, r);
+            }
+        }
+        j
+    }
+}
+
+/// The registry's full schema (paper Figure 4): three entity tables and
+/// three junction tables.
+#[derive(Debug, Clone)]
+pub struct Store {
+    /// Users (unique `userName`).
+    pub users: Table,
+    /// Processing Elements (unique `peName`).
+    pub pes: Table,
+    /// Workflows (unique `entryPoint`).
+    pub workflows: Table,
+    /// user ↔ PE ownership (one-way many-to-many).
+    pub user_pes: Junction,
+    /// user ↔ workflow ownership.
+    pub user_workflows: Junction,
+    /// workflow ↔ PE membership (two-way many-to-many).
+    pub workflow_pes: Junction,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// Empty store with the registry schema.
+    pub fn new() -> Store {
+        Store {
+            users: Table::new("users", &["userName"]),
+            pes: Table::new("pes", &["peName"]),
+            workflows: Table::new("workflows", &["entryPoint"]),
+            user_pes: Junction::new(),
+            user_workflows: Junction::new(),
+            workflow_pes: Junction::new(),
+        }
+    }
+
+    /// Serialize the whole store (snapshot format).
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("users", self.users.to_value())
+            .set("pes", self.pes.to_value())
+            .set("workflows", self.workflows.to_value())
+            .set("user_pes", self.user_pes.to_value())
+            .set("user_workflows", self.user_workflows.to_value())
+            .set("workflow_pes", self.workflow_pes.to_value());
+        v
+    }
+
+    /// Rebuild from a snapshot.
+    pub fn from_value(v: &Value) -> Result<Store, RegistryError> {
+        Ok(Store {
+            users: Table::from_value(&v["users"])?,
+            pes: Table::from_value(&v["pes"])?,
+            workflows: Table::from_value(&v["workflows"])?,
+            user_pes: Junction::from_value(&v["user_pes"]),
+            user_workflows: Junction::from_value(&v["user_workflows"]),
+            workflow_pes: Junction::from_value(&v["workflow_pes"]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_json::jobj;
+
+    #[test]
+    fn insert_get_update_delete() {
+        let mut t = Table::new("pes", &["peName"]);
+        let id = t.insert(jobj! { "peName" => "IsPrime", "description" => "d" }, "peId").unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(t.get(id).unwrap()["peId"].as_i64(), Some(1));
+        assert_eq!(t.find_unique("peName", "IsPrime"), Some(1));
+
+        let mut row = t.get(id).unwrap().clone();
+        row.set("description", "updated");
+        t.update(id, row).unwrap();
+        assert_eq!(t.get(id).unwrap()["description"].as_str(), Some("updated"));
+
+        let removed = t.delete(id).unwrap();
+        assert_eq!(removed["peName"].as_str(), Some("IsPrime"));
+        assert_eq!(t.find_unique("peName", "IsPrime"), None);
+        assert!(t.delete(id).is_err());
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut t = Table::new("users", &["userName"]);
+        t.insert(jobj! { "userName" => "zz46" }, "userId").unwrap();
+        let err = t.insert(jobj! { "userName" => "zz46" }, "userId").unwrap_err();
+        assert_eq!(err.code(), 409);
+    }
+
+    #[test]
+    fn unique_index_follows_rename() {
+        let mut t = Table::new("pes", &["peName"]);
+        let id = t.insert(jobj! { "peName" => "A" }, "peId").unwrap();
+        let mut row = t.get(id).unwrap().clone();
+        row.set("peName", "B");
+        t.update(id, row).unwrap();
+        assert_eq!(t.find_unique("peName", "A"), None);
+        assert_eq!(t.find_unique("peName", "B"), Some(id));
+        // Renaming onto an existing unique key fails.
+        let id2 = t.insert(jobj! { "peName" => "C" }, "peId").unwrap();
+        let mut row2 = t.get(id2).unwrap().clone();
+        row2.set("peName", "B");
+        assert!(t.update(id2, row2).is_err());
+    }
+
+    #[test]
+    fn ids_monotonic_after_delete() {
+        let mut t = Table::new("t", &[]);
+        let a = t.insert(jobj! { "x" => 1 }, "id").unwrap();
+        t.delete(a).unwrap();
+        let b = t.insert(jobj! { "x" => 2 }, "id").unwrap();
+        assert!(b > a, "ids never reused");
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut s = Store::new();
+        let uid = s.users.insert(jobj! { "userName" => "zz46" }, "userId").unwrap();
+        let pid = s.pes.insert(jobj! { "peName" => "IsPrime" }, "peId").unwrap();
+        let wid = s.workflows.insert(jobj! { "entryPoint" => "isPrime" }, "workflowId").unwrap();
+        s.user_pes.link(uid, pid);
+        s.workflow_pes.link(wid, pid);
+        let v = s.to_value();
+        let back = Store::from_value(&v).unwrap();
+        assert_eq!(back.users.find_unique("userName", "zz46"), Some(uid));
+        assert!(back.user_pes.linked(uid, pid));
+        assert!(back.workflow_pes.linked(wid, pid));
+        // next_id preserved: a new insert gets a fresh id.
+        let mut back = back;
+        let pid2 = back.pes.insert(jobj! { "peName" => "Other" }, "peId").unwrap();
+        assert!(pid2 > pid);
+    }
+
+    #[test]
+    fn junction_queries() {
+        let mut j = Junction::new();
+        assert!(j.link(1, 10));
+        assert!(!j.link(1, 10));
+        j.link(1, 11);
+        j.link(2, 10);
+        assert_eq!(j.rights_of(1), vec![10, 11]);
+        assert_eq!(j.lefts_of(10), vec![1, 2]);
+        assert!(j.linked(2, 10));
+        j.unlink(2, 10);
+        assert!(!j.linked(2, 10));
+        j.remove_left(1);
+        assert!(j.rights_of(1).is_empty());
+    }
+}

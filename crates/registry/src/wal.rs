@@ -1,0 +1,310 @@
+//! Durability: snapshot files plus a write-ahead log of JSON lines.
+//!
+//! The store persists as `<dir>/registry.snapshot` (full JSON) and
+//! `<dir>/registry.wal` (one JSON op per line, appended before each
+//! mutation is acknowledged). Recovery loads the snapshot then replays the
+//! WAL; a torn final line (simulated crash) is tolerated and discarded.
+
+use crate::error::RegistryError;
+use crate::store::Store;
+use laminar_json::{parse, to_string, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot + WAL persistence for a [`Store`].
+pub struct WalStore {
+    dir: PathBuf,
+    wal: Option<File>,
+    ops_since_snapshot: usize,
+    /// Snapshot automatically after this many WAL ops (compaction).
+    pub snapshot_every: usize,
+}
+
+impl WalStore {
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("registry.snapshot")
+    }
+
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("registry.wal")
+    }
+
+    /// Open (or create) persistence under `dir`. Returns the recovered
+    /// store and the handler.
+    pub fn open(dir: &Path) -> Result<(Store, WalStore), RegistryError> {
+        std::fs::create_dir_all(dir).map_err(|e| RegistryError::Storage(e.to_string()))?;
+        let mut store = Store::new();
+        let snap_path = Self::snapshot_path(dir);
+        if snap_path.exists() {
+            let text = std::fs::read_to_string(&snap_path).map_err(|e| RegistryError::Storage(e.to_string()))?;
+            let v = parse(&text).map_err(|e| RegistryError::Storage(format!("corrupt snapshot: {e}")))?;
+            store = Store::from_value(&v)?;
+        }
+        let wal_path = Self::wal_path(dir);
+        if wal_path.exists() {
+            let file = File::open(&wal_path).map_err(|e| RegistryError::Storage(e.to_string()))?;
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|e| RegistryError::Storage(e.to_string()))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // A torn final line is a crash artifact, not corruption.
+                let Ok(op) = parse(&line) else { break };
+                apply_op(&mut store, &op)?;
+            }
+        }
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| RegistryError::Storage(e.to_string()))?;
+        Ok((store, WalStore { dir: dir.to_path_buf(), wal: Some(wal), ops_since_snapshot: 0, snapshot_every: 256 }))
+    }
+
+    /// In-memory mode: no files, appends are no-ops.
+    pub fn ephemeral() -> WalStore {
+        WalStore { dir: PathBuf::new(), wal: None, ops_since_snapshot: 0, snapshot_every: usize::MAX }
+    }
+
+    /// Record one mutation. Call *before* acknowledging the mutation.
+    /// Triggers snapshot compaction when the WAL grows long.
+    pub fn append(&mut self, store: &Store, op: &Value) -> Result<(), RegistryError> {
+        let Some(wal) = self.wal.as_mut() else { return Ok(()) };
+        writeln!(wal, "{}", to_string(op)).map_err(|e| RegistryError::Storage(e.to_string()))?;
+        wal.flush().map_err(|e| RegistryError::Storage(e.to_string()))?;
+        self.ops_since_snapshot += 1;
+        if self.ops_since_snapshot >= self.snapshot_every {
+            self.snapshot(store)?;
+        }
+        Ok(())
+    }
+
+    /// Write a full snapshot and truncate the WAL.
+    pub fn snapshot(&mut self, store: &Store) -> Result<(), RegistryError> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let tmp = self.dir.join("registry.snapshot.tmp");
+        std::fs::write(&tmp, to_string(&store.to_value())).map_err(|e| RegistryError::Storage(e.to_string()))?;
+        std::fs::rename(&tmp, Self::snapshot_path(&self.dir)).map_err(|e| RegistryError::Storage(e.to_string()))?;
+        // Truncate the WAL now that the snapshot covers it.
+        self.wal = Some(
+            OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(Self::wal_path(&self.dir))
+                .map_err(|e| RegistryError::Storage(e.to_string()))?,
+        );
+        self.ops_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// Replay one WAL op onto a store. Ops are self-describing:
+/// `{"op": "...", ...}`.
+pub fn apply_op(store: &mut Store, op: &Value) -> Result<(), RegistryError> {
+    fn table<'a>(store: &'a mut Store, name: &str) -> Result<&'a mut crate::store::Table, RegistryError> {
+        match name {
+            "users" => Ok(&mut store.users),
+            "pes" => Ok(&mut store.pes),
+            "workflows" => Ok(&mut store.workflows),
+            other => Err(RegistryError::Storage(format!("unknown table '{other}'"))),
+        }
+    }
+    fn junction<'a>(store: &'a mut Store, name: &str) -> Result<&'a mut crate::store::Junction, RegistryError> {
+        match name {
+            "user_pes" => Ok(&mut store.user_pes),
+            "user_workflows" => Ok(&mut store.user_workflows),
+            "workflow_pes" => Ok(&mut store.workflow_pes),
+            other => Err(RegistryError::Storage(format!("unknown junction '{other}'"))),
+        }
+    }
+    match op["op"].as_str() {
+        Some("insert") => {
+            let id = op["id"].as_i64().ok_or(RegistryError::Storage("insert missing id".into()))?;
+            table(store, op["table"].as_str().unwrap_or(""))?.insert_with_id(id, op["row"].clone())?;
+        }
+        Some("update") => {
+            let id = op["id"].as_i64().ok_or(RegistryError::Storage("update missing id".into()))?;
+            table(store, op["table"].as_str().unwrap_or(""))?.update(id, op["row"].clone())?;
+        }
+        Some("delete") => {
+            let id = op["id"].as_i64().ok_or(RegistryError::Storage("delete missing id".into()))?;
+            let _ = table(store, op["table"].as_str().unwrap_or(""))?.delete(id);
+        }
+        Some("link") => {
+            junction(store, op["junction"].as_str().unwrap_or(""))?
+                .link(op["left"].as_i64().unwrap_or(0), op["right"].as_i64().unwrap_or(0));
+        }
+        Some("unlink") => {
+            junction(store, op["junction"].as_str().unwrap_or(""))?
+                .unlink(op["left"].as_i64().unwrap_or(0), op["right"].as_i64().unwrap_or(0));
+        }
+        Some("remove_right") => {
+            junction(store, op["junction"].as_str().unwrap_or(""))?
+                .remove_right(op["right"].as_i64().unwrap_or(0));
+        }
+        other => return Err(RegistryError::Storage(format!("unknown WAL op {other:?}"))),
+    }
+    Ok(())
+}
+
+/// Helper to build WAL op records.
+pub mod ops {
+    use laminar_json::Value;
+
+    /// Insert record.
+    pub fn insert(table: &str, id: i64, row: &Value) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "insert").set("table", table).set("id", id).set("row", row.clone());
+        v
+    }
+
+    /// Update record.
+    pub fn update(table: &str, id: i64, row: &Value) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "update").set("table", table).set("id", id).set("row", row.clone());
+        v
+    }
+
+    /// Delete record.
+    pub fn delete(table: &str, id: i64) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "delete").set("table", table).set("id", id);
+        v
+    }
+
+    /// Link record.
+    pub fn link(junction: &str, left: i64, right: i64) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "link").set("junction", junction).set("left", left).set("right", right);
+        v
+    }
+
+    /// Unlink record.
+    pub fn unlink(junction: &str, left: i64, right: i64) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "unlink").set("junction", junction).set("left", left).set("right", right);
+        v
+    }
+
+    /// Remove-right record (cascade deletes).
+    pub fn remove_right(junction: &str, right: i64) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "remove_right").set("junction", junction).set("right", right);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_json::jobj;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("laminar-wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn recovery_replays_wal() {
+        let dir = tmpdir("replay");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            let id = store.users.insert(jobj! { "userName" => "zz46" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", id, store.users.get(id).unwrap())).unwrap();
+            store.user_pes.link(id, 7);
+            wal.append(&store, &ops::link("user_pes", id, 7)).unwrap();
+            // No snapshot: recovery must come from the WAL alone.
+        }
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert_eq!(store.users.find_unique("userName", "zz46"), Some(1));
+        assert!(store.user_pes.linked(1, 7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compacts_wal() {
+        let dir = tmpdir("snap");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            for i in 0..5 {
+                let id = store.users.insert(jobj! { "userName" => format!("u{i}") }, "userId").unwrap();
+                wal.append(&store, &ops::insert("users", id, store.users.get(id).unwrap())).unwrap();
+            }
+            wal.snapshot(&store).unwrap();
+            // WAL is now empty.
+            let wal_len = std::fs::metadata(dir.join("registry.wal")).unwrap().len();
+            assert_eq!(wal_len, 0);
+        }
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert_eq!(store.users.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_tolerated() {
+        let dir = tmpdir("torn");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            let id = store.users.insert(jobj! { "userName" => "ok" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", id, store.users.get(id).unwrap())).unwrap();
+        }
+        // Simulate a crash mid-append: garbage partial line at the end.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(dir.join("registry.wal")).unwrap();
+            write!(f, "{{\"op\":\"insert\",\"table\":\"users\",\"id\":2,\"row\"").unwrap();
+        }
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert_eq!(store.users.len(), 1, "torn record discarded, prior ops kept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_snapshot_after_threshold() {
+        let dir = tmpdir("auto");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            wal.snapshot_every = 3;
+            for i in 0..4 {
+                let id = store.users.insert(jobj! { "userName" => format!("u{i}") }, "userId").unwrap();
+                wal.append(&store, &ops::insert("users", id, store.users.get(id).unwrap())).unwrap();
+            }
+            // Threshold crossed at op 3: snapshot exists and WAL was reset.
+            assert!(dir.join("registry.snapshot").exists());
+        }
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert_eq!(store.users.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_and_unlink_replay() {
+        let dir = tmpdir("del");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            let a = store.users.insert(jobj! { "userName" => "a" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", a, store.users.get(a).unwrap())).unwrap();
+            let b = store.users.insert(jobj! { "userName" => "b" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", b, store.users.get(b).unwrap())).unwrap();
+            store.users.delete(a).unwrap();
+            wal.append(&store, &ops::delete("users", a)).unwrap();
+        }
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert_eq!(store.users.len(), 1);
+        assert_eq!(store.users.find_unique("userName", "b"), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ephemeral_mode_never_touches_disk() {
+        let mut wal = WalStore::ephemeral();
+        let store = Store::new();
+        wal.append(&store, &ops::delete("users", 1)).unwrap();
+        wal.snapshot(&store).unwrap();
+    }
+}

@@ -1,0 +1,325 @@
+//! HTTP/1.0-subset front-end over TCP.
+//!
+//! Enough of HTTP for the Laminar client: request line, headers,
+//! `Content-Length` bodies, JSON responses, connection-per-request. This
+//! is the "remote" path of Table 5; local deployments use the in-process
+//! transport instead.
+
+use crate::api::{ApiRequest, ApiResponse, Method};
+use crate::server::LaminarServer;
+use laminar_json::{parse, to_string, Value};
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Percent-encode a path segment (RFC 3986 unreserved set passes through).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-decode; invalid escapes pass through literally.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 {
+            let hex = bytes.get(i + 1..i + 3);
+            if let Some(hex) = hex {
+                if let Ok(v) = u8::from_str_radix(std::str::from_utf8(hex).unwrap_or("zz"), 16) {
+                    out.push(v);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A running HTTP server wrapping a [`LaminarServer`].
+pub struct HttpServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving.
+    pub fn start(server: LaminarServer) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let server = Arc::new(Mutex::new(server));
+        let join = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let server = Arc::clone(&server);
+                // Connection-per-thread, like a classic app server.
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &server);
+                });
+            }
+        });
+        Ok(HttpServer { addr, shutdown, join: Some(join) })
+    }
+
+    /// Address the server listens on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the acceptor thread.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, server: &Mutex<LaminarServer>) -> std::io::Result<()> {
+    let peer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(msg) => {
+            return write_response(peer, &ApiResponse::bad_request(&msg));
+        }
+    };
+    let response = server.lock().handle(&request);
+    write_response(peer, &response)
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<ApiRequest, String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = Method::parse(parts.next().ok_or("empty request line")?)
+        .ok_or_else(|| format!("unsupported method in '{}'", line.trim()))?;
+    let raw_path = parts.next().ok_or("request line missing path")?;
+    let path: String = raw_path.split('/').map(percent_decode).collect::<Vec<_>>().join("/");
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(|e| e.to_string())?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|_| "bad content-length".to_string())?;
+        }
+    }
+    // Bound request bodies: the registry stores code, not blobs.
+    if content_length > 16 * 1024 * 1024 {
+        return Err("request body too large".into());
+    }
+    let body = if content_length > 0 {
+        let mut buf = vec![0u8; content_length];
+        reader.read_exact(&mut buf).map_err(|e| e.to_string())?;
+        let text = String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?;
+        parse(&text).map_err(|e| format!("body is not valid JSON: {e}"))?
+    } else {
+        Value::Null
+    };
+    Ok(ApiRequest { method, path, body })
+}
+
+fn write_response(mut stream: TcpStream, response: &ApiResponse) -> std::io::Result<()> {
+    let body = to_string(&response.body);
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        409 => "Conflict",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        reason,
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+/// A blocking HTTP client for the subset above (used by the Laminar client
+/// crate and tests).
+pub fn http_call(addr: std::net::SocketAddr, request: &ApiRequest) -> std::io::Result<ApiResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = if request.body.is_null() { String::new() } else { to_string(&request.body) };
+    let encoded_path: String =
+        request.path.split('/').map(percent_encode).collect::<Vec<_>>().join("/");
+    write!(
+        stream,
+        "{} {} HTTP/1.0\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        request.method.as_str(),
+        encoded_path,
+        body.len(),
+        body
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF8 body"))?;
+    let body = parse(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad JSON body: {e}")))?;
+    Ok(ApiResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_json::jobj;
+
+    #[test]
+    fn percent_round_trip() {
+        for s in ["plain", "has space", "a/b?c", "emoji 😀", "100% sure"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s, "round trip {s}");
+        }
+        assert_eq!(percent_encode("a b"), "a%20b");
+        // Invalid escapes pass through.
+        assert_eq!(percent_decode("100%zz"), "100%zz");
+        assert_eq!(percent_decode("%2"), "%2");
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let server = LaminarServer::in_memory();
+        let http = HttpServer::start(server).unwrap();
+        let addr = http.addr();
+
+        let r = http_call(
+            addr,
+            &ApiRequest::new(Method::Post, "/auth/register", jobj! { "userName" => "net", "password" => "password" }),
+        )
+        .unwrap();
+        assert!(r.is_ok(), "{r:?}");
+
+        let r = http_call(
+            addr,
+            &ApiRequest::new(
+                Method::Post,
+                "/registry/net/pe/add",
+                jobj! { "code" => "pe P : producer { output o; process { emit(1); } }" },
+            ),
+        )
+        .unwrap();
+        assert!(r.is_ok(), "{r:?}");
+
+        let r = http_call(addr, &ApiRequest::new(Method::Get, "/registry/net/pe/all", Value::Null)).unwrap();
+        assert_eq!(r.body.as_array().unwrap().len(), 1);
+
+        // Search path with spaces exercises percent-encoding.
+        let r = http_call(
+            addr,
+            &ApiRequest::new(Method::Get, "/registry/net/search/a PE that emits/type/pe", Value::Null),
+        )
+        .unwrap();
+        assert!(r.is_ok(), "{r:?}");
+
+        http.stop();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = LaminarServer::in_memory();
+        let http = HttpServer::start(server).unwrap();
+        let addr = http.addr();
+        http_call(
+            addr,
+            &ApiRequest::new(Method::Post, "/auth/register", jobj! { "userName" => "cc", "password" => "password" }),
+        )
+        .unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let r = http_call(
+                        addr,
+                        &ApiRequest::new(
+                            Method::Post,
+                            "/registry/cc/pe/add",
+                            jobj! { "code" => format!("pe P{i} : producer {{ output o; process {{ emit({i}); }} }}") },
+                        ),
+                    )
+                    .unwrap();
+                    assert!(r.is_ok(), "{r:?}");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let r = http_call(addr, &ApiRequest::new(Method::Get, "/registry/cc/pe/all", Value::Null)).unwrap();
+        assert_eq!(r.body.as_array().unwrap().len(), 8);
+        http.stop();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = LaminarServer::in_memory();
+        let http = HttpServer::start(server).unwrap();
+        let addr = http.addr();
+        // Raw socket with garbage.
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "BREW /teapot HTTP/1.0\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        let mut reader = BufReader::new(s);
+        reader.read_line(&mut buf).unwrap();
+        assert!(buf.contains("400"), "got: {buf}");
+        http.stop();
+    }
+}

@@ -1,0 +1,487 @@
+//! The Service layer: business logic behind every Table-3 endpoint.
+
+use crate::api::{ApiRequest, ApiResponse, Method};
+use laminar_engine::{ExecutionEngine, ExecutionRequest};
+use laminar_json::Value;
+use laminar_registry::service::EntityKey;
+use laminar_registry::{QueryType, Registry, RegistryError, SearchType};
+
+/// The Laminar server: registry + execution engine behind the REST API.
+pub struct LaminarServer {
+    registry: Registry,
+    engine: ExecutionEngine,
+}
+
+impl LaminarServer {
+    /// Server with an in-memory registry and an instant (test-speed)
+    /// engine.
+    pub fn in_memory() -> LaminarServer {
+        LaminarServer { registry: Registry::in_memory(), engine: ExecutionEngine::instant() }
+    }
+
+    /// Server from parts (durable registry, calibrated engine…).
+    pub fn new(registry: Registry, engine: ExecutionEngine) -> LaminarServer {
+        LaminarServer { registry, engine }
+    }
+
+    /// Direct registry access (workload setup, tests).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Direct engine access (host registration for simulated services).
+    pub fn engine_mut(&mut self) -> &mut ExecutionEngine {
+        &mut self.engine
+    }
+
+    /// Controller entry point: route a request (paper §3.2.1).
+    pub fn handle(&mut self, req: &ApiRequest) -> ApiResponse {
+        let segments = req.segments();
+        let result = match (req.method, segments.as_slice()) {
+            // ---- User controller -----------------------------------------
+            (Method::Get, ["auth", "all"]) => self.users_all(),
+            (Method::Post, ["auth", "register"]) => self.auth_register(&req.body),
+            (Method::Post, ["auth", "login"]) => self.auth_login(&req.body),
+
+            // ---- PE controller -------------------------------------------
+            (Method::Post, ["registry", user, "pe", "add"]) => self.pe_add(user, &req.body),
+            (Method::Get, ["registry", user, "pe", "all"]) => self.pe_all(user),
+            (Method::Get, ["registry", user, "pe", "id", id]) => self.pe_get(user, &EntityKey::from_str(id)),
+            (Method::Get, ["registry", user, "pe", "name", name]) => {
+                self.pe_get(user, &EntityKey::Name(name.to_string()))
+            }
+            (Method::Delete, ["registry", user, "pe", "remove", "id", id]) => {
+                self.pe_remove(user, &EntityKey::from_str(id))
+            }
+            (Method::Delete, ["registry", user, "pe", "remove", "name", name]) => {
+                self.pe_remove(user, &EntityKey::Name(name.to_string()))
+            }
+
+            // ---- Workflow controller ---------------------------------------
+            (Method::Post, ["registry", user, "workflow", "add"]) => self.workflow_add(user, &req.body),
+            (Method::Get, ["registry", user, "workflow", "all"]) => self.workflow_all(user),
+            (Method::Get, ["registry", user, "workflow", "id", id]) => {
+                self.workflow_get(user, &EntityKey::from_str(id))
+            }
+            (Method::Get, ["registry", user, "workflow", "name", name]) => {
+                self.workflow_get(user, &EntityKey::Name(name.to_string()))
+            }
+            (Method::Get, ["registry", user, "workflow", "pes", "id", id]) => {
+                self.workflow_pes(user, &EntityKey::from_str(id))
+            }
+            (Method::Get, ["registry", user, "workflow", "pes", "name", name]) => {
+                self.workflow_pes(user, &EntityKey::Name(name.to_string()))
+            }
+            (Method::Delete, ["registry", user, "workflow", "remove", "id", id]) => {
+                self.workflow_remove(user, &EntityKey::from_str(id))
+            }
+            (Method::Delete, ["registry", user, "workflow", "remove", "name", name]) => {
+                self.workflow_remove(user, &EntityKey::Name(name.to_string()))
+            }
+            (Method::Put, ["registry", user, "workflow", wid, "pe", pid]) => {
+                self.workflow_link_pe(user, wid, pid)
+            }
+
+            // ---- Registry controller ----------------------------------------
+            (Method::Get, ["registry", user, "all"]) => self.registry_all(user),
+            (Method::Get, ["registry", user, "search", search, "type", stype]) => {
+                self.registry_search(user, search, stype, &req.body)
+            }
+
+            // ---- Execution controller ----------------------------------------
+            (Method::Post, ["execution", user, "run"]) => self.execution_run(user, &req.body),
+
+            _ => return ApiResponse::not_found(&req.path),
+        };
+        match result {
+            Ok(body) => ApiResponse::ok(body),
+            Err(e) => ApiResponse::error(&e),
+        }
+    }
+
+    // ---- user handlers -------------------------------------------------------
+
+    fn users_all(&mut self) -> Result<Value, RegistryError> {
+        Ok(Value::Array(self.registry.all_user_names().into_iter().map(Value::Str).collect()))
+    }
+
+    fn auth_register(&mut self, body: &Value) -> Result<Value, RegistryError> {
+        let name = str_field(body, "userName")?;
+        let password = str_field(body, "password")?;
+        let user = self.registry.register_user(&name, &password)?;
+        let mut v = Value::Null;
+        v.set("userId", user.user_id).set("userName", user.user_name.as_str());
+        Ok(v)
+    }
+
+    fn auth_login(&mut self, body: &Value) -> Result<Value, RegistryError> {
+        let name = str_field(body, "userName")?;
+        let password = str_field(body, "password")?;
+        let token = self.registry.login(&name, &password)?;
+        let mut v = Value::Null;
+        v.set("token", token.as_str()).set("userName", name.as_str());
+        Ok(v)
+    }
+
+    // ---- PE handlers ------------------------------------------------------------
+
+    fn pe_add(&mut self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+        let code = str_field(body, "code")?;
+        let description = body["description"].as_str();
+        // The client ships code base64-pickled (paper §3.4.2); accept raw
+        // source too for convenience.
+        let source = laminar_registry::entities::decode_code(&code).unwrap_or(code);
+        let pe = self.registry.register_pe(user, &source, description)?;
+        Ok(pe_summary(&pe))
+    }
+
+    fn pe_all(&mut self, user: &str) -> Result<Value, RegistryError> {
+        Ok(self.registry.all_pes(user)?.iter().map(pe_summary).collect())
+    }
+
+    fn pe_get(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        let pe = self.registry.get_pe(user, key)?;
+        let mut v = pe_summary(&pe);
+        v.set("peCode", pe.pe_code.as_str()).set(
+            "peImports",
+            Value::Array(pe.pe_imports.iter().map(|i| Value::Str(i.clone())).collect()),
+        );
+        Ok(v)
+    }
+
+    fn pe_remove(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        self.registry.remove_pe(user, key)?;
+        let mut v = Value::Null;
+        v.set("removed", true);
+        Ok(v)
+    }
+
+    // ---- workflow handlers ----------------------------------------------------------
+
+    fn workflow_add(&mut self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+        let code = str_field(body, "code")?;
+        let entry = str_field(body, "entryPoint")?;
+        let description = body["description"].as_str();
+        let source = laminar_registry::entities::decode_code(&code).unwrap_or(code);
+        let wf = self.registry.register_workflow(user, &source, &entry, description)?;
+        Ok(wf_summary(&wf))
+    }
+
+    fn workflow_all(&mut self, user: &str) -> Result<Value, RegistryError> {
+        Ok(self.registry.all_workflows(user)?.iter().map(wf_summary).collect())
+    }
+
+    fn workflow_get(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        let wf = self.registry.get_workflow(user, key)?;
+        let mut v = wf_summary(&wf);
+        v.set("workflowCode", wf.workflow_code.as_str());
+        Ok(v)
+    }
+
+    fn workflow_pes(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        Ok(self.registry.pes_by_workflow(user, key)?.iter().map(pe_summary).collect())
+    }
+
+    fn workflow_remove(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        self.registry.remove_workflow(user, key)?;
+        let mut v = Value::Null;
+        v.set("removed", true);
+        Ok(v)
+    }
+
+    fn workflow_link_pe(&mut self, user: &str, wid: &str, pid: &str) -> Result<Value, RegistryError> {
+        let wid: i64 = wid
+            .parse()
+            .map_err(|_| RegistryError::Invalid { field: "workflowId", message: "must be an integer".into() })?;
+        let pid: i64 = pid
+            .parse()
+            .map_err(|_| RegistryError::Invalid { field: "peId", message: "must be an integer".into() })?;
+        self.registry.add_pe_to_workflow(user, wid, pid)?;
+        let mut v = Value::Null;
+        v.set("linked", true);
+        Ok(v)
+    }
+
+    // ---- registry handlers -------------------------------------------------------------
+
+    fn registry_all(&mut self, user: &str) -> Result<Value, RegistryError> {
+        self.registry.dump(user)
+    }
+
+    fn registry_search(&mut self, user: &str, search: &str, stype: &str, body: &Value) -> Result<Value, RegistryError> {
+        let search_type = SearchType::parse(stype)
+            .ok_or(RegistryError::Invalid { field: "type", message: format!("unknown search type '{stype}'") })?;
+        let query_type = match body["queryType"].as_str() {
+            Some(q) => QueryType::parse(q)
+                .ok_or(RegistryError::Invalid { field: "queryType", message: format!("unknown query type '{q}'") })?,
+            None => QueryType::Text,
+        };
+        let hits = self.registry.search(user, search, search_type, query_type)?;
+        Ok(hits
+            .into_iter()
+            .map(|h| {
+                let mut v = Value::Null;
+                v.set("id", h.id)
+                    .set("name", h.name.as_str())
+                    .set("kind", h.kind)
+                    .set("description", h.description.as_str())
+                    .set("auto", h.auto_described)
+                    .set("score", h.score);
+                v
+            })
+            .collect())
+    }
+
+    // ---- execution handler -------------------------------------------------------------
+
+    fn execution_run(&mut self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+        let mut body = body.clone();
+        body.set("user", user);
+        // `workflow` may name a registered workflow instead of shipping
+        // source — the serverless retrieve-then-run path (paper §5.2).
+        if body["source"].is_null() {
+            let key = EntityKey::from_value(&body["workflow"]).ok_or(RegistryError::Invalid {
+                field: "workflow",
+                message: "request needs either 'source' or a registered 'workflow' id/name".into(),
+            })?;
+            let source = self.registry.workflow_source(user, &key)?;
+            let wf = self.registry.get_workflow(user, &key)?;
+            body.set("source", source).set("workflow", wf.workflow_name.as_str());
+        }
+        let req = ExecutionRequest::from_value(&body).ok_or(RegistryError::Invalid {
+            field: "request",
+            message: "malformed execution request".into(),
+        })?;
+        let output = self
+            .engine
+            .run(&req)
+            .map_err(|e| RegistryError::Invalid { field: "execution", message: e.to_string() })?;
+        Ok(output.to_value())
+    }
+}
+
+fn str_field(body: &Value, field: &'static str) -> Result<String, RegistryError> {
+    body[field]
+        .as_str()
+        .map(str::to_string)
+        .ok_or(RegistryError::Invalid { field, message: "missing or not a string".into() })
+}
+
+fn pe_summary(pe: &laminar_registry::PeEntity) -> Value {
+    let mut v = Value::Null;
+    v.set("peId", pe.pe_id)
+        .set("peName", pe.pe_name.as_str())
+        .set("description", pe.description.as_str())
+        .set("auto", pe.description_generated);
+    v
+}
+
+fn wf_summary(wf: &laminar_registry::WorkflowEntity) -> Value {
+    let mut v = Value::Null;
+    v.set("workflowId", wf.workflow_id)
+        .set("workflowName", wf.workflow_name.as_str())
+        .set("entryPoint", wf.entry_point.as_str())
+        .set("description", wf.description.as_str());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_json::jobj;
+
+    const WF_SRC: &str = r#"
+        pe Seq : producer { output output; process { emit(iteration + 1); } }
+        pe IsPrime : iterative {
+            input num; output output;
+            process {
+                let i = 2;
+                let prime = num > 1;
+                while i * i <= num { if num % i == 0 { prime = false; break; } i = i + 1; }
+                if prime { emit(num); }
+            }
+        }
+        pe PrintPrime : consumer { input num; process { print("the num", num, "is prime"); } }
+        workflow IsPrimeFlow {
+            doc "Workflow that prints random prime numbers";
+            nodes { s = Seq; i = IsPrime; p = PrintPrime; }
+            connect s.output -> i.num;
+            connect i.output -> p.num;
+        }
+    "#;
+
+    fn server_with_user() -> LaminarServer {
+        let mut s = LaminarServer::in_memory();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "zz46", "password" => "password" },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        s
+    }
+
+    fn get(s: &mut LaminarServer, path: &str) -> ApiResponse {
+        s.handle(&ApiRequest::new(Method::Get, path, Value::Null))
+    }
+
+    #[test]
+    fn auth_flow() {
+        let mut s = server_with_user();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/login",
+            jobj! { "userName" => "zz46", "password" => "password" },
+        ));
+        assert!(r.is_ok());
+        assert!(r.body["token"].as_str().unwrap().starts_with("tok-"));
+        // Wrong password → standardized 401 envelope (paper §3.2.5).
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/login",
+            jobj! { "userName" => "zz46", "password" => "wrong" },
+        ));
+        assert_eq!(r.status, 401);
+        assert_eq!(r.body["error"].as_str(), Some("Unauthorized"));
+        // User list.
+        let r = get(&mut s, "/auth/all");
+        assert_eq!(r.body[0].as_str(), Some("zz46"));
+    }
+
+    #[test]
+    fn pe_endpoints() {
+        let mut s = server_with_user();
+        let src = "pe NumberProducer : producer { output output; process { emit(randint(1, 1000)); } }";
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/registry/zz46/pe/add",
+            jobj! { "code" => src, "description" => "Random numbers producer" },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let id = r.body["peId"].as_i64().unwrap();
+        assert!(get(&mut s, &format!("/registry/zz46/pe/id/{id}")).is_ok());
+        let by_name = get(&mut s, "/registry/zz46/pe/name/NumberProducer");
+        assert_eq!(by_name.body["peId"].as_i64(), Some(id));
+        assert!(by_name.body["peCode"].as_str().is_some());
+        let all = get(&mut s, "/registry/zz46/pe/all");
+        assert_eq!(all.body.as_array().unwrap().len(), 1);
+        let rm = s.handle(&ApiRequest::new(
+            Method::Delete,
+            "/registry/zz46/pe/remove/name/NumberProducer",
+            Value::Null,
+        ));
+        assert!(rm.is_ok());
+        assert_eq!(get(&mut s, &format!("/registry/zz46/pe/id/{id}")).status, 404);
+    }
+
+    #[test]
+    fn workflow_endpoints() {
+        let mut s = server_with_user();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/registry/zz46/workflow/add",
+            jobj! { "code" => WF_SRC, "entryPoint" => "isPrime" },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let wid = r.body["workflowId"].as_i64().unwrap();
+        let pes = get(&mut s, &format!("/registry/zz46/workflow/pes/id/{wid}"));
+        assert_eq!(pes.body.as_array().unwrap().len(), 3);
+        let by_name = get(&mut s, "/registry/zz46/workflow/name/isPrime");
+        assert_eq!(by_name.body["workflowId"].as_i64(), Some(wid));
+        // PUT link: attach an extra PE.
+        let extra = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/registry/zz46/pe/add",
+            jobj! { "code" => "pe Extra : producer { output o; process { emit(1); } }" },
+        ));
+        let pid = extra.body["peId"].as_i64().unwrap();
+        let link = s.handle(&ApiRequest::new(
+            Method::Put,
+            format!("/registry/zz46/workflow/{wid}/pe/{pid}"),
+            Value::Null,
+        ));
+        assert!(link.is_ok(), "{link:?}");
+        let pes = get(&mut s, &format!("/registry/zz46/workflow/pes/id/{wid}"));
+        assert_eq!(pes.body.as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn search_endpoint_figure6() {
+        let mut s = server_with_user();
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/registry/zz46/workflow/add",
+            jobj! { "code" => WF_SRC, "entryPoint" => "isPrime" },
+        ));
+        let r = s.handle(&ApiRequest::new(Method::Get, "/registry/zz46/search/prime/type/workflow", Value::Null));
+        assert!(r.is_ok());
+        assert_eq!(r.body[0]["name"].as_str(), Some("isPrime"));
+        // Unknown search type → 400.
+        let r = s.handle(&ApiRequest::new(Method::Get, "/registry/zz46/search/x/type/weird", Value::Null));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn execution_with_inline_source() {
+        let mut s = server_with_user();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/run",
+            jobj! { "source" => WF_SRC, "input" => 10, "mapping" => "SIMPLE" },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let printed = r.body["printed"].as_array().unwrap();
+        assert_eq!(printed.len(), 4, "primes ≤ 10");
+    }
+
+    #[test]
+    fn execution_of_registered_workflow_by_name() {
+        // The full serverless loop: register once, run by name (paper §5).
+        let mut s = server_with_user();
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/registry/zz46/workflow/add",
+            jobj! { "code" => WF_SRC, "entryPoint" => "isPrime" },
+        ));
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/run",
+            jobj! { "workflow" => "isPrime", "input" => 20, "mapping" => "MULTI", "processes" => 5 },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body["printed"].as_array().unwrap().len(), 8);
+        // Unknown workflow name → 404 envelope.
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/run",
+            jobj! { "workflow" => "ghost", "input" => 1 },
+        ));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn unknown_route_and_bad_body() {
+        let mut s = server_with_user();
+        assert_eq!(get(&mut s, "/registry/zz46/nonsense").status, 404);
+        let r = s.handle(&ApiRequest::new(Method::Post, "/auth/register", Value::Null));
+        assert_eq!(r.status, 400);
+        assert_eq!(r.body["error"].as_str(), Some("Invalid"));
+    }
+
+    #[test]
+    fn cross_user_isolation_via_api() {
+        let mut s = server_with_user();
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "other", "password" => "password" },
+        ));
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/registry/zz46/pe/add",
+            jobj! { "code" => "pe Mine : producer { output o; process { emit(1); } }" },
+        ));
+        let r = get(&mut s, "/registry/other/pe/name/Mine");
+        assert_eq!(r.status, 404, "other users cannot see zz46's PEs");
+    }
+}

@@ -1,0 +1,165 @@
+//! The IsPrime showcase (paper §5.1, Listing 3, Figures 1 and 9).
+//!
+//! `NumberProducer` streams random numbers, `IsPrime` filters the primes,
+//! `PrintPrime` prints them — the canonical three-stage pipeline.
+
+/// The complete workflow source, faithful to Listing 3.
+pub const SOURCE: &str = r#"
+pe NumberProducer : producer {
+    doc "Generates random numbers and streams them out";
+    output output;
+    process {
+        emit(randint(1, 1000));
+    }
+}
+
+pe IsPrime : iterative {
+    doc "Checks if the given input is prime and forwards primes";
+    input num;
+    output output;
+    process {
+        print("before checking data -", num, "- is prime or not");
+        let i = 2;
+        let prime = num > 1;
+        while i * i <= num {
+            if num % i == 0 { prime = false; break; }
+            i = i + 1;
+        }
+        if prime { emit(num); }
+    }
+}
+
+pe PrintPrime : consumer {
+    doc "Prints the prime numbers it receives";
+    input num;
+    process {
+        print("the num", num, "is prime");
+    }
+}
+
+workflow IsPrime {
+    doc "Workflow that prints random prime numbers";
+    nodes { pe1 = NumberProducer; pe2 = IsPrime; pe3 = PrintPrime; }
+    connect pe1.output -> pe2.num;
+    connect pe2.output -> pe3.num;
+}
+"#;
+
+/// A deterministic variant that streams 1,2,3,… instead of random numbers
+/// (used by tests that assert exact outputs).
+pub const SOURCE_SEQUENTIAL: &str = r#"
+pe NumberProducer : producer {
+    doc "Streams the sequence 1, 2, 3, ...";
+    output output;
+    process { emit(iteration + 1); }
+}
+
+pe IsPrime : iterative {
+    doc "Checks if the given input is prime and forwards primes";
+    input num;
+    output output;
+    process {
+        let i = 2;
+        let prime = num > 1;
+        while i * i <= num {
+            if num % i == 0 { prime = false; break; }
+            i = i + 1;
+        }
+        if prime { emit(num); }
+    }
+}
+
+pe PrintPrime : consumer {
+    doc "Prints the prime numbers it receives";
+    input num;
+    process { print("the num", num, "is prime"); }
+}
+
+workflow IsPrime {
+    doc "Workflow that prints sequential prime numbers";
+    nodes { pe1 = NumberProducer; pe2 = IsPrime; pe3 = PrintPrime; }
+    connect pe1.output -> pe2.num;
+    connect pe2.output -> pe3.num;
+}
+"#;
+
+/// Build the abstract graph from [`SOURCE`].
+pub fn build_graph() -> laminar_dataflow::WorkflowGraph {
+    laminar_dataflow::WorkflowGraph::from_script(SOURCE, "IsPrime").expect("showcase source is valid")
+}
+
+/// Reference primality test used by assertions.
+pub fn is_prime(n: i64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut i = 2;
+    while i * i <= n {
+        if n % i == 0 {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_dataflow::mapping::{Mapping, MultiMapping, SimpleMapping};
+    use laminar_dataflow::RunOptions;
+
+    #[test]
+    fn reference_primality() {
+        let primes: Vec<i64> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn graph_matches_figure1() {
+        let g = build_graph();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.roots().len(), 1);
+        assert!(g.validate().is_ok());
+        // Figure 1: 5 processes → 1 + 2 + 2.
+        let plan = laminar_dataflow::ConcretePlan::distribute(&g, 5).unwrap();
+        assert_eq!(plan.instances, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn random_run_emits_only_primes() {
+        let g = build_graph();
+        let r = SimpleMapping.execute(&g, &RunOptions::iterations(50)).unwrap();
+        for line in &r.printed {
+            if let Some(rest) = line.strip_prefix("the num ") {
+                let n: i64 = rest.split_whitespace().next().unwrap().parse().unwrap();
+                assert!(is_prime(n), "printed non-prime {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn listing4_configuration_multi_five() {
+        // client.run(graph, input=5, process=MULTI, args={'num':5})
+        let g = build_graph();
+        let r = MultiMapping.execute(&g, &RunOptions::iterations(5).with_processes(5)).unwrap();
+        assert_eq!(r.stats.processed["NumberProducer"], 5);
+        assert_eq!(r.stats.instances["IsPrime"], 2);
+        assert_eq!(r.stats.instances["PrintPrime"], 2);
+    }
+
+    #[test]
+    fn sequential_variant_prints_known_primes() {
+        let g = laminar_dataflow::WorkflowGraph::from_script(SOURCE_SEQUENTIAL, "IsPrime").unwrap();
+        let r = SimpleMapping.execute(&g, &RunOptions::iterations(10)).unwrap();
+        assert_eq!(
+            r.printed,
+            vec![
+                "the num 2 is prime",
+                "the num 3 is prime",
+                "the num 5 is prime",
+                "the num 7 is prime",
+            ]
+        );
+    }
+}

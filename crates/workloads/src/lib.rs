@@ -1,0 +1,16 @@
+//! # laminar-workloads
+//!
+//! The computational showcases of paper §5 plus supporting substrates:
+//!
+//! * [`isprime`] — the IsPrime workflow of Figure 1 / Listing 3;
+//! * [`wordcount`] — the stateful group-by MapReduce-style PE of Listing 2,
+//!   grown into a full workflow;
+//! * [`astro`] — the Internal Extinction astrophysics workflow (§5.2):
+//!   a synthetic galaxy catalog, a simulated Virtual Observatory service
+//!   with configurable latency, and a from-scratch [`votable`] XML
+//!   writer/parser standing in for astropy.
+
+pub mod astro;
+pub mod isprime;
+pub mod votable;
+pub mod wordcount;

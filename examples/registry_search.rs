@@ -1,0 +1,106 @@
+//! The three registry searches of paper §4 (Figures 6, 7 and 8): text
+//! search, semantic code search and code completion, over a registry
+//! populated with PEs and workflows like the paper's 22-PE scenario.
+//!
+//! ```text
+//! cargo run --example registry_search
+//! ```
+
+use laminar::prelude::*;
+
+fn main() {
+    let mut system = LaminarSystem::start(Deployment::Test).expect("system starts");
+    let client = system.client_mut();
+    client.register("zz46", "password").unwrap();
+    client.login("zz46", "password").unwrap();
+
+    // Populate: the IsPrime workflow (3 PEs) plus a batch of extra PEs,
+    // most registered WITHOUT a description so the summarizer fills it in
+    // (paper §3.1.1 / Figure 7's "[auto]" rows).
+    client
+        .register_workflow(
+            laminar::workloads::isprime::SOURCE,
+            "isPrime",
+            Some("Workflow that prints random prime numbers"),
+        )
+        .unwrap();
+    client
+        .register_workflow(
+            laminar::workloads::wordcount::SOURCE,
+            "wordCount",
+            Some("Counts word occurrences across a stream of sentences"),
+        )
+        .unwrap();
+
+    let extra_pes: &[(&str, Option<&str>)] = &[
+        (
+            "pe ReverseText : iterative { input text; output output; process { emit(reverse(text)); } }",
+            Some("Reverses the characters of each input string"),
+        ),
+        (
+            "pe SquareNumber : iterative { input num; output output; process { emit(num * num); } }",
+            None,
+        ),
+        (
+            r#"pe RunningMax : generic {
+                input input; output output;
+                init { state.best = -999999; }
+                process { if input > state.best { state.best = input; } emit(state.best); }
+            }"#,
+            None,
+        ),
+        (
+            r#"pe CelsiusToF : iterative { input num; output output; process { emit(num * 9 / 5 + 32); } }"#,
+            Some("Converts temperatures from celsius to fahrenheit"),
+        ),
+    ];
+    for (src, desc) in extra_pes {
+        client.register_pe(src, *desc).unwrap();
+    }
+    let dump = client.get_registry().unwrap();
+    println!(
+        "registry now holds {} PEs and {} workflows\n",
+        dump["pes"].as_array().unwrap().len(),
+        dump["workflows"].as_array().unwrap().len()
+    );
+
+    // --- Figure 6: text search for 'prime' over workflows ----------------
+    println!("=== Figure 6: client.search_Registry(\"prime\", \"workflow\") ===");
+    let hits = client.search_registry("prime", "workflow", "text").unwrap();
+    print_hits(&hits);
+
+    // --- Figure 7: semantic code search over PE descriptions --------------
+    println!("\n=== Figure 7: client.search_Registry(\"A PE that checks if a number is prime\", \"pe\", \"text\") ===");
+    let hits = client
+        .search_registry("A PE that checks if a number is prime", "pe", "text")
+        .unwrap();
+    print_hits(&hits[..hits.len().min(5)]);
+
+    // --- Figure 8: code completion from a snippet --------------------------
+    println!("\n=== Figure 8: client.search_Registry(\"randint(1, 1000)\", \"pe\", \"code\") ===");
+    let hits = client.search_registry("emit(randint(1, 1000));", "pe", "code").unwrap();
+    print_hits(&hits[..hits.len().min(5)]);
+
+    // Retrieve the winner for reuse in a new workflow (paper §4.3).
+    if let Some(best) = hits.first() {
+        let (_, source) = client.get_pe(best["name"].as_str().unwrap()).unwrap();
+        println!("\nretrieved top hit '{}' for reuse:\n{}", best["name"].as_str().unwrap(), source);
+    }
+    system.stop();
+}
+
+fn print_hits(hits: &[Value]) {
+    println!("{:<5} {:<10} {:<18} {:<8} description", "id", "kind", "name", "score");
+    for h in hits {
+        let auto = if h["auto"].as_bool() == Some(true) { " [auto]" } else { "" };
+        println!(
+            "{:<5} {:<10} {:<18} {:<8.4} {}{}",
+            h["id"].as_i64().unwrap_or(0),
+            h["kind"].as_str().unwrap_or("?"),
+            h["name"].as_str().unwrap_or("?"),
+            h["score"].as_f64().unwrap_or(0.0),
+            h["description"].as_str().unwrap_or(""),
+            auto
+        );
+    }
+}

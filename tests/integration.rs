@@ -1,0 +1,250 @@
+//! Cross-crate integration tests: full client → server → registry →
+//! engine flows over both transports, the two showcase workflows
+//! end-to-end, the search figures as assertions, and failure injection.
+
+use laminar::prelude::*;
+use laminar::workloads::astro::{coordinates_file, VoService};
+use std::sync::Arc;
+
+fn system(deployment: Deployment) -> LaminarSystem {
+    LaminarSystem::start(deployment).expect("system starts")
+}
+
+fn login<'a>(system: &'a mut LaminarSystem, user: &str) -> &'a mut LaminarClient {
+    let c = system.client_mut();
+    c.register(user, "password").unwrap();
+    c.login(user, "password").unwrap();
+    c
+}
+
+#[test]
+fn isprime_showcase_full_serverless_loop() {
+    // Register → search → retrieve → run, exactly the paper's §5.1 story.
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    c.register_workflow(
+        laminar::workloads::isprime::SOURCE,
+        "isPrime",
+        Some("Workflow that prints random prime numbers"),
+    )
+    .unwrap();
+
+    // Figure 6 assertion: partial text match finds the workflow.
+    let hits = c.search_registry("prime", "workflow", "text").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0]["name"].as_str(), Some("isPrime"));
+
+    // Run with each mapping; every printed number must be prime.
+    for mapping in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+        let out = c
+            .run_registered("isPrime", RunConfig::iterations(30).with_mapping(mapping, 5))
+            .unwrap();
+        for line in &out.printed {
+            if let Some(rest) = line.strip_prefix("the num ") {
+                let n: i64 = rest.split_whitespace().next().unwrap().parse().unwrap();
+                assert!(laminar::workloads::isprime::is_prime(n), "{mapping}: printed non-prime {n}");
+            }
+        }
+        assert_eq!(out.processed["NumberProducer"], 30, "{mapping}");
+    }
+    sys.stop();
+}
+
+#[test]
+fn astrophysics_showcase_with_resources_over_tcp() {
+    // The §5.2 workflow over the remote (HTTP) deployment, with the VO
+    // service installed on the engine and the coordinates staged as a
+    // resource — Listings 5-7.
+    let vo: Arc<dyn laminar::script::Host + Send + Sync> = Arc::new(VoService::instant());
+    let mut sys = LaminarSystem::start_with_hosts(
+        Deployment::RemoteSimulated,
+        &[("vo", Arc::clone(&vo)), ("astropy", Arc::clone(&vo))],
+    )
+    .unwrap();
+    let c = login(&mut sys, "astro");
+    c.register_workflow(laminar::workloads::astro::SOURCE, "Astrophysics", None).unwrap();
+    let out = c
+        .run_registered(
+            "Astrophysics",
+            RunConfig::data(vec![Value::Str("coordinates.txt".into())])
+                .with_mapping(MappingKind::Multi, 5)
+                .with_resource("coordinates.txt", coordinates_file(6).into_bytes()),
+        )
+        .unwrap();
+    // 6 coordinates × 4 galaxies per VOTable.
+    assert_eq!(out.printed.len(), 24);
+    for line in &out.printed {
+        assert!(line.contains("extinction"));
+    }
+    sys.stop();
+}
+
+#[test]
+fn semantic_search_and_completion_figures() {
+    // Figures 7 and 8 as assertions against a populated registry.
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    c.register_workflow(laminar::workloads::isprime::SOURCE, "isPrime", None).unwrap();
+    c.register_pe(
+        "pe ReverseText : iterative { input text; output output; process { emit(reverse(text)); } }",
+        Some("Reverses the characters of each input string"),
+    )
+    .unwrap();
+
+    // Figure 7: natural-language query ranks the prime checker first.
+    let hits = c
+        .search_registry("A PE that checks if a number is prime", "pe", "text")
+        .unwrap();
+    assert_eq!(hits[0]["name"].as_str(), Some("IsPrime"), "hits: {hits:?}");
+    // Scores are sorted descending.
+    let scores: Vec<f64> = hits.iter().map(|h| h["score"].as_f64().unwrap()).collect();
+    assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+
+    // Figure 8: a code snippet retrieves the random producer.
+    let hits = c.search_registry("emit(randint(1, 1000));", "pe", "code").unwrap();
+    assert_eq!(hits[0]["name"].as_str(), Some("NumberProducer"), "hits: {hits:?}");
+    sys.stop();
+}
+
+#[test]
+fn auto_summaries_appear_for_undescribed_pes() {
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    c.register_pe(
+        r#"pe CountWords : generic {
+            input input groupby 0; output output;
+            init { state.count = {}; }
+            process { state.count[input[0]] = get(state.count, input[0], 0) + 1; emit(state.count); }
+        }"#,
+        None,
+    )
+    .unwrap();
+    let (meta, _) = c.get_pe("CountWords").unwrap();
+    assert_eq!(meta["auto"].as_bool(), Some(true));
+    let desc = meta["description"].as_str().unwrap();
+    assert!(desc.contains("counts words"), "summary: {desc}");
+    sys.stop();
+}
+
+#[test]
+fn shared_ownership_and_privacy_across_users() {
+    let mut sys = system(Deployment::Test);
+    let src = "pe Shared : producer { output output; process { emit(1); } }";
+    {
+        let c = sys.client_mut();
+        c.register("alice", "password").unwrap();
+        c.login("alice", "password").unwrap();
+        c.register_pe(src, Some("alice's PE")).unwrap();
+    }
+    {
+        let c = sys.client_mut();
+        c.register("bob", "password").unwrap();
+        c.login("bob", "password").unwrap();
+        // Bob can't see it until he registers the identical PE himself —
+        // then he becomes a co-owner of the same entry (paper §3.1).
+        assert!(c.get_pe("Shared").is_err());
+        let id = c.register_pe(src, None).unwrap();
+        let (meta, _) = c.get_pe("Shared").unwrap();
+        assert_eq!(meta["peId"].as_i64(), Some(id));
+        // The entry kept alice's description — no duplicate row.
+        assert_eq!(meta["description"].as_str(), Some("alice's PE"));
+    }
+    sys.stop();
+}
+
+#[test]
+fn execution_failures_surface_as_structured_errors() {
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+
+    // Runtime failure inside a PE (division by zero).
+    let bad = "pe Bad : producer { output output; process { emit(1 / (iteration - 1)); } }";
+    let err = c.run_source(bad, RunConfig::iterations(3)).unwrap_err();
+    match err {
+        ClientError::Api { status, message, .. } => {
+            assert_eq!(status, 400);
+            assert!(message.contains("division by zero"), "message: {message}");
+        }
+        other => panic!("expected API error, got {other:?}"),
+    }
+
+    // Unparsable source.
+    let err = c.run_source("this is not lamscript", RunConfig::iterations(1)).unwrap_err();
+    assert!(matches!(err, ClientError::Api { status: 400, .. }));
+
+    // Running an unregistered workflow.
+    let err = c.run_registered("ghost", RunConfig::iterations(1)).unwrap_err();
+    assert!(matches!(err, ClientError::Api { status: 404, .. }));
+    sys.stop();
+}
+
+#[test]
+fn runaway_pe_is_killed_by_fuel() {
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    let hostile = "pe Loop : producer { output output; process { while true { let x = 1; } } }";
+    let err = c.run_source(hostile, RunConfig::iterations(1)).unwrap_err();
+    match err {
+        ClientError::Api { message, .. } => assert!(message.contains("fuel"), "message: {message}"),
+        other => panic!("expected API error, got {other:?}"),
+    }
+    sys.stop();
+}
+
+#[test]
+fn workflow_members_queryable_and_removable() {
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    c.register_workflow(laminar::workloads::wordcount::SOURCE, "wc", None).unwrap();
+    let pes = c.get_pes_by_workflow("wc").unwrap();
+    assert_eq!(pes.len(), 3);
+    // Removing the workflow leaves the PEs registered (they're shared).
+    c.remove_workflow("wc").unwrap();
+    assert!(c.get_workflow("wc").is_err());
+    assert!(c.get_pe("CountWords").is_ok());
+    sys.stop();
+}
+
+#[test]
+fn registry_dump_matches_paper_figure_format() {
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    c.register_workflow(laminar::workloads::isprime::SOURCE, "isPrime", None).unwrap();
+    let dump = c.get_registry().unwrap();
+    let pes = dump["pes"].as_array().unwrap();
+    assert_eq!(pes.len(), 3);
+    for pe in pes {
+        assert!(pe["peId"].as_i64().is_some());
+        assert!(pe["peName"].as_str().is_some());
+        assert!(pe["description"].as_str().is_some());
+    }
+    sys.stop();
+}
+
+#[test]
+fn mapping_equivalence_through_the_full_stack() {
+    // Multiset equivalence checked not at the dataflow layer but through
+    // the whole client/server/engine path.
+    let mut sys = system(Deployment::Test);
+    let c = login(&mut sys, "zz46");
+    let src = r#"
+        pe Seq : producer { output output; process { emit(iteration); } }
+        pe Sq : iterative { input x; output output; process { emit(x * x); } }
+        workflow Squares { nodes { s = Seq; q = Sq; } connect s.output -> q.x; }
+    "#;
+    c.register_workflow(src, "squares", None).unwrap();
+    let mut reference: Option<Vec<i64>> = None;
+    for mapping in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+        let out = c
+            .run_registered("squares", RunConfig::iterations(25).with_mapping(mapping, 4))
+            .unwrap();
+        let mut got: Vec<i64> =
+            out.port_values("Sq", "output").iter().filter_map(Value::as_i64).collect();
+        got.sort();
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "{mapping} diverged through the full stack"),
+        }
+    }
+    sys.stop();
+}
