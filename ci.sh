@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate. Offline by construction: every dependency is a
+# workspace path dependency (see README.md "Zero external dependencies").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== build examples =="
+cargo build --examples
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI GREEN"

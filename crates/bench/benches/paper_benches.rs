@@ -53,8 +53,7 @@ fn bench_table7(c: &mut Criterion) {
 
 /// Figure 1 / D4: the four mappings over the IsPrime pipeline.
 fn bench_mappings(c: &mut Criterion) {
-    let graph =
-        WorkflowGraph::from_script(laminar_workloads::isprime::SOURCE_SEQUENTIAL, "IsPrime").unwrap();
+    let graph = WorkflowGraph::from_script(laminar_workloads::isprime::SOURCE_SEQUENTIAL, "IsPrime").unwrap();
     let mut g = c.benchmark_group("figure1_mappings");
     g.sample_size(10).measurement_time(Duration::from_secs(6));
     let mappings: Vec<(&str, Box<dyn Mapping>)> = vec![
@@ -121,7 +120,11 @@ fn bench_registry(c: &mut Criterion) {
         r.register_user("u", "password").unwrap();
         let ds = laminar_embed::datasets::gen_csn(20, 2);
         for (i, ex) in ds.examples.iter().enumerate() {
-            let renamed = ex.code.replacen("pe ", &format!("pe N{i}"), 1).replacen(&format!("pe N{i}"), &format!("pe N{i}_"), 1);
+            let renamed = ex.code.replacen("pe ", &format!("pe N{i}"), 1).replacen(
+                &format!("pe N{i}"),
+                &format!("pe N{i}_"),
+                1,
+            );
             let _ = r.register_pe("u", &renamed, Some(&ex.doc));
         }
         b.iter(|| {

@@ -100,11 +100,7 @@ fn d2_bi_vs_cross() {
 
 fn d4_mapping_choice() {
     println!("== D4: mapping choice on the IsPrime graph (Figure 1 semantics) ==");
-    let graph = WorkflowGraph::from_script(
-        laminar_workloads::isprime::SOURCE_SEQUENTIAL,
-        "IsPrime",
-    )
-    .unwrap();
+    let graph = WorkflowGraph::from_script(laminar_workloads::isprime::SOURCE_SEQUENTIAL, "IsPrime").unwrap();
     let iters = 4000;
     for (name, mapping) in [
         ("SIMPLE", &SimpleMapping as &dyn Mapping),

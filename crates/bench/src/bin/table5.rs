@@ -6,21 +6,20 @@
 //! cargo run -p laminar-bench --bin table5 --release
 //! ```
 
-use laminar_bench::{fmt_secs, run_astro_direct, run_astro_laminar, Table5Config};
+use laminar_bench::{fmt_secs, run_astro_direct, run_astro_laminar_detailed, Table5Config};
 
 fn main() {
     let cfg = Table5Config::default_profile();
 
     println!("== Table 4: Execution Engines Configuration (this reproduction) ==");
-    println!("{:<22} {:<34} {}", "Property", "Local Ex. Engine", "Remote Ex. Engine");
-    println!("{:<22} {:<34} {}", "Substrate", "in-process transport", "HTTP loopback + WAN model");
-    println!("{:<22} {:<34} {}", "WAN model", "none", "25ms one-way, 5MB/s");
-    println!("{:<22} {:<34} {}", "Env provisioning", "simulated conda (40ms setup)", "same");
+    println!("{:<22} {:<34} Remote Ex. Engine", "Property", "Local Ex. Engine");
+    println!("{:<22} {:<34} HTTP loopback + WAN model", "Substrate", "in-process transport");
+    println!("{:<22} {:<34} 25ms one-way, 5MB/s", "WAN model", "none");
+    println!("{:<22} {:<34} same", "Env provisioning", "simulated conda (40ms setup)");
     println!(
-        "{:<22} {:<34} {}",
+        "{:<22} {:<34} same",
         "Workload",
         format!("{} coords, {}ms VO latency", cfg.coordinates, cfg.vo_latency.as_millis()),
-        "same"
     );
     println!();
 
@@ -33,23 +32,25 @@ fn main() {
     let d_multi = run_astro_direct(&cfg, true);
     println!("{:<38} {:>14} {:>14}", "original dispel4py", fmt_secs(d_simple), fmt_secs(d_multi));
 
-    let l_simple = run_astro_laminar(&cfg, false, false);
-    let l_multi = run_astro_laminar(&cfg, true, false);
-    println!(
-        "{:<38} {:>14} {:>14}",
-        "Local Execution (with Laminar)",
-        fmt_secs(l_simple),
-        fmt_secs(l_multi)
-    );
+    let (l_simple, l_simple_out) = run_astro_laminar_detailed(&cfg, false, false);
+    let (l_multi, l_multi_out) = run_astro_laminar_detailed(&cfg, true, false);
+    println!("{:<38} {:>14} {:>14}", "Local Execution (with Laminar)", fmt_secs(l_simple), fmt_secs(l_multi));
 
-    let r_simple = run_astro_laminar(&cfg, false, true);
-    let r_multi = run_astro_laminar(&cfg, true, true);
+    let (r_simple, _) = run_astro_laminar_detailed(&cfg, false, true);
+    let (r_multi, r_multi_out) = run_astro_laminar_detailed(&cfg, true, true);
     println!(
         "{:<38} {:>14} {:>14}",
         "Remote Execution (with Laminar)",
         fmt_secs(r_simple),
         fmt_secs(r_multi)
     );
+
+    println!("\n== Overhead structure (what surrounds pure enactment) ==");
+    for (label, out) in
+        [("local/simple", &l_simple_out), ("local/multi", &l_multi_out), ("remote/multi", &r_multi_out)]
+    {
+        println!("{label:<14} {}", out.overhead_report());
+    }
 
     println!("\n== Shape checks ==");
     let speedup = d_simple.as_secs_f64() / d_multi.as_secs_f64().max(1e-9);

@@ -28,19 +28,12 @@ fn main() {
     println!("== Table 7: Zero-shot clone detection evaluation results ==");
     println!("(measured on the synthetic CodeNet-like corpus: {PROBLEMS} problems x {VARIANTS} variants)");
     println!("(shape targets: ReACC best P@1; CodeBERT & gte worst; structure models strong MAP)\n");
-    println!(
-        "{:<28} {:>9} {:>7}   {:>11} {:>9}",
-        "Model", "MAP@100", "P@1", "paper MAP", "paper P@1"
-    );
+    println!("{:<28} {:>9} {:>7}   {:>11} {:>9}", "Model", "MAP@100", "P@1", "paper MAP", "paper P@1");
 
     let mut measured = Vec::new();
     for (model, paper_map, paper_p1) in ROWS {
         let (map, p1) = table7_clone(model, PROBLEMS, VARIANTS, SEED);
-        println!(
-            "{model:<28} {:>9.2} {:>7.2}   {paper_map:>11.2} {paper_p1:>9.2}",
-            map * 100.0,
-            p1 * 100.0
-        );
+        println!("{model:<28} {:>9.2} {:>7.2}   {paper_map:>11.2} {paper_p1:>9.2}", map * 100.0, p1 * 100.0);
         measured.push((*model, map * 100.0, p1 * 100.0));
     }
 

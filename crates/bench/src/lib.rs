@@ -42,7 +42,12 @@ pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
         vo: VoService,
     }
     impl Host for Shim {
-        fn call(&self, module: &str, name: &str, args: &[Value]) -> Result<Value, laminar_script::ScriptError> {
+        fn call(
+            &self,
+            module: &str,
+            name: &str,
+            args: &[Value],
+        ) -> Result<Value, laminar_script::ScriptError> {
             if module == "resources" && name == "lines" {
                 return Ok(Value::Array(
                     self.text.lines().filter(|l| !l.is_empty()).map(|l| Value::Str(l.into())).collect(),
@@ -51,10 +56,8 @@ pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
             self.vo.call(module, name, args)
         }
     }
-    let host: Arc<dyn Host + Send + Sync> = Arc::new(Shim {
-        text: coordinates_file(cfg.coordinates),
-        vo: VoService::new(cfg.vo_latency, 4),
-    });
+    let host: Arc<dyn Host + Send + Sync> =
+        Arc::new(Shim { text: coordinates_file(cfg.coordinates), vo: VoService::new(cfg.vo_latency, 4) });
     let graph = WorkflowGraph::from_script_with_host(ASTRO_SOURCE, "Astrophysics", host).unwrap();
     let options = RunOptions::data(vec![Value::Str("coordinates.txt".into())]).with_processes(cfg.processes);
     let t0 = std::time::Instant::now();
@@ -72,16 +75,25 @@ pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
 /// `remote` switches the in-process transport for HTTP over loopback plus
 /// the WAN-modelled engine.
 pub fn run_astro_laminar(cfg: &Table5Config, multi: bool, remote: bool) -> Duration {
+    run_astro_laminar_detailed(cfg, multi, remote).0
+}
+
+/// Like [`run_astro_laminar`], additionally returning the engine's
+/// [`laminar_engine::ExecutionOutput`] whose stage timings
+/// (`stages.plan`/`enact`/`collect`, plus provisioning) break the elapsed
+/// time into the overhead structure Table 5 measures.
+pub fn run_astro_laminar_detailed(
+    cfg: &Table5Config,
+    multi: bool,
+    remote: bool,
+) -> (Duration, laminar_engine::ExecutionOutput) {
     use laminar_client::{LaminarClient, RunConfig};
     use laminar_engine::{ExecutionEngine, NetModel};
     use laminar_registry::Registry;
     use laminar_server::{HttpServer, LaminarServer};
 
-    let engine = if remote {
-        ExecutionEngine::new().with_net(NetModel::wan())
-    } else {
-        ExecutionEngine::new()
-    };
+    let engine =
+        if remote { ExecutionEngine::new().with_net(NetModel::wan()) } else { ExecutionEngine::new() };
     engine.hosts().register("vo", Arc::new(VoService::new(cfg.vo_latency, 4)));
     engine.hosts().register("astropy", Arc::new(VoService::new(Duration::ZERO, 4)));
     let server = LaminarServer::new(Registry::in_memory(), engine);
@@ -95,22 +107,21 @@ pub fn run_astro_laminar(cfg: &Table5Config, multi: bool, remote: bool) -> Durat
     client.register("bench", "password").unwrap();
     client.login("bench", "password").unwrap();
     // Register once (outside the timed window, like the paper's setup).
-    client
-        .register_workflow(ASTRO_SOURCE, "Astrophysics", Some("internal extinction"))
-        .unwrap();
+    client.register_workflow(ASTRO_SOURCE, "Astrophysics", Some("internal extinction")).unwrap();
 
-    let mapping = if multi { laminar_dataflow::MappingKind::Multi } else { laminar_dataflow::MappingKind::Simple };
+    let mapping =
+        if multi { laminar_dataflow::MappingKind::Multi } else { laminar_dataflow::MappingKind::Simple };
     let config = RunConfig::data(vec![Value::Str("coordinates.txt".into())])
         .with_mapping(mapping, cfg.processes)
         .with_resource("coordinates.txt", coordinates_file(cfg.coordinates).into_bytes());
 
     let t0 = std::time::Instant::now();
-    client.run_registered("Astrophysics", config).unwrap();
+    let output = client.run_registered("Astrophysics", config).unwrap();
     let elapsed = t0.elapsed();
     if let Some(h) = http {
         h.stop();
     }
-    elapsed
+    (elapsed, output)
 }
 
 /// Table 6 driver: zero-shot text-to-code MRR for one model on one

@@ -27,7 +27,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Transport(m) => write!(f, "transport error: {m}"),
-            ClientError::Api { status, kind, message } => write!(f, "server error {status} ({kind}): {message}"),
+            ClientError::Api { status, kind, message } => {
+                write!(f, "server error {status} ({kind}): {message}")
+            }
         }
     }
 }
@@ -346,7 +348,11 @@ impl LaminarClient {
     }
 
     /// Convenience: run a registered workflow by name/id.
-    pub fn run_registered(&mut self, workflow: &str, config: RunConfig) -> Result<ExecutionOutput, ClientError> {
+    pub fn run_registered(
+        &mut self,
+        workflow: &str,
+        config: RunConfig,
+    ) -> Result<ExecutionOutput, ClientError> {
         self.run(RunTarget::Registered(workflow.to_string()), config)
     }
 }
@@ -432,6 +438,9 @@ mod tests {
             .run_registered("isPrime", RunConfig::iterations(20).with_mapping(MappingKind::Multi, 5))
             .unwrap();
         assert_eq!(out.printed.len(), 8);
+        // Stage timings reach the client intact.
+        assert!(out.stages.enact > std::time::Duration::ZERO);
+        assert!(out.overhead_report().contains("plan"));
 
         c.remove_workflow("isPrime").unwrap();
         assert!(c.get_workflow("isPrime").is_err());
@@ -468,9 +477,7 @@ mod tests {
     fn run_with_explicit_data() {
         let mut c = logged_in_client();
         let src = "pe Double : iterative { input x; output output; process { emit(x * 2); } }";
-        let out = c
-            .run_source(src, RunConfig::data(vec![Value::Int(4), Value::Int(6)]))
-            .unwrap();
+        let out = c.run_source(src, RunConfig::data(vec![Value::Int(4), Value::Int(6)])).unwrap();
         let vals = out.port_values("Double", "output");
         assert_eq!(vals.iter().filter_map(Value::as_i64).collect::<Vec<_>>(), vec![8, 12]);
     }

@@ -110,9 +110,8 @@ mod tests {
     #[test]
     fn in_process_transport_round_trip() {
         let t = InProcessTransport::new(LaminarServer::in_memory());
-        let r = t
-            .call(&post("/auth/register", jobj! { "userName" => "u1", "password" => "password" }))
-            .unwrap();
+        let r =
+            t.call(&post("/auth/register", jobj! { "userName" => "u1", "password" => "password" })).unwrap();
         assert!(r.is_ok());
         assert_eq!(t.endpoint(), "in-process");
     }
@@ -142,9 +141,8 @@ mod tests {
     fn tcp_transport_against_live_server() {
         let http = laminar_server::HttpServer::start(LaminarServer::in_memory()).unwrap();
         let t = TcpTransport::new(http.addr());
-        let r = t
-            .call(&post("/auth/register", jobj! { "userName" => "tcp", "password" => "password" }))
-            .unwrap();
+        let r =
+            t.call(&post("/auth/register", jobj! { "userName" => "tcp", "password" => "password" })).unwrap();
         assert!(r.is_ok(), "{r:?}");
         assert!(t.endpoint().starts_with("http://127.0.0.1"));
         http.stop();

@@ -76,7 +76,7 @@ fn decode_byte(b: u8) -> Option<u8> {
 /// URL-safe alphabet).
 pub fn decode(text: &str) -> Result<Vec<u8>, Base64Error> {
     let bytes = text.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(Base64Error::InvalidLength(bytes.len()));
     }
     let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
@@ -92,10 +92,8 @@ pub fn decode(text: &str) -> Result<Vec<u8>, Base64Error> {
         }
         let mut n: u32 = 0;
         for (i, &b) in c[..4 - pads].iter().enumerate() {
-            let v = decode_byte(b).ok_or(Base64Error::InvalidByte {
-                position: chunk_idx * 4 + i,
-                byte: b,
-            })?;
+            let v =
+                decode_byte(b).ok_or(Base64Error::InvalidByte { position: chunk_idx * 4 + i, byte: b })?;
             n |= (v as u32) << (18 - 6 * i);
         }
         out.push((n >> 16) as u8);

@@ -24,8 +24,8 @@
 use laminar_client::LaminarClient;
 use laminar_engine::{ExecutionEngine, NetModel};
 use laminar_registry::Registry;
-use laminar_server::{HttpServer, LaminarServer};
 use laminar_script::Host;
+use laminar_server::{HttpServer, LaminarServer};
 use std::sync::Arc;
 
 /// Deployment presets.

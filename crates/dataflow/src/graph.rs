@@ -81,7 +81,13 @@ impl WorkflowGraph {
 
     /// Connect `from.from_port -> to.to_port`. The grouping defaults to the
     /// destination port's declared `groupby` (if any), else shuffle.
-    pub fn connect(&mut self, from: NodeId, from_port: &str, to: NodeId, to_port: &str) -> Result<(), DataflowError> {
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: &str,
+        to: NodeId,
+        to_port: &str,
+    ) -> Result<(), DataflowError> {
         let grouping = match self.node(to)?.meta().groupby(to_port) {
             Some(k) => Grouping::GroupBy(k),
             None => Grouping::Shuffle,
@@ -180,7 +186,9 @@ impl WorkflowGraph {
         }
         let roots = self.roots();
         if roots.is_empty() {
-            return Err(DataflowError::Validation("workflow has no initial PE (cycle at the sources)".into()));
+            return Err(DataflowError::Validation(
+                "workflow has no initial PE (cycle at the sources)".into(),
+            ));
         }
         for r in &roots {
             let meta = self.nodes[r.0].meta();
@@ -302,7 +310,9 @@ impl WorkflowGraph {
     /// Render the abstract workflow in Graphviz DOT (the green graph of
     /// paper Figure 1).
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph abstract {\n  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=palegreen];\n");
+        let mut out = String::from(
+            "digraph abstract {\n  rankdir=LR;\n  node [shape=box, style=filled, fillcolor=palegreen];\n",
+        );
         for (i, n) in self.nodes.iter().enumerate() {
             out.push_str(&format!("  n{} [label=\"{}\"];\n", i, n.meta().name));
         }
@@ -334,7 +344,7 @@ mod tests {
 
     fn three_stage() -> (WorkflowGraph, NodeId, NodeId, NodeId) {
         let mut g = WorkflowGraph::new("pipeline");
-        let a = g.add(producer_fn("A", |i| Value::Int(i)));
+        let a = g.add(producer_fn("A", Value::Int));
         let b = g.add(iterative_fn("B", Some));
         let c = g.add(consumer_fn("C", |_, _| {}));
         g.connect(a, "output", b, "input").unwrap();
@@ -353,7 +363,7 @@ mod tests {
     #[test]
     fn terminal_port_detection() {
         let mut g = WorkflowGraph::new("t");
-        let a = g.add(producer_fn("A", |i| Value::Int(i)));
+        let a = g.add(producer_fn("A", Value::Int));
         let b = g.add(iterative_fn("B", Some));
         g.connect(a, "output", b, "input").unwrap();
         assert_eq!(g.terminal_ports(), vec![(b, "output".to_string())]);
@@ -362,7 +372,7 @@ mod tests {
     #[test]
     fn bad_ports_rejected() {
         let mut g = WorkflowGraph::new("bad");
-        let a = g.add(producer_fn("A", |i| Value::Int(i)));
+        let a = g.add(producer_fn("A", Value::Int));
         let b = g.add(iterative_fn("B", Some));
         assert!(g.connect(a, "nope", b, "input").is_err());
         assert!(g.connect(a, "output", b, "nope").is_err());
@@ -371,7 +381,7 @@ mod tests {
     #[test]
     fn cycle_detected() {
         let mut g = WorkflowGraph::new("cycle");
-        let a = g.add(producer_fn("A", |i| Value::Int(i)));
+        let a = g.add(producer_fn("A", Value::Int));
         let b = g.add(iterative_fn("B", Some));
         let c = g.add(iterative_fn("C", Some));
         g.connect(a, "output", b, "input").unwrap();
@@ -384,7 +394,7 @@ mod tests {
     #[test]
     fn unfed_input_detected() {
         let mut g = WorkflowGraph::new("unfed");
-        let _a = g.add(producer_fn("A", |i| Value::Int(i)));
+        let _a = g.add(producer_fn("A", Value::Int));
         let _b = g.add(iterative_fn("B", Some));
         // B has an input but no edge: it's a root with inputs → invalid.
         assert!(g.validate().is_err());

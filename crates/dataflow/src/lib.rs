@@ -54,7 +54,7 @@ pub mod routing;
 
 pub use error::DataflowError;
 pub use graph::{Connection, NodeId, WorkflowGraph};
-pub use mapping::{MappingKind, RunOptions, RunResult, RunStats};
+pub use mapping::{MappingKind, RunOptions, RunResult, RunStats, StageTimings};
 pub use pe::{consumer_fn, iterative_fn, producer_fn, NativePe, Pe, PeFactory, PeMeta, ScriptPeFactory};
 pub use planner::{ConcretePlan, InstanceId};
 pub use routing::Grouping;

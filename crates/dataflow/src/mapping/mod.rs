@@ -6,19 +6,27 @@
 //! | Mapping  | Paper equivalent        | Transport                          |
 //! |----------|-------------------------|------------------------------------|
 //! | [`SimpleMapping`] | Simple (sequential) | in-process FIFO queue        |
-//! | [`MultiMapping`]  | Multi(processing)   | threads + crossbeam channels |
+//! | [`MultiMapping`]  | Multi(processing)   | threads + `std::sync::mpsc` channels |
 //! | [`MpiMapping`]    | MPI                 | rank/tag messages, serialized payloads |
 //! | [`RedisMapping`]  | Redis               | broker work queues, serialized payloads |
+//!
+//! The orchestration they share — planning, source driving, routing, EOS
+//! propagation, output/stats collection — lives in [`runtime::Runtime`];
+//! each mapping only supplies a [`runtime::Connector`] describing its
+//! transport. See the [`runtime`] module docs for how to add a fifth
+//! back-end.
 
 mod mpi;
 mod multi;
 mod redis;
+pub mod runtime;
 mod simple;
 pub mod worker;
 
 pub use mpi::{Communicator, Envelope, MpiMapping, RankEndpoint, TAG_DATA, TAG_EOS};
 pub use multi::MultiMapping;
 pub use redis::RedisMapping;
+pub use runtime::{Connector, Runtime};
 pub use simple::SimpleMapping;
 
 use crate::error::DataflowError;
@@ -103,16 +111,26 @@ pub struct RunOptions {
     pub queue_timeout: Duration,
 }
 
+impl Default for RunOptions {
+    /// The paper's showcase configuration: drive producers for 5 iterations
+    /// (`input=5`, Listing 4) over 5 processes — the Figure 1 deployment,
+    /// which [`crate::planner::ConcretePlan::distribute`] spreads as one
+    /// producer instance plus two instances for each downstream PE.
+    fn default() -> RunOptions {
+        RunOptions { input: RunInput::Iterations(5), processes: 5, queue_timeout: Duration::from_secs(10) }
+    }
+}
+
 impl RunOptions {
     /// Run producers for `n` iterations with the default process count (5,
     /// matching the paper's showcase configuration).
     pub fn iterations(n: i64) -> RunOptions {
-        RunOptions { input: RunInput::Iterations(n), processes: 5, queue_timeout: Duration::from_secs(10) }
+        RunOptions { input: RunInput::Iterations(n), ..RunOptions::default() }
     }
 
     /// Feed explicit data to the producers.
     pub fn data(values: Vec<Value>) -> RunOptions {
-        RunOptions { input: RunInput::Data(values), processes: 5, queue_timeout: Duration::from_secs(10) }
+        RunOptions { input: RunInput::Data(values), ..RunOptions::default() }
     }
 
     /// Set the process count.
@@ -138,6 +156,26 @@ impl RunOptions {
     }
 }
 
+/// Wall-clock time spent in each stage of the shared enactment pipeline
+/// (the overhead structure the paper's Table 5 measures: what surrounds
+/// pure execution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Plan construction: concrete plan, PE instantiation, transport setup.
+    pub plan: Duration,
+    /// Pure enactment: driving sources and streaming data to completion.
+    pub enact: Duration,
+    /// Result collection: folding worker outcomes into a [`RunResult`].
+    pub collect: Duration,
+}
+
+impl StageTimings {
+    /// Time spent outside pure enactment.
+    pub fn overhead(&self) -> Duration {
+        self.plan + self.collect
+    }
+}
+
 /// Per-run statistics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
@@ -149,6 +187,8 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Instances used per PE (by name).
     pub instances: BTreeMap<String, usize>,
+    /// Per-stage breakdown of `elapsed`.
+    pub timings: StageTimings,
 }
 
 /// The outcome of an enactment.
@@ -166,10 +206,7 @@ pub struct RunResult {
 impl RunResult {
     /// Values emitted on a terminal port (empty slice if none).
     pub fn port_values(&self, pe_name: &str, port: &str) -> &[Value] {
-        self.outputs
-            .get(&(pe_name.to_string(), port.to_string()))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.outputs.get(&(pe_name.to_string(), port.to_string())).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total terminal output count.
@@ -208,6 +245,17 @@ mod tests {
         assert_eq!(d.datum_for(1), Some(Value::Int(2)));
         assert_eq!(d.datum_for(9), None);
         assert_eq!(RunOptions::iterations(3).datum_for(0), None);
+    }
+
+    #[test]
+    fn default_matches_paper_showcase() {
+        let d = RunOptions::default();
+        assert!(matches!(d.input, RunInput::Iterations(5)), "paper Listing 4: input=5");
+        assert_eq!(d.processes, 5, "paper Figure 1: five processes");
+        assert_eq!(d.invocations(), 5);
+        // The named constructors share the same defaults.
+        assert_eq!(RunOptions::iterations(9).processes, 5);
+        assert_eq!(RunOptions::data(vec![]).queue_timeout, d.queue_timeout);
     }
 
     #[test]

@@ -7,16 +7,16 @@
 //! `mpi4py`-backed dispel4py enactment follows. The communicator is the
 //! substrate substitution for MPI itself (see DESIGN.md).
 
-use super::worker::{plan_counts, run_worker, InstanceRunner, Transport, TransportMsg};
+use super::runtime::{Connector, Runtime};
+use super::worker::{Transport, TransportMsg};
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use laminar_codec::pickle;
 use laminar_json::{jobj, Value};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Message tag for data payloads.
 pub const TAG_DATA: u32 = 1;
@@ -46,7 +46,7 @@ impl Communicator {
         let mut senders = Vec::with_capacity(size);
         let mut receivers = Vec::with_capacity(size);
         for _ in 0..size {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(Some(rx));
         }
@@ -86,9 +86,7 @@ impl RankEndpoint {
 
     /// Blocking receive of the next message for this rank.
     pub fn recv(&self) -> Result<Envelope, DataflowError> {
-        self.receiver
-            .recv()
-            .map_err(|_| DataflowError::Enactment("communicator closed without EOS".into()))
+        self.receiver.recv().map_err(|_| DataflowError::Enactment("communicator closed without EOS".into()))
     }
 }
 
@@ -125,6 +123,30 @@ impl Transport for MpiTransport {
     }
 }
 
+/// Assigns each planned instance a rank and hands out communicator
+/// endpoints.
+#[derive(Default)]
+struct MpiConnector {
+    comm: Option<Communicator>,
+    rank_of: BTreeMap<InstanceId, usize>,
+}
+
+impl Connector for MpiConnector {
+    type Transport = MpiTransport;
+
+    fn connect(&mut self, _graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError> {
+        let instances = plan.all_instances();
+        self.rank_of = instances.iter().enumerate().map(|(r, i)| (*i, r)).collect();
+        self.comm = Some(Communicator::new(instances.len()));
+        Ok(())
+    }
+
+    fn endpoint(&mut self, inst: InstanceId) -> Result<MpiTransport, DataflowError> {
+        let comm = self.comm.as_mut().expect("connect ran first");
+        Ok(MpiTransport { endpoint: comm.endpoint(self.rank_of[&inst]), rank_of: self.rank_of.clone() })
+    }
+}
+
 /// Message-passing enactment.
 pub struct MpiMapping;
 
@@ -134,47 +156,7 @@ impl Mapping for MpiMapping {
     }
 
     fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        let start = Instant::now();
-        let plan = ConcretePlan::distribute(graph, options.processes)?;
-        let instances = plan.all_instances();
-        let rank_of: BTreeMap<InstanceId, usize> =
-            instances.iter().enumerate().map(|(r, i)| (*i, r)).collect();
-        let mut comm = Communicator::new(instances.len());
-
-        let mut runners = Vec::with_capacity(instances.len());
-        for inst in &instances {
-            runners.push(InstanceRunner::new(graph, &plan, *inst)?);
-        }
-
-        let counts = plan_counts(graph, &plan);
-        let outcomes = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(runners.len());
-            for runner in runners {
-                let rank = rank_of[&runner.inst];
-                let transport = MpiTransport { endpoint: comm.endpoint(rank), rank_of: rank_of.clone() };
-                let plan_ref = &plan;
-                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, options)));
-            }
-            let mut outcomes = Vec::with_capacity(handles.len());
-            let mut first_err = None;
-            for h in handles {
-                match h.join() {
-                    Ok(Ok(o)) => outcomes.push(o),
-                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                    Err(_) => {
-                        first_err = first_err.or(Some(DataflowError::Enactment("rank thread panicked".into())))
-                    }
-                }
-            }
-            match first_err {
-                Some(e) => Err(e),
-                None => Ok(outcomes),
-            }
-        })?;
-
-        let mut result = super::worker::merge_outcomes(outcomes, &counts);
-        result.stats.elapsed = start.elapsed();
-        Ok(result)
+        Runtime::new(graph, options).threaded(MpiConnector::default())
     }
 }
 
@@ -205,7 +187,8 @@ mod tests {
         g.connect(a, "output", b, "input").unwrap();
         let simple = SimpleMapping.execute(&g, &RunOptions::iterations(40)).unwrap();
         let mpi = MpiMapping.execute(&g, &RunOptions::iterations(40).with_processes(6)).unwrap();
-        let mut s: Vec<i64> = simple.port_values("Inc", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut s: Vec<i64> =
+            simple.port_values("Inc", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         let mut m: Vec<i64> = mpi.port_values("Inc", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         s.sort();
         m.sort();

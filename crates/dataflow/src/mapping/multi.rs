@@ -1,14 +1,14 @@
-//! The Multi mapping: one thread per PE instance, crossbeam channels as
-//! the transport (the paper's multiprocessing back-end).
+//! The Multi mapping: one thread per PE instance, `std::sync::mpsc`
+//! channels as the transport (the paper's multiprocessing back-end).
 
-use super::worker::{plan_counts, run_worker, InstanceRunner, Transport, TransportMsg};
+use super::runtime::{Connector, Runtime};
+use super::worker::{Transport, TransportMsg};
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Shared-memory parallel enactment.
 pub struct MultiMapping;
@@ -24,7 +24,12 @@ struct ChannelTransport {
 }
 
 impl Transport for ChannelTransport {
-    fn send_data(&mut self, dest: InstanceId, port: &str, value: &laminar_json::Value) -> Result<(), DataflowError> {
+    fn send_data(
+        &mut self,
+        dest: InstanceId,
+        port: &str,
+        value: &laminar_json::Value,
+    ) -> Result<(), DataflowError> {
         self.senders
             .get(&dest)
             .expect("plan covers all instances")
@@ -49,65 +54,47 @@ impl Transport for ChannelTransport {
     }
 }
 
+/// One unbounded channel per instance; every worker holds clones of all
+/// senders plus its own receiver.
+#[derive(Default)]
+struct ChannelConnector {
+    senders: BTreeMap<InstanceId, Sender<Msg>>,
+    receivers: BTreeMap<InstanceId, Receiver<Msg>>,
+}
+
+impl Connector for ChannelConnector {
+    type Transport = ChannelTransport;
+
+    fn connect(&mut self, _graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError> {
+        for inst in plan.all_instances() {
+            let (tx, rx) = channel();
+            self.senders.insert(inst, tx);
+            self.receivers.insert(inst, rx);
+        }
+        Ok(())
+    }
+
+    fn endpoint(&mut self, inst: InstanceId) -> Result<ChannelTransport, DataflowError> {
+        Ok(ChannelTransport {
+            senders: self.senders.clone(),
+            receiver: self.receivers.remove(&inst).expect("endpoint taken once per instance"),
+        })
+    }
+
+    fn on_workers_started(&mut self) {
+        // Drop the main thread's senders so channel closure propagates if a
+        // worker dies.
+        self.senders.clear();
+    }
+}
+
 impl Mapping for MultiMapping {
     fn kind(&self) -> MappingKind {
         MappingKind::Multi
     }
 
     fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        let start = Instant::now();
-        let plan = ConcretePlan::distribute(graph, options.processes)?;
-        let instances = plan.all_instances();
-
-        let mut senders: BTreeMap<InstanceId, Sender<Msg>> = BTreeMap::new();
-        let mut receivers: BTreeMap<InstanceId, Receiver<Msg>> = BTreeMap::new();
-        for inst in &instances {
-            let (tx, rx) = unbounded();
-            senders.insert(*inst, tx);
-            receivers.insert(*inst, rx);
-        }
-
-        // Build runners up-front so graph errors surface before spawning.
-        let mut runners = Vec::with_capacity(instances.len());
-        for inst in &instances {
-            runners.push(InstanceRunner::new(graph, &plan, *inst)?);
-        }
-
-        let counts = plan_counts(graph, &plan);
-        let outcomes = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(runners.len());
-            for runner in runners {
-                let transport = ChannelTransport {
-                    senders: senders.clone(),
-                    receiver: receivers.remove(&runner.inst).expect("receiver exists"),
-                };
-                let plan_ref = &plan;
-                let opts_ref = options;
-                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, opts_ref)));
-            }
-            // Drop the main thread's senders so channel closure propagates
-            // if a worker dies.
-            drop(senders);
-            let mut outcomes = Vec::with_capacity(handles.len());
-            let mut first_err = None;
-            for h in handles {
-                match h.join() {
-                    Ok(Ok(o)) => outcomes.push(o),
-                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                    Err(_) => {
-                        first_err = first_err.or(Some(DataflowError::Enactment("worker thread panicked".into())))
-                    }
-                }
-            }
-            match first_err {
-                Some(e) => Err(e),
-                None => Ok(outcomes),
-            }
-        })?;
-
-        let mut result = super::worker::merge_outcomes(outcomes, &counts);
-        result.stats.elapsed = start.elapsed();
-        Ok(result)
+        Runtime::new(graph, options).threaded(ChannelConnector::default())
     }
 }
 
@@ -132,8 +119,10 @@ mod tests {
         let opts = RunOptions::iterations(50).with_processes(5);
         let simple = SimpleMapping.execute(&g, &RunOptions::iterations(50)).unwrap();
         let multi = MultiMapping.execute(&g, &opts).unwrap();
-        let mut a: Vec<i64> = simple.port_values("Square", "output").iter().map(|v| v.as_i64().unwrap()).collect();
-        let mut b: Vec<i64> = multi.port_values("Square", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut a: Vec<i64> =
+            simple.port_values("Square", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut b: Vec<i64> =
+            multi.port_values("Square", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         a.sort();
         b.sort();
         assert_eq!(a, b, "Multi must produce the same multiset as Simple");

@@ -4,7 +4,8 @@
 //! communicate exclusively through the broker (serialized payloads), the
 //! way dispel4py's Redis mapping coordinates its worker processes.
 
-use super::worker::{plan_counts, run_worker, InstanceRunner, Transport, TransportMsg};
+use super::runtime::{Connector, Runtime};
+use super::worker::{Transport, TransportMsg};
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
@@ -12,7 +13,7 @@ use crate::planner::{ConcretePlan, InstanceId};
 use laminar_codec::pickle;
 use laminar_json::{jobj, Value};
 use laminar_redisim::{Broker, BrokerError, RedisClient};
-use std::time::Instant;
+use std::time::Duration;
 
 /// Broker-queue enactment. By default each run spins up a private broker;
 /// inject one with [`RedisMapping::with_broker`] to observe queue stats or
@@ -58,12 +59,14 @@ impl Transport for RedisTransport {
 
     fn recv(&mut self) -> Result<TransportMsg, DataflowError> {
         let bytes = self.client.blpop(&self.my_queue, self.timeout).map_err(|e| match e {
-            BrokerError::Timeout => {
-                DataflowError::Enactment(format!("queue '{}' starved: no message within {:?}", self.my_queue, self.timeout))
-            }
+            BrokerError::Timeout => DataflowError::Enactment(format!(
+                "queue '{}' starved: no message within {:?}",
+                self.my_queue, self.timeout
+            )),
             other => DataflowError::Enactment(format!("broker pop failed: {other}")),
         })?;
-        let v = pickle::loads(&bytes).map_err(|e| DataflowError::Enactment(format!("corrupt queue frame: {e}")))?;
+        let v = pickle::loads(&bytes)
+            .map_err(|e| DataflowError::Enactment(format!("corrupt queue frame: {e}")))?;
         match v["kind"].as_str() {
             Some("eos") => Ok(TransportMsg::Eos),
             Some("data") => Ok(TransportMsg::Data {
@@ -75,15 +78,31 @@ impl Transport for RedisTransport {
     }
 }
 
+/// Hands every instance a broker client pointed at its own work queue.
+struct BrokerConnector<'b> {
+    broker: &'b Broker,
+    timeout: Duration,
+}
+
+impl Connector for BrokerConnector<'_> {
+    type Transport = RedisTransport;
+
+    fn connect(&mut self, _graph: &WorkflowGraph, _plan: &ConcretePlan) -> Result<(), DataflowError> {
+        // Queues materialize lazily on first push; nothing to pre-create.
+        Ok(())
+    }
+
+    fn endpoint(&mut self, inst: InstanceId) -> Result<RedisTransport, DataflowError> {
+        Ok(RedisTransport { client: self.broker.client(), my_queue: queue_key(inst), timeout: self.timeout })
+    }
+}
+
 impl Mapping for RedisMapping {
     fn kind(&self) -> MappingKind {
         MappingKind::Redis
     }
 
     fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        let start = Instant::now();
-        let plan = ConcretePlan::distribute(graph, options.processes)?;
-        let instances = plan.all_instances();
         let owned_broker;
         let broker = match &self.broker {
             Some(b) => b,
@@ -92,44 +111,7 @@ impl Mapping for RedisMapping {
                 &owned_broker
             }
         };
-
-        let mut runners = Vec::with_capacity(instances.len());
-        for inst in &instances {
-            runners.push(InstanceRunner::new(graph, &plan, *inst)?);
-        }
-
-        let counts = plan_counts(graph, &plan);
-        let outcomes = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(runners.len());
-            for runner in runners {
-                let transport = RedisTransport {
-                    client: broker.client(),
-                    my_queue: queue_key(runner.inst),
-                    timeout: options.queue_timeout,
-                };
-                let plan_ref = &plan;
-                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, options)));
-            }
-            let mut outcomes = Vec::with_capacity(handles.len());
-            let mut first_err = None;
-            for h in handles {
-                match h.join() {
-                    Ok(Ok(o)) => outcomes.push(o),
-                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
-                    Err(_) => {
-                        first_err = first_err.or(Some(DataflowError::Enactment("worker thread panicked".into())))
-                    }
-                }
-            }
-            match first_err {
-                Some(e) => Err(e),
-                None => Ok(outcomes),
-            }
-        })?;
-
-        let mut result = super::worker::merge_outcomes(outcomes, &counts);
-        result.stats.elapsed = start.elapsed();
-        Ok(result)
+        Runtime::new(graph, options).threaded(BrokerConnector { broker, timeout: options.queue_timeout })
     }
 }
 
@@ -146,11 +128,12 @@ mod tests {
         let b = g.add(iterative_fn("Neg", |v| v.as_i64().map(|n| Value::Int(-n))));
         g.connect(a, "output", b, "input").unwrap();
         let simple = SimpleMapping.execute(&g, &RunOptions::iterations(40)).unwrap();
-        let redis = RedisMapping::default()
-            .execute(&g, &RunOptions::iterations(40).with_processes(6))
-            .unwrap();
-        let mut s: Vec<i64> = simple.port_values("Neg", "output").iter().map(|v| v.as_i64().unwrap()).collect();
-        let mut r: Vec<i64> = redis.port_values("Neg", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let redis =
+            RedisMapping::default().execute(&g, &RunOptions::iterations(40).with_processes(6)).unwrap();
+        let mut s: Vec<i64> =
+            simple.port_values("Neg", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut r: Vec<i64> =
+            redis.port_values("Neg", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         s.sort();
         r.sort();
         assert_eq!(s, r);
@@ -190,9 +173,7 @@ mod tests {
         let a = g.add_script_pe(src, "Words").unwrap();
         let b = g.add_script_pe(src, "Count").unwrap();
         g.connect(a, "output", b, "input").unwrap();
-        let r = RedisMapping::default()
-            .execute(&g, &RunOptions::iterations(20).with_processes(5))
-            .unwrap();
+        let r = RedisMapping::default().execute(&g, &RunOptions::iterations(20).with_processes(5)).unwrap();
         let mut best: std::collections::BTreeMap<String, i64> = Default::default();
         for v in r.port_values("Count", "output") {
             let e = best.entry(v[0].as_str().unwrap().to_string()).or_insert(0);
@@ -211,9 +192,7 @@ mod tests {
         let a = g.add(producer_fn("Nums", Value::Int));
         let b = g.add(iterative_fn("Id", Some));
         g.connect(a, "output", b, "input").unwrap();
-        let r = RedisMapping::default()
-            .execute(&g, &RunOptions::iterations(0).with_processes(3))
-            .unwrap();
+        let r = RedisMapping::default().execute(&g, &RunOptions::iterations(0).with_processes(3)).unwrap();
         assert_eq!(r.total_outputs(), 0);
     }
 }

@@ -1,0 +1,282 @@
+//! The shared enactment runtime behind every mapping.
+//!
+//! # Architecture: one semantics, many transports
+//!
+//! Enacting a workflow graph is the same job no matter which back-end
+//! carries the data:
+//!
+//! 1. **Plan** — turn the abstract graph into a [`ConcretePlan`]
+//!    (instances per PE), instantiate an [`InstanceRunner`] per instance,
+//!    and set up the transport substrate.
+//! 2. **Enact** — drive source instances through the configured
+//!    invocations, stream routed data downstream, propagate end-of-stream
+//!    once every upstream instance finishes.
+//! 3. **Collect** — fold per-instance outcomes (terminal outputs, captured
+//!    prints, counters) into one [`RunResult`].
+//!
+//! [`Runtime`] owns all three stages and times each one
+//! ([`super::StageTimings`] — the overhead structure the paper's Table 5
+//! measures). A mapping contributes *only* the transport:
+//!
+//! * [`Runtime::sequential`] — the Simple mapping's deterministic
+//!   in-process schedule; the "transport" is a FIFO the runtime drains
+//!   between producer iterations.
+//! * [`Runtime::threaded`] — one thread per instance, connected by a
+//!   mapping-supplied [`Connector`].
+//!
+//! # Adding a fifth back-end
+//!
+//! Implement [`Connector`] (plus its [`Transport`]) and delegate from a new
+//! [`super::Mapping`]:
+//!
+//! ```ignore
+//! struct ZmqConnector { /* sockets, endpoints, ... */ }
+//!
+//! impl Connector for ZmqConnector {
+//!     type Transport = ZmqTransport;
+//!     fn connect(&mut self, graph: &WorkflowGraph, plan: &ConcretePlan)
+//!         -> Result<(), DataflowError> { /* bind one inbox per instance */ }
+//!     fn endpoint(&mut self, inst: InstanceId)
+//!         -> Result<ZmqTransport, DataflowError> { /* that instance's view */ }
+//! }
+//!
+//! impl Mapping for ZmqMapping {
+//!     fn kind(&self) -> MappingKind { /* extend the enum */ }
+//!     fn execute(&self, graph: &WorkflowGraph, options: &RunOptions)
+//!         -> Result<RunResult, DataflowError> {
+//!         Runtime::new(graph, options).threaded(ZmqConnector::new())
+//!     }
+//! }
+//! ```
+//!
+//! The runtime guarantees the rest: identical routing, grouping, EOS and
+//! stats semantics as the other back-ends, which is what lets the
+//! cross-mapping equivalence suites assert output parity.
+
+use super::worker::{
+    merge_outcomes, merge_stats, plan_counts, run_worker, Emissions, InstanceRunner, RoutedDatum, Transport,
+    WorkerOutcome,
+};
+use super::{RunOptions, RunResult, StageTimings};
+use crate::error::DataflowError;
+use crate::graph::WorkflowGraph;
+use crate::planner::{ConcretePlan, InstanceId};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// A mapping's transport factory: how instances get wired together.
+pub trait Connector {
+    /// The per-instance transport handle workers communicate through.
+    type Transport: Transport + Send;
+
+    /// Set up the shared substrate (channels, rank tables, queues) once the
+    /// concrete plan is known. Called exactly once, before any
+    /// [`Connector::endpoint`] call.
+    fn connect(&mut self, graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError>;
+
+    /// Produce the transport endpoint for one instance. Called exactly once
+    /// per planned instance, after [`Connector::connect`].
+    fn endpoint(&mut self, inst: InstanceId) -> Result<Self::Transport, DataflowError>;
+
+    /// Hook invoked after every worker holds its endpoint; connectors drop
+    /// main-thread senders here so channel closure propagates when a worker
+    /// dies. Default: nothing.
+    fn on_workers_started(&mut self) {}
+}
+
+/// The shared execution pipeline. Borrows the graph and options for the
+/// duration of one enactment.
+pub struct Runtime<'a> {
+    graph: &'a WorkflowGraph,
+    options: &'a RunOptions,
+}
+
+impl<'a> Runtime<'a> {
+    /// A runtime for one enactment of `graph` under `options`.
+    pub fn new(graph: &'a WorkflowGraph, options: &'a RunOptions) -> Runtime<'a> {
+        Runtime { graph, options }
+    }
+
+    /// Deterministic single-threaded enactment (the Simple mapping): one
+    /// instance per PE, producers run iteration by iteration, and the
+    /// in-process FIFO is drained breadth-first between iterations so
+    /// memory stays flat (streaming, not batch).
+    pub fn sequential(&self) -> Result<RunResult, DataflowError> {
+        let t0 = Instant::now();
+        let plan = ConcretePlan::sequential(self.graph)?;
+        let mut runners: BTreeMap<InstanceId, InstanceRunner> = BTreeMap::new();
+        for inst in plan.all_instances() {
+            runners.insert(inst, InstanceRunner::new(self.graph, &plan, inst)?);
+        }
+        let sources: Vec<InstanceId> = runners.values().filter(|r| r.is_source()).map(|r| r.inst).collect();
+        let plan_time = t0.elapsed();
+
+        let enact_t0 = Instant::now();
+        let mut result = RunResult::default();
+        let mut queue: VecDeque<RoutedDatum> = VecDeque::new();
+        let absorb = |emissions: Emissions,
+                      node_name: &str,
+                      queue: &mut VecDeque<RoutedDatum>,
+                      result: &mut RunResult| {
+            for r in emissions.routed {
+                queue.push_back(r);
+            }
+            for (port, value) in emissions.collected {
+                result.outputs.entry((node_name.to_string(), port)).or_default().push(value);
+            }
+            result.printed.extend(emissions.printed);
+        };
+        for i in 0..self.options.invocations() {
+            for inst in &sources {
+                let runner = runners.get_mut(inst).expect("runner exists");
+                let name = runner.node_name.clone();
+                let emissions = runner.run_iteration(self.options.datum_for(i))?;
+                absorb(emissions, &name, &mut queue, &mut result);
+                while let Some(d) = queue.pop_front() {
+                    let r = runners.get_mut(&d.dest).expect("dest exists");
+                    let name = r.node_name.clone();
+                    let e = r.run_datum(d.port, d.value)?;
+                    absorb(e, &name, &mut queue, &mut result);
+                }
+            }
+        }
+        let enact_time = enact_t0.elapsed();
+
+        let collect_t0 = Instant::now();
+        let stats_iter = runners.values().map(|r| (r.node_name.clone(), r.stats));
+        result.stats = merge_stats(stats_iter, &plan_counts(self.graph, &plan));
+        result.stats.timings =
+            StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
+        result.stats.elapsed = t0.elapsed();
+        Ok(result)
+    }
+
+    /// Parallel enactment: distribute `options.processes` across the graph,
+    /// run one worker thread per instance, and connect them through
+    /// `connector`'s transport.
+    pub fn threaded<C: Connector>(&self, mut connector: C) -> Result<RunResult, DataflowError> {
+        let t0 = Instant::now();
+        let plan = ConcretePlan::distribute(self.graph, self.options.processes)?;
+        // Build runners up-front so graph errors surface before spawning.
+        let mut runners = Vec::with_capacity(plan.total_processes);
+        for inst in plan.all_instances() {
+            runners.push(InstanceRunner::new(self.graph, &plan, inst)?);
+        }
+        connector.connect(self.graph, &plan)?;
+        let mut workers = Vec::with_capacity(runners.len());
+        for runner in runners {
+            let transport = connector.endpoint(runner.inst)?;
+            workers.push((runner, transport));
+        }
+        let plan_time = t0.elapsed();
+
+        let enact_t0 = Instant::now();
+        let options = self.options;
+        let plan_ref = &plan;
+        let outcomes = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers.len());
+            for (runner, transport) in workers {
+                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, options)));
+            }
+            connector.on_workers_started();
+            join_workers(handles)
+        })?;
+        let enact_time = enact_t0.elapsed();
+
+        let collect_t0 = Instant::now();
+        let counts = plan_counts(self.graph, &plan);
+        let mut result = merge_outcomes(outcomes, &counts);
+        result.stats.timings =
+            StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
+        result.stats.elapsed = t0.elapsed();
+        Ok(result)
+    }
+}
+
+/// Join every worker, preferring the first real failure over secondary
+/// transport errors and panics.
+fn join_workers(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<WorkerOutcome, DataflowError>>>,
+) -> Result<Vec<WorkerOutcome>, DataflowError> {
+    let mut outcomes = Vec::with_capacity(handles.len());
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(o)) => outcomes.push(o),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or(Some(DataflowError::Enactment("worker thread panicked".into())))
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(outcomes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Mapping, MappingKind, MpiMapping, MultiMapping, RedisMapping, SimpleMapping};
+    use super::*;
+    use crate::pe::{iterative_fn, producer_fn};
+    use laminar_json::Value;
+
+    fn square_graph() -> WorkflowGraph {
+        let mut g = WorkflowGraph::new("sq");
+        let a = g.add(producer_fn("Nums", Value::Int));
+        let b = g.add(iterative_fn("Square", |v| v.as_i64().map(|n| Value::Int(n * n))));
+        g.connect(a, "output", b, "input").unwrap();
+        g
+    }
+
+    #[test]
+    fn every_mapping_reports_stage_timings() {
+        let g = square_graph();
+        let opts = RunOptions::iterations(20).with_processes(4);
+        for kind in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+            let r = kind.build().execute(&g, &opts).unwrap();
+            let t = r.stats.timings;
+            assert!(
+                t.plan + t.enact + t.collect <= r.stats.elapsed,
+                "{kind}: stages {t:?} exceed elapsed {:?}",
+                r.stats.elapsed
+            );
+            assert!(t.enact > std::time::Duration::ZERO, "{kind}: enact stage not timed");
+        }
+    }
+
+    #[test]
+    fn sequential_runtime_is_simple_mapping() {
+        let g = square_graph();
+        let opts = RunOptions::iterations(10);
+        let via_runtime = Runtime::new(&g, &opts).sequential().unwrap();
+        let via_mapping = SimpleMapping.execute(&g, &opts).unwrap();
+        assert_eq!(via_runtime.outputs, via_mapping.outputs);
+        assert_eq!(via_runtime.stats.processed, via_mapping.stats.processed);
+    }
+
+    #[test]
+    fn threaded_mappings_share_one_runtime_semantics() {
+        let g = square_graph();
+        let opts = RunOptions::iterations(25).with_processes(5);
+        let baseline: Vec<i64> = {
+            let mut v: Vec<i64> = SimpleMapping
+                .execute(&g, &RunOptions::iterations(25))
+                .unwrap()
+                .port_values("Square", "output")
+                .iter()
+                .filter_map(Value::as_i64)
+                .collect();
+            v.sort();
+            v
+        };
+        for mapping in [&MultiMapping as &dyn Mapping, &MpiMapping, &RedisMapping::default()] {
+            let r = mapping.execute(&g, &opts).unwrap();
+            let mut got: Vec<i64> =
+                r.port_values("Square", "output").iter().filter_map(Value::as_i64).collect();
+            got.sort();
+            assert_eq!(got, baseline, "{} diverged from Simple", mapping.kind());
+        }
+    }
+}

@@ -1,15 +1,13 @@
 //! The Simple mapping: sequential in-process enactment, one instance per PE.
 
-use super::worker::{plan_counts, InstanceRunner, RoutedDatum};
+use super::runtime::Runtime;
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
-use crate::planner::{ConcretePlan, InstanceId};
-use std::collections::{BTreeMap, VecDeque};
-use std::time::Instant;
 
-/// Sequential enactment. Deterministic: producers run first (all
-/// iterations), then data flows breadth-first through the FIFO.
+/// Sequential enactment. Deterministic: producers run iteration by
+/// iteration and data flows breadth-first through the runtime's in-process
+/// FIFO (see [`Runtime::sequential`]).
 pub struct SimpleMapping;
 
 impl Mapping for SimpleMapping {
@@ -18,52 +16,7 @@ impl Mapping for SimpleMapping {
     }
 
     fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        let start = Instant::now();
-        let plan = ConcretePlan::sequential(graph)?;
-        let mut runners: BTreeMap<InstanceId, InstanceRunner> = BTreeMap::new();
-        for inst in plan.all_instances() {
-            runners.insert(inst, InstanceRunner::new(graph, &plan, inst)?);
-        }
-
-        let mut result = RunResult::default();
-        let mut queue: VecDeque<RoutedDatum> = VecDeque::new();
-
-        let absorb = |emissions: super::worker::Emissions,
-                          node_name: &str,
-                          queue: &mut VecDeque<RoutedDatum>,
-                          result: &mut RunResult| {
-            for r in emissions.routed {
-                queue.push_back(r);
-            }
-            for (port, value) in emissions.collected {
-                result.outputs.entry((node_name.to_string(), port)).or_default().push(value);
-            }
-            result.printed.extend(emissions.printed);
-        };
-
-        // Drive the sources.
-        let sources: Vec<InstanceId> = runners.values().filter(|r| r.is_source()).map(|r| r.inst).collect();
-        for i in 0..options.invocations() {
-            for inst in &sources {
-                let runner = runners.get_mut(inst).expect("runner exists");
-                let name = runner.node_name.clone();
-                let emissions = runner.run_iteration(options.datum_for(i))?;
-                absorb(emissions, &name, &mut queue, &mut result);
-                // Drain between iterations to keep memory flat (streaming,
-                // not batch).
-                while let Some(d) = queue.pop_front() {
-                    let r = runners.get_mut(&d.dest).expect("dest exists");
-                    let name = r.node_name.clone();
-                    let e = r.run_datum(d.port, d.value)?;
-                    absorb(e, &name, &mut queue, &mut result);
-                }
-            }
-        }
-
-        let stats_iter = runners.values().map(|r| (r.node_name.clone(), r.stats));
-        result.stats = super::worker::merge_stats(stats_iter, &plan_counts(graph, &plan));
-        result.stats.elapsed = start.elapsed();
-        Ok(result)
+        Runtime::new(graph, options).sequential()
     }
 }
 
@@ -80,7 +33,8 @@ mod tests {
         let b = g.add(iterative_fn("Square", |v| v.as_i64().map(|n| Value::Int(n * n))));
         g.connect(a, "output", b, "input").unwrap();
         let r = SimpleMapping.execute(&g, &RunOptions::iterations(5)).unwrap();
-        let squares: Vec<i64> = r.port_values("Square", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let squares: Vec<i64> =
+            r.port_values("Square", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
         assert_eq!(r.stats.processed["Nums"], 5);
         assert_eq!(r.stats.processed["Square"], 5);
@@ -94,9 +48,7 @@ mod tests {
         "#;
         let mut g = WorkflowGraph::new("d");
         g.add_script_pe(src, "Reader").unwrap();
-        let r = SimpleMapping
-            .execute(&g, &RunOptions::data(vec![Value::Int(1), Value::Int(2)]))
-            .unwrap();
+        let r = SimpleMapping.execute(&g, &RunOptions::data(vec![Value::Int(1), Value::Int(2)])).unwrap();
         let out: Vec<i64> = r.port_values("Reader", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         assert_eq!(out, vec![10, 20]);
     }
@@ -152,7 +104,8 @@ mod tests {
         g.connect(a, "output", m, "input").unwrap();
         g.connect(b, "output", m, "input").unwrap();
         let r = SimpleMapping.execute(&g, &RunOptions::iterations(2)).unwrap();
-        let mut out: Vec<i64> = r.port_values("Merge", "output").iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut out: Vec<i64> =
+            r.port_values("Merge", "output").iter().map(|v| v.as_i64().unwrap()).collect();
         out.sort();
         assert_eq!(out, vec![0, 1, 100, 101]);
         assert_eq!(r.stats.processed["Merge"], 4);

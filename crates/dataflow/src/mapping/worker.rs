@@ -76,7 +76,11 @@ pub struct InstanceRunner {
 
 impl InstanceRunner {
     /// Build the runner for instance `inst` under `plan`.
-    pub fn new(graph: &WorkflowGraph, plan: &ConcretePlan, inst: InstanceId) -> Result<InstanceRunner, DataflowError> {
+    pub fn new(
+        graph: &WorkflowGraph,
+        plan: &ConcretePlan,
+        inst: InstanceId,
+    ) -> Result<InstanceRunner, DataflowError> {
         let factory = graph.node(inst.node)?;
         let meta = factory.meta();
         let node_name = meta.name.clone();
@@ -90,18 +94,10 @@ impl InstanceRunner {
             });
         }
         let connected: Vec<&str> = outgoing.iter().map(|e| e.from_port.as_str()).collect();
-        let terminal_ports = meta
-            .outputs
-            .iter()
-            .filter(|p| !connected.contains(&p.as_str()))
-            .cloned()
-            .collect();
-        let expected_eos = graph
-            .connections()
-            .iter()
-            .filter(|c| c.to == inst.node)
-            .map(|c| plan.count(c.from))
-            .sum();
+        let terminal_ports =
+            meta.outputs.iter().filter(|p| !connected.contains(&p.as_str())).cloned().collect();
+        let expected_eos =
+            graph.connections().iter().filter(|c| c.to == inst.node).map(|c| plan.count(c.from)).sum();
         let mut pe = factory.instantiate();
         let mut sink = VecSink::default();
         pe.setup(inst.index, plan.count(inst.node), &mut sink)?;
@@ -145,10 +141,8 @@ impl InstanceRunner {
         call_sink.emitted.clear();
         let borrowed = input.as_ref().map(|(p, v)| (p.as_str(), v.clone()));
         let result = self.pe.process(borrowed, it, &mut call_sink);
-        let mut emissions = Emissions {
-            printed: std::mem::take(&mut call_sink.printed),
-            ..Default::default()
-        };
+        let mut emissions =
+            Emissions { printed: std::mem::take(&mut call_sink.printed), ..Default::default() };
         let emitted = std::mem::take(&mut call_sink.emitted);
         self.sink = call_sink;
         result?;
@@ -165,7 +159,7 @@ impl InstanceRunner {
                     });
                 }
             }
-            if !routed_any && self.terminal_ports.iter().any(|p| *p == port) {
+            if !routed_any && self.terminal_ports.contains(&port) {
                 emissions.collected.push((port, value));
             }
         }
@@ -205,12 +199,7 @@ pub fn merge_stats(
 
 /// Plan-level instance counts keyed by PE name.
 pub fn plan_counts(graph: &WorkflowGraph, plan: &ConcretePlan) -> BTreeMap<String, usize> {
-    graph
-        .nodes()
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (n.meta().name.clone(), plan.count(NodeId(i))))
-        .collect()
+    graph.nodes().iter().enumerate().map(|(i, n)| (n.meta().name.clone(), plan.count(NodeId(i)))).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -267,9 +256,9 @@ pub fn run_worker<T: Transport>(
 ) -> Result<WorkerOutcome, DataflowError> {
     let mut outcome = WorkerOutcome { node_name: runner.node_name.clone(), ..Default::default() };
     let deliver = |runner: &InstanceRunner,
-                       emissions: Emissions,
-                       transport: &mut T,
-                       outcome: &mut WorkerOutcome|
+                   emissions: Emissions,
+                   transport: &mut T,
+                   outcome: &mut WorkerOutcome|
      -> Result<(), DataflowError> {
         for r in emissions.routed {
             transport.send_data(r.dest, &r.port, &r.value)?;
@@ -311,10 +300,7 @@ pub fn run_worker<T: Transport>(
 }
 
 /// Fold worker outcomes into a [`super::RunResult`].
-pub fn merge_outcomes(
-    outcomes: Vec<WorkerOutcome>,
-    counts: &BTreeMap<String, usize>,
-) -> super::RunResult {
+pub fn merge_outcomes(outcomes: Vec<WorkerOutcome>, counts: &BTreeMap<String, usize>) -> super::RunResult {
     let mut result = super::RunResult::default();
     let mut stats_parts = Vec::new();
     for o in outcomes {

@@ -11,7 +11,9 @@
 
 use crate::error::DataflowError;
 use laminar_json::Value;
-use laminar_script::{analysis, parse_script, to_source, Host, Interp, NullHost, PeDecl, PeKind, PortDecl, Script, Sink};
+use laminar_script::{
+    analysis, parse_script, to_source, Host, Interp, NullHost, PeDecl, PeKind, PortDecl, Script, Sink,
+};
 use std::sync::Arc;
 
 /// Static description of a PE: ports, kind, provenance.
@@ -125,7 +127,8 @@ impl ScriptPeFactory {
         pe_name: &str,
         host: Arc<dyn Host + Send + Sync>,
     ) -> Result<Self, DataflowError> {
-        let script = parse_script(source).map_err(|e| DataflowError::PeFailed { pe: pe_name.into(), error: e })?;
+        let script =
+            parse_script(source).map_err(|e| DataflowError::PeFailed { pe: pe_name.into(), error: e })?;
         let decl = script
             .pe(pe_name)
             .cloned()
@@ -202,7 +205,12 @@ impl Pe for ScriptPe {
             .map_err(|e| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e })
     }
 
-    fn process(&mut self, input: Option<(&str, Value)>, iteration: i64, out: &mut dyn Sink) -> Result<(), DataflowError> {
+    fn process(
+        &mut self,
+        input: Option<(&str, Value)>,
+        iteration: i64,
+        out: &mut dyn Sink,
+    ) -> Result<(), DataflowError> {
         if self.interp.is_none() {
             self.setup(0, 1, out)?;
         }
@@ -243,7 +251,12 @@ impl Pe for NativePe {
         &self.meta
     }
 
-    fn process(&mut self, input: Option<(&str, Value)>, iteration: i64, out: &mut dyn Sink) -> Result<(), DataflowError> {
+    fn process(
+        &mut self,
+        input: Option<(&str, Value)>,
+        iteration: i64,
+        out: &mut dyn Sink,
+    ) -> Result<(), DataflowError> {
         (self.behaviour)(input, iteration, out)
     }
 }
@@ -257,10 +270,7 @@ pub struct NativePeFactory {
 
 impl NativePeFactory {
     /// Generic constructor: full control over ports and behaviour.
-    pub fn new(
-        meta: PeMeta,
-        make: impl Fn() -> Box<NativeFn> + Send + Sync + 'static,
-    ) -> Arc<Self> {
+    pub fn new(meta: PeMeta, make: impl Fn() -> Box<NativeFn> + Send + Sync + 'static) -> Arc<Self> {
         Arc::new(NativePeFactory { meta, make: Box::new(make) })
     }
 }
@@ -275,7 +285,13 @@ impl PeFactory for NativePeFactory {
     }
 }
 
-fn native_meta(name: &str, kind: PeKind, inputs: Vec<PortDecl>, outputs: Vec<String>, stateful: bool) -> PeMeta {
+fn native_meta(
+    name: &str,
+    kind: PeKind,
+    inputs: Vec<PortDecl>,
+    outputs: Vec<String>,
+    stateful: bool,
+) -> PeMeta {
     PeMeta {
         name: name.to_string(),
         kind,
@@ -381,10 +397,7 @@ mod tests {
 
     #[test]
     fn unknown_pe_name_fails() {
-        assert!(matches!(
-            ScriptPeFactory::from_source(SRC, "Missing"),
-            Err(DataflowError::Graph(_))
-        ));
+        assert!(matches!(ScriptPeFactory::from_source(SRC, "Missing"), Err(DataflowError::Graph(_))));
     }
 
     #[test]

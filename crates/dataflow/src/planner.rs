@@ -121,7 +121,7 @@ mod tests {
     fn fig1_graph() -> WorkflowGraph {
         // The paper's Figure 1 topology: PE1 -> PE2 -> PE3.
         let mut g = WorkflowGraph::new("fig1");
-        let p1 = g.add(producer_fn("PE1", |i| Value::Int(i)));
+        let p1 = g.add(producer_fn("PE1", Value::Int));
         let p2 = g.add(iterative_fn("PE2", Some));
         let p3 = g.add(consumer_fn("PE3", |_, _| {}));
         g.connect(p1, "output", p2, "input").unwrap();

@@ -260,12 +260,17 @@ fn render(t: &Template, param: i64, style: bool, rename: bool, decorate: bool, r
                 in_name = fresh.to_string();
             }
         }
-        pe_name = format!("{}Task{}", capitalize(NAME_POOL[rng.random_range(0..NAME_POOL.len())]), param.max(0));
+        pe_name =
+            format!("{}Task{}", capitalize(NAME_POOL[rng.random_range(0..NAME_POOL.len())]), param.max(0));
     }
     // Break the body into one statement per line so partial-code queries
     // (line-truncated) keep a meaningful prefix of the logic.
     let body = body.replace("; ", ";\n        ").replace("} ", "}\n        ");
-    let mut lines = vec![format!("pe {pe_name} : generic {{"), format!("    input {in_name};"), "    output output;".into()];
+    let mut lines = vec![
+        format!("pe {pe_name} : generic {{"),
+        format!("    input {in_name};"),
+        "    output output;".into(),
+    ];
     if decorate {
         lines.push(format!("    # handles the {} task", t.topic));
     }

@@ -72,11 +72,11 @@ impl FeatureHasher {
 
     /// Add a whole channel of `(feature, weight)` pairs scaled by
     /// `channel_weight`.
-    pub fn add_channel<'a>(
+    pub fn add_channel(
         &mut self,
         features: impl IntoIterator<Item = (String, f32)>,
         channel_weight: f32,
-        prefix: &'a str,
+        prefix: &str,
     ) {
         for (f, w) in features {
             self.add(&format!("{prefix}:{f}"), w * channel_weight);
@@ -112,7 +112,8 @@ pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
 /// Indices of the `k` corpus embeddings most similar to `query`, best
 /// first. Ties break toward the lower index (deterministic).
 pub fn top_k(query: &Embedding, corpus: &[Embedding], k: usize) -> Vec<(usize, f32)> {
-    let mut scored: Vec<(usize, f32)> = corpus.iter().enumerate().map(|(i, e)| (i, cosine(query, e))).collect();
+    let mut scored: Vec<(usize, f32)> =
+        corpus.iter().enumerate().map(|(i, e)| (i, cosine(query, e))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
     scored.truncate(k);
     scored
@@ -163,11 +164,8 @@ mod tests {
     #[test]
     fn top_k_ordering_and_ties() {
         let q = embed(&[("a", 1.0)], 256);
-        let corpus = vec![
-            embed(&[("b", 1.0)], 256),
-            embed(&[("a", 1.0)], 256),
-            embed(&[("a", 1.0), ("b", 1.0)], 256),
-        ];
+        let corpus =
+            vec![embed(&[("b", 1.0)], 256), embed(&[("a", 1.0)], 256), embed(&[("a", 1.0), ("b", 1.0)], 256)];
         let top = top_k(&q, &corpus, 2);
         assert_eq!(top[0].0, 1, "exact match first");
         assert_eq!(top[1].0, 2, "partial overlap second");

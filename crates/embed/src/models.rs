@@ -17,7 +17,9 @@
 //! | `unixcoder-clone-detection` | identifier-normalized structure (rename-invariant) |
 
 use crate::embedding::{Embedding, FeatureHasher};
-use crate::tokenizer::{char_trigrams, code_tokens, is_keyword, normalized_lines, text_words, CodeToken, TokenClass};
+use crate::tokenizer::{
+    char_trigrams, code_tokens, is_keyword, normalized_lines, text_words, CodeToken, TokenClass,
+};
 use laminar_script::analysis::{def_use_pairs, subtokens};
 use laminar_script::parse_script;
 
@@ -356,12 +358,12 @@ mod tests {
         let base = model_by_name("unixcoder-base").unwrap();
         let tuned = model_by_name("unixcoder-code-search").unwrap();
         let q = "check whether a number is prime";
-        let margin = |m: &Box<dyn EmbeddingModel>| {
+        let margin = |m: &dyn EmbeddingModel| {
             let p = cosine(&m.embed_code(PRIME_PE), &m.embed_text(q));
             let w = cosine(&m.embed_code(WORDCOUNT_PE), &m.embed_text(q));
             p - w
         };
-        assert!(margin(&tuned) > margin(&base), "fine-tune must sharpen the margin");
+        assert!(margin(tuned.as_ref()) > margin(base.as_ref()), "fine-tune must sharpen the margin");
     }
 
     #[test]
@@ -369,7 +371,8 @@ mod tests {
         // The meaningful property is discrimination: under renaming, the
         // structure model must keep the clone well-separated from an
         // unrelated program, more so than the lexical model does.
-        let renamed = PRIME_PE.replace("num", "zz91").replace("prime", "flag_q").replace("IsPrime", "Checker");
+        let renamed =
+            PRIME_PE.replace("num", "zz91").replace("prime", "flag_q").replace("IsPrime", "Checker");
         let clone_model = model_by_name("unixcoder-clone-detection").unwrap();
         let lexical = model_by_name("ReACC-retriever-py").unwrap();
         let margin = |m: &dyn EmbeddingModel| {
@@ -382,10 +385,7 @@ mod tests {
             m_clone > m_lex,
             "structure model must discriminate renamed clones better: {m_clone} vs {m_lex}"
         );
-        let sim_clone = cosine(
-            &clone_model.embed_code(PRIME_PE),
-            &clone_model.embed_code(&renamed),
-        );
+        let sim_clone = cosine(&clone_model.embed_code(PRIME_PE), &clone_model.embed_code(&renamed));
         assert!(sim_clone > 0.85, "renamed clone should stay close: {sim_clone}");
     }
 

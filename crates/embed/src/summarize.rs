@@ -52,8 +52,7 @@ pub fn summarize_pe(pe: &PeDecl) -> String {
     let mut lead = None;
     for part in &name_parts {
         if let Some((_, verb)) = NAME_VERBS.iter().find(|(k, _)| k == part) {
-            let objects: Vec<&String> =
-                name_parts.iter().filter(|p| *p != part && p.len() > 1).collect();
+            let objects: Vec<&String> = name_parts.iter().filter(|p| *p != part && p.len() > 1).collect();
             let obj = if objects.is_empty() {
                 "the incoming data".to_string()
             } else {
@@ -149,7 +148,8 @@ mod tests {
 
     #[test]
     fn producer_with_rng() {
-        let s = summarize("pe NumberProducer : producer { output output; process { emit(randint(1, 1000)); } }");
+        let s =
+            summarize("pe NumberProducer : producer { output output; process { emit(randint(1, 1000)); } }");
         assert!(s.to_lowercase().contains("producer"), "summary: {s}");
         assert!(s.contains("random"), "summary: {s}");
     }

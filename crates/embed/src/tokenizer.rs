@@ -29,9 +29,39 @@ pub struct CodeToken {
 /// LamScript keywords — kept when normalizing identifiers because they are
 /// structure, not naming.
 pub const KEYWORDS: &[&str] = &[
-    "pe", "workflow", "fn", "let", "if", "else", "while", "for", "in", "return", "break", "continue",
-    "emit", "true", "false", "null", "import", "input", "output", "init", "process", "doc", "groupby",
-    "nodes", "connect", "and", "or", "not", "producer", "iterative", "consumer", "generic", "state",
+    "pe",
+    "workflow",
+    "fn",
+    "let",
+    "if",
+    "else",
+    "while",
+    "for",
+    "in",
+    "return",
+    "break",
+    "continue",
+    "emit",
+    "true",
+    "false",
+    "null",
+    "import",
+    "input",
+    "output",
+    "init",
+    "process",
+    "doc",
+    "groupby",
+    "nodes",
+    "connect",
+    "and",
+    "or",
+    "not",
+    "producer",
+    "iterative",
+    "consumer",
+    "generic",
+    "state",
 ];
 
 /// Is this word a structural keyword?
@@ -124,9 +154,9 @@ pub fn code_tokens(code: &str) -> Vec<CodeToken> {
 /// that...") rather than content.
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "the", "that", "this", "these", "those", "is", "are", "was", "were", "be", "been", "it",
-    "its", "if", "of", "for", "to", "in", "on", "with", "and", "or", "each", "every", "when", "as",
-    "by", "from", "into", "at", "then", "them", "their", "there", "what", "which", "who", "whether",
-    "do", "does", "how", "can", "will", "pe", "pes",
+    "its", "if", "of", "for", "to", "in", "on", "with", "and", "or", "each", "every", "when", "as", "by",
+    "from", "into", "at", "then", "them", "their", "there", "what", "which", "who", "whether", "do", "does",
+    "how", "can", "will", "pe", "pes",
 ];
 
 /// Is this a stopword?
@@ -146,10 +176,7 @@ pub fn text_words(text: &str) -> Vec<String> {
 
 /// Word tokens including stopwords (for models that embed raw prose).
 pub fn text_words_raw(text: &str) -> Vec<String> {
-    text.split(|c: char| !c.is_alphanumeric())
-        .filter(|w| !w.is_empty())
-        .map(|w| w.to_lowercase())
-        .collect()
+    text.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()).map(|w| w.to_lowercase()).collect()
 }
 
 /// Normalized source lines: whitespace squeezed, comments removed, empties
@@ -185,7 +212,8 @@ mod tests {
     #[test]
     fn classifies_code() {
         let toks = code_tokens("let x1 = num % 2; # comment\nemit(\"hi there\");");
-        let words: Vec<&str> = toks.iter().filter(|t| t.class == TokenClass::Word).map(|t| t.text.as_str()).collect();
+        let words: Vec<&str> =
+            toks.iter().filter(|t| t.class == TokenClass::Word).map(|t| t.text.as_str()).collect();
         assert_eq!(words, vec!["let", "x1", "num", "emit"]);
         assert!(toks.iter().any(|t| t.class == TokenClass::Number && t.text == "2"));
         assert!(toks.iter().any(|t| t.class == TokenClass::Str && t.text == "hi there"));
@@ -203,7 +231,8 @@ mod tests {
     #[test]
     fn punct_runs_grouped() {
         let toks = code_tokens("a != b");
-        let puncts: Vec<&str> = toks.iter().filter(|t| t.class == TokenClass::Punct).map(|t| t.text.as_str()).collect();
+        let puncts: Vec<&str> =
+            toks.iter().filter(|t| t.class == TokenClass::Punct).map(|t| t.text.as_str()).collect();
         assert_eq!(puncts, vec!["!="]);
     }
 
@@ -214,10 +243,7 @@ mod tests {
             vec!["checks", "number", "prime"],
             "stopwords removed"
         );
-        assert_eq!(
-            text_words_raw("A PE that checks"),
-            vec!["a", "pe", "that", "checks"]
-        );
+        assert_eq!(text_words_raw("A PE that checks"), vec!["a", "pe", "that", "checks"]);
         assert_eq!(text_words(""), Vec::<String>::new());
         assert!(is_stopword("the"));
         assert!(!is_stopword("prime"));

@@ -50,7 +50,10 @@ pub fn cross_score(query: &str, code: &str) -> f64 {
         for (cw, count) in &bag {
             let match_strength = if cw == qw {
                 1.0
-            } else if cw.len() >= 3 && qw.len() >= 3 && (cw.starts_with(qw.as_str()) || qw.starts_with(cw.as_str())) {
+            } else if cw.len() >= 3
+                && qw.len() >= 3
+                && (cw.starts_with(qw.as_str()) || qw.starts_with(cw.as_str()))
+            {
                 0.6
             } else {
                 0.0

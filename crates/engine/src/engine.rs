@@ -5,7 +5,7 @@ use crate::hosts::HostRegistry;
 use crate::netmodel::NetModel;
 use crate::request::ExecutionRequest;
 use laminar_dataflow::mapping::{RunOptions, RunResult};
-use laminar_dataflow::{DataflowError, ScriptPeFactory, WorkflowGraph};
+use laminar_dataflow::{DataflowError, ScriptPeFactory, StageTimings, WorkflowGraph};
 use laminar_json::Value;
 use laminar_script::{analysis, parse_script, VecSink};
 use std::sync::Arc;
@@ -29,6 +29,9 @@ pub struct ExecutionOutput {
     pub execute_time: Duration,
     /// End-to-end engine time (provision + stage + execute + teardown).
     pub total_time: Duration,
+    /// Breakdown of `execute_time` into the enactment runtime's
+    /// plan/enact/collect stages (the overhead structure Table 5 measures).
+    pub stages: StageTimings,
     /// Per-PE processed counts.
     pub processed: std::collections::BTreeMap<String, u64>,
 }
@@ -43,6 +46,11 @@ impl ExecutionOutput {
             .set("provision_ms", self.provision_time.as_millis() as i64)
             .set("execute_ms", self.execute_time.as_millis() as i64)
             .set("total_ms", self.total_time.as_millis() as i64)
+            // Stage timings travel in microseconds: plan/collect are often
+            // sub-millisecond and would vanish at ms resolution.
+            .set("plan_us", self.stages.plan.as_micros() as i64)
+            .set("enact_us", self.stages.enact.as_micros() as i64)
+            .set("collect_us", self.stages.collect.as_micros() as i64)
             .set(
                 "processed",
                 self.processed.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
@@ -54,11 +62,7 @@ impl ExecutionOutput {
     pub fn from_value(v: &Value) -> Option<ExecutionOutput> {
         let mut out = ExecutionOutput {
             outputs: v["outputs"].as_object()?.clone(),
-            printed: v["printed"]
-                .as_array()?
-                .iter()
-                .filter_map(|p| p.as_str().map(str::to_string))
-                .collect(),
+            printed: v["printed"].as_array()?.iter().filter_map(|p| p.as_str().map(str::to_string)).collect(),
             installed: v["installed"]
                 .as_array()
                 .unwrap_or(&[])
@@ -68,6 +72,11 @@ impl ExecutionOutput {
             provision_time: Duration::from_millis(v["provision_ms"].as_i64().unwrap_or(0).max(0) as u64),
             execute_time: Duration::from_millis(v["execute_ms"].as_i64().unwrap_or(0).max(0) as u64),
             total_time: Duration::from_millis(v["total_ms"].as_i64().unwrap_or(0).max(0) as u64),
+            stages: StageTimings {
+                plan: Duration::from_micros(v["plan_us"].as_i64().unwrap_or(0).max(0) as u64),
+                enact: Duration::from_micros(v["enact_us"].as_i64().unwrap_or(0).max(0) as u64),
+                collect: Duration::from_micros(v["collect_us"].as_i64().unwrap_or(0).max(0) as u64),
+            },
             processed: Default::default(),
         };
         if let Some(m) = v["processed"].as_object() {
@@ -84,6 +93,15 @@ impl ExecutionOutput {
             .get(&format!("{pe}.{port}"))
             .and_then(|v| v.as_array().map(<[Value]>::to_vec))
             .unwrap_or_default()
+    }
+
+    /// One-line rendering of where the time went (Table 5's overhead
+    /// structure), for clients and the bench binaries.
+    pub fn overhead_report(&self) -> String {
+        format!(
+            "provision {:.1?} | plan {:.1?} | enact {:.1?} | collect {:.1?} | total {:.1?}",
+            self.provision_time, self.stages.plan, self.stages.enact, self.stages.collect, self.total_time
+        )
     }
 }
 
@@ -187,6 +205,7 @@ impl ExecutionEngine {
             provision_time,
             execute_time,
             total_time: Duration::ZERO,
+            stages: result.stats.timings,
             processed: result.stats.processed,
             ..Default::default()
         };
@@ -297,12 +316,7 @@ mod tests {
         let out = engine.run(&req).unwrap();
         assert_eq!(
             out.printed,
-            vec![
-                "the num 2 is prime",
-                "the num 3 is prime",
-                "the num 5 is prime",
-                "the num 7 is prime",
-            ]
+            vec!["the num 2 is prime", "the num 3 is prime", "the num 5 is prime", "the num 7 is prime",]
         );
         assert_eq!(out.processed["Seq"], 10);
         assert_eq!(engine.runs(), 1);
@@ -396,6 +410,23 @@ mod tests {
         let back = ExecutionOutput::from_value(&out.to_value()).unwrap();
         assert_eq!(back.printed, out.printed);
         assert_eq!(back.processed, out.processed);
+        // Stage timings survive the wire at microsecond resolution.
+        assert!(back.stages.enact <= out.stages.enact);
+        assert!(out.stages.enact - back.stages.enact < Duration::from_micros(1));
+    }
+
+    #[test]
+    fn workflow_run_reports_stage_timings() {
+        let mut engine = ExecutionEngine::instant();
+        let out = engine.run(&ExecutionRequest::simple("u", WF_SRC, 10)).unwrap();
+        assert!(out.stages.enact > Duration::ZERO, "enact stage not timed");
+        assert!(
+            out.stages.plan + out.stages.enact + out.stages.collect <= out.execute_time,
+            "stages {:?} exceed execute_time {:?}",
+            out.stages,
+            out.execute_time
+        );
+        assert!(out.overhead_report().contains("enact"));
     }
 
     #[test]

@@ -98,7 +98,9 @@ impl HostRegistry {
             )),
             // Size in bytes.
             "size" => Ok(Value::Int(bytes.len() as i64)),
-            other => Err(ScriptError::new(ErrorKind::NameError, format!("unknown function resources.{other}"))),
+            other => {
+                Err(ScriptError::new(ErrorKind::NameError, format!("unknown function resources.{other}")))
+            }
         }
     }
 }

@@ -30,11 +30,8 @@ impl NetModel {
 
     /// Transfer delay for a payload of `bytes` in one direction.
     pub fn transfer_delay(&self, bytes: usize) -> Duration {
-        let bw = if self.bytes_per_ms == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_millis(bytes as u64 / self.bytes_per_ms)
-        };
+        // bytes_per_ms == 0 means infinite bandwidth (no transfer cost).
+        let bw = (bytes as u64).checked_div(self.bytes_per_ms).map_or(Duration::ZERO, Duration::from_millis);
         self.one_way_latency + bw
     }
 

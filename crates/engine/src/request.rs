@@ -151,7 +151,8 @@ mod tests {
 
     #[test]
     fn data_input_round_trip() {
-        let req = ExecutionRequest::simple("u", "src", 0).with_data(vec![Value::Int(1), Value::Str("x".into())]);
+        let req =
+            ExecutionRequest::simple("u", "src", 0).with_data(vec![Value::Int(1), Value::Str("x".into())]);
         let back = ExecutionRequest::from_value(&req.to_value()).unwrap();
         match back.input {
             RunInput::Data(d) => assert_eq!(d.len(), 2),

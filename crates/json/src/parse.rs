@@ -351,8 +351,25 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "tru", "01", "1.", ".5", "1e", "+1", "nan", "Infinity", "[1,]", "[1 2]", "{\"a\"}",
-            "{\"a\":}", "{a:1}", "\"unterminated", "\"\\q\"", "\"\\uD800\"", "\"\\uDC00x\"", "[1] extra",
+            "",
+            "tru",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "+1",
+            "nan",
+            "Infinity",
+            "[1,]",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "\"unterminated",
+            "\"\\q\"",
+            "\"\\uD800\"",
+            "\"\\uDC00x\"",
+            "[1] extra",
             "{\"a\":1,}",
         ] {
             assert!(parse(bad).is_err(), "should reject: {bad:?}");

@@ -128,10 +128,7 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(
-            to_string(&Value::Str("a\"b\\c\n\u{1}".into())),
-            "\"a\\\"b\\\\c\\n\\u0001\""
-        );
+        assert_eq!(to_string(&Value::Str("a\"b\\c\n\u{1}".into())), "\"a\\\"b\\\\c\\n\\u0001\"");
     }
 
     #[test]

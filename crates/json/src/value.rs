@@ -17,9 +17,10 @@ use std::ops::Index;
 pub type Map = BTreeMap<String, Value>;
 
 /// A dynamically-typed JSON value.
-#[derive(Clone, PartialEq)]
+#[derive(Clone, Default, PartialEq)]
 pub enum Value {
     /// `null`
+    #[default]
     Null,
     /// `true` / `false`
     Bool(bool),
@@ -211,12 +212,6 @@ impl Value {
         let mut h = OFFSET;
         walk(self, &mut h);
         h
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

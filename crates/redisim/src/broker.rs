@@ -306,7 +306,11 @@ impl RedisClient {
         Self::purge_expired(&mut ks, key);
         let entry = ks.entries.entry(key.to_string()).or_insert(Entry::Counter(0));
         let Entry::Counter(c) = entry else {
-            return Err(BrokerError::WrongType { key: key.into(), expected: "counter", actual: entry.kind() });
+            return Err(BrokerError::WrongType {
+                key: key.into(),
+                expected: "counter",
+                actual: entry.kind(),
+            });
         };
         *c += delta;
         Ok(*c)
@@ -339,18 +343,13 @@ impl RedisClient {
     pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
         self.bump();
         let mut ks = self.inner.keyspace.lock();
-        let stale: Vec<String> = ks
-            .expiries
-            .iter()
-            .filter(|(_, t)| Instant::now() >= **t)
-            .map(|(k, _)| k.clone())
-            .collect();
+        let stale: Vec<String> =
+            ks.expiries.iter().filter(|(_, t)| Instant::now() >= **t).map(|(k, _)| k.clone()).collect();
         for k in stale {
             ks.entries.remove(&k);
             ks.expiries.remove(&k);
         }
-        let mut out: Vec<String> =
-            ks.entries.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
+        let mut out: Vec<String> = ks.entries.keys().filter(|k| k.starts_with(prefix)).cloned().collect();
         out.sort();
         out
     }

@@ -25,15 +25,16 @@ impl Dao {
     /// Insert a user row.
     pub fn insert_user(&mut self, mut user: UserEntity) -> Result<UserEntity, RegistryError> {
         let id = self.store.users.insert(user.to_row(), "userId").map_err(|e| match e {
-            RegistryError::Duplicate { .. } => RegistryError::Duplicate {
-                entity: "User",
-                field: "userName",
-                value: user.user_name.clone(),
-            },
+            RegistryError::Duplicate { .. } => {
+                RegistryError::Duplicate { entity: "User", field: "userName", value: user.user_name.clone() }
+            }
             other => other,
         })?;
         user.user_id = id;
-        self.wal.append(&self.store, &ops::insert("users", id, self.store.users.get(id).expect("just inserted")))?;
+        self.wal.append(
+            &self.store,
+            &ops::insert("users", id, self.store.users.get(id).expect("just inserted")),
+        )?;
         Ok(user)
     }
 
@@ -64,7 +65,8 @@ impl Dao {
             other => other,
         })?;
         pe.pe_id = id;
-        self.wal.append(&self.store, &ops::insert("pes", id, self.store.pes.get(id).expect("just inserted")))?;
+        self.wal
+            .append(&self.store, &ops::insert("pes", id, self.store.pes.get(id).expect("just inserted")))?;
         self.link_user_pe(owner_id, id)?;
         Ok(pe)
     }
@@ -79,11 +81,8 @@ impl Dao {
 
     /// PE by id.
     pub fn pe_by_id(&self, id: i64) -> Result<PeEntity, RegistryError> {
-        let row = self
-            .store
-            .pes
-            .get(id)
-            .ok_or(RegistryError::NotFound { entity: "PE", key: id.to_string() })?;
+        let row =
+            self.store.pes.get(id).ok_or(RegistryError::NotFound { entity: "PE", key: id.to_string() })?;
         PeEntity::from_row(row).ok_or(RegistryError::Storage("corrupt PE row".into()))
     }
 
@@ -106,12 +105,7 @@ impl Dao {
 
     /// PEs owned by a user.
     pub fn pes_of_user(&self, user_id: i64) -> Vec<PeEntity> {
-        self.store
-            .user_pes
-            .rights_of(user_id)
-            .into_iter()
-            .filter_map(|id| self.pe_by_id(id).ok())
-            .collect()
+        self.store.user_pes.rights_of(user_id).into_iter().filter_map(|id| self.pe_by_id(id).ok()).collect()
     }
 
     /// Remove a user's ownership of a PE; the row itself is deleted only
@@ -134,7 +128,11 @@ impl Dao {
     // ---- workflows ----------------------------------------------------------
 
     /// Insert a workflow row and link its owner.
-    pub fn insert_workflow(&mut self, mut wf: WorkflowEntity, owner_id: i64) -> Result<WorkflowEntity, RegistryError> {
+    pub fn insert_workflow(
+        &mut self,
+        mut wf: WorkflowEntity,
+        owner_id: i64,
+    ) -> Result<WorkflowEntity, RegistryError> {
         let id = self.store.workflows.insert(wf.to_row(), "workflowId").map_err(|e| match e {
             RegistryError::Duplicate { .. } => RegistryError::Duplicate {
                 entity: "Workflow",
@@ -144,8 +142,10 @@ impl Dao {
             other => other,
         })?;
         wf.workflow_id = id;
-        self.wal
-            .append(&self.store, &ops::insert("workflows", id, self.store.workflows.get(id).expect("just inserted")))?;
+        self.wal.append(
+            &self.store,
+            &ops::insert("workflows", id, self.store.workflows.get(id).expect("just inserted")),
+        )?;
         if self.store.user_workflows.link(owner_id, id) {
             self.wal.append(&self.store, &ops::link("user_workflows", owner_id, id))?;
         }

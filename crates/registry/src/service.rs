@@ -35,13 +35,13 @@ impl EntityKey {
     pub fn from_value(v: &Value) -> Option<EntityKey> {
         match v {
             Value::Int(i) => Some(EntityKey::Id(*i)),
-            Value::Str(s) => Some(Self::from_str(s)),
+            Value::Str(s) => Some(Self::parse(s)),
             _ => None,
         }
     }
 
     /// Parse from path-segment text.
-    pub fn from_str(s: &str) -> EntityKey {
+    pub fn parse(s: &str) -> EntityKey {
         match s.parse::<i64>() {
             Ok(i) => EntityKey::Id(i),
             Err(_) => EntityKey::Name(s.to_string()),
@@ -57,7 +57,7 @@ impl From<i64> for EntityKey {
 
 impl From<&str> for EntityKey {
     fn from(s: &str) -> Self {
-        EntityKey::from_str(s)
+        EntityKey::parse(s)
     }
 }
 
@@ -94,7 +94,11 @@ impl Registry {
     }
 
     /// Swap the search/completion models (used by the model ablations).
-    pub fn with_models(mut self, search: Box<dyn EmbeddingModel>, completion: Box<dyn EmbeddingModel>) -> Registry {
+    pub fn with_models(
+        mut self,
+        search: Box<dyn EmbeddingModel>,
+        completion: Box<dyn EmbeddingModel>,
+    ) -> Registry {
         self.search_model = search;
         self.completion_model = completion;
         self
@@ -116,10 +120,16 @@ impl Registry {
     /// Register a new user (paper client function 1).
     pub fn register_user(&mut self, name: &str, password: &str) -> Result<UserEntity, RegistryError> {
         if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
-            return Err(RegistryError::Invalid { field: "userName", message: "must be non-empty alphanumeric".into() });
+            return Err(RegistryError::Invalid {
+                field: "userName",
+                message: "must be non-empty alphanumeric".into(),
+            });
         }
         if password.len() < 4 {
-            return Err(RegistryError::Invalid { field: "password", message: "must be at least 4 characters".into() });
+            return Err(RegistryError::Invalid {
+                field: "password",
+                message: "must be at least 4 characters".into(),
+            });
         }
         self.dao.insert_user(UserEntity {
             user_id: 0,
@@ -190,7 +200,10 @@ impl Registry {
         let decl = script
             .pes()
             .next()
-            .ok_or(RegistryError::Invalid { field: "peCode", message: "source contains no PE declaration".into() })?
+            .ok_or(RegistryError::Invalid {
+                field: "peCode",
+                message: "source contains no PE declaration".into(),
+            })?
             .clone();
         let canonical = to_source(&script);
 
@@ -304,9 +317,8 @@ impl Registry {
                     field: "workflowCode",
                     message: format!("workflow references undefined PE '{}'", node.pe_name),
                 })?;
-                let single = laminar_script::Script {
-                    items: vec![laminar_script::Item::Pe(pe_decl.clone())],
-                };
+                let single =
+                    laminar_script::Script { items: vec![laminar_script::Item::Pe(pe_decl.clone())] };
                 to_source(&single)
             };
             let pe = self.register_pe(user, &pe_source, None)?;
@@ -351,7 +363,12 @@ impl Registry {
 
     /// Attach an existing PE to an existing workflow (the PUT endpoint of
     /// Table 3).
-    pub fn add_pe_to_workflow(&mut self, user: &str, workflow_id: i64, pe_id: i64) -> Result<(), RegistryError> {
+    pub fn add_pe_to_workflow(
+        &mut self,
+        user: &str,
+        workflow_id: i64,
+        pe_id: i64,
+    ) -> Result<(), RegistryError> {
         let uid = self.user_id(user)?;
         if !self.dao.store.user_workflows.linked(uid, workflow_id) {
             return Err(RegistryError::NotFound { entity: "Workflow", key: workflow_id.to_string() });
@@ -401,7 +418,9 @@ impl Registry {
             .into_iter()
             .map(|p| {
                 let mut v = Value::Null;
-                v.set("peId", p.pe_id).set("peName", p.pe_name.as_str()).set("description", p.description.as_str());
+                v.set("peId", p.pe_id)
+                    .set("peName", p.pe_name.as_str())
+                    .set("description", p.description.as_str());
                 v
             })
             .collect();
@@ -547,10 +566,7 @@ mod tests {
         assert_eq!(r.all_pes("zl81").unwrap().len(), 1);
         // Same name but different code is a real conflict.
         let different = PRIME_SRC.replace("num > 1", "num > 2");
-        assert!(matches!(
-            r.register_pe("zl81", &different, None),
-            Err(RegistryError::Duplicate { .. })
-        ));
+        assert!(matches!(r.register_pe("zl81", &different, None), Err(RegistryError::Duplicate { .. })));
     }
 
     #[test]
@@ -675,14 +691,14 @@ mod tests {
         r.register_pe("zz46", &PRIME_SRC.replace("IsPrime", "IsPrimeManual"), None).unwrap();
         r.register_workflow("zz46", WF_SRC, "isPrime", None).unwrap();
         let d = r.dump("zz46").unwrap();
-        assert!(d["pes"].as_array().unwrap().len() >= 1);
+        assert!(!d["pes"].as_array().unwrap().is_empty());
         assert_eq!(d["workflows"][0]["entryPoint"].as_str(), Some("isPrime"));
     }
 
     #[test]
     fn entity_key_parsing() {
-        assert_eq!(EntityKey::from_str("42"), EntityKey::Id(42));
-        assert_eq!(EntityKey::from_str("IsPrime"), EntityKey::Name("IsPrime".into()));
+        assert_eq!(EntityKey::parse("42"), EntityKey::Id(42));
+        assert_eq!(EntityKey::parse("IsPrime"), EntityKey::Name("IsPrime".into()));
         assert_eq!(EntityKey::from_value(&Value::Int(7)), Some(EntityKey::Id(7)));
         assert_eq!(EntityKey::from_value(&Value::Null), None);
     }

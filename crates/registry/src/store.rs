@@ -139,10 +139,8 @@ impl Table {
 
     /// Delete a row.
     pub fn delete(&mut self, id: i64) -> Result<Value, RegistryError> {
-        let row = self
-            .rows
-            .remove(&id)
-            .ok_or(RegistryError::NotFound { entity: "row", key: id.to_string() })?;
+        let row =
+            self.rows.remove(&id).ok_or(RegistryError::NotFound { entity: "row", key: id.to_string() })?;
         for col in &self.unique_columns {
             if let Some(key) = Self::unique_key(&row, col) {
                 self.unique_index.get_mut(col).expect("declared").remove(&key);
@@ -178,12 +176,8 @@ impl Table {
     /// Rebuild from a snapshot value.
     pub fn from_value(v: &Value) -> Result<Table, RegistryError> {
         let name = v["name"].as_str().ok_or(RegistryError::Storage("table missing name".into()))?;
-        let unique: Vec<&str> = v["unique"]
-            .as_array()
-            .unwrap_or(&[])
-            .iter()
-            .filter_map(|u| u.as_str())
-            .collect();
+        let unique: Vec<&str> =
+            v["unique"].as_array().unwrap_or(&[]).iter().filter_map(|u| u.as_str()).collect();
         let mut t = Table::new(name, &unique);
         for entry in v["rows"].as_array().unwrap_or(&[]) {
             let id = entry["id"].as_i64().ok_or(RegistryError::Storage("row missing id".into()))?;
@@ -253,10 +247,7 @@ impl Junction {
 
     /// Serialize for snapshots.
     pub fn to_value(&self) -> Value {
-        self.pairs
-            .iter()
-            .map(|(l, r)| Value::Array(vec![Value::Int(*l), Value::Int(*r)]))
-            .collect()
+        self.pairs.iter().map(|(l, r)| Value::Array(vec![Value::Int(*l), Value::Int(*r)])).collect()
     }
 
     /// Rebuild from a snapshot value.

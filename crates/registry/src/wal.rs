@@ -37,7 +37,8 @@ impl WalStore {
         let mut store = Store::new();
         let snap_path = Self::snapshot_path(dir);
         if snap_path.exists() {
-            let text = std::fs::read_to_string(&snap_path).map_err(|e| RegistryError::Storage(e.to_string()))?;
+            let text =
+                std::fs::read_to_string(&snap_path).map_err(|e| RegistryError::Storage(e.to_string()))?;
             let v = parse(&text).map_err(|e| RegistryError::Storage(format!("corrupt snapshot: {e}")))?;
             store = Store::from_value(&v)?;
         }
@@ -59,7 +60,10 @@ impl WalStore {
             .append(true)
             .open(&wal_path)
             .map_err(|e| RegistryError::Storage(e.to_string()))?;
-        Ok((store, WalStore { dir: dir.to_path_buf(), wal: Some(wal), ops_since_snapshot: 0, snapshot_every: 256 }))
+        Ok((
+            store,
+            WalStore { dir: dir.to_path_buf(), wal: Some(wal), ops_since_snapshot: 0, snapshot_every: 256 },
+        ))
     }
 
     /// In-memory mode: no files, appends are no-ops.
@@ -86,8 +90,10 @@ impl WalStore {
             return Ok(());
         }
         let tmp = self.dir.join("registry.snapshot.tmp");
-        std::fs::write(&tmp, to_string(&store.to_value())).map_err(|e| RegistryError::Storage(e.to_string()))?;
-        std::fs::rename(&tmp, Self::snapshot_path(&self.dir)).map_err(|e| RegistryError::Storage(e.to_string()))?;
+        std::fs::write(&tmp, to_string(&store.to_value()))
+            .map_err(|e| RegistryError::Storage(e.to_string()))?;
+        std::fs::rename(&tmp, Self::snapshot_path(&self.dir))
+            .map_err(|e| RegistryError::Storage(e.to_string()))?;
         // Truncate the WAL now that the snapshot covers it.
         self.wal = Some(
             OpenOptions::new()
@@ -113,7 +119,10 @@ pub fn apply_op(store: &mut Store, op: &Value) -> Result<(), RegistryError> {
             other => Err(RegistryError::Storage(format!("unknown table '{other}'"))),
         }
     }
-    fn junction<'a>(store: &'a mut Store, name: &str) -> Result<&'a mut crate::store::Junction, RegistryError> {
+    fn junction<'a>(
+        store: &'a mut Store,
+        name: &str,
+    ) -> Result<&'a mut crate::store::Junction, RegistryError> {
         match name {
             "user_pes" => Ok(&mut store.user_pes),
             "user_workflows" => Ok(&mut store.user_workflows),

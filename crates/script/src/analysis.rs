@@ -256,10 +256,8 @@ impl CodeFacts {
                     Stmt::While { .. } | Stmt::For { .. } => f.has_loop = true,
                     Stmt::If { .. } => f.has_branch = true,
                     Stmt::Emit(_) => f.emits_default = true,
-                    Stmt::EmitTo { port, .. } => {
-                        if !f.emit_ports.contains(port) {
-                            f.emit_ports.push(port.clone());
-                        }
+                    Stmt::EmitTo { port, .. } if !f.emit_ports.contains(port) => {
+                        f.emit_ports.push(port.clone())
                     }
                     _ => {}
                 }

@@ -73,8 +73,9 @@ pub enum PeKind {
 }
 
 impl PeKind {
-    /// Parse from the source keyword.
-    pub fn from_str(s: &str) -> Option<PeKind> {
+    /// Parse from the source keyword (named like [`crate::parse_script`]'s
+    /// helpers rather than `FromStr` because it returns an `Option`).
+    pub fn parse(s: &str) -> Option<PeKind> {
         Some(match s {
             "producer" => PeKind::Producer,
             "iterative" => PeKind::Iterative,
@@ -324,28 +325,20 @@ mod tests {
     #[test]
     fn pe_kind_round_trip() {
         for k in [PeKind::Producer, PeKind::Iterative, PeKind::Consumer, PeKind::Generic] {
-            assert_eq!(PeKind::from_str(k.as_str()), Some(k));
+            assert_eq!(PeKind::parse(k.as_str()), Some(k));
         }
-        assert_eq!(PeKind::from_str("mapper"), None);
+        assert_eq!(PeKind::parse("mapper"), None);
     }
 
     #[test]
     fn lvalue_classification() {
         let v = Expr::Var { name: "x".into(), line: 1 };
         assert!(v.is_lvalue());
-        let idx = Expr::Index {
-            base: Box::new(v.clone()),
-            index: Box::new(Expr::Int(0)),
-            line: 1,
-        };
+        let idx = Expr::Index { base: Box::new(v.clone()), index: Box::new(Expr::Int(0)), line: 1 };
         assert!(idx.is_lvalue());
         let call = Expr::Call { module: None, name: "f".into(), args: vec![], line: 1 };
         assert!(!call.is_lvalue());
-        let idx_of_call = Expr::Index {
-            base: Box::new(call),
-            index: Box::new(Expr::Int(0)),
-            line: 1,
-        };
+        let idx_of_call = Expr::Index { base: Box::new(call), index: Box::new(Expr::Int(0)), line: 1 };
         assert!(!idx_of_call.is_lvalue());
     }
 

@@ -120,7 +120,12 @@ impl Interp {
     }
 
     /// Run a PE's `init` block against `state`.
-    pub fn run_init(&mut self, pe: &PeDecl, state: &mut Value, sink: &mut dyn Sink) -> Result<(), ScriptError> {
+    pub fn run_init(
+        &mut self,
+        pe: &PeDecl,
+        state: &mut Value,
+        sink: &mut dyn Sink,
+    ) -> Result<(), ScriptError> {
         if state.is_null() {
             // Instance state is always an object, like a fresh Python
             // instance's attribute dict.
@@ -168,9 +173,7 @@ impl Interp {
         env.define("state", std::mem::take(state));
         let datum = input.unwrap_or(Value::Null);
         // The datum is visible both as `input` and under the port's name.
-        let port_var = input_port
-            .map(str::to_string)
-            .or_else(|| pe.default_input().map(str::to_string));
+        let port_var = input_port.map(str::to_string).or_else(|| pe.default_input().map(str::to_string));
         if let Some(pv) = port_var {
             if pv != "input" {
                 env.define(&pv, datum.clone());
@@ -179,7 +182,8 @@ impl Interp {
         env.define("input", datum);
         env.define("input_port", input_port.map(Value::from).unwrap_or(Value::Null));
         env.define("iteration", Value::Int(iteration));
-        let mut ctx = PeCtx { default_output: pe.default_output().map(str::to_string), outputs: pe.outputs.clone() };
+        let mut ctx =
+            PeCtx { default_output: pe.default_output().map(str::to_string), outputs: pe.outputs.clone() };
         let flow = self.exec_block_pe(&pe.process, &mut env, sink, &mut ctx, 0)?;
         *state = env.take("state").unwrap_or(Value::Null);
         Ok(match flow {
@@ -215,7 +219,13 @@ impl Interp {
         Ok(())
     }
 
-    fn exec_block(&mut self, block: &Block, env: &mut Env, sink: &mut dyn Sink, depth: usize) -> Result<Flow, ScriptError> {
+    fn exec_block(
+        &mut self,
+        block: &Block,
+        env: &mut Env,
+        sink: &mut dyn Sink,
+        depth: usize,
+    ) -> Result<Flow, ScriptError> {
         let mut ctx = PeCtx { default_output: None, outputs: vec![] };
         self.exec_block_pe(block, env, sink, &mut ctx, depth)
     }
@@ -401,7 +411,10 @@ impl Interp {
                         *place = Value::Object(Map::new());
                     }
                     let m = place.as_object_mut().ok_or_else(|| {
-                        ScriptError::new(ErrorKind::TypeError, format!("cannot set field '{f}' on non-object"))
+                        ScriptError::new(
+                            ErrorKind::TypeError,
+                            format!("cannot set field '{f}' on non-object"),
+                        )
                     })?;
                     place = m.entry(f.clone()).or_insert(Value::Null);
                 }
@@ -410,31 +423,31 @@ impl Interp {
                         *place = Value::Object(Map::new());
                     }
                     match (&mut *place, idx) {
-                    (Value::Object(m), key) => {
-                        let k = match key {
-                            Value::Str(s) => s.clone(),
-                            other => other.to_string(),
-                        };
-                        place = m.entry(k).or_insert(Value::Null);
-                    }
-                    (Value::Array(a), Value::Int(i)) => {
-                        let len = a.len() as i64;
-                        let real = if *i < 0 { *i + len } else { *i };
-                        if real < 0 || real >= len {
-                            return Err(ScriptError::new(
-                                ErrorKind::IndexError,
-                                format!("list index {i} out of range (len {len})"),
-                            ));
+                        (Value::Object(m), key) => {
+                            let k = match key {
+                                Value::Str(s) => s.clone(),
+                                other => other.to_string(),
+                            };
+                            place = m.entry(k).or_insert(Value::Null);
                         }
-                        place = &mut a[real as usize];
+                        (Value::Array(a), Value::Int(i)) => {
+                            let len = a.len() as i64;
+                            let real = if *i < 0 { *i + len } else { *i };
+                            if real < 0 || real >= len {
+                                return Err(ScriptError::new(
+                                    ErrorKind::IndexError,
+                                    format!("list index {i} out of range (len {len})"),
+                                ));
+                            }
+                            place = &mut a[real as usize];
+                        }
+                        (other, idx) => {
+                            return Err(ScriptError::new(
+                                ErrorKind::TypeError,
+                                format!("cannot index {} with {}", other.type_name(), idx.type_name()),
+                            ))
+                        }
                     }
-                    (other, idx) => {
-                        return Err(ScriptError::new(
-                            ErrorKind::TypeError,
-                            format!("cannot index {} with {}", other.type_name(), idx.type_name()),
-                        ))
-                    }
-                }
                 }
             }
         }
@@ -456,7 +469,13 @@ impl Interp {
         self.eval(expr, env, sink, depth)
     }
 
-    fn eval(&mut self, expr: &Expr, env: &mut Env, sink: &mut dyn Sink, depth: usize) -> Result<Value, ScriptError> {
+    fn eval(
+        &mut self,
+        expr: &Expr,
+        env: &mut Env,
+        sink: &mut dyn Sink,
+        depth: usize,
+    ) -> Result<Value, ScriptError> {
         self.burn(expr.line())?;
         match expr {
             Expr::Int(n) => Ok(Value::Int(*n)),
@@ -523,6 +542,7 @@ impl Interp {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors eval()'s threading of interpreter context
     fn eval_binary(
         &mut self,
         op: BinOp,
@@ -576,7 +596,10 @@ impl Interp {
                 }
                 "random" => {
                     if !args.is_empty() {
-                        return Err(ScriptError::new(ErrorKind::ArgumentError, "random() takes no arguments"));
+                        return Err(ScriptError::new(
+                            ErrorKind::ArgumentError,
+                            "random() takes no arguments",
+                        ));
                     }
                     return Ok(Value::Float(self.rng.random::<f64>()));
                 }
@@ -737,9 +760,8 @@ fn binary_op(op: BinOp, l: &Value, r: &Value, line: usize) -> Result<Value, Scri
                 out.extend(b.iter().cloned());
                 Ok(Array(out))
             }
-            _ => num_op(l, r, |a, b| a + b).ok_or_else(|| {
-                type_err(format!("cannot add {} and {}", l.type_name(), r.type_name()))
-            }),
+            _ => num_op(l, r, |a, b| a + b)
+                .ok_or_else(|| type_err(format!("cannot add {} and {}", l.type_name(), r.type_name()))),
         },
         Sub => match (l, r) {
             (Int(a), Int(b)) => Ok(Int(a.wrapping_sub(*b))),
@@ -758,11 +780,14 @@ fn binary_op(op: BinOp, l: &Value, r: &Value, line: usize) -> Result<Value, Scri
                 .ok_or_else(|| type_err(format!("cannot multiply {} and {}", l.type_name(), r.type_name()))),
         },
         Div => match (l, r) {
-            (Int(_), Int(0)) => Err(ScriptError::at(ErrorKind::DivisionByZero, "integer division by zero", line, 0)),
+            (Int(_), Int(0)) => {
+                Err(ScriptError::at(ErrorKind::DivisionByZero, "integer division by zero", line, 0))
+            }
             (Int(a), Int(b)) => Ok(Int(a.wrapping_div(*b))),
             _ => {
-                let v = num_op(l, r, |a, b| a / b)
-                    .ok_or_else(|| type_err(format!("cannot divide {} by {}", l.type_name(), r.type_name())))?;
+                let v = num_op(l, r, |a, b| a / b).ok_or_else(|| {
+                    type_err(format!("cannot divide {} by {}", l.type_name(), r.type_name()))
+                })?;
                 match v {
                     Float(f) if f.is_nan() || f.is_infinite() => {
                         Err(ScriptError::at(ErrorKind::DivisionByZero, "float division by zero", line, 0))
@@ -812,8 +837,8 @@ fn num_op(l: &Value, r: &Value, f: impl Fn(f64, f64) -> f64) -> Option<Value> {
 mod tests {
     use super::*;
     use crate::parser::{parse_expr, parse_script};
-    use std::sync::Arc;
     use laminar_json::{jarr, jobj};
+    use std::sync::Arc;
 
     fn eval(src: &str) -> Value {
         let script = Script { items: vec![] };
@@ -879,7 +904,11 @@ mod tests {
         assert_eq!(eval("{a: {b: 5}}.a.b"), Value::Int(5));
     }
 
-    fn run_pe(src: &str, pe_name: &str, inputs: Vec<Option<Value>>) -> (Vec<(String, Value)>, Vec<String>, Value) {
+    fn run_pe(
+        src: &str,
+        pe_name: &str,
+        inputs: Vec<Option<Value>>,
+    ) -> (Vec<(String, Value)>, Vec<String>, Value) {
         let script = parse_script(src).unwrap();
         let pe = script.pe(pe_name).unwrap();
         let mut interp = Interp::new(&script, Arc::new(NullHost)).with_seed(7);
@@ -934,11 +963,7 @@ mod tests {
                 }
             }
         "#;
-        let inputs = vec![
-            Some(jarr!["the", 1]),
-            Some(jarr!["fox", 1]),
-            Some(jarr!["the", 1]),
-        ];
+        let inputs = vec![Some(jarr!["the", 1]), Some(jarr!["fox", 1]), Some(jarr!["the", 1])];
         let (emitted, _, state) = run_pe(src, "CountWords", inputs);
         assert_eq!(emitted[2].1, jarr!["the", 2]);
         assert_eq!(state["count"]["the"].as_i64(), Some(2));

@@ -54,10 +54,10 @@ pub enum TokenKind {
     Semi,
     Colon,
     Dot,
-    Arrow, // ->
+    Arrow,  // ->
     Assign, // =
-    Eq,    // ==
-    Ne,    // !=
+    Eq,     // ==
+    Ne,     // !=
     Lt,
     Le,
     Gt,
@@ -375,9 +375,7 @@ fn lex_string(bytes: &[u8], line: usize, col: usize) -> Result<(String, usize, u
                     0xC2..=0xDF => 2,
                     0xE0..=0xEF => 3,
                     0xF0..=0xF4 => 4,
-                    _ => {
-                        return Err(ScriptError::at(ErrorKind::Lex, "invalid UTF-8 in string", line, col))
-                    }
+                    _ => return Err(ScriptError::at(ErrorKind::Lex, "invalid UTF-8 in string", line, col)),
                 };
                 if i + len > bytes.len() {
                     return Err(ScriptError::at(ErrorKind::Lex, "truncated UTF-8 in string", line, col));
@@ -420,9 +418,8 @@ fn lex_number(bytes: &[u8], line: usize, col: usize) -> Result<(TokenKind, usize
     }
     let text = std::str::from_utf8(&bytes[..i]).expect("ascii number");
     if is_float {
-        let f: f64 = text
-            .parse()
-            .map_err(|_| ScriptError::at(ErrorKind::Lex, "invalid float literal", line, col))?;
+        let f: f64 =
+            text.parse().map_err(|_| ScriptError::at(ErrorKind::Lex, "invalid float literal", line, col))?;
         Ok((TokenKind::Float(f), i))
     } else {
         let n: i64 = text
@@ -475,11 +472,7 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             kinds(r#""a\n\"b\"" "unicode ∆""#),
-            vec![
-                TokenKind::Str("a\n\"b\"".into()),
-                TokenKind::Str("unicode ∆".into()),
-                TokenKind::Eof,
-            ]
+            vec![TokenKind::Str("a\n\"b\"".into()), TokenKind::Str("unicode ∆".into()), TokenKind::Eof,]
         );
     }
 
@@ -521,12 +514,7 @@ mod tests {
         // Dot not followed by digit is a Dot token (method access).
         assert_eq!(
             kinds("1.foo"),
-            vec![
-                TokenKind::Int(1),
-                TokenKind::Dot,
-                TokenKind::Ident("foo".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Int(1), TokenKind::Dot, TokenKind::Ident("foo".into()), TokenKind::Eof]
         );
     }
 

@@ -155,8 +155,9 @@ impl P {
         let name = self.ident("PE name")?;
         self.expect(TokenKind::Colon, "':' before PE kind")?;
         let kind_name = self.ident("PE kind")?;
-        let kind = PeKind::from_str(&kind_name)
-            .ok_or_else(|| self.err(format!("unknown PE kind '{kind_name}' (expected producer/iterative/consumer/generic)")))?;
+        let kind = PeKind::parse(&kind_name).ok_or_else(|| {
+            self.err(format!("unknown PE kind '{kind_name}' (expected producer/iterative/consumer/generic)"))
+        })?;
         self.expect(TokenKind::LBrace, "'{'")?;
 
         let mut doc = None;
@@ -664,11 +665,10 @@ mod tests {
 
     #[test]
     fn literals() {
-        assert_eq!(parse_expr("[1, 2.5, \"a\"]").unwrap(), Expr::List(vec![
-            Expr::Int(1),
-            Expr::Float(2.5),
-            Expr::Str("a".into()),
-        ]));
+        assert_eq!(
+            parse_expr("[1, 2.5, \"a\"]").unwrap(),
+            Expr::List(vec![Expr::Int(1), Expr::Float(2.5), Expr::Str("a".into()),])
+        );
         let m = parse_expr("{\"a\": 1, b: 2}").unwrap();
         let Expr::MapLit(pairs) = m else { panic!() };
         assert_eq!(pairs[0].0, "a");

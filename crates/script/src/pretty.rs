@@ -188,7 +188,8 @@ pub fn expr_src(e: &Expr) -> String {
             format!("[{}]", inner.join(", "))
         }
         Expr::MapLit(pairs) => {
-            let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("{}: {}", quote(k), expr_src(v))).collect();
+            let inner: Vec<String> =
+                pairs.iter().map(|(k, v)| format!("{}: {}", quote(k), expr_src(v))).collect();
             format!("{{{}}}", inner.join(", "))
         }
         Expr::Binary { op, lhs, rhs, .. } => {
@@ -276,7 +277,8 @@ mod tests {
 
     #[test]
     fn doc_strings_escaped() {
-        let src = r#"pe X : producer { doc "has \"quotes\" and \n newline"; output o; process { emit(1); } }"#;
+        let src =
+            r#"pe X : producer { doc "has \"quotes\" and \n newline"; output o; process { emit(1); } }"#;
         let ast = parse_script(src).unwrap();
         let back = parse_script(&to_source(&ast)).unwrap();
         assert_eq!(to_source(&back), to_source(&ast));

@@ -11,30 +11,22 @@ fn arb_pe_source() -> impl Strategy<Value = String> {
     let idents = prop::sample::select(vec!["x", "y", "total", "word", "acc", "v7"]);
     let ops = prop::sample::select(vec!["+", "-", "*", "%"]);
     let cmps = prop::sample::select(vec!["<", "<=", ">", ">=", "==", "!="]);
-    (
-        idents,
-        ops,
-        cmps,
-        1..50i64,
-        prop::bool::ANY,
-        prop::bool::ANY,
-    )
-        .prop_map(|(var, op, cmp, n, with_loop, with_state)| {
+    (idents, ops, cmps, 1..50i64, prop::bool::ANY, prop::bool::ANY).prop_map(
+        |(var, op, cmp, n, with_loop, with_state)| {
             let mut body = String::new();
             body.push_str(&format!("let {var} = input; "));
             if with_loop {
-                body.push_str(&format!(
-                    "let i = 0; while i < 3 {{ {var} = {var} {op} {n}; i = i + 1; }} "
-                ));
+                body.push_str(&format!("let i = 0; while i < 3 {{ {var} = {var} {op} {n}; i = i + 1; }} "));
             } else {
                 body.push_str(&format!("{var} = {var} {op} {n}; "));
             }
             if with_state {
-                body.push_str(&format!("state.acc = get(state, \"acc\", 0) + 1; "));
+                body.push_str("state.acc = get(state, \"acc\", 0) + 1; ");
             }
             body.push_str(&format!("if {var} {cmp} {n} {{ emit({var}); }} else {{ emit({n}); }}"));
             format!("pe Gen : iterative {{ input input; output output; process {{ {body} }} }}")
-        })
+        },
+    )
 }
 
 proptest! {

@@ -180,8 +180,7 @@ fn write_response(mut stream: TcpStream, response: &ApiResponse) -> std::io::Res
 pub fn http_call(addr: std::net::SocketAddr, request: &ApiRequest) -> std::io::Result<ApiResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let body = if request.body.is_null() { String::new() } else { to_string(&request.body) };
-    let encoded_path: String =
-        request.path.split('/').map(percent_encode).collect::<Vec<_>>().join("/");
+    let encoded_path: String = request.path.split('/').map(percent_encode).collect::<Vec<_>>().join("/");
     write!(
         stream,
         "{} {} HTTP/1.0\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
@@ -244,7 +243,11 @@ mod tests {
 
         let r = http_call(
             addr,
-            &ApiRequest::new(Method::Post, "/auth/register", jobj! { "userName" => "net", "password" => "password" }),
+            &ApiRequest::new(
+                Method::Post,
+                "/auth/register",
+                jobj! { "userName" => "net", "password" => "password" },
+            ),
         )
         .unwrap();
         assert!(r.is_ok(), "{r:?}");
@@ -281,7 +284,11 @@ mod tests {
         let addr = http.addr();
         http_call(
             addr,
-            &ApiRequest::new(Method::Post, "/auth/register", jobj! { "userName" => "cc", "password" => "password" }),
+            &ApiRequest::new(
+                Method::Post,
+                "/auth/register",
+                jobj! { "userName" => "cc", "password" => "password" },
+            ),
         )
         .unwrap();
         let threads: Vec<_> = (0..8)

@@ -46,12 +46,12 @@ impl LaminarServer {
             // ---- PE controller -------------------------------------------
             (Method::Post, ["registry", user, "pe", "add"]) => self.pe_add(user, &req.body),
             (Method::Get, ["registry", user, "pe", "all"]) => self.pe_all(user),
-            (Method::Get, ["registry", user, "pe", "id", id]) => self.pe_get(user, &EntityKey::from_str(id)),
+            (Method::Get, ["registry", user, "pe", "id", id]) => self.pe_get(user, &EntityKey::parse(id)),
             (Method::Get, ["registry", user, "pe", "name", name]) => {
                 self.pe_get(user, &EntityKey::Name(name.to_string()))
             }
             (Method::Delete, ["registry", user, "pe", "remove", "id", id]) => {
-                self.pe_remove(user, &EntityKey::from_str(id))
+                self.pe_remove(user, &EntityKey::parse(id))
             }
             (Method::Delete, ["registry", user, "pe", "remove", "name", name]) => {
                 self.pe_remove(user, &EntityKey::Name(name.to_string()))
@@ -61,19 +61,19 @@ impl LaminarServer {
             (Method::Post, ["registry", user, "workflow", "add"]) => self.workflow_add(user, &req.body),
             (Method::Get, ["registry", user, "workflow", "all"]) => self.workflow_all(user),
             (Method::Get, ["registry", user, "workflow", "id", id]) => {
-                self.workflow_get(user, &EntityKey::from_str(id))
+                self.workflow_get(user, &EntityKey::parse(id))
             }
             (Method::Get, ["registry", user, "workflow", "name", name]) => {
                 self.workflow_get(user, &EntityKey::Name(name.to_string()))
             }
             (Method::Get, ["registry", user, "workflow", "pes", "id", id]) => {
-                self.workflow_pes(user, &EntityKey::from_str(id))
+                self.workflow_pes(user, &EntityKey::parse(id))
             }
             (Method::Get, ["registry", user, "workflow", "pes", "name", name]) => {
                 self.workflow_pes(user, &EntityKey::Name(name.to_string()))
             }
             (Method::Delete, ["registry", user, "workflow", "remove", "id", id]) => {
-                self.workflow_remove(user, &EntityKey::from_str(id))
+                self.workflow_remove(user, &EntityKey::parse(id))
             }
             (Method::Delete, ["registry", user, "workflow", "remove", "name", name]) => {
                 self.workflow_remove(user, &EntityKey::Name(name.to_string()))
@@ -142,10 +142,8 @@ impl LaminarServer {
     fn pe_get(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
         let pe = self.registry.get_pe(user, key)?;
         let mut v = pe_summary(&pe);
-        v.set("peCode", pe.pe_code.as_str()).set(
-            "peImports",
-            Value::Array(pe.pe_imports.iter().map(|i| Value::Str(i.clone())).collect()),
-        );
+        v.set("peCode", pe.pe_code.as_str())
+            .set("peImports", Value::Array(pe.pe_imports.iter().map(|i| Value::Str(i.clone())).collect()));
         Ok(v)
     }
 
@@ -190,9 +188,10 @@ impl LaminarServer {
     }
 
     fn workflow_link_pe(&mut self, user: &str, wid: &str, pid: &str) -> Result<Value, RegistryError> {
-        let wid: i64 = wid
-            .parse()
-            .map_err(|_| RegistryError::Invalid { field: "workflowId", message: "must be an integer".into() })?;
+        let wid: i64 = wid.parse().map_err(|_| RegistryError::Invalid {
+            field: "workflowId",
+            message: "must be an integer".into(),
+        })?;
         let pid: i64 = pid
             .parse()
             .map_err(|_| RegistryError::Invalid { field: "peId", message: "must be an integer".into() })?;
@@ -208,12 +207,22 @@ impl LaminarServer {
         self.registry.dump(user)
     }
 
-    fn registry_search(&mut self, user: &str, search: &str, stype: &str, body: &Value) -> Result<Value, RegistryError> {
-        let search_type = SearchType::parse(stype)
-            .ok_or(RegistryError::Invalid { field: "type", message: format!("unknown search type '{stype}'") })?;
+    fn registry_search(
+        &mut self,
+        user: &str,
+        search: &str,
+        stype: &str,
+        body: &Value,
+    ) -> Result<Value, RegistryError> {
+        let search_type = SearchType::parse(stype).ok_or(RegistryError::Invalid {
+            field: "type",
+            message: format!("unknown search type '{stype}'"),
+        })?;
         let query_type = match body["queryType"].as_str() {
-            Some(q) => QueryType::parse(q)
-                .ok_or(RegistryError::Invalid { field: "queryType", message: format!("unknown query type '{q}'") })?,
+            Some(q) => QueryType::parse(q).ok_or(RegistryError::Invalid {
+                field: "queryType",
+                message: format!("unknown query type '{q}'"),
+            })?,
             None => QueryType::Text,
         };
         let hits = self.registry.search(user, search, search_type, query_type)?;
@@ -413,7 +422,8 @@ mod tests {
             "/registry/zz46/workflow/add",
             jobj! { "code" => WF_SRC, "entryPoint" => "isPrime" },
         ));
-        let r = s.handle(&ApiRequest::new(Method::Get, "/registry/zz46/search/prime/type/workflow", Value::Null));
+        let r =
+            s.handle(&ApiRequest::new(Method::Get, "/registry/zz46/search/prime/type/workflow", Value::Null));
         assert!(r.is_ok());
         assert_eq!(r.body[0]["name"].as_str(), Some("isPrime"));
         // Unknown search type → 400.
@@ -450,6 +460,11 @@ mod tests {
         ));
         assert!(r.is_ok(), "{r:?}");
         assert_eq!(r.body["printed"].as_array().unwrap().len(), 8);
+        // The response reports the enactment's stage breakdown (Table 5's
+        // overhead structure) alongside the coarse engine timings.
+        assert!(r.body["enact_us"].as_i64().unwrap_or(-1) > 0, "body: {:?}", r.body);
+        assert!(r.body["plan_us"].as_i64().unwrap_or(-1) >= 0);
+        assert!(r.body["collect_us"].as_i64().unwrap_or(-1) >= 0);
         // Unknown workflow name → 404 envelope.
         let r = s.handle(&ApiRequest::new(
             Method::Post,

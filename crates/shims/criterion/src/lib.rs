@@ -1,0 +1,211 @@
+//! Minimal offline substitute for the `criterion` API subset Laminar's
+//! benches use.
+//!
+//! The build container has no crates.io access, so `benches/` targets
+//! import this crate under the name `criterion` via a cargo dependency
+//! rename (root `Cargo.toml`). It is a measurement harness, not a
+//! statistics engine: each benchmark runs `sample_size` timed iterations
+//! after one warm-up and reports min/mean/max on stdout. Pass `--quick`
+//! (or run under `cargo test`, which passes `--test`) to clamp every
+//! benchmark to a single iteration.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Criterion { default_sample_size: 10, quick }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            quick: self.quick,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let quick = self.quick;
+        let n = self.default_sample_size;
+        run_one("", &id.into(), n, quick, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    quick: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for criterion compatibility; this harness always runs
+    /// exactly `sample_size` iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_size, self.quick, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_size, self.quick, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, quick: bool, mut f: F) {
+    let samples = if quick { 1 } else { samples };
+    let mut b = Bencher { samples, durations: Vec::with_capacity(samples) };
+    f(&mut b);
+    let label = if group.is_empty() { id.0.clone() } else { format!("{group}/{}", id.0) };
+    if b.durations.is_empty() {
+        println!("{label:<56} (no measurements)");
+        return;
+    }
+    let min = b.durations.iter().min().expect("non-empty");
+    let max = b.durations.iter().max().expect("non-empty");
+    let mean = b.durations.iter().sum::<Duration>() / b.durations.len() as u32;
+    println!(
+        "{label:<56} mean {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({} samples)",
+        mean,
+        min,
+        max,
+        b.durations.len()
+    );
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations (plus one
+    /// untimed warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], with per-iteration untimed setup.
+    pub fn iter_with_setup<S, O, FS: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: FS,
+        mut routine: F,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+/// A benchmark label, optionally `function/parameter`-shaped.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label combining a function name and a parameter rendering.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut c = Criterion { default_sample_size: 3, quick: false };
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup() {
+        let mut c = Criterion { default_sample_size: 2, quick: false };
+        let mut setups = 0usize;
+        c.bench_function("s", |b| b.iter_with_setup(|| setups += 1, |_| ()));
+        assert_eq!(setups, 3);
+    }
+}

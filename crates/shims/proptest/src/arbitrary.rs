@@ -1,0 +1,62 @@
+//! `any::<T>()` — type-driven strategies with light edge-case biasing.
+
+use crate::strategy::BoxedStrategy;
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one value; implementations mix in boundary values so parsers
+    /// and codecs see extremes early.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary + 'static>() -> BoxedStrategy<A> {
+    BoxedStrategy(Rc::new(|rng| A::arbitrary(rng)))
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 draws come from the boundary pool.
+                if rng.next_u64().is_multiple_of(8) {
+                    const EDGES: [i128; 5] = [0, 1, -1, <$t>::MIN as i128, <$t>::MAX as i128];
+                    EDGES[rng.below(EDGES.len())] as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn edges_appear() {
+        let mut rng = TestRng::deterministic("edges");
+        let s = any::<i64>();
+        let vals: Vec<i64> = (0..400).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.contains(&i64::MAX));
+        assert!(vals.contains(&0));
+    }
+}

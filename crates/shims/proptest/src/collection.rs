@@ -1,0 +1,59 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A vector of `elem` samples with length drawn from `size`.
+pub fn vec<S>(elem: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    BoxedStrategy(Rc::new(move |rng| {
+        let len = size.start + rng.below((size.end - size.start).max(1));
+        (0..len).map(|_| elem.sample(rng)).collect()
+    }))
+}
+
+/// A map of `key`/`value` samples with size drawn from `size` (duplicate
+/// keys collapse, like proptest's).
+pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+where
+    K: Strategy + 'static,
+    V: Strategy + 'static,
+    K::Value: Ord + 'static,
+    V::Value: 'static,
+{
+    BoxedStrategy(Rc::new(move |rng| {
+        let len = size.start + rng.below((size.end - size.start).max(1));
+        (0..len).map(|_| (key.sample(rng), value.sample(rng))).collect()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_size_bounds() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = vec(0..100i64, 2..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_keys_are_generated() {
+        let mut rng = TestRng::deterministic("map");
+        let s = btree_map("[a-z]{1,3}", 0..10i64, 0..6);
+        let m = s.sample(&mut rng);
+        for k in m.keys() {
+            assert!(!k.is_empty() && k.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy over all *normal* floats (finite, non-zero, non-subnormal)
+    /// across the full exponent range — the values JSON must round-trip.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// The normal-floats strategy.
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = ::core::primitive::f64;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            loop {
+                let f = ::core::primitive::f64::from_bits(rng.next_u64());
+                if f.is_normal() {
+                    return f;
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn only_normal_values() {
+            let mut rng = TestRng::deterministic("norm");
+            for _ in 0..500 {
+                assert!(NORMAL.sample(&mut rng).is_normal());
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `prop::sample::select` — uniform choice from a fixed pool.
+
+use crate::strategy::BoxedStrategy;
+use std::rc::Rc;
+
+/// Uniformly select one element of `items` per case.
+pub fn select<T: Clone + 'static>(items: Vec<T>) -> BoxedStrategy<T> {
+    assert!(!items.is_empty(), "select needs a non-empty pool");
+    BoxedStrategy(Rc::new(move |rng| items[rng.below(items.len())].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn select_covers_pool() {
+        let mut rng = TestRng::deterministic("sel");
+        let s = super::select(vec!["+", "-", "*"]);
+        let seen: std::collections::BTreeSet<&str> = (0..100).map(|_| s.sample(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+}

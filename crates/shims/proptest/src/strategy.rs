@@ -1,0 +1,213 @@
+//! The [`Strategy`] trait and core combinators.
+//!
+//! Every combinator returns a [`BoxedStrategy`]: an `Rc`-shared sampling
+//! closure. That keeps the type algebra trivial (no shrink trees) at the
+//! cost of one indirection per sample — irrelevant at test scale.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase into a cloneable strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.sample(rng)))
+    }
+
+    /// Map generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| f(s.sample(rng))))
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// nested level and returns the composite level. `depth` bounds the
+    /// nesting; the remaining two parameters (proptest's target sizes) are
+    /// accepted for signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            let shallow = leaf.clone();
+            // 1-in-3 chance of bottoming out early at each level keeps the
+            // expected tree size modest while still reaching full depth.
+            strat = BoxedStrategy(Rc::new(move |rng| {
+                if rng.next_u64().is_multiple_of(3) {
+                    shallow.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            }));
+        }
+        strat
+    }
+}
+
+/// A type-erased, cloneable strategy.
+pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (backs [`crate::prop_oneof!`]).
+pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = rng.below(arms.len());
+        arms[i].sample(rng)
+    }))
+}
+
+/// Integer ranges are strategies; the uniform sampling itself lives in the
+/// rand shim (`laminar-rand`), which [`TestRng`] implements `RngCore` for.
+impl<T: 'static> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rand::SampleRange::sample(self.clone(), rng)
+    }
+}
+
+impl<T: 'static> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: rand::SampleRange<Output = T> + Clone,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rand::SampleRange::sample(self.clone(), rng)
+    }
+}
+
+/// String literals are regex-subset strategies (see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::deterministic("t");
+        let s = (0..10i64).prop_map(|n| n * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn one_of_hits_every_arm() {
+        let mut rng = TestRng::deterministic("arms");
+        let s = one_of(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let seen: std::collections::BTreeSet<i32> = (0..100).map(|_| s.sample(&mut rng)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut rng = TestRng::deterministic("tree");
+        let s = Just(())
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(4, 64, 8, |inner| crate::collection::vec(inner, 0..4).prop_map(Tree::Node));
+        for _ in 0..200 {
+            assert!(depth(&s.sample(&mut rng)) <= 4);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::deterministic("tup");
+        let s = (0..5i64, crate::bool::ANY, "[a-c]{1,2}");
+        let (n, _b, txt) = s.sample(&mut rng);
+        assert!((0..5).contains(&n));
+        assert!(!txt.is_empty() && txt.len() <= 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! String generation from the regex subset the workspace's suites use:
+//! sequences of `[class]`, `\PC` or literal-char units, each optionally
+//! followed by `{m,n}` / `{n}` repetition.
+//!
+//! `\PC` means "not in Unicode category C" (printable); it is approximated
+//! by a pool of printable ASCII plus a handful of multi-byte characters so
+//! parsers see non-ASCII UTF-8 early.
+
+use crate::test_runner::TestRng;
+
+const PRINTABLE_EXTRAS: &[char] = &['é', 'ß', 'Ω', 'Ж', '中', '한', '∞', 'œ', '🦀', '☂'];
+
+#[derive(Debug, Clone)]
+enum Unit {
+    /// Inclusive char ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+    /// Any printable char (`\PC`).
+    Printable,
+}
+
+fn parse_units(pattern: &str) -> Vec<(Unit, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+                i += 1; // consume ']'
+                Unit::Class(ranges)
+            }
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?} (only \\PC is implemented)"
+                );
+                i += 3;
+                Unit::Printable
+            }
+            c => {
+                i += 1;
+                Unit::Class(vec![(c, c)])
+            }
+        };
+        // Optional {m,n} or {n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unterminated {...}") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+                None => {
+                    let n: usize = body.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        units.push((unit, min, max));
+    }
+    units
+}
+
+fn sample_char(unit: &Unit, rng: &mut TestRng) -> char {
+    match unit {
+        Unit::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = (rng.next_u64() % total as u64) as u32;
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).expect("valid scalar in class range");
+                }
+                pick -= span;
+            }
+            unreachable!("pick is bounded by the total span")
+        }
+        Unit::Printable => {
+            // Mostly ASCII printable, occasionally a multi-byte char.
+            if rng.next_u64().is_multiple_of(8) {
+                PRINTABLE_EXTRAS[rng.below(PRINTABLE_EXTRAS.len())]
+            } else {
+                char::from_u32(0x20 + (rng.next_u64() % 0x5f) as u32).expect("printable ASCII")
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (unit, min, max) in parse_units(pattern) {
+        let len = min + rng.below(max - min + 1);
+        for _ in 0..len {
+            out.push(sample_char(&unit, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_range_and_bounds() {
+        let mut rng = TestRng::deterministic("cls");
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut rng = TestRng::deterministic("ascii");
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        let mut rng = TestRng::deterministic("pc");
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = generate("\\PC{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "printable pool should include non-ASCII");
+    }
+
+    #[test]
+    fn fixed_count_and_literals() {
+        let mut rng = TestRng::deterministic("lit");
+        assert_eq!(generate("ab{3}", &mut rng), "abbb");
+    }
+}

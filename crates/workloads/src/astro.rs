@@ -156,8 +156,12 @@ impl Host for VoService {
             ("vo", "fetch") => {
                 let (ra, dec) = match args {
                     [a, b] => (
-                        a.as_f64().ok_or_else(|| ScriptError::new(ErrorKind::ArgumentError, "vo.fetch: ra must be a number"))?,
-                        b.as_f64().ok_or_else(|| ScriptError::new(ErrorKind::ArgumentError, "vo.fetch: dec must be a number"))?,
+                        a.as_f64().ok_or_else(|| {
+                            ScriptError::new(ErrorKind::ArgumentError, "vo.fetch: ra must be a number")
+                        })?,
+                        b.as_f64().ok_or_else(|| {
+                            ScriptError::new(ErrorKind::ArgumentError, "vo.fetch: dec must be a number")
+                        })?,
                     ),
                     _ => return Err(ScriptError::new(ErrorKind::ArgumentError, "vo.fetch(ra, dec)")),
                 };
@@ -176,13 +180,16 @@ impl Host for VoService {
             }
             ("astropy", "parse_votable") => match args {
                 [Value::Str(xml)] => {
-                    let table = VoTable::parse(xml)
-                        .map_err(|e| ScriptError::new(ErrorKind::HostError, format!("VOTable parse failed: {e}")))?;
+                    let table = VoTable::parse(xml).map_err(|e| {
+                        ScriptError::new(ErrorKind::HostError, format!("VOTable parse failed: {e}"))
+                    })?;
                     Ok(Value::Array(table.rows_as_objects()))
                 }
                 _ => Err(ScriptError::new(ErrorKind::ArgumentError, "astropy.parse_votable(xml)")),
             },
-            _ => Err(ScriptError::new(ErrorKind::NameError, format!("unknown host function {module}.{name}"))),
+            _ => {
+                Err(ScriptError::new(ErrorKind::NameError, format!("unknown host function {module}.{name}")))
+            }
         }
     }
 }

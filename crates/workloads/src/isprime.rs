@@ -154,12 +154,7 @@ mod tests {
         let r = SimpleMapping.execute(&g, &RunOptions::iterations(10)).unwrap();
         assert_eq!(
             r.printed,
-            vec![
-                "the num 2 is prime",
-                "the num 3 is prime",
-                "the num 5 is prime",
-                "the num 7 is prime",
-            ]
+            vec!["the num 2 is prime", "the num 3 is prime", "the num 5 is prime", "the num 7 is prime",]
         );
     }
 }

@@ -55,7 +55,8 @@ impl VoTable {
 
     /// Serialize to VOTable XML.
     pub fn to_xml(&self) -> String {
-        let mut out = String::from("<?xml version=\"1.0\"?>\n<VOTABLE version=\"1.4\">\n <RESOURCE>\n  <TABLE>\n");
+        let mut out =
+            String::from("<?xml version=\"1.0\"?>\n<VOTABLE version=\"1.4\">\n <RESOURCE>\n  <TABLE>\n");
         for f in &self.fields {
             out.push_str(&format!(
                 "   <FIELD name=\"{}\" datatype=\"{}\"/>\n",
@@ -123,11 +124,9 @@ impl VoTable {
                         .parse::<f64>()
                         .map(Value::Float)
                         .map_err(|_| format!("bad double '{raw}'"))?,
-                    Some("int") => raw
-                        .trim()
-                        .parse::<i64>()
-                        .map(Value::Int)
-                        .map_err(|_| format!("bad int '{raw}'"))?,
+                    Some("int") => {
+                        raw.trim().parse::<i64>().map(Value::Int).map_err(|_| format!("bad int '{raw}'"))?
+                    }
                     _ => Value::Str(raw),
                 };
                 row.push(value);

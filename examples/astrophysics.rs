@@ -27,7 +27,11 @@ fn main() {
 
     // Listing 5: register the workflow.
     client
-        .register_workflow(SOURCE, "Astrophysics", Some("A workflow to compute the internal extinction of galaxies"))
+        .register_workflow(
+            SOURCE,
+            "Astrophysics",
+            Some("A workflow to compute the internal extinction of galaxies"),
+        )
         .unwrap();
     println!("registered workflow 'Astrophysics'");
 

@@ -38,9 +38,7 @@ fn main() {
 
     // Invoke it like a function: one request, explicit payloads.
     let payload = vec![Value::Int(3), Value::Int(42), Value::Int(712), Value::Int(99)];
-    let out = client
-        .run_source(FUNCTION, RunConfig::data(payload.clone()))
-        .expect("invocation succeeds");
+    let out = client.run_source(FUNCTION, RunConfig::data(payload.clone())).expect("invocation succeeds");
 
     println!("invocations and results:");
     for (arg, result) in payload.iter().zip(out.port_values("Classify", "output")) {

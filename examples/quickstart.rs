@@ -39,10 +39,10 @@ fn main() {
     for line in &out.printed {
         println!("{line}");
     }
-    println!(
-        "\nprocessed: {:?}\nexecute time: {:?}",
-        out.processed, out.execute_time
-    );
+    println!("\nprocessed: {:?}", out.processed);
+    // Stage timings travel at microsecond resolution, so even this tiny run
+    // shows where the time went (Table 5's overhead structure).
+    println!("overhead:  {}", out.overhead_report());
     system.stop();
 }
 

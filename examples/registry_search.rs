@@ -37,10 +37,7 @@ fn main() {
             "pe ReverseText : iterative { input text; output output; process { emit(reverse(text)); } }",
             Some("Reverses the characters of each input string"),
         ),
-        (
-            "pe SquareNumber : iterative { input num; output output; process { emit(num * num); } }",
-            None,
-        ),
+        ("pe SquareNumber : iterative { input num; output output; process { emit(num * num); } }", None),
         (
             r#"pe RunningMax : generic {
                 input input; output output;
@@ -71,9 +68,7 @@ fn main() {
 
     // --- Figure 7: semantic code search over PE descriptions --------------
     println!("\n=== Figure 7: client.search_Registry(\"A PE that checks if a number is prime\", \"pe\", \"text\") ===");
-    let hits = client
-        .search_registry("A PE that checks if a number is prime", "pe", "text")
-        .unwrap();
+    let hits = client.search_registry("A PE that checks if a number is prime", "pe", "text").unwrap();
     print_hits(&hits[..hits.len().min(5)]);
 
     // --- Figure 8: code completion from a snippet --------------------------

@@ -21,8 +21,8 @@
 //! | [`core`] | laminar-core | deployment presets |
 //! | [`workloads`] | laminar-workloads | IsPrime, WordCount, Astrophysics |
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the reproduction methodology.
+//! See `README.md` for a quickstart and `DESIGN.md` for the reproduction
+//! methodology.
 
 pub use laminar_client as client;
 pub use laminar_codec as codec;

@@ -36,9 +36,7 @@ fn isprime_showcase_full_serverless_loop() {
 
     // Run with each mapping; every printed number must be prime.
     for mapping in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
-        let out = c
-            .run_registered("isPrime", RunConfig::iterations(30).with_mapping(mapping, 5))
-            .unwrap();
+        let out = c.run_registered("isPrime", RunConfig::iterations(30).with_mapping(mapping, 5)).unwrap();
         for line in &out.printed {
             if let Some(rest) = line.strip_prefix("the num ") {
                 let n: i64 = rest.split_whitespace().next().unwrap().parse().unwrap();
@@ -92,9 +90,7 @@ fn semantic_search_and_completion_figures() {
     .unwrap();
 
     // Figure 7: natural-language query ranks the prime checker first.
-    let hits = c
-        .search_registry("A PE that checks if a number is prime", "pe", "text")
-        .unwrap();
+    let hits = c.search_registry("A PE that checks if a number is prime", "pe", "text").unwrap();
     assert_eq!(hits[0]["name"].as_str(), Some("IsPrime"), "hits: {hits:?}");
     // Scores are sorted descending.
     let scores: Vec<f64> = hits.iter().map(|h| h["score"].as_f64().unwrap()).collect();
@@ -235,11 +231,8 @@ fn mapping_equivalence_through_the_full_stack() {
     c.register_workflow(src, "squares", None).unwrap();
     let mut reference: Option<Vec<i64>> = None;
     for mapping in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
-        let out = c
-            .run_registered("squares", RunConfig::iterations(25).with_mapping(mapping, 4))
-            .unwrap();
-        let mut got: Vec<i64> =
-            out.port_values("Sq", "output").iter().filter_map(Value::as_i64).collect();
+        let out = c.run_registered("squares", RunConfig::iterations(25).with_mapping(mapping, 4)).unwrap();
+        let mut got: Vec<i64> = out.port_values("Sq", "output").iter().filter_map(Value::as_i64).collect();
         got.sort();
         match &reference {
             None => reference = Some(got),
@@ -247,4 +240,43 @@ fn mapping_equivalence_through_the_full_stack() {
         }
     }
     sys.stop();
+}
+
+#[test]
+fn four_mappings_same_graph_same_outputs_and_counts() {
+    // The satellite equivalence check: one WorkflowGraph value, enacted by
+    // all four back-ends through the shared runtime, must yield identical
+    // sorted terminal outputs AND identical per-PE processed/emitted
+    // counters — the runtime owns the orchestration, so any divergence
+    // would be a transport bug.
+    let src = r#"
+        pe Seq : producer { output output; process { emit(iteration + 1); } }
+        pe Halve : iterative { input x; output output; process { if x % 2 == 0 { emit(x / 2); } } }
+        pe Scale : iterative { input x; output output; process { emit(x * 10); } }
+    "#;
+    let mut g = WorkflowGraph::new("equiv");
+    let s = g.add_script_pe(src, "Seq").unwrap();
+    let h = g.add_script_pe(src, "Halve").unwrap();
+    let k = g.add_script_pe(src, "Scale").unwrap();
+    g.connect(s, "output", h, "x").unwrap();
+    g.connect(h, "output", k, "x").unwrap();
+
+    let opts = RunOptions::iterations(40).with_processes(5);
+    let collect = |m: &dyn Mapping| {
+        let r = m.execute(&g, &opts).unwrap();
+        let mut out: Vec<i64> = r.port_values("Scale", "output").iter().filter_map(|v| v.as_i64()).collect();
+        out.sort();
+        (out, r.stats.processed.clone(), r.stats.emitted.clone(), r.stats.timings)
+    };
+
+    let (base_out, base_processed, base_emitted, _) = collect(&SimpleMapping);
+    assert_eq!(base_out.len(), 20, "evens of 1..=40, halved then scaled");
+    for mapping in [&MultiMapping as &dyn Mapping, &MpiMapping, &RedisMapping::default()] {
+        let (out, processed, emitted, timings) = collect(mapping);
+        let kind = mapping.kind();
+        assert_eq!(out, base_out, "{kind}: terminal outputs diverged");
+        assert_eq!(processed, base_processed, "{kind}: processed counts diverged");
+        assert_eq!(emitted, base_emitted, "{kind}: emitted counts diverged");
+        assert!(timings.enact > std::time::Duration::ZERO, "{kind}: stages not timed");
+    }
 }
