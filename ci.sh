@@ -13,6 +13,13 @@ cargo build --examples
 echo "== test =="
 cargo test -q --workspace
 
+echo "== bench compile (no run) =="
+cargo bench --no-run --workspace
+
+echo "== perf_report smoke =="
+cargo run --release -p laminar-bench --bin perf_report -- --smoke --out target/bench_smoke.json
+test -s target/bench_smoke.json
+
 echo "== fmt =="
 cargo fmt --check
 

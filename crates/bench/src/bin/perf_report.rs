@@ -1,0 +1,117 @@
+//! Generates the `BENCH_*.json` perf trajectory report: throughput and
+//! per-stage timings of the figure1 and table5 workloads across all four
+//! mappings.
+//!
+//! ```text
+//! cargo run -p laminar-bench --release --bin perf_report             # BENCH_PR2.json
+//! cargo run -p laminar-bench --release --bin perf_report -- --smoke  # quick CI gate
+//! ```
+//!
+//! Flags:
+//! * `--smoke` — small iteration counts / few reps; exercises the harness,
+//!   numbers are not meaningful.
+//! * `--out PATH` — where to write the report (default `BENCH_PR2.json`).
+//! * `--save-baseline PATH` — additionally save the measured runs (without
+//!   the baseline section) to PATH; used to record a pre-refactor baseline
+//!   that later reports embed for comparison.
+//!
+//! The committed `crates/bench/data/baseline_pre_pr2.json` was produced by
+//! running this harness at the PR 1 tree (before the interned/batched
+//! datapath) with `--save-baseline`; every fresh report embeds it under
+//! `"baseline"` so the figure1 Multi throughput delta is visible in one
+//! file.
+
+use laminar_bench::{astro_graph, bench_mapping, figure1_graph, BenchRun, Table5Config};
+use laminar_dataflow::MappingKind;
+use laminar_dataflow::RunOptions;
+use laminar_json::Value;
+use std::time::Duration;
+
+const ALL_MAPPINGS: [MappingKind; 4] =
+    [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis];
+
+fn run_workload(graph: &laminar_dataflow::WorkflowGraph, options: &RunOptions, reps: usize) -> Value {
+    let mut section = Value::Null;
+    for kind in ALL_MAPPINGS {
+        let run: BenchRun = bench_mapping(graph, kind, options, reps);
+        eprintln!(
+            "  {:<6} {:>9} inv  {:>12} us  {:>12.0}/s",
+            run.mapping, run.invocations, run.elapsed_us, run.throughput
+        );
+        section.set(kind.as_str(), run.to_value());
+    }
+    section
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::to_string);
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let baseline_out = flag_value("--save-baseline");
+
+    // figure1: the paper's showcase deployment is 500 iterations over
+    // 5 processes (Figure 1's 1/2/2 split).
+    let (fig_iters, fig_reps, t5_reps) = if smoke { (50, 3, 1) } else { (500, 21, 7) };
+    let fig_opts = RunOptions::iterations(fig_iters).with_processes(5);
+    let fig_graph = figure1_graph();
+    eprintln!("figure1 ({fig_iters} iterations x 5 processes, {fig_reps} reps):");
+    let figure1 = run_workload(&fig_graph, &fig_opts, fig_reps);
+
+    // table5: the Internal Extinction workflow. VO latency zero — the
+    // report measures the orchestration datapath, not the simulated
+    // service.
+    let t5_cfg =
+        Table5Config { coordinates: if smoke { 10 } else { 60 }, vo_latency: Duration::ZERO, processes: 5 };
+    let t5_graph = astro_graph(&t5_cfg);
+    let t5_opts =
+        RunOptions::data(vec![Value::Str("coordinates.txt".into())]).with_processes(t5_cfg.processes);
+    eprintln!("table5 ({} coordinates, {t5_reps} reps):", t5_cfg.coordinates);
+    let table5 = run_workload(&t5_graph, &t5_opts, t5_reps);
+
+    let mut runs = Value::Null;
+    runs.set("figure1", figure1).set("table5", table5);
+
+    if let Some(path) = &baseline_out {
+        std::fs::write(path, laminar_json::to_string_pretty(&runs)).expect("write baseline");
+        eprintln!("baseline saved to {path}");
+    }
+
+    let mut report = Value::Null;
+    report
+        .set("report", "laminar perf trajectory")
+        .set("pr", "PR2: interned + batched enactment datapath")
+        .set("smoke", smoke)
+        .set(
+            "workloads",
+            laminar_json::jobj! {
+                "figure1" => format!("native PE1->PE2->PE3 pipeline, {fig_iters} iterations, 5 processes"),
+                "table5" => format!("Internal Extinction, {} coordinates, zero VO latency", t5_cfg.coordinates)
+            },
+        )
+        .set("runs", runs);
+
+    // Embed the recorded pre-refactor baseline, if present.
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/data/baseline_pre_pr2.json");
+    match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match laminar_json::parse(&text) {
+            Ok(v) => {
+                // Comparison headline: figure1/MULTI throughput now vs then.
+                let now = report["runs"]["figure1"]["MULTI"]["throughput_per_sec"].as_f64();
+                let then = v["figure1"]["MULTI"]["throughput_per_sec"].as_f64();
+                if let (Some(now), Some(then)) = (now, then) {
+                    let speedup = now / then.max(1e-9);
+                    eprintln!("figure1/MULTI: {then:.0}/s (pre-PR2) -> {now:.0}/s  ({speedup:.2}x)");
+                    report.set("figure1_multi_speedup_vs_baseline", (speedup * 1000.0).round() / 1000.0);
+                }
+                report.set("baseline", v);
+            }
+            Err(e) => eprintln!("warning: baseline file unparseable: {e}"),
+        },
+        Err(_) => eprintln!("note: no recorded baseline at {baseline_path}"),
+    }
+
+    std::fs::write(&out_path, laminar_json::to_string_pretty(&report)).expect("write report");
+    eprintln!("report written to {out_path}");
+}

@@ -34,9 +34,9 @@ impl Table5Config {
     }
 }
 
-/// Run the Internal Extinction workflow directly on the dataflow engine —
-/// the "original dispel4py" baseline rows of Table 5.
-pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
+/// Build the Internal Extinction workflow graph with an in-process host
+/// serving the coordinates file and the (simulated) VO service.
+pub fn astro_graph(cfg: &Table5Config) -> WorkflowGraph {
     struct Shim {
         text: String,
         vo: VoService,
@@ -58,7 +58,13 @@ pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
     }
     let host: Arc<dyn Host + Send + Sync> =
         Arc::new(Shim { text: coordinates_file(cfg.coordinates), vo: VoService::new(cfg.vo_latency, 4) });
-    let graph = WorkflowGraph::from_script_with_host(ASTRO_SOURCE, "Astrophysics", host).unwrap();
+    WorkflowGraph::from_script_with_host(ASTRO_SOURCE, "Astrophysics", host).unwrap()
+}
+
+/// Run the Internal Extinction workflow directly on the dataflow engine —
+/// the "original dispel4py" baseline rows of Table 5.
+pub fn run_astro_direct(cfg: &Table5Config, multi: bool) -> Duration {
+    let graph = astro_graph(cfg);
     let options = RunOptions::data(vec![Value::Str("coordinates.txt".into())]).with_processes(cfg.processes);
     let t0 = std::time::Instant::now();
     if multi {
@@ -146,4 +152,105 @@ pub fn table7_clone(model_name: &str, problems: usize, variants: usize, seed: u6
 /// Format a duration like the paper's "642 sec." column.
 pub fn fmt_secs(d: Duration) -> String {
     format!("{:.2} sec.", d.as_secs_f64())
+}
+
+// ---------------------------------------------------------------------------
+// Perf-report harness (BENCH_*.json trajectory)
+// ---------------------------------------------------------------------------
+
+/// The paper's Figure 1 topology (PE1 → PE2 → PE3) built from native PEs so
+/// that the measured cost is the enactment datapath itself, not the script
+/// interpreter. The payload is a small structured document: deep-cloning it
+/// per destination is exactly the overhead the datapath must avoid.
+pub fn figure1_graph() -> WorkflowGraph {
+    use laminar_dataflow::pe::{iterative_fn, producer_fn};
+    use laminar_json::{jarr, jobj};
+    let mut g = WorkflowGraph::new("figure1");
+    let p1 = g.add(producer_fn("PE1", |i| {
+        jobj! {
+            "id" => i,
+            "tags" => jarr!["alpha", "beta", "gamma", "delta"],
+            "xs" => Value::Array((i..i + 8).map(Value::Int).collect())
+        }
+    }));
+    let p2 = g.add(iterative_fn("PE2", |mut v| {
+        let sum: i64 = v["xs"].as_array().unwrap_or(&[]).iter().filter_map(Value::as_i64).sum();
+        v.set("sum", sum);
+        Some(v)
+    }));
+    let p3 = g.add(iterative_fn("PE3", |v| {
+        Some(Value::Int(v["sum"].as_i64().unwrap_or(0) + v["id"].as_i64().unwrap_or(0)))
+    }));
+    g.connect(p1, "output", p2, "input").unwrap();
+    g.connect(p2, "output", p3, "input").unwrap();
+    g
+}
+
+/// One measured enactment: the median over `reps` repetitions.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Mapping measured.
+    pub mapping: String,
+    /// Producer invocations per repetition.
+    pub invocations: usize,
+    /// Requested process count.
+    pub processes: usize,
+    /// Repetitions measured (median reported).
+    pub reps: usize,
+    /// Median wall-clock per repetition, microseconds.
+    pub elapsed_us: u64,
+    /// Stage timings of the median repetition, microseconds.
+    pub plan_us: u64,
+    /// See [`BenchRun::plan_us`].
+    pub enact_us: u64,
+    /// See [`BenchRun::plan_us`].
+    pub collect_us: u64,
+    /// Producer invocations per second (median repetition).
+    pub throughput: f64,
+}
+
+impl BenchRun {
+    /// Serialize for the `BENCH_*.json` report.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("mapping", self.mapping.as_str())
+            .set("invocations", self.invocations)
+            .set("processes", self.processes)
+            .set("reps", self.reps)
+            .set("elapsed_us", self.elapsed_us as i64)
+            .set("plan_us", self.plan_us as i64)
+            .set("enact_us", self.enact_us as i64)
+            .set("collect_us", self.collect_us as i64)
+            .set("throughput_per_sec", (self.throughput * 100.0).round() / 100.0);
+        v
+    }
+}
+
+/// Measure `kind` enacting `graph` under `options`, `reps` times; report
+/// the repetition with the median elapsed time. One untimed warm-up run
+/// precedes the measurements.
+pub fn bench_mapping(
+    graph: &WorkflowGraph,
+    kind: laminar_dataflow::MappingKind,
+    options: &RunOptions,
+    reps: usize,
+) -> BenchRun {
+    let mapping = kind.build();
+    mapping.execute(graph, options).expect("warm-up run");
+    let mut stats: Vec<laminar_dataflow::mapping::RunStats> =
+        (0..reps.max(1)).map(|_| mapping.execute(graph, options).expect("bench run").stats).collect();
+    stats.sort_by_key(|s| s.elapsed);
+    let median = stats.swap_remove(stats.len() / 2);
+    let secs = median.elapsed.as_secs_f64().max(1e-9);
+    BenchRun {
+        mapping: kind.as_str().to_string(),
+        invocations: options.invocations(),
+        processes: options.processes,
+        reps: reps.max(1),
+        elapsed_us: median.elapsed.as_micros() as u64,
+        plan_us: median.timings.plan.as_micros() as u64,
+        enact_us: median.timings.enact.as_micros() as u64,
+        collect_us: median.timings.collect.as_micros() as u64,
+        throughput: options.invocations() as f64 / secs,
+    }
 }

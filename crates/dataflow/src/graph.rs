@@ -3,6 +3,7 @@
 
 use crate::error::DataflowError;
 use crate::pe::{PeFactory, ScriptPeFactory};
+use crate::ports::PortTable;
 use crate::routing::Grouping;
 use laminar_script::{parse_script, Host, WorkflowDecl};
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -160,6 +161,24 @@ impl WorkflowGraph {
     pub fn roots(&self) -> Vec<NodeId> {
         let targets: HashSet<NodeId> = self.connections.iter().map(|c| c.to).collect();
         (0..self.nodes.len()).map(NodeId).filter(|id| !targets.contains(id)).collect()
+    }
+
+    /// Intern every port name any node declares (plus the implicit
+    /// `"input"` that drives data-fed producers). Called once at plan time;
+    /// after this the enactment hot path never touches a port string.
+    pub fn port_table(&self) -> PortTable {
+        let mut table = PortTable::default();
+        table.intern("input");
+        for node in &self.nodes {
+            let meta = node.meta();
+            for p in &meta.inputs {
+                table.intern(&p.name);
+            }
+            for p in &meta.outputs {
+                table.intern(p);
+            }
+        }
+        table
     }
 
     /// Terminal output ports: `(node, port)` pairs with no outgoing

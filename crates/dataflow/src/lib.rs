@@ -50,6 +50,7 @@ pub mod graph;
 pub mod mapping;
 pub mod pe;
 pub mod planner;
+pub mod ports;
 pub mod routing;
 
 pub use error::DataflowError;
@@ -57,6 +58,7 @@ pub use graph::{Connection, NodeId, WorkflowGraph};
 pub use mapping::{MappingKind, RunOptions, RunResult, RunStats, StageTimings};
 pub use pe::{consumer_fn, iterative_fn, producer_fn, NativePe, Pe, PeFactory, PeMeta, ScriptPeFactory};
 pub use planner::{ConcretePlan, InstanceId};
+pub use ports::{PortId, PortTable};
 pub use routing::Grouping;
 
 pub use laminar_script::{Host, NullHost, Sink};

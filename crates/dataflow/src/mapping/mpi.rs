@@ -8,14 +8,14 @@
 //! substrate substitution for MPI itself (see DESIGN.md).
 
 use super::runtime::{Connector, Runtime};
-use super::worker::{Transport, TransportMsg};
+use super::worker::{drain_batch_groups, RoutedDatum, Transport, TransportMsg};
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
+use crate::ports::PortId;
 use laminar_codec::pickle;
-use laminar_json::{jobj, Value};
-use std::collections::BTreeMap;
+use laminar_json::{jarr, Value};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Message tag for data payloads.
@@ -92,19 +92,62 @@ impl RankEndpoint {
 
 struct MpiTransport {
     endpoint: RankEndpoint,
-    /// InstanceId -> rank
-    rank_of: BTreeMap<InstanceId, usize>,
+    /// Rank of an instance is its dense plan id: an array-offset
+    /// computation, not a map lookup.
+    plan: ConcretePlan,
+}
+
+/// Serialize one destination's burst as a list of `[port_id, value]`
+/// pairs. Port ids are the plan's interned [`PortId`]s — both ends hold the
+/// same plan, so a small integer is the whole port encoding. Shared with
+/// the Redis mapping's queue frames.
+pub(crate) fn encode_pairs(group: Vec<(PortId, laminar_json::SharedValue)>) -> Value {
+    Value::Array(group.into_iter().map(|(pid, v)| jarr![pid.0 as i64, Value::unshare(v)]).collect())
+}
+
+/// Decode a burst's `[port_id, value]` pairs, validating every port id
+/// against the plan's port table. Corrupt frames are enactment errors —
+/// data is never silently re-routed to a default port.
+pub(crate) fn decode_pairs(
+    items: Value,
+    plan: &ConcretePlan,
+    what: &str,
+) -> Result<Vec<(PortId, laminar_json::SharedValue)>, DataflowError> {
+    let corrupt = |detail: &str| DataflowError::Enactment(format!("corrupt {what} frame: {detail}"));
+    let Value::Array(items) = items else {
+        return Err(corrupt("expected a batch list"));
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Array(mut pair) = item else {
+            return Err(corrupt("batch item is not a [port, value] pair"));
+        };
+        if pair.len() != 2 {
+            return Err(corrupt("batch item is not a [port, value] pair"));
+        }
+        let value = pair.pop().expect("len 2");
+        let port = match pair.pop().expect("len 1").as_i64().map(u32::try_from) {
+            Some(Ok(p)) if plan.ports().contains(PortId(p)) => PortId(p),
+            Some(p) => return Err(corrupt(&format!("port id {p:?} not in the plan's port table"))),
+            None => return Err(corrupt("missing port id")),
+        };
+        out.push((port, value.into_shared()));
+    }
+    Ok(out)
 }
 
 impl Transport for MpiTransport {
-    fn send_data(&mut self, dest: InstanceId, port: &str, value: &Value) -> Result<(), DataflowError> {
-        // Serialize through the byte boundary — ranks share no memory.
-        let frame = pickle::dumps(&jobj! { "port" => port, "value" => value.clone() });
-        self.endpoint.send(self.rank_of[&dest], TAG_DATA, frame)
+    fn send_batch(&mut self, batch: &mut Vec<RoutedDatum>) -> Result<(), DataflowError> {
+        let endpoint = &self.endpoint;
+        let plan = &self.plan;
+        drain_batch_groups(batch, |dest, group| {
+            // Serialize through the byte boundary — ranks share no memory.
+            endpoint.send(plan.dense(dest), TAG_DATA, pickle::dumps(&encode_pairs(group)))
+        })
     }
 
     fn send_eos(&mut self, dest: InstanceId) -> Result<(), DataflowError> {
-        self.endpoint.send(self.rank_of[&dest], TAG_EOS, Vec::new())
+        self.endpoint.send(self.plan.dense(dest), TAG_EOS, Vec::new())
     }
 
     fn recv(&mut self) -> Result<TransportMsg, DataflowError> {
@@ -113,37 +156,35 @@ impl Transport for MpiTransport {
             TAG_EOS => Ok(TransportMsg::Eos),
             TAG_DATA => {
                 let v = pickle::loads(&env.payload)
-                    .map_err(|e| DataflowError::Enactment(format!("corrupt MPI payload: {e}")))?;
-                let port = v["port"].as_str().unwrap_or("input").to_string();
-                let value = v.get("value").cloned().unwrap_or(Value::Null);
-                Ok(TransportMsg::Data { port, value })
+                    .map_err(|e| DataflowError::Enactment(format!("corrupt MPI frame: {e}")))?;
+                Ok(TransportMsg::Data(decode_pairs(v, &self.plan, "MPI")?))
             }
             t => Err(DataflowError::Enactment(format!("unknown MPI tag {t}"))),
         }
     }
 }
 
-/// Assigns each planned instance a rank and hands out communicator
-/// endpoints.
+/// Assigns each planned instance a rank (its dense plan id) and hands out
+/// communicator endpoints.
 #[derive(Default)]
 struct MpiConnector {
     comm: Option<Communicator>,
-    rank_of: BTreeMap<InstanceId, usize>,
+    plan: Option<ConcretePlan>,
 }
 
 impl Connector for MpiConnector {
     type Transport = MpiTransport;
 
     fn connect(&mut self, _graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError> {
-        let instances = plan.all_instances();
-        self.rank_of = instances.iter().enumerate().map(|(r, i)| (*i, r)).collect();
-        self.comm = Some(Communicator::new(instances.len()));
+        self.comm = Some(Communicator::new(plan.total_processes));
+        self.plan = Some(plan.clone());
         Ok(())
     }
 
     fn endpoint(&mut self, inst: InstanceId) -> Result<MpiTransport, DataflowError> {
         let comm = self.comm.as_mut().expect("connect ran first");
-        Ok(MpiTransport { endpoint: comm.endpoint(self.rank_of[&inst]), rank_of: self.rank_of.clone() })
+        let plan = self.plan.clone().expect("connect ran first");
+        Ok(MpiTransport { endpoint: comm.endpoint(plan.dense(inst)), plan })
     }
 }
 
@@ -177,6 +218,30 @@ mod tests {
         assert_eq!(env.src, 0);
         assert_eq!(env.tag, TAG_DATA);
         assert_eq!(env.payload, b"hello");
+    }
+
+    #[test]
+    fn decode_pairs_rejects_corrupt_ports() {
+        let mut g = WorkflowGraph::new("p");
+        let a = g.add(producer_fn("Nums", Value::Int));
+        let b = g.add(iterative_fn("Inc", Some));
+        g.connect(a, "output", b, "input").unwrap();
+        let plan = ConcretePlan::sequential(&g).unwrap();
+        // Well-formed: a known interned port id.
+        let input = plan.ports().id("input").unwrap();
+        let ok = decode_pairs(jarr![jarr![input.0 as i64, 7]], &plan, "MPI").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(*ok[0].1, Value::Int(7));
+        // Out-of-table port id, stringly-typed port (the legacy wire
+        // format), and a non-list frame are all corruption, not "input".
+        assert!(decode_pairs(jarr![jarr![999, 7]], &plan, "MPI").is_err());
+        assert!(decode_pairs(jarr![jarr!["input", 7]], &plan, "MPI").is_err());
+        assert!(decode_pairs(Value::Int(3), &plan, "MPI").is_err());
+        assert!(decode_pairs(jarr![jarr![input.0 as i64]], &plan, "MPI").is_err());
+        // Ids that only *truncate* into range (2^32 + id, negatives) are
+        // corruption too, not aliases of valid ports.
+        assert!(decode_pairs(jarr![jarr![(1i64 << 32) + input.0 as i64, 7]], &plan, "MPI").is_err());
+        assert!(decode_pairs(jarr![jarr![-1, 7]], &plan, "MPI").is_err());
     }
 
     #[test]

@@ -2,52 +2,59 @@
 //! channels as the transport (the paper's multiprocessing back-end).
 
 use super::runtime::{Connector, Runtime};
-use super::worker::{Transport, TransportMsg};
+use super::worker::{drain_batch_groups, RoutedDatum, Transport, TransportMsg};
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
-use std::collections::BTreeMap;
+use crate::ports::PortId;
+use laminar_json::SharedValue;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Shared-memory parallel enactment.
 pub struct MultiMapping;
 
 enum Msg {
-    Data { port: String, value: laminar_json::Value },
+    /// One emission burst for this instance. Payloads are `Arc`-shared:
+    /// broadcast fan-out moves refcounts through the channel, never copies.
+    Data(Vec<(PortId, SharedValue)>),
     Eos,
 }
 
 struct ChannelTransport {
-    senders: BTreeMap<InstanceId, Sender<Msg>>,
+    /// Senders indexed by dense instance id — a per-burst array index, not
+    /// a per-datum map lookup.
+    senders: Vec<Sender<Msg>>,
+    plan: ConcretePlan,
     receiver: Receiver<Msg>,
 }
 
+impl ChannelTransport {
+    fn sender(&self, dest: InstanceId) -> &Sender<Msg> {
+        &self.senders[self.plan.dense(dest)]
+    }
+}
+
+fn closed() -> DataflowError {
+    DataflowError::Enactment("channel closed mid-run (peer worker died)".into())
+}
+
 impl Transport for ChannelTransport {
-    fn send_data(
-        &mut self,
-        dest: InstanceId,
-        port: &str,
-        value: &laminar_json::Value,
-    ) -> Result<(), DataflowError> {
-        self.senders
-            .get(&dest)
-            .expect("plan covers all instances")
-            .send(Msg::Data { port: port.to_string(), value: value.clone() })
-            .map_err(|_| DataflowError::Enactment("channel closed mid-run (peer worker died)".into()))
+    fn send_batch(&mut self, batch: &mut Vec<RoutedDatum>) -> Result<(), DataflowError> {
+        let senders = &self.senders;
+        let plan = &self.plan;
+        drain_batch_groups(batch, |dest, group| {
+            senders[plan.dense(dest)].send(Msg::Data(group)).map_err(|_| closed())
+        })
     }
 
     fn send_eos(&mut self, dest: InstanceId) -> Result<(), DataflowError> {
-        self.senders
-            .get(&dest)
-            .expect("plan covers all instances")
-            .send(Msg::Eos)
-            .map_err(|_| DataflowError::Enactment("channel closed mid-run (peer worker died)".into()))
+        self.sender(dest).send(Msg::Eos).map_err(|_| closed())
     }
 
     fn recv(&mut self) -> Result<TransportMsg, DataflowError> {
         match self.receiver.recv() {
-            Ok(Msg::Data { port, value }) => Ok(TransportMsg::Data { port, value }),
+            Ok(Msg::Data(items)) => Ok(TransportMsg::Data(items)),
             Ok(Msg::Eos) => Ok(TransportMsg::Eos),
             Err(_) => Err(DataflowError::Enactment("all upstream channels closed without EOS".into())),
         }
@@ -58,26 +65,31 @@ impl Transport for ChannelTransport {
 /// senders plus its own receiver.
 #[derive(Default)]
 struct ChannelConnector {
-    senders: BTreeMap<InstanceId, Sender<Msg>>,
-    receivers: BTreeMap<InstanceId, Receiver<Msg>>,
+    senders: Vec<Sender<Msg>>,
+    receivers: Vec<Option<Receiver<Msg>>>,
+    plan: Option<ConcretePlan>,
 }
 
 impl Connector for ChannelConnector {
     type Transport = ChannelTransport;
 
     fn connect(&mut self, _graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError> {
-        for inst in plan.all_instances() {
+        for _ in 0..plan.total_processes {
             let (tx, rx) = channel();
-            self.senders.insert(inst, tx);
-            self.receivers.insert(inst, rx);
+            self.senders.push(tx);
+            self.receivers.push(Some(rx));
         }
+        self.plan = Some(plan.clone());
         Ok(())
     }
 
     fn endpoint(&mut self, inst: InstanceId) -> Result<ChannelTransport, DataflowError> {
+        let plan = self.plan.clone().expect("connect ran first");
+        let dense = plan.dense(inst);
         Ok(ChannelTransport {
             senders: self.senders.clone(),
-            receiver: self.receivers.remove(&inst).expect("endpoint taken once per instance"),
+            plan,
+            receiver: self.receivers[dense].take().expect("endpoint taken once per instance"),
         })
     }
 

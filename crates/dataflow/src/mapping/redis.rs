@@ -4,14 +4,15 @@
 //! communicate exclusively through the broker (serialized payloads), the
 //! way dispel4py's Redis mapping coordinates its worker processes.
 
+use super::mpi::{decode_pairs, encode_pairs};
 use super::runtime::{Connector, Runtime};
-use super::worker::{Transport, TransportMsg};
+use super::worker::{drain_batch_groups, RoutedDatum, Transport, TransportMsg};
 use super::{Mapping, MappingKind, RunOptions, RunResult};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
 use laminar_codec::pickle;
-use laminar_json::{jobj, Value};
+use laminar_json::jobj;
 use laminar_redisim::{Broker, BrokerError, RedisClient};
 use std::time::Duration;
 
@@ -37,24 +38,31 @@ fn queue_key(inst: InstanceId) -> String {
 struct RedisTransport {
     client: RedisClient,
     my_queue: String,
+    plan: ConcretePlan,
     timeout: std::time::Duration,
 }
 
-impl Transport for RedisTransport {
-    fn send_data(&mut self, dest: InstanceId, port: &str, value: &Value) -> Result<(), DataflowError> {
-        let frame = pickle::dumps(&jobj! { "kind" => "data", "port" => port, "value" => value.clone() });
+impl RedisTransport {
+    fn push(&self, dest: InstanceId, frame: Vec<u8>) -> Result<(), DataflowError> {
         self.client
             .rpush(&queue_key(dest), frame)
             .map(|_| ())
             .map_err(|e| DataflowError::Enactment(format!("broker push failed: {e}")))
     }
+}
+
+impl Transport for RedisTransport {
+    fn send_batch(&mut self, batch: &mut Vec<RoutedDatum>) -> Result<(), DataflowError> {
+        // One pickled multi-datum frame — one broker round-trip — per
+        // destination per emission burst, not one per datum.
+        let this = &*self;
+        drain_batch_groups(batch, |dest, group| {
+            this.push(dest, pickle::dumps(&jobj! { "kind" => "data", "items" => encode_pairs(group) }))
+        })
+    }
 
     fn send_eos(&mut self, dest: InstanceId) -> Result<(), DataflowError> {
-        let frame = pickle::dumps(&jobj! { "kind" => "eos" });
-        self.client
-            .rpush(&queue_key(dest), frame)
-            .map(|_| ())
-            .map_err(|e| DataflowError::Enactment(format!("broker push failed: {e}")))
+        self.push(dest, pickle::dumps(&jobj! { "kind" => "eos" }))
     }
 
     fn recv(&mut self) -> Result<TransportMsg, DataflowError> {
@@ -65,14 +73,24 @@ impl Transport for RedisTransport {
             )),
             other => DataflowError::Enactment(format!("broker pop failed: {other}")),
         })?;
-        let v = pickle::loads(&bytes)
+        let mut v = pickle::loads(&bytes)
             .map_err(|e| DataflowError::Enactment(format!("corrupt queue frame: {e}")))?;
         match v["kind"].as_str() {
             Some("eos") => Ok(TransportMsg::Eos),
-            Some("data") => Ok(TransportMsg::Data {
-                port: v["port"].as_str().unwrap_or("input").to_string(),
-                value: v.get("value").cloned().unwrap_or(Value::Null),
-            }),
+            Some("data") => {
+                // A data frame without a well-formed item list is corrupt;
+                // it must surface as an error, never mis-route as a default
+                // port's data.
+                let items = match v.as_object_mut().and_then(|m| m.remove("items")) {
+                    Some(items) => items,
+                    None => {
+                        return Err(DataflowError::Enactment(
+                            "corrupt queue frame: data frame missing 'items'".into(),
+                        ))
+                    }
+                };
+                Ok(TransportMsg::Data(decode_pairs(items, &self.plan, "queue")?))
+            }
             _ => Err(DataflowError::Enactment("queue frame missing 'kind'".into())),
         }
     }
@@ -82,18 +100,25 @@ impl Transport for RedisTransport {
 struct BrokerConnector<'b> {
     broker: &'b Broker,
     timeout: Duration,
+    plan: Option<ConcretePlan>,
 }
 
 impl Connector for BrokerConnector<'_> {
     type Transport = RedisTransport;
 
-    fn connect(&mut self, _graph: &WorkflowGraph, _plan: &ConcretePlan) -> Result<(), DataflowError> {
+    fn connect(&mut self, _graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError> {
         // Queues materialize lazily on first push; nothing to pre-create.
+        self.plan = Some(plan.clone());
         Ok(())
     }
 
     fn endpoint(&mut self, inst: InstanceId) -> Result<RedisTransport, DataflowError> {
-        Ok(RedisTransport { client: self.broker.client(), my_queue: queue_key(inst), timeout: self.timeout })
+        Ok(RedisTransport {
+            client: self.broker.client(),
+            my_queue: queue_key(inst),
+            plan: self.plan.clone().expect("connect ran first"),
+            timeout: self.timeout,
+        })
     }
 }
 
@@ -111,7 +136,11 @@ impl Mapping for RedisMapping {
                 &owned_broker
             }
         };
-        Runtime::new(graph, options).threaded(BrokerConnector { broker, timeout: options.queue_timeout })
+        Runtime::new(graph, options).threaded(BrokerConnector {
+            broker,
+            timeout: options.queue_timeout,
+            plan: None,
+        })
     }
 }
 
@@ -120,6 +149,7 @@ mod tests {
     use super::*;
     use crate::mapping::SimpleMapping;
     use crate::pe::{iterative_fn, producer_fn};
+    use laminar_json::Value;
 
     #[test]
     fn matches_simple_as_multiset() {
@@ -181,6 +211,31 @@ mod tests {
         }
         assert_eq!(best.get("x"), Some(&10));
         assert_eq!(best.get("y"), Some(&10));
+    }
+
+    #[test]
+    fn corrupt_queue_frames_error_instead_of_misrouting() {
+        // Pre-seed the downstream work queues with two kinds of corruption:
+        // a legacy per-datum frame (no 'items' list) and raw garbage bytes.
+        // Both must surface as DataflowError — never be silently defaulted
+        // onto the 'input' port.
+        let broker = Broker::new();
+        let client = broker.client();
+        let mut g = WorkflowGraph::new("p");
+        let a = g.add(producer_fn("Nums", Value::Int));
+        let b = g.add(iterative_fn("Id", Some));
+        g.connect(a, "output", b, "input").unwrap();
+        let legacy = pickle::dumps(&jobj! { "kind" => "data", "port" => "input", "value" => 1 });
+        client.rpush("laminar:q:1:0", legacy).unwrap();
+        client.rpush("laminar:q:1:1", b"not a pickle".to_vec()).unwrap();
+        let mapping = RedisMapping::with_broker(broker);
+        let err = mapping.execute(&g, &RunOptions::iterations(5).with_processes(3)).unwrap_err();
+        match err {
+            DataflowError::Enactment(m) => {
+                assert!(m.contains("corrupt") || m.contains("frame"), "unexpected message: {m}")
+            }
+            other => panic!("expected an enactment error, got {other:?}"),
+        }
     }
 
     #[test]

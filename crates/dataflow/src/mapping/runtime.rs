@@ -61,6 +61,8 @@ use super::{RunOptions, RunResult, StageTimings};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
+use crate::ports::PortId;
+use laminar_json::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
@@ -104,46 +106,61 @@ impl<'a> Runtime<'a> {
     pub fn sequential(&self) -> Result<RunResult, DataflowError> {
         let t0 = Instant::now();
         let plan = ConcretePlan::sequential(self.graph)?;
-        let mut runners: BTreeMap<InstanceId, InstanceRunner> = BTreeMap::new();
+        // Flat runner storage indexed by the plan's dense instance id — the
+        // per-datum lookup is an array index, not a `BTreeMap` walk.
+        let mut runners: Vec<InstanceRunner> = Vec::with_capacity(plan.total_processes);
         for inst in plan.all_instances() {
-            runners.insert(inst, InstanceRunner::new(self.graph, &plan, inst)?);
+            runners.push(InstanceRunner::new(self.graph, &plan, inst)?);
         }
-        let sources: Vec<InstanceId> = runners.values().filter(|r| r.is_source()).map(|r| r.inst).collect();
+        let sources: Vec<usize> =
+            runners.iter().enumerate().filter(|(_, r)| r.is_source()).map(|(i, _)| i).collect();
         let plan_time = t0.elapsed();
 
         let enact_t0 = Instant::now();
         let mut result = RunResult::default();
         let mut queue: VecDeque<RoutedDatum> = VecDeque::new();
-        let absorb = |emissions: Emissions,
-                      node_name: &str,
+        let mut emissions = Emissions::default();
+        // Terminal outputs accumulate per dense runner id as interned port
+        // ids; names are resolved once in the collect stage below.
+        let mut collected: Vec<Vec<(PortId, Value)>> = (0..runners.len()).map(|_| Vec::new()).collect();
+        let absorb = |dense: usize,
+                      emissions: &mut Emissions,
                       queue: &mut VecDeque<RoutedDatum>,
+                      collected: &mut [Vec<(PortId, Value)>],
                       result: &mut RunResult| {
-            for r in emissions.routed {
-                queue.push_back(r);
-            }
-            for (port, value) in emissions.collected {
-                result.outputs.entry((node_name.to_string(), port)).or_default().push(value);
-            }
-            result.printed.extend(emissions.printed);
+            queue.extend(emissions.routed.drain(..));
+            collected[dense].append(&mut emissions.collected);
+            result.printed.append(&mut emissions.printed);
         };
         for i in 0..self.options.invocations() {
-            for inst in &sources {
-                let runner = runners.get_mut(inst).expect("runner exists");
-                let name = runner.node_name.clone();
-                let emissions = runner.run_iteration(self.options.datum_for(i))?;
-                absorb(emissions, &name, &mut queue, &mut result);
+            for &s in &sources {
+                runners[s].run_iteration(self.options.datum_for(i), &mut emissions)?;
+                absorb(s, &mut emissions, &mut queue, &mut collected, &mut result);
                 while let Some(d) = queue.pop_front() {
-                    let r = runners.get_mut(&d.dest).expect("dest exists");
-                    let name = r.node_name.clone();
-                    let e = r.run_datum(d.port, d.value)?;
-                    absorb(e, &name, &mut queue, &mut result);
+                    let dense = plan.dense(d.dest);
+                    runners[dense].run_datum(d.port, Value::unshare(d.value), &mut emissions)?;
+                    absorb(dense, &mut emissions, &mut queue, &mut collected, &mut result);
                 }
             }
         }
         let enact_time = enact_t0.elapsed();
 
         let collect_t0 = Instant::now();
-        let stats_iter = runners.values().map(|r| (r.node_name.clone(), r.stats));
+        let ports = plan.ports();
+        for (runner, outs) in runners.iter().zip(collected) {
+            let mut by_port: BTreeMap<PortId, Vec<Value>> = BTreeMap::new();
+            for (pid, value) in outs {
+                by_port.entry(pid).or_default().push(value);
+            }
+            for (pid, values) in by_port {
+                result
+                    .outputs
+                    .entry((runner.node_name.clone(), ports.name(pid).to_string()))
+                    .or_default()
+                    .extend(values);
+            }
+        }
+        let stats_iter = runners.iter().map(|r| (r.node_name.clone(), r.stats));
         result.stats = merge_stats(stats_iter, &plan_counts(self.graph, &plan));
         result.stats.timings =
             StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
@@ -185,7 +202,7 @@ impl<'a> Runtime<'a> {
 
         let collect_t0 = Instant::now();
         let counts = plan_counts(self.graph, &plan);
-        let mut result = merge_outcomes(outcomes, &counts);
+        let mut result = merge_outcomes(outcomes, &counts, plan.ports());
         result.stats.timings =
             StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
         result.stats.elapsed = t0.elapsed();

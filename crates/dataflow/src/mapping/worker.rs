@@ -3,24 +3,44 @@
 //! An [`InstanceRunner`] wraps one PE instance together with its routing
 //! tables. Mappings feed it data and deliver the routed emissions over
 //! their own transport.
+//!
+//! # The zero-allocation datapath
+//!
+//! Steady-state enactment performs no per-datum port-name `String`
+//! allocations and no per-destination deep copies:
+//!
+//! * Port names are interned into the plan's [`PortTable`] once; the hot
+//!   path carries [`PortId`] indices ([`RoutedDatum`], [`TransportMsg`],
+//!   [`Emissions`]) and an interning [`laminar_script::Sink`] resolves
+//!   emitted names to ids without allocating.
+//! * Payloads travel as [`SharedValue`] (`Arc<Value>`): fan-out clones a
+//!   refcount, and the receiving instance recovers ownership zero-copy in
+//!   the single-reference case ([`Value::unshare`]).
+//! * Emission buffers ([`Emissions`]) are owned by the caller and reused
+//!   across `process` calls; routers write destination indices into a
+//!   scratch `Vec` ([`crate::routing::Router::route_into`]).
+//! * Transports send one frame per destination per emission burst
+//!   ([`Transport::send_batch`]), not one per datum.
 
 use crate::error::DataflowError;
 use crate::graph::{NodeId, WorkflowGraph};
 use crate::pe::Pe;
 use crate::planner::{ConcretePlan, InstanceId};
+use crate::ports::{PortId, PortTable};
 use crate::routing::{Grouping, Router};
-use laminar_json::Value;
-use laminar_script::VecSink;
+use laminar_json::{SharedValue, Value};
+use laminar_script::Sink;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One outgoing edge from the perspective of a sender instance.
 pub struct OutEdge {
     /// Source port on this PE.
-    pub from_port: String,
+    pub from_port: PortId,
     /// Destination node.
     pub to_node: NodeId,
     /// Destination input port.
-    pub to_port: String,
+    pub to_port: PortId,
     /// Stateful router over the destination's instances.
     pub router: Router,
 }
@@ -30,21 +50,30 @@ pub struct OutEdge {
 pub struct RoutedDatum {
     /// Destination instance.
     pub dest: InstanceId,
-    /// Destination input port.
-    pub port: String,
-    /// Payload.
-    pub value: Value,
+    /// Destination input port (interned).
+    pub port: PortId,
+    /// Payload, refcounted so fan-out never deep-copies.
+    pub value: SharedValue,
 }
 
-/// Emissions of one `process` call, classified.
+/// Emissions of one `process` call, classified. Owned by the enactment
+/// loop and reused across calls (buffers are cleared, not reallocated).
 #[derive(Debug, Default)]
 pub struct Emissions {
     /// Data to forward to downstream instances.
     pub routed: Vec<RoutedDatum>,
     /// Terminal-port emissions `(port, value)`.
-    pub collected: Vec<(String, Value)>,
+    pub collected: Vec<(PortId, Value)>,
     /// Captured print lines.
     pub printed: Vec<String>,
+}
+
+impl Emissions {
+    fn clear(&mut self) {
+        self.routed.clear();
+        self.collected.clear();
+        self.printed.clear();
+    }
 }
 
 /// Per-instance stats counters.
@@ -56,6 +85,33 @@ pub struct InstanceStats {
     pub emitted: u64,
 }
 
+/// A [`Sink`] that resolves emitted port names against the interned
+/// [`PortTable`] immediately — a hash lookup, never a `String` allocation.
+/// Emissions on ports the graph never declared are dropped (they could
+/// route nowhere), matching the classic behaviour for unconnected,
+/// non-terminal ports.
+struct InternSink {
+    ports: Arc<PortTable>,
+    emitted: Vec<(PortId, Value)>,
+    /// Every `emit` call, including those dropped for undeclared ports —
+    /// the `emitted` stat counts attempts, so a typo'd port name stays
+    /// visible in diagnostics (emitted > delivered).
+    emit_calls: u64,
+    printed: Vec<String>,
+}
+
+impl Sink for InternSink {
+    fn emit(&mut self, port: &str, value: Value) {
+        self.emit_calls += 1;
+        if let Some(pid) = self.ports.id(port) {
+            self.emitted.push((pid, value));
+        }
+    }
+    fn print(&mut self, text: &str) {
+        self.printed.push(text.to_string());
+    }
+}
+
 /// A PE instance plus its routing state.
 pub struct InstanceRunner {
     /// Identity within the concrete plan.
@@ -64,14 +120,19 @@ pub struct InstanceRunner {
     pub node_name: String,
     pe: Box<dyn Pe>,
     outgoing: Vec<OutEdge>,
-    terminal_ports: Vec<String>,
+    terminal_ports: Vec<PortId>,
     /// Number of upstream EOS signals this instance must observe before it
     /// can finish.
     pub expected_eos: usize,
     /// Stats counters.
     pub stats: InstanceStats,
     iteration: i64,
-    sink: VecSink,
+    sink: InternSink,
+    ports: Arc<PortTable>,
+    /// Interned `"input"`: the implicit port driving data-fed producers.
+    input_port: PortId,
+    /// Scratch for router destination indices, reused across datums.
+    route_scratch: Vec<usize>,
 }
 
 impl InstanceRunner {
@@ -81,27 +142,43 @@ impl InstanceRunner {
         plan: &ConcretePlan,
         inst: InstanceId,
     ) -> Result<InstanceRunner, DataflowError> {
+        let ports = Arc::clone(plan.ports());
+        let intern = |name: &str| {
+            ports.id(name).ok_or_else(|| {
+                DataflowError::Graph(format!("port '{name}' missing from the plan's port table"))
+            })
+        };
         let factory = graph.node(inst.node)?;
         let meta = factory.meta();
         let node_name = meta.name.clone();
         let mut outgoing = Vec::new();
         for c in graph.connections().iter().filter(|c| c.from == inst.node) {
             outgoing.push(OutEdge {
-                from_port: c.from_port.clone(),
+                from_port: intern(&c.from_port)?,
                 to_node: c.to,
-                to_port: c.to_port.clone(),
+                to_port: intern(&c.to_port)?,
                 router: Router::new(c.grouping, plan.count(c.to)),
             });
         }
-        let connected: Vec<&str> = outgoing.iter().map(|e| e.from_port.as_str()).collect();
-        let terminal_ports =
-            meta.outputs.iter().filter(|p| !connected.contains(&p.as_str())).cloned().collect();
+        let connected: Vec<PortId> = outgoing.iter().map(|e| e.from_port).collect();
+        let mut terminal_ports = Vec::new();
+        for p in &meta.outputs {
+            let pid = intern(p)?;
+            if !connected.contains(&pid) {
+                terminal_ports.push(pid);
+            }
+        }
         let expected_eos =
             graph.connections().iter().filter(|c| c.to == inst.node).map(|c| plan.count(c.from)).sum();
         let mut pe = factory.instantiate();
-        let mut sink = VecSink::default();
+        let mut sink =
+            InternSink { ports: Arc::clone(&ports), emitted: Vec::new(), emit_calls: 0, printed: Vec::new() };
         pe.setup(inst.index, plan.count(inst.node), &mut sink)?;
-        let mut runner = InstanceRunner {
+        // Anything emitted during setup would have nowhere to go; prints
+        // are preserved.
+        sink.emitted.clear();
+        let input_port = intern("input")?;
+        Ok(InstanceRunner {
             inst,
             node_name,
             pe,
@@ -110,11 +187,16 @@ impl InstanceRunner {
             expected_eos,
             stats: InstanceStats::default(),
             iteration: 0,
-            sink: VecSink::default(),
-        };
-        // Anything printed during setup is preserved.
-        runner.sink.printed = sink.printed;
-        Ok(runner)
+            sink,
+            ports,
+            input_port,
+            route_scratch: Vec::new(),
+        })
+    }
+
+    /// The interned port table this runner resolves against.
+    pub fn ports(&self) -> &Arc<PortTable> {
+        &self.ports
     }
 
     /// Whether the instance is a source (no upstream edges).
@@ -122,48 +204,58 @@ impl InstanceRunner {
         self.expected_eos == 0
     }
 
-    /// Run one producer iteration (sources only).
-    pub fn run_iteration(&mut self, datum: Option<Value>) -> Result<Emissions, DataflowError> {
-        let input = datum.map(|v| ("input".to_string(), v));
-        self.invoke(input)
+    /// Run one producer iteration (sources only), filling `out`.
+    pub fn run_iteration(&mut self, datum: Option<Value>, out: &mut Emissions) -> Result<(), DataflowError> {
+        let input = datum.map(|v| (self.input_port, v));
+        self.invoke(input, out)
     }
 
-    /// Process one incoming datum.
-    pub fn run_datum(&mut self, port: String, value: Value) -> Result<Emissions, DataflowError> {
-        self.invoke(Some((port, value)))
+    /// Process one incoming datum, filling `out`.
+    pub fn run_datum(
+        &mut self,
+        port: PortId,
+        value: Value,
+        out: &mut Emissions,
+    ) -> Result<(), DataflowError> {
+        self.invoke(Some((port, value)), out)
     }
 
-    fn invoke(&mut self, input: Option<(String, Value)>) -> Result<Emissions, DataflowError> {
+    fn invoke(&mut self, input: Option<(PortId, Value)>, out: &mut Emissions) -> Result<(), DataflowError> {
+        out.clear();
         let it = self.iteration;
         self.iteration += 1;
         self.stats.processed += 1;
-        let mut call_sink = std::mem::take(&mut self.sink);
-        call_sink.emitted.clear();
-        let borrowed = input.as_ref().map(|(p, v)| (p.as_str(), v.clone()));
-        let result = self.pe.process(borrowed, it, &mut call_sink);
-        let mut emissions =
-            Emissions { printed: std::mem::take(&mut call_sink.printed), ..Default::default() };
-        let emitted = std::mem::take(&mut call_sink.emitted);
-        self.sink = call_sink;
+        self.sink.emitted.clear();
+        self.sink.emit_calls = 0;
+        let borrowed = input.map(|(p, v)| (self.ports.name(p), v));
+        let result = self.pe.process(borrowed, it, &mut self.sink);
+        std::mem::swap(&mut out.printed, &mut self.sink.printed);
         result?;
-        self.stats.emitted += emitted.len() as u64;
-        for (port, value) in emitted {
-            let mut routed_any = false;
-            for edge in self.outgoing.iter_mut().filter(|e| e.from_port == port) {
-                routed_any = true;
-                for dest_index in edge.router.route(&value) {
-                    emissions.routed.push(RoutedDatum {
+        self.stats.emitted += self.sink.emit_calls;
+        let InstanceRunner { sink, outgoing, terminal_ports, route_scratch, .. } = self;
+        for (pid, value) in sink.emitted.drain(..) {
+            if !outgoing.iter().any(|e| e.from_port == pid) {
+                if terminal_ports.contains(&pid) {
+                    out.collected.push((pid, value));
+                }
+                continue;
+            }
+            // The payload is shared from here on: every destination holds a
+            // refcount, and the (typical) sole receiver unwraps it zero-copy.
+            let shared = value.into_shared();
+            for edge in outgoing.iter_mut().filter(|e| e.from_port == pid) {
+                route_scratch.clear();
+                edge.router.route_into(&shared, route_scratch);
+                for &dest_index in route_scratch.iter() {
+                    out.routed.push(RoutedDatum {
                         dest: InstanceId { node: edge.to_node, index: dest_index },
-                        port: edge.to_port.clone(),
-                        value: value.clone(),
+                        port: edge.to_port,
+                        value: SharedValue::clone(&shared),
                     });
                 }
             }
-            if !routed_any && self.terminal_ports.contains(&port) {
-                emissions.collected.push((port, value));
-            }
         }
-        Ok(emissions)
+        Ok(())
     }
 
     /// Downstream instances that must be told when this instance finishes:
@@ -180,7 +272,8 @@ impl InstanceRunner {
 
     /// Grouping of the first outgoing edge on `port` (used by tests).
     pub fn grouping_of(&self, port: &str) -> Option<Grouping> {
-        self.outgoing.iter().find(|e| e.from_port == port).map(|e| e.router.grouping())
+        let pid = self.ports.id(port)?;
+        self.outgoing.iter().find(|e| e.from_port == pid).map(|e| e.router.grouping())
     }
 }
 
@@ -209,36 +302,60 @@ pub fn plan_counts(graph: &WorkflowGraph, plan: &ConcretePlan) -> BTreeMap<Strin
 /// A message as seen by a receiving instance.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TransportMsg {
-    /// A datum for one of this instance's input ports.
-    Data {
-        /// Destination input port.
-        port: String,
-        /// Payload.
-        value: Value,
-    },
+    /// One emission burst for this instance: `(port, payload)` in send
+    /// order. Senders group a burst by destination, so a batch always came
+    /// from one `process` call of one upstream instance — per-edge FIFO
+    /// order is the sort stability of [`drain_batch_groups`].
+    Data(Vec<(PortId, SharedValue)>),
     /// One upstream instance finished.
     Eos,
 }
 
 /// The transport a parallel mapping provides to each worker.
 pub trait Transport {
-    /// Deliver a datum to another instance.
-    fn send_data(&mut self, dest: InstanceId, port: &str, value: &Value) -> Result<(), DataflowError>;
+    /// Deliver one emission burst, draining `batch`. Implementations group
+    /// the batch by destination ([`drain_batch_groups`]) and issue **one**
+    /// transport frame per destination instead of one per datum.
+    fn send_batch(&mut self, batch: &mut Vec<RoutedDatum>) -> Result<(), DataflowError>;
     /// Deliver an end-of-stream signal to another instance.
     fn send_eos(&mut self, dest: InstanceId) -> Result<(), DataflowError>;
     /// Block for the next message addressed to this instance.
     fn recv(&mut self) -> Result<TransportMsg, DataflowError>;
 }
 
+/// Group a routed burst by destination, preserving per-destination send
+/// order (stable sort), and hand each group to `send`. Shared by every
+/// transport's [`Transport::send_batch`].
+pub fn drain_batch_groups(
+    batch: &mut Vec<RoutedDatum>,
+    mut send: impl FnMut(InstanceId, Vec<(PortId, SharedValue)>) -> Result<(), DataflowError>,
+) -> Result<(), DataflowError> {
+    // Stable sort: datums for the same destination keep their emission
+    // order, which is exactly the per-edge FIFO guarantee.
+    batch.sort_by_key(|d| d.dest);
+    let mut items = batch.drain(..).peekable();
+    while let Some(first) = items.next() {
+        let dest = first.dest;
+        let mut group = vec![(first.port, first.value)];
+        while items.peek().is_some_and(|d| d.dest == dest) {
+            let d = items.next().expect("peeked");
+            group.push((d.port, d.value));
+        }
+        send(dest, group)?;
+    }
+    Ok(())
+}
+
 /// Everything a worker brings home after its instance finishes.
 #[derive(Debug, Default)]
 pub struct WorkerOutcome {
-    /// PE name.
+    /// PE name (attached once here — never cloned per datum).
     pub node_name: String,
     /// Counters.
     pub stats: InstanceStats,
-    /// Terminal emissions `(pe, port, value)`.
-    pub outputs: Vec<(String, String, Value)>,
+    /// Terminal emissions `(port, value)`; port names are resolved once at
+    /// merge time.
+    pub outputs: Vec<(PortId, Value)>,
     /// Captured print lines.
     pub printed: Vec<String>,
 }
@@ -255,18 +372,16 @@ pub fn run_worker<T: Transport>(
     options: &super::RunOptions,
 ) -> Result<WorkerOutcome, DataflowError> {
     let mut outcome = WorkerOutcome { node_name: runner.node_name.clone(), ..Default::default() };
-    let deliver = |runner: &InstanceRunner,
-                   emissions: Emissions,
+    let mut emissions = Emissions::default();
+    let deliver = |emissions: &mut Emissions,
                    transport: &mut T,
                    outcome: &mut WorkerOutcome|
      -> Result<(), DataflowError> {
-        for r in emissions.routed {
-            transport.send_data(r.dest, &r.port, &r.value)?;
+        if !emissions.routed.is_empty() {
+            transport.send_batch(&mut emissions.routed)?;
         }
-        for (port, value) in emissions.collected {
-            outcome.outputs.push((runner.node_name.clone(), port, value));
-        }
-        outcome.printed.extend(emissions.printed);
+        outcome.outputs.append(&mut emissions.collected);
+        outcome.printed.append(&mut emissions.printed);
         Ok(())
     };
 
@@ -277,16 +392,18 @@ pub fn run_worker<T: Transport>(
             if i % siblings != my_index {
                 continue;
             }
-            let emissions = runner.run_iteration(options.datum_for(i))?;
-            deliver(&runner, emissions, &mut transport, &mut outcome)?;
+            runner.run_iteration(options.datum_for(i), &mut emissions)?;
+            deliver(&mut emissions, &mut transport, &mut outcome)?;
         }
     } else {
         let mut remaining = runner.expected_eos;
         while remaining > 0 {
             match transport.recv()? {
-                TransportMsg::Data { port, value } => {
-                    let emissions = runner.run_datum(port, value)?;
-                    deliver(&runner, emissions, &mut transport, &mut outcome)?;
+                TransportMsg::Data(items) => {
+                    for (port, value) in items {
+                        runner.run_datum(port, Value::unshare(value), &mut emissions)?;
+                        deliver(&mut emissions, &mut transport, &mut outcome)?;
+                    }
                 }
                 TransportMsg::Eos => remaining -= 1,
             }
@@ -299,13 +416,27 @@ pub fn run_worker<T: Transport>(
     Ok(outcome)
 }
 
-/// Fold worker outcomes into a [`super::RunResult`].
-pub fn merge_outcomes(outcomes: Vec<WorkerOutcome>, counts: &BTreeMap<String, usize>) -> super::RunResult {
+/// Fold worker outcomes into a [`super::RunResult`]. Port/PE names are
+/// resolved here, once per terminal port — the collect stage, not the hot
+/// path.
+pub fn merge_outcomes(
+    outcomes: Vec<WorkerOutcome>,
+    counts: &BTreeMap<String, usize>,
+    ports: &PortTable,
+) -> super::RunResult {
     let mut result = super::RunResult::default();
     let mut stats_parts = Vec::new();
     for o in outcomes {
-        for (pe, port, value) in o.outputs {
-            result.outputs.entry((pe, port)).or_default().push(value);
+        let mut by_port: BTreeMap<PortId, Vec<Value>> = BTreeMap::new();
+        for (pid, value) in o.outputs {
+            by_port.entry(pid).or_default().push(value);
+        }
+        for (pid, values) in by_port {
+            result
+                .outputs
+                .entry((o.node_name.clone(), ports.name(pid).to_string()))
+                .or_default()
+                .extend(values);
         }
         result.printed.extend(o.printed);
         stats_parts.push((o.node_name, o.stats));
@@ -329,17 +460,23 @@ mod tests {
         (g, plan)
     }
 
+    fn run_iter(runner: &mut InstanceRunner, datum: Option<Value>) -> Emissions {
+        let mut e = Emissions::default();
+        runner.run_iteration(datum, &mut e).unwrap();
+        e
+    }
+
     #[test]
     fn source_runner_routes_round_robin() {
         let (g, plan) = graph_and_plan();
         assert_eq!(plan.instances, vec![1, 2]);
         let mut runner = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
         assert!(runner.is_source());
-        let e1 = runner.run_iteration(None).unwrap();
-        let e2 = runner.run_iteration(None).unwrap();
+        let e1 = run_iter(&mut runner, None);
+        let e2 = run_iter(&mut runner, None);
         assert_eq!(e1.routed[0].dest.index, 0);
         assert_eq!(e2.routed[0].dest.index, 1);
-        assert_eq!(e1.routed[0].port, "input");
+        assert_eq!(e1.routed[0].port, plan.ports().id("input").unwrap());
         assert_eq!(runner.stats.processed, 2);
         assert_eq!(runner.stats.emitted, 2);
     }
@@ -350,9 +487,12 @@ mod tests {
         let mut b = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(1), index: 0 }).unwrap();
         assert!(!b.is_source());
         assert_eq!(b.expected_eos, 1);
-        let e = b.run_datum("input".into(), Value::Int(7)).unwrap();
+        let mut e = Emissions::default();
+        let input = plan.ports().id("input").unwrap();
+        b.run_datum(input, Value::Int(7), &mut e).unwrap();
         assert!(e.routed.is_empty());
-        assert_eq!(e.collected, vec![("output".to_string(), Value::Int(7))]);
+        let output = plan.ports().id("output").unwrap();
+        assert_eq!(e.collected, vec![(output, Value::Int(7))]);
     }
 
     #[test]
@@ -368,9 +508,105 @@ mod tests {
     fn iteration_counter_feeds_producer() {
         let (g, plan) = graph_and_plan();
         let mut a = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
-        let e1 = a.run_iteration(None).unwrap();
-        let e2 = a.run_iteration(None).unwrap();
-        assert_eq!(e1.routed[0].value, Value::Int(0));
-        assert_eq!(e2.routed[0].value, Value::Int(1));
+        let e1 = run_iter(&mut a, None);
+        let e2 = run_iter(&mut a, None);
+        assert_eq!(*e1.routed[0].value, Value::Int(0));
+        assert_eq!(*e2.routed[0].value, Value::Int(1));
+    }
+
+    #[test]
+    fn steady_state_interns_nothing_new() {
+        // The port table is sealed at plan time: a thousand datums through
+        // the interned path leave it untouched (no name is ever re-interned,
+        // let alone allocated per datum).
+        let (g, plan) = graph_and_plan();
+        let before = plan.ports().len();
+        let mut a = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
+        let mut e = Emissions::default();
+        for _ in 0..1000 {
+            a.run_iteration(None, &mut e).unwrap();
+        }
+        assert_eq!(plan.ports().len(), before);
+        assert_eq!(a.stats.processed, 1000);
+    }
+
+    #[test]
+    fn emitted_stat_counts_undeclared_port_attempts() {
+        use crate::pe::NativePeFactory;
+        use laminar_script::PeKind;
+        let meta = crate::pe::PeMeta {
+            name: "Typo".into(),
+            kind: PeKind::Producer,
+            inputs: vec![],
+            outputs: vec!["output".into()],
+            source: None,
+            imports: vec![],
+            description: None,
+            stateful: false,
+        };
+        let factory = NativePeFactory::new(meta, || {
+            Box::new(|_input, _it, out| {
+                out.emit("output", Value::Int(1));
+                out.emit("outptu", Value::Int(2)); // typo'd port: dropped, but counted
+                Ok(())
+            })
+        });
+        let mut g = WorkflowGraph::new("typo");
+        g.add(factory);
+        let plan = ConcretePlan::sequential(&g).unwrap();
+        let mut r = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
+        let e = run_iter(&mut r, None);
+        // Only the declared port's datum is delivered...
+        assert_eq!(e.collected.len(), 1);
+        // ...but both emit attempts are visible in the stats, so the typo
+        // shows up as emitted > delivered instead of vanishing.
+        assert_eq!(r.stats.emitted, 2);
+    }
+
+    #[test]
+    fn fanout_shares_one_payload() {
+        use crate::routing::Grouping;
+        let mut g = WorkflowGraph::new("bc");
+        let a = g.add(producer_fn("A", Value::Int));
+        let b = g.add(iterative_fn("B", Some));
+        g.connect_grouped(a, "output", b, "input", Grouping::OneToAll).unwrap();
+        let plan = ConcretePlan::distribute(&g, 4).unwrap();
+        let mut runner = InstanceRunner::new(&g, &plan, InstanceId { node: NodeId(0), index: 0 }).unwrap();
+        let e = run_iter(&mut runner, None);
+        assert_eq!(e.routed.len(), plan.count(NodeId(1)));
+        // Broadcast clones the refcount, not the tree.
+        for pair in e.routed.windows(2) {
+            assert!(SharedValue::ptr_eq(&pair[0].value, &pair[1].value));
+        }
+    }
+
+    #[test]
+    fn batch_groups_preserve_order_per_destination() {
+        let ports = {
+            let mut t = PortTable::default();
+            t.intern("input");
+            t
+        };
+        let input = ports.id("input").unwrap();
+        let inst = |n: usize, i: usize| InstanceId { node: NodeId(n), index: i };
+        let mut batch: Vec<RoutedDatum> = [(1, 0, 10), (1, 1, 11), (1, 0, 12), (1, 1, 13), (2, 0, 14)]
+            .iter()
+            .map(|&(n, i, v)| RoutedDatum {
+                dest: inst(n, i),
+                port: input,
+                value: Value::Int(v).into_shared(),
+            })
+            .collect();
+        let mut groups = Vec::new();
+        drain_batch_groups(&mut batch, |dest, items| {
+            groups.push((dest, items.iter().map(|(_, v)| v.as_i64().unwrap()).collect::<Vec<_>>()));
+            Ok(())
+        })
+        .unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(
+            groups,
+            vec![(inst(1, 0), vec![10, 12]), (inst(1, 1), vec![11, 13]), (inst(2, 0), vec![14]),]
+        );
     }
 }

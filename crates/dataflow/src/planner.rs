@@ -4,7 +4,9 @@
 
 use crate::error::DataflowError;
 use crate::graph::{NodeId, WorkflowGraph};
+use crate::ports::PortTable;
 use crate::routing::Grouping;
+use std::sync::Arc;
 
 /// One PE instance in the concrete plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -16,15 +18,48 @@ pub struct InstanceId {
 }
 
 /// A concrete enactment plan.
+///
+/// Besides the instance counts, the plan owns the enactment-wide lookup
+/// structures resolved once so the hot path stays allocation-free: the
+/// interned [`PortTable`] and the dense instance numbering (prefix offsets)
+/// that lets runtimes and transports index instances with a flat `Vec`
+/// instead of a per-datum map lookup.
 #[derive(Debug, Clone)]
 pub struct ConcretePlan {
     /// Instance count per node, indexed by `NodeId.0`.
     pub instances: Vec<usize>,
     /// Total processes used.
     pub total_processes: usize,
+    /// Prefix sums of `instances`: instance `(node, index)` has dense id
+    /// `offsets[node] + index`.
+    offsets: Vec<usize>,
+    /// Interned port names of the whole graph.
+    ports: Arc<PortTable>,
 }
 
 impl ConcretePlan {
+    fn assemble(graph: &WorkflowGraph, instances: Vec<usize>) -> ConcretePlan {
+        let mut offsets = Vec::with_capacity(instances.len());
+        let mut total = 0;
+        for &n in &instances {
+            offsets.push(total);
+            total += n;
+        }
+        ConcretePlan { instances, total_processes: total, offsets, ports: Arc::new(graph.port_table()) }
+    }
+
+    /// The interned port names of this plan's graph.
+    pub fn ports(&self) -> &Arc<PortTable> {
+        &self.ports
+    }
+
+    /// Dense id of an instance: a contiguous `0..total_processes` numbering
+    /// in `all_instances` order. Lets per-instance state live in a flat
+    /// `Vec` instead of a `BTreeMap` keyed by [`InstanceId`].
+    pub fn dense(&self, inst: InstanceId) -> usize {
+        self.offsets[inst.node.0] + inst.index
+    }
+
     /// dispel4py-style distribution of `processes` across the graph:
     /// producers (roots) get one instance each; the remaining processes are
     /// divided evenly among the non-root PEs (each at least one). With
@@ -51,14 +86,13 @@ impl ConcretePlan {
                 }
             }
         }
-        let total = instances.iter().sum();
-        Ok(ConcretePlan { instances, total_processes: total })
+        Ok(Self::assemble(graph, instances))
     }
 
     /// A plan with exactly one instance per PE (the Simple mapping).
     pub fn sequential(graph: &WorkflowGraph) -> Result<ConcretePlan, DataflowError> {
         graph.validate()?;
-        Ok(ConcretePlan { instances: vec![1; graph.len()], total_processes: graph.len() })
+        Ok(Self::assemble(graph, vec![1; graph.len()]))
     }
 
     /// Instance count for a node.
@@ -167,6 +201,24 @@ mod tests {
         assert_eq!(plan.instances[0], 1);
         assert_eq!(plan.instances[1] + plan.instances[2], 5);
         assert!(plan.instances[1] >= 2 && plan.instances[2] >= 2);
+    }
+
+    #[test]
+    fn dense_ids_are_contiguous_in_instance_order() {
+        let g = fig1_graph();
+        let plan = ConcretePlan::distribute(&g, 5).unwrap();
+        let dense: Vec<usize> = plan.all_instances().iter().map(|&i| plan.dense(i)).collect();
+        assert_eq!(dense, (0..plan.total_processes).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_interns_graph_ports() {
+        let g = fig1_graph();
+        let plan = ConcretePlan::sequential(&g).unwrap();
+        let ports = plan.ports();
+        assert!(ports.id("output").is_some());
+        assert!(ports.id("input").is_some());
+        assert_eq!(ports.id("nope"), None);
     }
 
     #[test]

@@ -40,15 +40,23 @@ impl Router {
     /// Destination instance indices for `datum`. One element except for
     /// `OneToAll`.
     pub fn route(&mut self, datum: &Value) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.route_into(datum, &mut out);
+        out
+    }
+
+    /// Allocation-free routing: append the destination indices for `datum`
+    /// to `out` (which the caller clears and reuses across datums).
+    pub fn route_into(&mut self, datum: &Value, out: &mut Vec<usize>) {
         match self.grouping {
             Grouping::Shuffle => {
                 let i = self.cursor;
                 self.cursor = (self.cursor + 1) % self.n_dest;
-                vec![i]
+                out.push(i);
             }
-            Grouping::GroupBy(key_index) => vec![Self::groupby_index(datum, key_index, self.n_dest)],
-            Grouping::OneToAll => (0..self.n_dest).collect(),
-            Grouping::AllToOne => vec![0],
+            Grouping::GroupBy(key_index) => out.push(Self::groupby_index(datum, key_index, self.n_dest)),
+            Grouping::OneToAll => out.extend(0..self.n_dest),
+            Grouping::AllToOne => out.push(0),
         }
     }
 
@@ -56,10 +64,12 @@ impl Router {
     /// route identically without sharing a `Router`.
     pub fn groupby_index(datum: &Value, key_index: usize, n_dest: usize) -> usize {
         // The key is datum[key_index] for tuples/lists; scalar datums group
-        // by their own value (a convenient degenerate case).
+        // by their own value (a convenient degenerate case). Hashed by
+        // reference — keys are never cloned on the routing path.
+        static NULL: Value = Value::Null;
         let key = match datum {
-            Value::Array(a) => a.get(key_index).cloned().unwrap_or(Value::Null),
-            other => other.clone(),
+            Value::Array(a) => a.get(key_index).unwrap_or(&NULL),
+            other => other,
         };
         (key.stable_hash() % n_dest as u64) as usize
     }

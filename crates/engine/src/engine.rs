@@ -34,6 +34,9 @@ pub struct ExecutionOutput {
     pub stages: StageTimings,
     /// Per-PE processed counts.
     pub processed: std::collections::BTreeMap<String, u64>,
+    /// Per-PE emitted counts (with `processed` and `enact_us`, the numbers
+    /// behind the perf reports' throughput columns).
+    pub emitted: std::collections::BTreeMap<String, u64>,
 }
 
 impl ExecutionOutput {
@@ -54,6 +57,10 @@ impl ExecutionOutput {
             .set(
                 "processed",
                 self.processed.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
+            )
+            .set(
+                "emitted",
+                self.emitted.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
             );
         v
     }
@@ -78,13 +85,26 @@ impl ExecutionOutput {
                 collect: Duration::from_micros(v["collect_us"].as_i64().unwrap_or(0).max(0) as u64),
             },
             processed: Default::default(),
+            emitted: Default::default(),
         };
         if let Some(m) = v["processed"].as_object() {
             for (k, n) in m {
                 out.processed.insert(k.clone(), n.as_i64().unwrap_or(0).max(0) as u64);
             }
         }
+        if let Some(m) = v["emitted"].as_object() {
+            for (k, n) in m {
+                out.emitted.insert(k.clone(), n.as_i64().unwrap_or(0).max(0) as u64);
+            }
+        }
         Some(out)
+    }
+
+    /// Total data processed per second of pure enactment — the headline
+    /// number the `BENCH_*.json` perf trajectory tracks.
+    pub fn enact_throughput(&self) -> f64 {
+        let total: u64 = self.processed.values().sum();
+        total as f64 / self.stages.enact.as_secs_f64().max(1e-9)
     }
 
     /// Values emitted on a terminal port.
@@ -207,6 +227,7 @@ impl ExecutionEngine {
             total_time: Duration::ZERO,
             stages: result.stats.timings,
             processed: result.stats.processed,
+            emitted: result.stats.emitted,
             ..Default::default()
         };
         for ((pe, port), values) in result.outputs {
@@ -410,6 +431,9 @@ mod tests {
         let back = ExecutionOutput::from_value(&out.to_value()).unwrap();
         assert_eq!(back.printed, out.printed);
         assert_eq!(back.processed, out.processed);
+        assert_eq!(back.emitted, out.emitted);
+        assert!(back.emitted["IsPrime"] > 0, "emitted counts travel the wire");
+        assert!(out.enact_throughput() > 0.0);
         // Stage timings survive the wire at microsecond resolution.
         assert!(back.stages.enact <= out.stages.enact);
         assert!(out.stages.enact - back.stages.enact < Duration::from_micros(1));

@@ -8,6 +8,15 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
+
+/// A reference-counted [`Value`]: the cheap clone path for large arrays,
+/// objects and strings. Cloning a `SharedValue` bumps a refcount instead of
+/// deep-copying the tree, which is what lets the dataflow layer broadcast
+/// one payload to many destination instances without per-destination
+/// copies. Use [`Value::into_shared`] / [`Value::unshare`] to cross between
+/// the owned and shared worlds.
+pub type SharedValue = Arc<Value>;
 
 /// Ordered map used for JSON objects.
 ///
@@ -212,6 +221,19 @@ impl Value {
         let mut h = OFFSET;
         walk(self, &mut h);
         h
+    }
+
+    /// Move the value behind a refcount so further clones are O(1)
+    /// regardless of payload size.
+    pub fn into_shared(self) -> SharedValue {
+        Arc::new(self)
+    }
+
+    /// Recover an owned value from a [`SharedValue`]: zero-copy when this is
+    /// the last reference (the steady-state single-destination case), one
+    /// deep clone otherwise (broadcast fan-out).
+    pub fn unshare(shared: SharedValue) -> Value {
+        Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone())
     }
 }
 
