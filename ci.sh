@@ -13,12 +13,19 @@ cargo build --examples
 echo "== test =="
 cargo test -q --workspace
 
+echo "== concurrency stress tier (unrestricted test threads) =="
+cargo test -q -p laminar-server --test concurrent
+
 echo "== bench compile (no run) =="
 cargo bench --no-run --workspace
 
 echo "== perf_report smoke =="
 cargo run --release -p laminar-bench --bin perf_report -- --smoke --out target/bench_smoke.json
 test -s target/bench_smoke.json
+
+echo "== concurrent_serving smoke =="
+cargo run --release -p laminar-bench --bin concurrent_serving -- --smoke --out target/bench_concurrent_smoke.json
+test -s target/bench_concurrent_smoke.json
 
 echo "== fmt =="
 cargo fmt --check

@@ -311,10 +311,7 @@ impl LaminarClient {
 
     // ---- 13: run -----------------------------------------------------------------------
 
-    /// `client.run("IsPrime", input=5, process=MULTI, args={'num':5})`
-    /// (fn 13). Accepts a registered workflow name/id or inline source.
-    pub fn run(&mut self, target: RunTarget, config: RunConfig) -> Result<ExecutionOutput, ClientError> {
-        let user = self.current_user()?.to_string();
+    fn run_body(target: RunTarget, config: &RunConfig) -> Value {
         let mut body = Value::Null;
         match target {
             RunTarget::Registered(key) => {
@@ -337,6 +334,14 @@ impl LaminarClient {
             })
             .collect();
         body.set("resources", resources);
+        body
+    }
+
+    /// `client.run("IsPrime", input=5, process=MULTI, args={'num':5})`
+    /// (fn 13). Accepts a registered workflow name/id or inline source.
+    pub fn run(&mut self, target: RunTarget, config: RunConfig) -> Result<ExecutionOutput, ClientError> {
+        let user = self.current_user()?.to_string();
+        let body = Self::run_body(target, &config);
         let resp = self.call(&web::post(format!("/execution/{user}/run"), body))?;
         ExecutionOutput::from_value(&resp)
             .ok_or(ClientError::Transport("server returned a malformed execution output".into()))
@@ -354,6 +359,56 @@ impl LaminarClient {
         config: RunConfig,
     ) -> Result<ExecutionOutput, ClientError> {
         self.run(RunTarget::Registered(workflow.to_string()), config)
+    }
+
+    // ---- async job API ------------------------------------------------------------------
+
+    /// Submit an execution without waiting: returns a job id for polling.
+    /// A saturated server answers 429 (`ClientError::Api { status: 429 }`)
+    /// — back off and retry.
+    pub fn submit(&mut self, target: RunTarget, config: RunConfig) -> Result<i64, ClientError> {
+        let user = self.current_user()?.to_string();
+        let body = Self::run_body(target, &config);
+        let resp = self.call(&web::post(format!("/execution/{user}/submit"), body))?;
+        resp["jobId"].as_i64().ok_or(ClientError::Transport("server returned no job id".into()))
+    }
+
+    /// Poll a job's lifecycle phase and metrics (`status`, `queue_us`,
+    /// `run_us`, `engine`).
+    pub fn job_status(&self, job_id: i64) -> Result<Value, ClientError> {
+        let user = self.current_user()?.to_string();
+        self.call(&web::get(format!("/execution/{user}/job/{job_id}/status")))
+    }
+
+    /// Poll a job's result: `Ok(Some(output))` once done, `Ok(None)` while
+    /// queued or running, `Err` for unknown ids or failed executions.
+    pub fn job_result(&self, job_id: i64) -> Result<Option<ExecutionOutput>, ClientError> {
+        let user = self.current_user()?.to_string();
+        let resp = self.call(&web::get(format!("/execution/{user}/job/{job_id}/result")))?;
+        match resp["status"].as_str() {
+            Some("done") => ExecutionOutput::from_value(&resp)
+                .map(Some)
+                .ok_or(ClientError::Transport("server returned a malformed execution output".into())),
+            _ => Ok(None),
+        }
+    }
+
+    /// Poll a job until it finishes or `timeout` passes.
+    pub fn wait_job(
+        &self,
+        job_id: i64,
+        timeout: std::time::Duration,
+    ) -> Result<ExecutionOutput, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(output) = self.job_result(job_id)? {
+                return Ok(output);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(ClientError::Transport(format!("job {job_id} did not finish in {timeout:?}")));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
     }
 }
 
@@ -480,6 +535,57 @@ mod tests {
         let out = c.run_source(src, RunConfig::data(vec![Value::Int(4), Value::Int(6)])).unwrap();
         let vals = out.port_values("Double", "output");
         assert_eq!(vals.iter().filter_map(Value::as_i64).collect::<Vec<_>>(), vec![8, 12]);
+    }
+
+    #[test]
+    fn async_submit_and_wait() {
+        let mut c = logged_in_client();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c.submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(10)).unwrap();
+        assert!(id > 0);
+        let out = c.wait_job(id, std::time::Duration::from_secs(20)).unwrap();
+        assert_eq!(out.printed.len(), 4);
+        // Status keeps answering after completion, with metrics.
+        let status = c.job_status(id).unwrap();
+        assert_eq!(status["status"].as_str(), Some("done"));
+        assert!(status["run_us"].as_i64().unwrap() >= 0);
+        assert!(status["engine"].as_i64().is_some());
+        // The async result equals the synchronous run.
+        let sync = c.run_registered("isPrime", RunConfig::iterations(10)).unwrap();
+        assert_eq!(sync.printed, out.printed);
+        assert_eq!(sync.processed, out.processed);
+    }
+
+    #[test]
+    fn async_job_errors_surface() {
+        let mut c = logged_in_client();
+        assert!(matches!(c.job_status(42), Err(ClientError::Api { status: 404, .. })));
+        assert!(matches!(c.job_result(42), Err(ClientError::Api { status: 404, .. })));
+        // A failing execution surfaces through job_result as a 400.
+        let id = c
+            .submit(RunTarget::Source("pe A : producer { output o; process { emit(1); } } pe B : producer { output o; process { emit(2); } }".into()), RunConfig::iterations(1))
+            .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            match c.job_result(id) {
+                Err(ClientError::Api { status: 400, .. }) => break,
+                Ok(None) => assert!(std::time::Instant::now() < deadline, "job never failed"),
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn async_over_tcp() {
+        let http = laminar_server::HttpServer::start(LaminarServer::in_memory()).unwrap();
+        let mut c = LaminarClient::connect(http.addr());
+        c.register("async-tcp", "password").unwrap();
+        c.login("async-tcp", "password").unwrap();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c.submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(20)).unwrap();
+        let out = c.wait_job(id, std::time::Duration::from_secs(20)).unwrap();
+        assert_eq!(out.printed.len(), 8);
+        http.stop();
     }
 
     #[test]

@@ -3,7 +3,6 @@
 
 use laminar_json::Value;
 use laminar_server::{api::Method, ApiRequest, ApiResponse, LaminarServer};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// A transport carrying API requests to a Laminar server.
@@ -15,27 +14,29 @@ pub trait Transport: Send {
 }
 
 /// In-process transport: client and server share the process (the "local
-/// execution" configuration of Table 5).
+/// execution" configuration of Table 5). No lock: `LaminarServer::handle`
+/// takes `&self`, so cloned transports issue requests concurrently — the
+/// same parallelism remote clients get over TCP.
 #[derive(Clone)]
 pub struct InProcessTransport {
-    server: Arc<Mutex<LaminarServer>>,
+    server: Arc<LaminarServer>,
 }
 
 impl InProcessTransport {
     /// Wrap a server.
     pub fn new(server: LaminarServer) -> InProcessTransport {
-        InProcessTransport { server: Arc::new(Mutex::new(server)) }
+        InProcessTransport { server: Arc::new(server) }
     }
 
     /// Shared handle to the server (to register hosts, inspect state).
-    pub fn server(&self) -> Arc<Mutex<LaminarServer>> {
+    pub fn server(&self) -> Arc<LaminarServer> {
         Arc::clone(&self.server)
     }
 }
 
 impl Transport for InProcessTransport {
     fn call(&self, request: &ApiRequest) -> Result<ApiResponse, String> {
-        Ok(self.server.lock().handle(request))
+        Ok(self.server.handle(request))
     }
 
     fn endpoint(&self) -> String {

@@ -65,4 +65,81 @@ proptest! {
             }
         }
     }
+
+    /// Any strict prefix of a frame is an error, never a partial value —
+    /// the strict-frame rule the transports rely on, now mirrored at the
+    /// HTTP boundary.
+    #[test]
+    fn truncated_frame_is_error(v in arb_value(), cut_seed in any::<usize>()) {
+        let frame = pickle::dumps(&v);
+        let cut = cut_seed % frame.len().max(1);
+        prop_assert!(pickle::loads(&frame[..cut]).is_err(), "prefix of {cut}/{} decoded", frame.len());
+    }
+
+    /// The b64 storage form rejects truncation too (losing whole 4-char
+    /// blocks keeps the text valid base64, so the frame CRC must catch it).
+    #[test]
+    fn truncated_b64_frame_is_error(v in arb_value(), blocks in 1usize..4) {
+        let text = pickle::dumps_b64(&v);
+        let keep = text.len().saturating_sub(blocks * 4);
+        prop_assert!(pickle::loads_b64(&text[..keep]).is_err());
+    }
+
+    /// Corrupting one character of the b64 storage form is detected
+    /// (either invalid base64 or a CRC/structural failure after decode).
+    #[test]
+    fn corrupt_b64_char_is_error(v in arb_value(), pos_seed in any::<usize>(), repl in 0usize..64) {
+        let alphabet = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+        let mut text = pickle::dumps_b64(&v).into_bytes();
+        let pos = pos_seed % text.len();
+        let replacement = alphabet[repl];
+        if text[pos] != replacement {
+            text[pos] = replacement;
+            let text = String::from_utf8(text).unwrap();
+            prop_assert!(pickle::loads_b64(&text).is_err(), "corrupt b64 at {pos} decoded");
+        }
+    }
+}
+
+mod regressions {
+    use super::*;
+    use laminar_json::jobj;
+
+    /// The corrupt-frame shapes PR 2 made the transports reject; the codec
+    /// itself must return errors (never defaults) for every one of them.
+    #[test]
+    fn corrupt_frame_shapes_are_errors() {
+        let good = pickle::dumps(&jobj! { "port" => "input", "value" => 42 });
+        // Empty and sub-header frames.
+        assert!(pickle::loads(&[]).is_err());
+        assert!(pickle::loads(&good[..4]).is_err());
+        // Header only, payload missing.
+        assert!(pickle::loads(&good[..8]).is_err());
+        // CRC trailer cut off.
+        assert!(pickle::loads(&good[..good.len() - 4]).is_err());
+        // Declared length larger than the buffer.
+        let mut oversize = good.clone();
+        oversize[0] ^= 0x40;
+        assert!(pickle::loads(&oversize).is_err());
+        // Trailing garbage after a valid frame.
+        let mut padded = good.clone();
+        padded.extend_from_slice(b"junk");
+        assert!(pickle::loads(&padded).is_err());
+        // Zeroed CRC.
+        let mut bad_crc = good.clone();
+        let n = bad_crc.len();
+        bad_crc[n - 4..].fill(0);
+        assert!(pickle::loads(&bad_crc).is_err());
+    }
+
+    #[test]
+    fn corrupt_base64_inputs_are_errors() {
+        assert!(base64::decode("ab!c").is_err(), "invalid alphabet byte");
+        assert!(base64::decode("abcde").is_err(), "length not a multiple of 4");
+        assert!(base64::decode("ab=c").is_err(), "padding in the middle");
+        assert!(base64::decode("a===").is_err(), "over-padding");
+        // And the b64 pickle wrapper surfaces them as codec errors.
+        assert!(pickle::loads_b64("!!!!").is_err());
+        assert!(pickle::loads_b64("").is_err());
+    }
 }

@@ -37,6 +37,11 @@ pub struct ExecutionOutput {
     /// Per-PE emitted counts (with `processed` and `enact_us`, the numbers
     /// behind the perf reports' throughput columns).
     pub emitted: std::collections::BTreeMap<String, u64>,
+    /// Time the request sat in the engine pool's queue before a worker
+    /// picked it (zero when run directly on an engine).
+    pub queue_wait: Duration,
+    /// Which pool worker ran the job (None when run directly).
+    pub worker: Option<usize>,
 }
 
 impl ExecutionOutput {
@@ -61,7 +66,11 @@ impl ExecutionOutput {
             .set(
                 "emitted",
                 self.emitted.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
-            );
+            )
+            .set("queue_us", self.queue_wait.as_micros() as i64);
+        if let Some(w) = self.worker {
+            v.set("engine", w as i64);
+        }
         v
     }
 
@@ -86,6 +95,8 @@ impl ExecutionOutput {
             },
             processed: Default::default(),
             emitted: Default::default(),
+            queue_wait: Duration::from_micros(v["queue_us"].as_i64().unwrap_or(0).max(0) as u64),
+            worker: v["engine"].as_i64().map(|w| w.max(0) as usize),
         };
         if let Some(m) = v["processed"].as_object() {
             for (k, n) in m {
@@ -118,8 +129,13 @@ impl ExecutionOutput {
     /// One-line rendering of where the time went (Table 5's overhead
     /// structure), for clients and the bench binaries.
     pub fn overhead_report(&self) -> String {
+        let queue = if self.queue_wait.is_zero() {
+            String::new()
+        } else {
+            format!("queue {:.1?} | ", self.queue_wait)
+        };
         format!(
-            "provision {:.1?} | plan {:.1?} | enact {:.1?} | collect {:.1?} | total {:.1?}",
+            "{queue}provision {:.1?} | plan {:.1?} | enact {:.1?} | collect {:.1?} | total {:.1?}",
             self.provision_time, self.stages.plan, self.stages.enact, self.stages.collect, self.total_time
         )
     }
@@ -172,6 +188,22 @@ impl ExecutionEngine {
     pub fn keep_warm(mut self, warm: bool) -> Self {
         self.env.keep_warm = warm;
         self
+    }
+
+    /// Calibrate the simulated provisioning cost (µs per cost unit;
+    /// 0 = instant). Environment setup is [`crate::env::ENV_SETUP_UNITS`]
+    /// units, so e.g. `1000` makes every cold run pay ~400ms.
+    pub fn with_provision_scale(mut self, us_per_unit: u64) -> Self {
+        self.env.time_scale_us = us_per_unit;
+        self
+    }
+
+    /// A sibling engine for pooled serving: shares the registered module
+    /// hosts (one simulated service fleet per deployment) but owns its
+    /// environment caches and staged resources, so concurrent runs stay
+    /// isolated from each other.
+    pub fn fork(&self) -> ExecutionEngine {
+        ExecutionEngine { env: self.env.fork(), hosts: self.hosts.fork(), net: self.net, runs: 0 }
     }
 
     /// The host registry — workloads register simulated services here.

@@ -79,6 +79,16 @@ impl EnvironmentManager {
         self
     }
 
+    /// A fresh manager with the same calibration but cold caches — each
+    /// pooled engine provisions its own environments.
+    pub fn fork(&self) -> EnvironmentManager {
+        EnvironmentManager {
+            keep_warm: self.keep_warm,
+            time_scale_us: self.time_scale_us,
+            ..EnvironmentManager::new()
+        }
+    }
+
     fn sleep_units(&self, units: u64) -> Duration {
         let d = Duration::from_micros(units * self.time_scale_us);
         if !d.is_zero() {

@@ -29,6 +29,14 @@ impl HostRegistry {
         self.modules.write().insert(module.to_string(), host);
     }
 
+    /// A registry sharing this one's module hosts (one simulated service
+    /// fleet per deployment) but with an isolated resource store —
+    /// concurrently-running pooled engines must never see each other's
+    /// staged files.
+    pub fn fork(&self) -> HostRegistry {
+        HostRegistry { modules: Arc::clone(&self.modules), resources: Arc::default() }
+    }
+
     /// Stage a resource file (the `resources/` directory of §3.3/§5.2).
     pub fn stage_resource(&self, name: &str, bytes: Vec<u8>) {
         self.resources.write().insert(name.to_string(), bytes);

@@ -17,10 +17,12 @@ pub mod engine;
 pub mod env;
 pub mod hosts;
 pub mod netmodel;
+pub mod pool;
 pub mod request;
 
 pub use engine::{ExecutionEngine, ExecutionOutput};
 pub use env::{EnvironmentManager, InstallReport};
 pub use hosts::HostRegistry;
 pub use netmodel::NetModel;
+pub use pool::{EnginePool, JobInfo, JobPhase, JobResult, PoolError, PoolStats};
 pub use request::ExecutionRequest;

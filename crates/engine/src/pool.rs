@@ -1,0 +1,581 @@
+//! The engine worker pool: N [`ExecutionEngine`]s behind a bounded job
+//! queue, so independent executions enact in parallel instead of queuing
+//! on one `&mut engine`.
+//!
+//! The paper scales its serverless deployment by adding engine containers
+//! (§3.3); this pool is the in-process equivalent. Each worker thread owns
+//! a [`fork`](ExecutionEngine::fork) of the prototype engine — module
+//! hosts are shared (one simulated service fleet per deployment), while
+//! environments and staged resources stay per-worker so concurrent
+//! tenants never observe each other's state.
+//!
+//! Admission control: the queue is bounded. A submission that finds the
+//! queue full is rejected immediately ([`PoolError::QueueFull`], surfaced
+//! as HTTP 429 by the server) instead of building unbounded backlog.
+
+use crate::engine::{ExecutionEngine, ExecutionOutput};
+use crate::request::ExecutionRequest;
+use laminar_json::Value;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Finished jobs retained for polling before the oldest are evicted.
+const RETAIN_FINISHED: usize = 4096;
+
+/// Coarse lifecycle phase of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting in the queue.
+    Queued,
+    /// Picked by a worker, currently enacting.
+    Running,
+    /// Finished successfully; the output is available.
+    Done,
+    /// Finished with an execution error.
+    Failed,
+}
+
+impl JobPhase {
+    /// Wire form (the `status` field of the job endpoints).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+        }
+    }
+}
+
+/// Point-in-time public view of a job (the `status` endpoint's payload).
+#[derive(Debug, Clone)]
+pub struct JobInfo {
+    /// Job id (unique per pool).
+    pub id: i64,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Time spent waiting in the queue (final once picked).
+    pub queue_wait: Duration,
+    /// Wall-clock run time (final once finished; zero while queued).
+    pub run_time: Duration,
+    /// Worker that picked the job, once one has.
+    pub worker: Option<usize>,
+    /// Failure message when `phase == Failed`.
+    pub error: Option<String>,
+}
+
+impl JobInfo {
+    /// Whether the job reached a terminal phase.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, JobPhase::Done | JobPhase::Failed)
+    }
+
+    /// Serialize for the wire.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("jobId", self.id)
+            .set("status", self.phase.as_str())
+            .set("queue_us", self.queue_wait.as_micros() as i64)
+            .set("run_us", self.run_time.as_micros() as i64);
+        if let Some(w) = self.worker {
+            v.set("engine", w as i64);
+        }
+        if let Some(e) = &self.error {
+            v.set("error_message", e.as_str());
+        }
+        v
+    }
+}
+
+/// Outcome of polling a job for its result. The output is shared, not
+/// copied: polls bump a refcount instead of deep-cloning result trees
+/// under the pool's job lock.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// Still queued or running.
+    Pending(JobInfo),
+    /// Finished successfully.
+    Done(Arc<ExecutionOutput>, JobInfo),
+    /// Finished with an error.
+    Failed(String, JobInfo),
+}
+
+/// Errors the pool surfaces to callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Admission control: the queue is at capacity (HTTP 429 upstream).
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The execution itself failed.
+    Failed(String),
+    /// The job id is unknown (or belongs to another owner).
+    Unknown(i64),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::QueueFull { capacity } => {
+                write!(f, "engine pool queue is full ({capacity} jobs); retry later")
+            }
+            PoolError::Failed(m) => write!(f, "execution failed: {m}"),
+            PoolError::Unknown(id) => write!(f, "no such job {id}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Aggregate pool counters (the `/execution/pool/stats` payload).
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Worker threads (= engines).
+    pub workers: usize,
+    /// Queue bound.
+    pub capacity: usize,
+    /// Jobs currently waiting.
+    pub queued: usize,
+    /// Jobs currently enacting.
+    pub running: usize,
+    /// Total accepted submissions.
+    pub submitted: u64,
+    /// Total successful completions.
+    pub completed: u64,
+    /// Total failed executions.
+    pub failed: u64,
+    /// Total submissions rejected by admission control.
+    pub rejected: u64,
+}
+
+impl PoolStats {
+    /// Serialize for the wire.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("workers", self.workers)
+            .set("capacity", self.capacity)
+            .set("queued", self.queued)
+            .set("running", self.running)
+            .set("submitted", self.submitted as i64)
+            .set("completed", self.completed as i64)
+            .set("failed", self.failed as i64)
+            .set("rejected", self.rejected as i64);
+        v
+    }
+}
+
+struct JobRecord {
+    owner: String,
+    phase: JobPhase,
+    submitted: Instant,
+    queue_wait: Duration,
+    run_time: Duration,
+    worker: Option<usize>,
+    output: Option<Arc<ExecutionOutput>>,
+    error: Option<String>,
+}
+
+impl JobRecord {
+    fn info(&self, id: i64) -> JobInfo {
+        JobInfo {
+            id,
+            phase: self.phase,
+            queue_wait: self.queue_wait,
+            run_time: self.run_time,
+            worker: self.worker,
+            error: self.error.clone(),
+        }
+    }
+}
+
+struct PoolInner {
+    /// Pending jobs. Lock order: `queue` before `jobs` when both are held.
+    queue: Mutex<VecDeque<(i64, ExecutionRequest)>>,
+    /// All known jobs (queued, running and a bounded tail of finished).
+    jobs: Mutex<HashMap<i64, JobRecord>>,
+    /// Finished ids in completion order, for eviction.
+    finished_order: Mutex<VecDeque<i64>>,
+    /// Workers wait here for queue items.
+    work_cv: Condvar,
+    /// Result waiters wait here (paired with `jobs`).
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    capacity: usize,
+    next_id: AtomicI64,
+    running: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A pool of engines serving jobs from a bounded queue.
+pub struct EnginePool {
+    inner: Arc<PoolInner>,
+    hosts: crate::hosts::HostRegistry,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl EnginePool {
+    /// Start `workers` engines forked from `prototype`, with a queue bound
+    /// of `queue_capacity` jobs.
+    pub fn start(prototype: ExecutionEngine, workers: usize, queue_capacity: usize) -> EnginePool {
+        let workers = workers.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(HashMap::new()),
+            finished_order: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            capacity: queue_capacity.max(1),
+            next_id: AtomicI64::new(1),
+            running: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let hosts = prototype.hosts().clone();
+        let handles = (0..workers)
+            .map(|worker_id| {
+                let engine = prototype.fork();
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&inner, engine, worker_id))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        EnginePool { inner, hosts, workers: handles }
+    }
+
+    /// The shared module-host registry: module hosts registered here are
+    /// seen by every pooled engine. Staged *resources* are per-worker and
+    /// travel with each execution request, never through this handle.
+    pub fn hosts(&self) -> &crate::hosts::HostRegistry {
+        &self.hosts
+    }
+
+    /// Number of worker engines.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a job. Fails fast with [`PoolError::QueueFull`] when the
+    /// queue is at capacity (admission control).
+    pub fn submit(&self, owner: &str, req: ExecutionRequest) -> Result<i64, PoolError> {
+        let mut queue = self.inner.queue.lock();
+        if queue.len() >= self.inner.capacity {
+            self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(PoolError::QueueFull { capacity: self.inner.capacity });
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        self.inner.jobs.lock().insert(
+            id,
+            JobRecord {
+                owner: owner.to_string(),
+                phase: JobPhase::Queued,
+                submitted: Instant::now(),
+                queue_wait: Duration::ZERO,
+                run_time: Duration::ZERO,
+                worker: None,
+                output: None,
+                error: None,
+            },
+        );
+        queue.push_back((id, req));
+        drop(queue);
+        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+        self.inner.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Current view of a job. `None` when the id is unknown or owned by
+    /// someone else (tenants cannot observe each other's jobs).
+    pub fn status(&self, owner: &str, id: i64) -> Option<JobInfo> {
+        let jobs = self.inner.jobs.lock();
+        let rec = jobs.get(&id)?;
+        if rec.owner != owner {
+            return None;
+        }
+        Some(rec.info(id))
+    }
+
+    /// Poll a job for its result.
+    pub fn result(&self, owner: &str, id: i64) -> Option<JobResult> {
+        let jobs = self.inner.jobs.lock();
+        let rec = jobs.get(&id)?;
+        if rec.owner != owner {
+            return None;
+        }
+        Some(Self::result_of(rec, id))
+    }
+
+    fn result_of(rec: &JobRecord, id: i64) -> JobResult {
+        match rec.phase {
+            JobPhase::Done => JobResult::Done(rec.output.clone().expect("done job has output"), rec.info(id)),
+            JobPhase::Failed => {
+                JobResult::Failed(rec.error.clone().unwrap_or_else(|| "unknown".into()), rec.info(id))
+            }
+            _ => JobResult::Pending(rec.info(id)),
+        }
+    }
+
+    /// Block until the job finishes or `timeout` passes; returns the
+    /// latest view ([`JobResult::Pending`] on timeout).
+    pub fn wait(&self, owner: &str, id: i64, timeout: Duration) -> Option<JobResult> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.inner.jobs.lock();
+        loop {
+            match jobs.get(&id) {
+                None => return None,
+                Some(rec) if rec.owner != owner => return None,
+                Some(rec) => {
+                    if matches!(rec.phase, JobPhase::Done | JobPhase::Failed) || Instant::now() >= deadline {
+                        return Some(Self::result_of(rec, id));
+                    }
+                }
+            }
+            self.inner.done_cv.wait_until(&mut jobs, deadline);
+        }
+    }
+
+    /// The synchronous path: submit and wait to completion. The existing
+    /// blocking endpoint is a thin wrapper over this.
+    pub fn run_sync(&self, owner: &str, req: ExecutionRequest) -> Result<ExecutionOutput, PoolError> {
+        let id = self.submit(owner, req)?;
+        // Generous bound: a job that takes this long is lost anyway.
+        match self.wait(owner, id, Duration::from_secs(24 * 3600)) {
+            Some(JobResult::Done(out, _)) => {
+                // The sync caller owns the result in the common case; only
+                // a concurrent poller holding a reference forces a copy.
+                Ok(Arc::try_unwrap(out).unwrap_or_else(|shared| (*shared).clone()))
+            }
+            Some(JobResult::Failed(msg, _)) => Err(PoolError::Failed(msg)),
+            Some(JobResult::Pending(_)) | None => Err(PoolError::Unknown(id)),
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers.len(),
+            capacity: self.inner.capacity,
+            queued: self.inner.queue.lock().len(),
+            running: self.inner.running.load(Ordering::SeqCst) as usize,
+            submitted: self.inner.submitted.load(Ordering::SeqCst),
+            completed: self.inner.completed.load(Ordering::SeqCst),
+            failed: self.inner.failed.load(Ordering::SeqCst),
+            rejected: self.inner.rejected.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for EnginePool {
+    /// Deterministic shutdown: workers finish their in-flight job, then
+    /// exit; every thread is joined before drop returns.
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                inner.work_cv.wait(&mut queue);
+            }
+        };
+        let Some((id, req)) = job else { return };
+
+        let picked = Instant::now();
+        {
+            let mut jobs = inner.jobs.lock();
+            if let Some(rec) = jobs.get_mut(&id) {
+                rec.phase = JobPhase::Running;
+                rec.queue_wait = picked.duration_since(rec.submitted);
+                rec.worker = Some(worker_id);
+            }
+        }
+        inner.running.fetch_add(1, Ordering::SeqCst);
+        let result = engine.run(&req);
+        inner.running.fetch_sub(1, Ordering::SeqCst);
+        let run_time = picked.elapsed();
+
+        {
+            let mut jobs = inner.jobs.lock();
+            if let Some(rec) = jobs.get_mut(&id) {
+                rec.run_time = run_time;
+                match result {
+                    Ok(mut out) => {
+                        out.queue_wait = rec.queue_wait;
+                        out.worker = Some(worker_id);
+                        rec.output = Some(Arc::new(out));
+                        rec.phase = JobPhase::Done;
+                        inner.completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(e) => {
+                        rec.error = Some(e.to_string());
+                        rec.phase = JobPhase::Failed;
+                        inner.failed.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+        inner.done_cv.notify_all();
+        evict_finished(inner, id);
+    }
+}
+
+/// Bound the finished-job tail so long-lived servers don't leak records.
+fn evict_finished(inner: &PoolInner, just_finished: i64) {
+    let mut order = inner.finished_order.lock();
+    order.push_back(just_finished);
+    while order.len() > RETAIN_FINISHED {
+        if let Some(old) = order.pop_front() {
+            inner.jobs.lock().remove(&old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WF_SRC: &str = r#"
+        pe Seq : producer { output output; process { emit(iteration + 1); } }
+        pe Sq : iterative { input num; output output; process { emit(num * num); } }
+        workflow Squares {
+            nodes { s = Seq; q = Sq; }
+            connect s.output -> q.num;
+        }
+    "#;
+
+    fn instant_pool(workers: usize, capacity: usize) -> EnginePool {
+        EnginePool::start(ExecutionEngine::instant(), workers, capacity)
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let pool = instant_pool(2, 16);
+        let id = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 4)).unwrap();
+        match pool.wait("u", id, Duration::from_secs(10)).unwrap() {
+            JobResult::Done(out, info) => {
+                assert_eq!(out.port_values("Sq", "output").len(), 4);
+                assert_eq!(info.phase, JobPhase::Done);
+                assert!(info.worker.is_some());
+                assert_eq!(out.worker, info.worker, "metrics threaded into the output");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn run_sync_matches_direct_engine() {
+        let pool = instant_pool(3, 16);
+        let direct = ExecutionEngine::instant().run(&ExecutionRequest::simple("u", WF_SRC, 6)).unwrap();
+        let pooled = pool.run_sync("u", ExecutionRequest::simple("u", WF_SRC, 6)).unwrap();
+        assert_eq!(pooled.port_values("Sq", "output"), direct.port_values("Sq", "output"));
+        assert_eq!(pooled.processed, direct.processed);
+        assert!(pooled.overhead_report().contains("enact"));
+    }
+
+    #[test]
+    fn failed_execution_reported() {
+        let pool = instant_pool(1, 4);
+        let err = pool.run_sync("u", ExecutionRequest::simple("u", "not a script !!", 1)).unwrap_err();
+        assert!(matches!(err, PoolError::Failed(_)), "{err}");
+        assert_eq!(pool.stats().failed, 1);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        // One slow worker, queue bound 1: the first job occupies the
+        // worker, the second fills the queue, the third is rejected.
+        let engine = ExecutionEngine::instant().with_provision_scale(500);
+        let pool = EnginePool::start(engine, 1, 1);
+        let first = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        // Give the worker a moment to pick the first job so the queue
+        // bound applies to the jobs behind it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.status("u", first).unwrap().phase == JobPhase::Queued && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let _second = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        let third = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1));
+        assert_eq!(third, Err(PoolError::QueueFull { capacity: 1 }));
+        assert_eq!(pool.stats().rejected, 1);
+    }
+
+    #[test]
+    fn tenant_isolation_on_job_ids() {
+        let pool = instant_pool(1, 8);
+        let id = pool.submit("alice", ExecutionRequest::simple("alice", WF_SRC, 2)).unwrap();
+        assert!(pool.status("mallory", id).is_none(), "other tenants cannot observe the job");
+        assert!(pool.result("mallory", id).is_none());
+        assert!(pool.wait("mallory", id, Duration::from_millis(10)).is_none());
+        assert!(pool.wait("alice", id, Duration::from_secs(10)).is_some());
+    }
+
+    #[test]
+    fn parallel_jobs_overlap_on_sleeping_engines() {
+        // Provisioning sleeps ~40ms per cold run (scale 100). Four jobs on
+        // four workers should take roughly one provisioning time, not
+        // four — even on a single CPU, sleeps overlap.
+        let engine = ExecutionEngine::instant().with_provision_scale(100);
+        let serial = {
+            let pool = EnginePool::start(engine.fork(), 1, 16);
+            let t0 = Instant::now();
+            for _ in 0..4 {
+                pool.run_sync("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+            }
+            t0.elapsed()
+        };
+        let pool = EnginePool::start(engine, 4, 16);
+        let t0 = Instant::now();
+        let ids: Vec<i64> =
+            (0..4).map(|_| pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap()).collect();
+        for id in ids {
+            match pool.wait("u", id, Duration::from_secs(30)).unwrap() {
+                JobResult::Done(out, _) => assert!(
+                    out.queue_wait <= t0.elapsed(),
+                    "queue wait {:?} exceeds wall clock",
+                    out.queue_wait
+                ),
+                other => panic!("expected Done, got {other:?}"),
+            }
+        }
+        let parallel = t0.elapsed();
+        assert!(
+            parallel * 2 < serial,
+            "4 workers should beat 1 worker by >2x on sleep-bound jobs: {parallel:?} vs {serial:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_job_is_none() {
+        let pool = instant_pool(1, 4);
+        assert!(pool.status("u", 999).is_none());
+        assert!(pool.result("u", 999).is_none());
+        assert!(pool.wait("u", 999, Duration::from_millis(5)).is_none());
+    }
+}

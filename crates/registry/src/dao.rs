@@ -214,9 +214,7 @@ impl Dao {
             self.store.workflows.delete(workflow_id)?;
             self.wal.append(&self.store, &ops::delete("workflows", workflow_id))?;
             self.store.workflow_pes.remove_left(workflow_id);
-            // remove_left has no dedicated WAL op: emit unlinks.
-            // (Links from this workflow are already gone in-memory; replay
-            // correctness is preserved because remove_left is idempotent.)
+            self.wal.append(&self.store, &ops::remove_left("workflow_pes", workflow_id))?;
         }
         Ok(())
     }

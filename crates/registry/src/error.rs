@@ -18,6 +18,8 @@ pub enum RegistryError {
     Invalid { field: &'static str, message: String },
     /// The storage engine failed (I/O, corruption).
     Storage(String),
+    /// The server is saturated (admission control); retry later.
+    Busy(String),
 }
 
 impl RegistryError {
@@ -29,6 +31,7 @@ impl RegistryError {
             RegistryError::Unauthorized(_) => 401,
             RegistryError::Invalid { .. } => 400,
             RegistryError::Storage(_) => 500,
+            RegistryError::Busy(_) => 429,
         }
     }
 
@@ -40,6 +43,7 @@ impl RegistryError {
             RegistryError::Unauthorized(_) => "Unauthorized",
             RegistryError::Invalid { .. } => "Invalid",
             RegistryError::Storage(_) => "Storage",
+            RegistryError::Busy(_) => "Busy",
         }
     }
 
@@ -76,6 +80,7 @@ impl fmt::Display for RegistryError {
             RegistryError::Unauthorized(m) => write!(f, "unauthorized: {m}"),
             RegistryError::Invalid { field, message } => write!(f, "invalid {field}: {message}"),
             RegistryError::Storage(m) => write!(f, "storage error: {m}"),
+            RegistryError::Busy(m) => write!(f, "server busy: {m}"),
         }
     }
 }
@@ -105,6 +110,7 @@ mod tests {
             RegistryError::Unauthorized("bad password".into()),
             RegistryError::Invalid { field: "peCode", message: "parse error".into() },
             RegistryError::Storage("disk".into()),
+            RegistryError::Busy("queue full".into()),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -155,6 +155,10 @@ pub fn apply_op(store: &mut Store, op: &Value) -> Result<(), RegistryError> {
             junction(store, op["junction"].as_str().unwrap_or(""))?
                 .remove_right(op["right"].as_i64().unwrap_or(0));
         }
+        Some("remove_left") => {
+            junction(store, op["junction"].as_str().unwrap_or(""))?
+                .remove_left(op["left"].as_i64().unwrap_or(0));
+        }
         other => return Err(RegistryError::Storage(format!("unknown WAL op {other:?}"))),
     }
     Ok(())
@@ -203,6 +207,13 @@ pub mod ops {
     pub fn remove_right(junction: &str, right: i64) -> Value {
         let mut v = Value::Null;
         v.set("op", "remove_right").set("junction", junction).set("right", right);
+        v
+    }
+
+    /// Remove-left record (cascade deletes from the owning side).
+    pub fn remove_left(junction: &str, left: i64) -> Value {
+        let mut v = Value::Null;
+        v.set("op", "remove_left").set("junction", junction).set("left", left);
         v
     }
 }
@@ -306,6 +317,30 @@ mod tests {
         let (store, _) = WalStore::open(&dir).unwrap();
         assert_eq!(store.users.len(), 1);
         assert_eq!(store.users.find_unique("userName", "b"), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_left_replay() {
+        // Regression: deleting a workflow removes its PE links via
+        // remove_left; the op must journal, or recovery resurrects the
+        // dead links (found by tests/proptest_interleaved.rs).
+        let dir = tmpdir("removeleft");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            store.workflow_pes.link(1, 10);
+            wal.append(&store, &ops::link("workflow_pes", 1, 10)).unwrap();
+            store.workflow_pes.link(1, 11);
+            wal.append(&store, &ops::link("workflow_pes", 1, 11)).unwrap();
+            store.workflow_pes.link(2, 10);
+            wal.append(&store, &ops::link("workflow_pes", 2, 10)).unwrap();
+            store.workflow_pes.remove_left(1);
+            wal.append(&store, &ops::remove_left("workflow_pes", 1)).unwrap();
+        }
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert!(!store.workflow_pes.linked(1, 10));
+        assert!(!store.workflow_pes.linked(1, 11));
+        assert!(store.workflow_pes.linked(2, 10), "other workflows keep their links");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -8,11 +8,12 @@
 use crate::api::{ApiRequest, ApiResponse, Method};
 use crate::server::LaminarServer;
 use laminar_json::{parse, to_string, Value};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Percent-encode a path segment (RFC 3986 unreserved set passes through).
 pub fn percent_encode(s: &str) -> String {
@@ -48,11 +49,54 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Count of in-flight connection handlers, with a condvar for the drain
+/// on shutdown.
+#[derive(Default)]
+struct HandlerTracker {
+    active: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl HandlerTracker {
+    fn enter(self: &Arc<Self>) -> HandlerGuard {
+        *self.active.lock() += 1;
+        HandlerGuard(Arc::clone(self))
+    }
+
+    /// Block until every handler finished or `timeout` passed; returns the
+    /// number still active.
+    fn drain(&self, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        let mut active = self.active.lock();
+        while *active > 0 {
+            if self.drained.wait_until(&mut active, deadline).timed_out() {
+                break;
+            }
+        }
+        *active
+    }
+}
+
+/// Decrements the active count even if the handler panics.
+struct HandlerGuard(Arc<HandlerTracker>);
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        *self.0.active.lock() -= 1;
+        self.0.drained.notify_all();
+    }
+}
+
 /// A running HTTP server wrapping a [`LaminarServer`].
+///
+/// Connection-per-thread, but with no global server lock: `LaminarServer::
+/// handle` takes `&self`, so handlers route concurrently — reads share the
+/// registry lock and executions go to the engine worker pool.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<HandlerTracker>,
 }
 
 impl HttpServer {
@@ -62,7 +106,9 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
-        let server = Arc::new(Mutex::new(server));
+        let server = Arc::new(server);
+        let handlers = Arc::new(HandlerTracker::default());
+        let tracker = Arc::clone(&handlers);
         let join = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if flag.load(Ordering::SeqCst) {
@@ -70,13 +116,17 @@ impl HttpServer {
                 }
                 let Ok(stream) = stream else { continue };
                 let server = Arc::clone(&server);
-                // Connection-per-thread, like a classic app server.
+                // Connection-per-thread, like a classic app server. The
+                // guard is claimed on the acceptor so `stop()` can never
+                // miss a handler that is spawned but not yet running.
+                let guard = tracker.enter();
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let _ = handle_connection(stream, &server);
                 });
             }
         });
-        Ok(HttpServer { addr, shutdown, join: Some(join) })
+        Ok(HttpServer { addr, shutdown, join: Some(join), handlers })
     }
 
     /// Address the server listens on.
@@ -84,28 +134,41 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting and join the acceptor thread.
+    /// Connection handlers currently in flight.
+    pub fn active_handlers(&self) -> usize {
+        *self.handlers.active.lock()
+    }
+
+    /// Stop accepting, join the acceptor thread, and drain in-flight
+    /// handlers so shutdown is deterministic.
     pub fn stop(mut self) {
+        self.shutdown_and_drain();
+    }
+
+    fn shutdown_and_drain(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the acceptor with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
+        // The deadline is a liveness escape hatch, not an invariant: a
+        // handler legitimately stuck behind a saturated pool may outlive
+        // it, and panicking here (this also runs from Drop) would abort.
+        let leftover = self.handlers.drain(Duration::from_secs(30));
+        if leftover > 0 {
+            eprintln!("laminar-server: {leftover} handler(s) still in flight past the drain deadline");
+        }
     }
 }
 
 impl Drop for HttpServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(j) = self.join.take() {
-            let _ = j.join();
-        }
+        self.shutdown_and_drain();
     }
 }
 
-fn handle_connection(stream: TcpStream, server: &Mutex<LaminarServer>) -> std::io::Result<()> {
+fn handle_connection(stream: TcpStream, server: &LaminarServer) -> std::io::Result<()> {
     let peer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let request = match read_request(&mut reader) {
@@ -114,7 +177,7 @@ fn handle_connection(stream: TcpStream, server: &Mutex<LaminarServer>) -> std::i
             return write_response(peer, &ApiResponse::bad_request(&msg));
         }
     };
-    let response = server.lock().handle(&request);
+    let response = server.handle(&request);
     write_response(peer, &response)
 }
 
@@ -162,6 +225,7 @@ fn write_response(mut stream: TcpStream, response: &ApiResponse) -> std::io::Res
         401 => "Unauthorized",
         404 => "Not Found",
         409 => "Conflict",
+        429 => "Too Many Requests",
         _ => "Error",
     };
     write!(
@@ -313,6 +377,80 @@ mod tests {
         let r = http_call(addr, &ApiRequest::new(Method::Get, "/registry/cc/pe/all", Value::Null)).unwrap();
         assert_eq!(r.body.as_array().unwrap().len(), 8);
         http.stop();
+    }
+
+    #[test]
+    fn start_stop_loop_is_deterministic() {
+        // Repeated start/stop cycles must neither hang nor leak handlers.
+        for round in 0..5 {
+            let http = HttpServer::start(LaminarServer::in_memory()).unwrap();
+            let addr = http.addr();
+            let r = http_call(addr, &ApiRequest::new(Method::Get, "/auth/all", Value::Null)).unwrap();
+            assert!(r.is_ok(), "round {round}: {r:?}");
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while http.active_handlers() > 0 {
+                assert!(std::time::Instant::now() < deadline, "round {round}: handler never drained");
+                std::thread::yield_now();
+            }
+            http.stop();
+        }
+    }
+
+    #[test]
+    fn stop_drains_inflight_handlers() {
+        use laminar_engine::ExecutionEngine;
+        use laminar_registry::Registry;
+        // Slow engine: the synchronous run holds its handler ~400ms.
+        let server = LaminarServer::with_pool(
+            Registry::in_memory(),
+            ExecutionEngine::instant().with_provision_scale(1000),
+            2,
+            16,
+        );
+        let http = HttpServer::start(server).unwrap();
+        let addr = http.addr();
+        http_call(
+            addr,
+            &ApiRequest::new(
+                Method::Post,
+                "/auth/register",
+                jobj! { "userName" => "drain", "password" => "password" },
+            ),
+        )
+        .unwrap();
+        // Let the register handler fully drain before measuring.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while http.active_handlers() > 0 {
+            assert!(std::time::Instant::now() < deadline, "register handler never drained");
+            std::thread::yield_now();
+        }
+        let t0 = std::time::Instant::now();
+        let client = std::thread::spawn(move || {
+            http_call(
+                addr,
+                &ApiRequest::new(
+                    Method::Post,
+                    "/execution/drain/run",
+                    jobj! { "source" => "pe P : producer { output o; process { emit(1); } }", "input" => 1 },
+                ),
+            )
+        });
+        // Wait until the handler is in flight, then stop: stop must block
+        // until the handler finished writing its response.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while http.active_handlers() == 0 {
+            assert!(std::time::Instant::now() < deadline, "handler never started");
+            std::thread::yield_now();
+        }
+        http.stop();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(300),
+            "stop() returned before the slow handler could have finished ({:?})",
+            t0.elapsed()
+        );
+        let response = client.join().unwrap().expect("in-flight request completed during shutdown");
+        assert!(response.is_ok(), "{response:?}");
+        assert_eq!(response.body["printed"].as_array().map(<[Value]>::len), Some(0));
     }
 
     #[test]

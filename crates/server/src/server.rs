@@ -1,41 +1,79 @@
 //! The Service layer: business logic behind every Table-3 endpoint.
+//!
+//! Concurrency layout (DESIGN.md §3.2): the registry sits behind one
+//! `RwLock` — read endpoints (GETs, search, completion) run concurrently,
+//! writes take the short exclusive path — while executions go to an
+//! [`EnginePool`] whose workers run in parallel. `handle` takes `&self`,
+//! so any number of connection handlers can route requests at once.
 
 use crate::api::{ApiRequest, ApiResponse, Method};
-use laminar_engine::{ExecutionEngine, ExecutionRequest};
+use laminar_engine::{EnginePool, ExecutionEngine, ExecutionRequest, JobResult, PoolError};
 use laminar_json::Value;
 use laminar_registry::service::EntityKey;
 use laminar_registry::{QueryType, Registry, RegistryError, SearchType};
+use parking_lot::RwLock;
 
-/// The Laminar server: registry + execution engine behind the REST API.
+/// Default engine-pool sizing: enough workers to overlap provisioning
+/// sleeps on small machines without oversubscribing big ones.
+pub const DEFAULT_POOL_WORKERS: usize = 4;
+/// Default admission-control bound on queued (not yet running) jobs.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// The Laminar server: registry + engine worker pool behind the REST API.
 pub struct LaminarServer {
-    registry: Registry,
-    engine: ExecutionEngine,
+    registry: RwLock<Registry>,
+    pool: EnginePool,
 }
 
 impl LaminarServer {
     /// Server with an in-memory registry and an instant (test-speed)
-    /// engine.
+    /// engine pool.
     pub fn in_memory() -> LaminarServer {
-        LaminarServer { registry: Registry::in_memory(), engine: ExecutionEngine::instant() }
+        LaminarServer::new(Registry::in_memory(), ExecutionEngine::instant())
     }
 
-    /// Server from parts (durable registry, calibrated engine…).
+    /// Server from parts (durable registry, calibrated engine…) with the
+    /// default pool sizing. The engine is the prototype every pool worker
+    /// is forked from; hosts registered on it are shared by all workers.
     pub fn new(registry: Registry, engine: ExecutionEngine) -> LaminarServer {
-        LaminarServer { registry, engine }
+        LaminarServer::with_pool(registry, engine, DEFAULT_POOL_WORKERS, DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Server with explicit engine-pool sizing (worker count and queue
+    /// admission bound).
+    pub fn with_pool(
+        registry: Registry,
+        engine: ExecutionEngine,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> LaminarServer {
+        LaminarServer {
+            registry: RwLock::new(registry),
+            pool: EnginePool::start(engine, workers, queue_capacity),
+        }
     }
 
     /// Direct registry access (workload setup, tests).
     pub fn registry_mut(&mut self) -> &mut Registry {
-        &mut self.registry
+        self.registry.get_mut()
     }
 
-    /// Direct engine access (host registration for simulated services).
-    pub fn engine_mut(&mut self) -> &mut ExecutionEngine {
-        &mut self.engine
+    /// The shared module-host registry. Module hosts registered here
+    /// (simulated services) are visible to every pool worker; the
+    /// *resource* store is NOT shared — each worker stages its own
+    /// per-request resources, so `stage_resource` on this handle reaches
+    /// no pooled engine (ship resources with the execution request).
+    pub fn hosts(&self) -> &laminar_engine::HostRegistry {
+        self.pool.hosts()
+    }
+
+    /// The engine worker pool (introspection, tests).
+    pub fn pool(&self) -> &EnginePool {
+        &self.pool
     }
 
     /// Controller entry point: route a request (paper §3.2.1).
-    pub fn handle(&mut self, req: &ApiRequest) -> ApiResponse {
+    pub fn handle(&self, req: &ApiRequest) -> ApiResponse {
         let segments = req.segments();
         let result = match (req.method, segments.as_slice()) {
             // ---- User controller -----------------------------------------
@@ -89,7 +127,11 @@ impl LaminarServer {
             }
 
             // ---- Execution controller ----------------------------------------
+            (Method::Get, ["execution", "pool", "stats"]) => Ok(self.pool.stats().to_value()),
             (Method::Post, ["execution", user, "run"]) => self.execution_run(user, &req.body),
+            (Method::Post, ["execution", user, "submit"]) => self.execution_submit(user, &req.body),
+            (Method::Get, ["execution", user, "job", id, "status"]) => self.job_status(user, id),
+            (Method::Get, ["execution", user, "job", id, "result"]) => self.job_result(user, id),
 
             _ => return ApiResponse::not_found(&req.path),
         };
@@ -101,23 +143,24 @@ impl LaminarServer {
 
     // ---- user handlers -------------------------------------------------------
 
-    fn users_all(&mut self) -> Result<Value, RegistryError> {
-        Ok(Value::Array(self.registry.all_user_names().into_iter().map(Value::Str).collect()))
+    fn users_all(&self) -> Result<Value, RegistryError> {
+        Ok(Value::Array(self.registry.read().all_user_names().into_iter().map(Value::Str).collect()))
     }
 
-    fn auth_register(&mut self, body: &Value) -> Result<Value, RegistryError> {
+    fn auth_register(&self, body: &Value) -> Result<Value, RegistryError> {
         let name = str_field(body, "userName")?;
         let password = str_field(body, "password")?;
-        let user = self.registry.register_user(&name, &password)?;
+        let user = self.registry.write().register_user(&name, &password)?;
         let mut v = Value::Null;
         v.set("userId", user.user_id).set("userName", user.user_name.as_str());
         Ok(v)
     }
 
-    fn auth_login(&mut self, body: &Value) -> Result<Value, RegistryError> {
+    fn auth_login(&self, body: &Value) -> Result<Value, RegistryError> {
         let name = str_field(body, "userName")?;
         let password = str_field(body, "password")?;
-        let token = self.registry.login(&name, &password)?;
+        // Login mints a session token, so it takes the write path.
+        let token = self.registry.write().login(&name, &password)?;
         let mut v = Value::Null;
         v.set("token", token.as_str()).set("userName", name.as_str());
         Ok(v)
@@ -125,30 +168,30 @@ impl LaminarServer {
 
     // ---- PE handlers ------------------------------------------------------------
 
-    fn pe_add(&mut self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+    fn pe_add(&self, user: &str, body: &Value) -> Result<Value, RegistryError> {
         let code = str_field(body, "code")?;
         let description = body["description"].as_str();
         // The client ships code base64-pickled (paper §3.4.2); accept raw
         // source too for convenience.
         let source = laminar_registry::entities::decode_code(&code).unwrap_or(code);
-        let pe = self.registry.register_pe(user, &source, description)?;
+        let pe = self.registry.write().register_pe(user, &source, description)?;
         Ok(pe_summary(&pe))
     }
 
-    fn pe_all(&mut self, user: &str) -> Result<Value, RegistryError> {
-        Ok(self.registry.all_pes(user)?.iter().map(pe_summary).collect())
+    fn pe_all(&self, user: &str) -> Result<Value, RegistryError> {
+        Ok(self.registry.read().all_pes(user)?.iter().map(pe_summary).collect())
     }
 
-    fn pe_get(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
-        let pe = self.registry.get_pe(user, key)?;
+    fn pe_get(&self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        let pe = self.registry.read().get_pe(user, key)?;
         let mut v = pe_summary(&pe);
         v.set("peCode", pe.pe_code.as_str())
             .set("peImports", Value::Array(pe.pe_imports.iter().map(|i| Value::Str(i.clone())).collect()));
         Ok(v)
     }
 
-    fn pe_remove(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
-        self.registry.remove_pe(user, key)?;
+    fn pe_remove(&self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        self.registry.write().remove_pe(user, key)?;
         let mut v = Value::Null;
         v.set("removed", true);
         Ok(v)
@@ -156,38 +199,38 @@ impl LaminarServer {
 
     // ---- workflow handlers ----------------------------------------------------------
 
-    fn workflow_add(&mut self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+    fn workflow_add(&self, user: &str, body: &Value) -> Result<Value, RegistryError> {
         let code = str_field(body, "code")?;
         let entry = str_field(body, "entryPoint")?;
         let description = body["description"].as_str();
         let source = laminar_registry::entities::decode_code(&code).unwrap_or(code);
-        let wf = self.registry.register_workflow(user, &source, &entry, description)?;
+        let wf = self.registry.write().register_workflow(user, &source, &entry, description)?;
         Ok(wf_summary(&wf))
     }
 
-    fn workflow_all(&mut self, user: &str) -> Result<Value, RegistryError> {
-        Ok(self.registry.all_workflows(user)?.iter().map(wf_summary).collect())
+    fn workflow_all(&self, user: &str) -> Result<Value, RegistryError> {
+        Ok(self.registry.read().all_workflows(user)?.iter().map(wf_summary).collect())
     }
 
-    fn workflow_get(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
-        let wf = self.registry.get_workflow(user, key)?;
+    fn workflow_get(&self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        let wf = self.registry.read().get_workflow(user, key)?;
         let mut v = wf_summary(&wf);
         v.set("workflowCode", wf.workflow_code.as_str());
         Ok(v)
     }
 
-    fn workflow_pes(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
-        Ok(self.registry.pes_by_workflow(user, key)?.iter().map(pe_summary).collect())
+    fn workflow_pes(&self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        Ok(self.registry.read().pes_by_workflow(user, key)?.iter().map(pe_summary).collect())
     }
 
-    fn workflow_remove(&mut self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
-        self.registry.remove_workflow(user, key)?;
+    fn workflow_remove(&self, user: &str, key: &EntityKey) -> Result<Value, RegistryError> {
+        self.registry.write().remove_workflow(user, key)?;
         let mut v = Value::Null;
         v.set("removed", true);
         Ok(v)
     }
 
-    fn workflow_link_pe(&mut self, user: &str, wid: &str, pid: &str) -> Result<Value, RegistryError> {
+    fn workflow_link_pe(&self, user: &str, wid: &str, pid: &str) -> Result<Value, RegistryError> {
         let wid: i64 = wid.parse().map_err(|_| RegistryError::Invalid {
             field: "workflowId",
             message: "must be an integer".into(),
@@ -195,7 +238,7 @@ impl LaminarServer {
         let pid: i64 = pid
             .parse()
             .map_err(|_| RegistryError::Invalid { field: "peId", message: "must be an integer".into() })?;
-        self.registry.add_pe_to_workflow(user, wid, pid)?;
+        self.registry.write().add_pe_to_workflow(user, wid, pid)?;
         let mut v = Value::Null;
         v.set("linked", true);
         Ok(v)
@@ -203,12 +246,12 @@ impl LaminarServer {
 
     // ---- registry handlers -------------------------------------------------------------
 
-    fn registry_all(&mut self, user: &str) -> Result<Value, RegistryError> {
-        self.registry.dump(user)
+    fn registry_all(&self, user: &str) -> Result<Value, RegistryError> {
+        self.registry.read().dump(user)
     }
 
     fn registry_search(
-        &mut self,
+        &self,
         user: &str,
         search: &str,
         stype: &str,
@@ -225,7 +268,7 @@ impl LaminarServer {
             })?,
             None => QueryType::Text,
         };
-        let hits = self.registry.search(user, search, search_type, query_type)?;
+        let hits = self.registry.read().search(user, search, search_type, query_type)?;
         Ok(hits
             .into_iter()
             .map(|h| {
@@ -241,9 +284,13 @@ impl LaminarServer {
             .collect())
     }
 
-    // ---- execution handler -------------------------------------------------------------
+    // ---- execution handlers -------------------------------------------------------------
 
-    fn execution_run(&mut self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+    /// Resolve the request body into an [`ExecutionRequest`], fetching the
+    /// stored source when the body names a registered workflow. Takes only
+    /// a short registry *read* lock — the enactment itself never holds any
+    /// registry lock, so reads and other executions proceed concurrently.
+    fn resolve_request(&self, user: &str, body: &Value) -> Result<ExecutionRequest, RegistryError> {
         let mut body = body.clone();
         body.set("user", user);
         // `workflow` may name a registered workflow instead of shipping
@@ -253,19 +300,74 @@ impl LaminarServer {
                 field: "workflow",
                 message: "request needs either 'source' or a registered 'workflow' id/name".into(),
             })?;
-            let source = self.registry.workflow_source(user, &key)?;
-            let wf = self.registry.get_workflow(user, &key)?;
+            let registry = self.registry.read();
+            let source = registry.workflow_source(user, &key)?;
+            let wf = registry.get_workflow(user, &key)?;
             body.set("source", source).set("workflow", wf.workflow_name.as_str());
         }
-        let req = ExecutionRequest::from_value(&body).ok_or(RegistryError::Invalid {
-            field: "request",
-            message: "malformed execution request".into(),
-        })?;
-        let output = self
-            .engine
-            .run(&req)
-            .map_err(|e| RegistryError::Invalid { field: "execution", message: e.to_string() })?;
+        ExecutionRequest::from_value(&body)
+            .ok_or(RegistryError::Invalid { field: "request", message: "malformed execution request".into() })
+    }
+
+    fn pool_error(e: PoolError) -> RegistryError {
+        match e {
+            PoolError::QueueFull { .. } => RegistryError::Busy(e.to_string()),
+            PoolError::Failed(m) => RegistryError::Invalid { field: "execution", message: m },
+            PoolError::Unknown(id) => RegistryError::NotFound { entity: "Job", key: id.to_string() },
+        }
+    }
+
+    /// The synchronous endpoint: a thin wrapper over submit + wait.
+    fn execution_run(&self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+        let req = self.resolve_request(user, body)?;
+        let output = self.pool.run_sync(user, req).map_err(Self::pool_error)?;
         Ok(output.to_value())
+    }
+
+    /// The asynchronous submit: returns a job id immediately (or 429 when
+    /// admission control rejects the job).
+    fn execution_submit(&self, user: &str, body: &Value) -> Result<Value, RegistryError> {
+        let req = self.resolve_request(user, body)?;
+        let id = self.pool.submit(user, req).map_err(Self::pool_error)?;
+        let mut v = Value::Null;
+        v.set("jobId", id).set("status", "queued");
+        Ok(v)
+    }
+
+    fn parse_job_id(id: &str) -> Result<i64, RegistryError> {
+        id.parse()
+            .map_err(|_| RegistryError::Invalid { field: "jobId", message: "must be an integer".into() })
+    }
+
+    /// Poll a job's lifecycle phase and metrics.
+    fn job_status(&self, user: &str, id: &str) -> Result<Value, RegistryError> {
+        let id = Self::parse_job_id(id)?;
+        let info = self
+            .pool
+            .status(user, id)
+            .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
+        Ok(info.to_value())
+    }
+
+    /// Poll a job's result. While the job is pending this returns the
+    /// status envelope (no `outputs` key); once done it returns the
+    /// execution output with the job metrics merged in; a failed job
+    /// surfaces the standard execution error envelope.
+    fn job_result(&self, user: &str, id: &str) -> Result<Value, RegistryError> {
+        let id = Self::parse_job_id(id)?;
+        let result = self
+            .pool
+            .result(user, id)
+            .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
+        match result {
+            JobResult::Pending(info) => Ok(info.to_value()),
+            JobResult::Done(output, info) => {
+                let mut v = output.to_value();
+                v.set("jobId", info.id).set("status", "done");
+                Ok(v)
+            }
+            JobResult::Failed(message, _) => Err(RegistryError::Invalid { field: "execution", message }),
+        }
     }
 }
 
@@ -320,7 +422,7 @@ mod tests {
     "#;
 
     fn server_with_user() -> LaminarServer {
-        let mut s = LaminarServer::in_memory();
+        let s = LaminarServer::in_memory();
         let r = s.handle(&ApiRequest::new(
             Method::Post,
             "/auth/register",
@@ -330,13 +432,13 @@ mod tests {
         s
     }
 
-    fn get(s: &mut LaminarServer, path: &str) -> ApiResponse {
+    fn get(s: &LaminarServer, path: &str) -> ApiResponse {
         s.handle(&ApiRequest::new(Method::Get, path, Value::Null))
     }
 
     #[test]
     fn auth_flow() {
-        let mut s = server_with_user();
+        let s = server_with_user();
         let r = s.handle(&ApiRequest::new(
             Method::Post,
             "/auth/login",
@@ -353,13 +455,13 @@ mod tests {
         assert_eq!(r.status, 401);
         assert_eq!(r.body["error"].as_str(), Some("Unauthorized"));
         // User list.
-        let r = get(&mut s, "/auth/all");
+        let r = get(&s, "/auth/all");
         assert_eq!(r.body[0].as_str(), Some("zz46"));
     }
 
     #[test]
     fn pe_endpoints() {
-        let mut s = server_with_user();
+        let s = server_with_user();
         let src = "pe NumberProducer : producer { output output; process { emit(randint(1, 1000)); } }";
         let r = s.handle(&ApiRequest::new(
             Method::Post,
@@ -368,11 +470,11 @@ mod tests {
         ));
         assert!(r.is_ok(), "{r:?}");
         let id = r.body["peId"].as_i64().unwrap();
-        assert!(get(&mut s, &format!("/registry/zz46/pe/id/{id}")).is_ok());
-        let by_name = get(&mut s, "/registry/zz46/pe/name/NumberProducer");
+        assert!(get(&s, &format!("/registry/zz46/pe/id/{id}")).is_ok());
+        let by_name = get(&s, "/registry/zz46/pe/name/NumberProducer");
         assert_eq!(by_name.body["peId"].as_i64(), Some(id));
         assert!(by_name.body["peCode"].as_str().is_some());
-        let all = get(&mut s, "/registry/zz46/pe/all");
+        let all = get(&s, "/registry/zz46/pe/all");
         assert_eq!(all.body.as_array().unwrap().len(), 1);
         let rm = s.handle(&ApiRequest::new(
             Method::Delete,
@@ -380,12 +482,12 @@ mod tests {
             Value::Null,
         ));
         assert!(rm.is_ok());
-        assert_eq!(get(&mut s, &format!("/registry/zz46/pe/id/{id}")).status, 404);
+        assert_eq!(get(&s, &format!("/registry/zz46/pe/id/{id}")).status, 404);
     }
 
     #[test]
     fn workflow_endpoints() {
-        let mut s = server_with_user();
+        let s = server_with_user();
         let r = s.handle(&ApiRequest::new(
             Method::Post,
             "/registry/zz46/workflow/add",
@@ -393,9 +495,9 @@ mod tests {
         ));
         assert!(r.is_ok(), "{r:?}");
         let wid = r.body["workflowId"].as_i64().unwrap();
-        let pes = get(&mut s, &format!("/registry/zz46/workflow/pes/id/{wid}"));
+        let pes = get(&s, &format!("/registry/zz46/workflow/pes/id/{wid}"));
         assert_eq!(pes.body.as_array().unwrap().len(), 3);
-        let by_name = get(&mut s, "/registry/zz46/workflow/name/isPrime");
+        let by_name = get(&s, "/registry/zz46/workflow/name/isPrime");
         assert_eq!(by_name.body["workflowId"].as_i64(), Some(wid));
         // PUT link: attach an extra PE.
         let extra = s.handle(&ApiRequest::new(
@@ -410,13 +512,13 @@ mod tests {
             Value::Null,
         ));
         assert!(link.is_ok(), "{link:?}");
-        let pes = get(&mut s, &format!("/registry/zz46/workflow/pes/id/{wid}"));
+        let pes = get(&s, &format!("/registry/zz46/workflow/pes/id/{wid}"));
         assert_eq!(pes.body.as_array().unwrap().len(), 4);
     }
 
     #[test]
     fn search_endpoint_figure6() {
-        let mut s = server_with_user();
+        let s = server_with_user();
         s.handle(&ApiRequest::new(
             Method::Post,
             "/registry/zz46/workflow/add",
@@ -433,7 +535,7 @@ mod tests {
 
     #[test]
     fn execution_with_inline_source() {
-        let mut s = server_with_user();
+        let s = server_with_user();
         let r = s.handle(&ApiRequest::new(
             Method::Post,
             "/execution/zz46/run",
@@ -447,7 +549,7 @@ mod tests {
     #[test]
     fn execution_of_registered_workflow_by_name() {
         // The full serverless loop: register once, run by name (paper §5).
-        let mut s = server_with_user();
+        let s = server_with_user();
         s.handle(&ApiRequest::new(
             Method::Post,
             "/registry/zz46/workflow/add",
@@ -476,8 +578,8 @@ mod tests {
 
     #[test]
     fn unknown_route_and_bad_body() {
-        let mut s = server_with_user();
-        assert_eq!(get(&mut s, "/registry/zz46/nonsense").status, 404);
+        let s = server_with_user();
+        assert_eq!(get(&s, "/registry/zz46/nonsense").status, 404);
         let r = s.handle(&ApiRequest::new(Method::Post, "/auth/register", Value::Null));
         assert_eq!(r.status, 400);
         assert_eq!(r.body["error"].as_str(), Some("Invalid"));
@@ -485,7 +587,7 @@ mod tests {
 
     #[test]
     fn cross_user_isolation_via_api() {
-        let mut s = server_with_user();
+        let s = server_with_user();
         s.handle(&ApiRequest::new(
             Method::Post,
             "/auth/register",
@@ -496,7 +598,129 @@ mod tests {
             "/registry/zz46/pe/add",
             jobj! { "code" => "pe Mine : producer { output o; process { emit(1); } }" },
         ));
-        let r = get(&mut s, "/registry/other/pe/name/Mine");
+        let r = get(&s, "/registry/other/pe/name/Mine");
         assert_eq!(r.status, 404, "other users cannot see zz46's PEs");
+    }
+
+    #[test]
+    fn async_submit_poll_result() {
+        let s = server_with_user();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! { "source" => WF_SRC, "input" => 10, "mapping" => "SIMPLE" },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let id = r.body["jobId"].as_i64().unwrap();
+        assert!(id > 0);
+        // Poll until done.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let st = get(&s, &format!("/execution/zz46/job/{id}/status"));
+            assert!(st.is_ok(), "{st:?}");
+            match st.body["status"].as_str().unwrap() {
+                "done" => break,
+                "failed" => panic!("job failed: {st:?}"),
+                _ => assert!(std::time::Instant::now() < deadline, "job never finished"),
+            }
+        }
+        let res = get(&s, &format!("/execution/zz46/job/{id}/result"));
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(res.body["status"].as_str(), Some("done"));
+        assert_eq!(res.body["printed"].as_array().unwrap().len(), 4, "primes <= 10");
+        // The async result matches the synchronous endpoint's.
+        let sync = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/run",
+            jobj! { "source" => WF_SRC, "input" => 10, "mapping" => "SIMPLE" },
+        ));
+        assert_eq!(sync.body["printed"], res.body["printed"]);
+    }
+
+    #[test]
+    fn async_job_errors_and_isolation() {
+        let s = server_with_user();
+        // Unknown job id → 404.
+        assert_eq!(get(&s, "/execution/zz46/job/999/status").status, 404);
+        assert_eq!(get(&s, "/execution/zz46/job/999/result").status, 404);
+        // Non-integer id → 400.
+        assert_eq!(get(&s, "/execution/zz46/job/abc/status").status, 400);
+        // A failing script surfaces through the result endpoint as 400.
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! { "source" => "pe A : producer { output o; process { emit(1); } } pe B : producer { output o; process { emit(2); } }" },
+        ));
+        let id = r.body["jobId"].as_i64().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let st = get(&s, &format!("/execution/zz46/job/{id}/status"));
+            if st.body["status"].as_str() == Some("failed") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never failed");
+        }
+        assert_eq!(get(&s, &format!("/execution/zz46/job/{id}/result")).status, 400);
+        // Another tenant cannot observe the job.
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "other", "password" => "password" },
+        ));
+        assert_eq!(get(&s, &format!("/execution/other/job/{id}/status")).status, 404);
+    }
+
+    #[test]
+    fn admission_control_returns_429() {
+        // One slow worker, queue bound 1: the third submission is refused.
+        let s = LaminarServer::with_pool(
+            Registry::in_memory(),
+            ExecutionEngine::instant().with_provision_scale(1000),
+            1,
+            1,
+        );
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "zz46", "password" => "password" },
+        ));
+        let submit = || {
+            s.handle(&ApiRequest::new(
+                Method::Post,
+                "/execution/zz46/submit",
+                jobj! { "source" => WF_SRC, "input" => 1 },
+            ))
+        };
+        let first = submit();
+        assert!(first.is_ok(), "{first:?}");
+        // Wait until the worker picked the first job so the queue bound
+        // applies to the jobs behind it.
+        let id = first.body["jobId"].as_i64().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while get(&s, &format!("/execution/zz46/job/{id}/status")).body["status"].as_str() == Some("queued") {
+            assert!(std::time::Instant::now() < deadline, "job never picked");
+            std::thread::yield_now();
+        }
+        assert!(submit().is_ok());
+        let rejected = submit();
+        assert_eq!(rejected.status, 429, "{rejected:?}");
+        assert_eq!(rejected.body["error"].as_str(), Some("Busy"));
+        let stats = get(&s, "/execution/pool/stats");
+        assert_eq!(stats.body["rejected"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn pool_stats_endpoint() {
+        let s = server_with_user();
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/run",
+            jobj! { "source" => WF_SRC, "input" => 5 },
+        ));
+        let stats = get(&s, "/execution/pool/stats");
+        assert!(stats.is_ok(), "{stats:?}");
+        assert_eq!(stats.body["workers"].as_i64(), Some(DEFAULT_POOL_WORKERS as i64));
+        assert!(stats.body["submitted"].as_i64().unwrap() >= 1);
+        assert!(stats.body["completed"].as_i64().unwrap() >= 1);
     }
 }
