@@ -16,6 +16,11 @@ cargo test -q --workspace
 echo "== concurrency stress tier (unrestricted test threads) =="
 cargo test -q -p laminar-server --test concurrent
 
+echo "== streaming scenario tier =="
+cargo test -q -p laminar-workloads streaming
+cargo test -q --test integration streaming
+cargo test -q -p laminar-dataflow --test proptest_mappings fold_of_recorded_stream
+
 echo "== bench compile (no run) =="
 cargo bench --no-run --workspace
 
@@ -26,6 +31,10 @@ test -s target/bench_smoke.json
 echo "== concurrent_serving smoke =="
 cargo run --release -p laminar-bench --bin concurrent_serving -- --smoke --out target/bench_concurrent_smoke.json
 test -s target/bench_concurrent_smoke.json
+
+echo "== streaming_latency smoke =="
+cargo run --release -p laminar-bench --bin streaming_latency -- --smoke --out target/bench_streaming_smoke.json
+test -s target/bench_streaming_smoke.json
 
 echo "== fmt =="
 cargo fmt --check

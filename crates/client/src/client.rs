@@ -57,12 +57,21 @@ pub struct RunConfig {
     pub processes: usize,
     /// Resources to stage, as (name, bytes).
     pub resources: Vec<(String, Vec<u8>)>,
+    /// Ask the server to log the run's live event stream (consumed via
+    /// [`LaminarClient::job_events`] / [`LaminarClient::event_stream`]).
+    pub stream_events: bool,
 }
 
 impl RunConfig {
     /// Run for `n` iterations with the Simple mapping.
     pub fn iterations(n: i64) -> RunConfig {
-        RunConfig { input: Value::Int(n), mapping: MappingKind::Simple, processes: 1, resources: vec![] }
+        RunConfig {
+            input: Value::Int(n),
+            mapping: MappingKind::Simple,
+            processes: 1,
+            resources: vec![],
+            stream_events: false,
+        }
     }
 
     /// Feed explicit data.
@@ -72,6 +81,7 @@ impl RunConfig {
             mapping: MappingKind::Simple,
             processes: 1,
             resources: vec![],
+            stream_events: false,
         }
     }
 
@@ -87,7 +97,18 @@ impl RunConfig {
         self.resources.push((name.to_string(), bytes));
         self
     }
+
+    /// Request a live event stream for the job.
+    pub fn with_events(mut self, stream: bool) -> RunConfig {
+        self.stream_events = stream;
+        self
+    }
 }
+
+/// One page of a job's event stream (`/events` response) — the same
+/// shape the pool serves, reused so the cursor protocol has one
+/// definition.
+pub use laminar_engine::EventPage;
 
 /// The Laminar client.
 pub struct LaminarClient {
@@ -323,7 +344,8 @@ impl LaminarClient {
         }
         body.set("input", config.input.clone())
             .set("mapping", config.mapping.as_str())
-            .set("processes", config.processes);
+            .set("processes", config.processes)
+            .set("events", config.stream_events);
         let resources: Value = config
             .resources
             .iter()
@@ -393,21 +415,162 @@ impl LaminarClient {
         }
     }
 
-    /// Poll a job until it finishes or `timeout` passes.
+    /// Poll a job until it finishes or `timeout` passes. Polling backs
+    /// off exponentially (2 ms doubling to a 50 ms cap), so long jobs
+    /// cost a handful of requests instead of hammering the server.
     pub fn wait_job(
         &self,
         job_id: i64,
         timeout: std::time::Duration,
     ) -> Result<ExecutionOutput, ClientError> {
         let deadline = std::time::Instant::now() + timeout;
+        let mut delay = std::time::Duration::from_millis(2);
         loop {
             if let Some(output) = self.job_result(job_id)? {
                 return Ok(output);
             }
-            if std::time::Instant::now() >= deadline {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return Err(ClientError::Transport(format!("job {job_id} did not finish in {timeout:?}")));
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::sleep(delay.min(deadline - now));
+            delay = (delay * 2).min(std::time::Duration::from_millis(50));
+        }
+    }
+
+    // ---- event stream -------------------------------------------------------------------
+
+    /// Read one page of a job's event stream starting at cursor `since`
+    /// (`GET /execution/{user}/job/{id}/events?since=<seq>`).
+    pub fn job_events(&self, job_id: i64, since: u64) -> Result<EventPage, ClientError> {
+        let user = self.current_user()?.to_string();
+        let resp = self.call(&web::get(format!("/execution/{user}/job/{job_id}/events?since={since}")))?;
+        let events = resp["events"]
+            .as_array()
+            .ok_or(ClientError::Transport("server returned a malformed event page".into()))?
+            .to_vec();
+        Ok(EventPage {
+            events,
+            next: resp["next"].as_i64().unwrap_or(0).max(0) as u64,
+            first: resp["first"].as_i64().unwrap_or(0).max(0) as u64,
+            closed: resp["closed"].as_bool().unwrap_or(false),
+        })
+    }
+
+    /// Iterate a job's events as they arrive, blocking between pages with
+    /// the same 2→50 ms backoff as [`LaminarClient::wait_job`] (reset
+    /// whenever events arrive). The iterator ends when the stream closes
+    /// (the last item is the `done`/`failed` marker) or `timeout` passes
+    /// with the stream still open (final item: a transport error). A
+    /// transport error is also surfaced when the server's bounded log
+    /// evicted events past the cursor (truncation) — the stream would
+    /// otherwise silently diverge from the batch result.
+    pub fn event_stream(&self, job_id: i64, timeout: std::time::Duration) -> JobEventStream<'_> {
+        JobEventStream {
+            client: self,
+            job_id,
+            cursor: 0,
+            buffered: std::collections::VecDeque::new(),
+            closed: false,
+            failed: false,
+            deadline: std::time::Instant::now() + timeout,
+        }
+    }
+
+    /// Wait for a job like [`LaminarClient::wait_job`], invoking
+    /// `on_event` for every event of its stream as it arrives (progress
+    /// reporting). Requires the job to have been submitted with
+    /// [`RunConfig::with_events`] for event granularity — without it the
+    /// callback only sees the terminal marker. Progress is best-effort:
+    /// a truncated or interrupted stream stops the callbacks but the
+    /// result is still awaited and returned.
+    pub fn wait_job_with_progress(
+        &self,
+        job_id: i64,
+        timeout: std::time::Duration,
+        mut on_event: impl FnMut(&Value),
+    ) -> Result<ExecutionOutput, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        for event in self.event_stream(job_id, timeout) {
+            match event {
+                Ok(event) => on_event(&event),
+                // A lost stream (log truncation, transport hiccup) must
+                // not lose a retrievable result — fall through to the
+                // result poll below.
+                Err(_) => break,
+            }
+        }
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        // Stream closed normally → the terminal phase is committed and
+        // this returns on the first poll; stream lost → keep waiting out
+        // the caller's budget.
+        self.wait_job(job_id, remaining)
+    }
+}
+
+/// Blocking iterator over a job's event stream — see
+/// [`LaminarClient::event_stream`].
+pub struct JobEventStream<'a> {
+    client: &'a LaminarClient,
+    job_id: i64,
+    cursor: u64,
+    buffered: std::collections::VecDeque<Value>,
+    closed: bool,
+    failed: bool,
+    deadline: std::time::Instant,
+}
+
+impl Iterator for JobEventStream<'_> {
+    type Item = Result<Value, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut delay = std::time::Duration::from_millis(2);
+        loop {
+            if let Some(event) = self.buffered.pop_front() {
+                return Some(Ok(event));
+            }
+            if self.closed || self.failed {
+                return None;
+            }
+            match self.client.job_events(self.job_id, self.cursor) {
+                Ok(page) => {
+                    // The server's log is bounded: if the oldest retained
+                    // seq moved past our cursor, events were evicted before
+                    // we read them. Surface the gap instead of silently
+                    // yielding a divergent stream.
+                    if self.cursor < page.first {
+                        self.failed = true;
+                        return Some(Err(ClientError::Transport(format!(
+                            "job {} event log truncated: events {}..{} were evicted before they were \
+                             read (poll faster or fold from the job result)",
+                            self.job_id, self.cursor, page.first
+                        ))));
+                    }
+                    self.cursor = page.next;
+                    self.closed = page.closed;
+                    if !page.events.is_empty() {
+                        self.buffered.extend(page.events);
+                        continue;
+                    }
+                    if self.closed {
+                        return None;
+                    }
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= self.deadline {
+                self.failed = true;
+                return Some(Err(ClientError::Transport(format!(
+                    "job {} event stream still open at timeout",
+                    self.job_id
+                ))));
+            }
+            std::thread::sleep(delay.min(self.deadline - now));
+            delay = (delay * 2).min(std::time::Duration::from_millis(50));
         }
     }
 }
@@ -576,15 +739,127 @@ mod tests {
     }
 
     #[test]
+    fn event_stream_iterates_to_done_marker() {
+        let mut c = logged_in_client();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c
+            .submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(10).with_events(true))
+            .unwrap();
+        let events: Vec<Value> =
+            c.event_stream(id, std::time::Duration::from_secs(20)).collect::<Result<_, _>>().unwrap();
+        let types: Vec<&str> = events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types.first(), Some(&"plan"));
+        assert_eq!(types.last(), Some(&"done"));
+        // The streamed prints equal the batch result's, in order.
+        let streamed: Vec<&str> = events
+            .iter()
+            .filter(|e| e["type"].as_str() == Some("print"))
+            .filter_map(|e| e["line"].as_str())
+            .collect();
+        let out = c.wait_job(id, std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(streamed, out.printed.iter().map(String::as_str).collect::<Vec<_>>());
+        // Sequence numbers strictly increase across pages.
+        let seqs: Vec<i64> = events.iter().filter_map(|e| e["seq"].as_i64()).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "seqs: {seqs:?}");
+    }
+
+    #[test]
+    fn wait_job_with_progress_reports_events_and_result() {
+        let mut c = logged_in_client();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c
+            .submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(20).with_events(true))
+            .unwrap();
+        let mut outputs_seen = 0usize;
+        let mut finished_seen = false;
+        let out = c
+            .wait_job_with_progress(id, std::time::Duration::from_secs(20), |e| match e["type"].as_str() {
+                Some("output") => outputs_seen += 1,
+                Some("finished") => finished_seen = true,
+                _ => {}
+            })
+            .unwrap();
+        assert!(finished_seen, "the finished event reached the progress callback");
+        assert_eq!(outputs_seen, 0, "IsPrime's terminal consumer prints; no terminal ports");
+        assert_eq!(out.printed.len(), 8, "primes <= 20");
+        assert!(out.events > 0, "output reports its stream size");
+    }
+
+    #[test]
+    fn event_stream_detects_server_side_truncation() {
+        // A run whose stream exceeds the server's bounded per-job log
+        // (8192 events): reading from cursor 0 after eviction must error
+        // loudly instead of silently yielding a beheaded stream.
+        let mut c = logged_in_client();
+        let src = r#"
+            pe Gen : producer { output output; process { emit(iteration); } }
+            workflow Flood { nodes { g = Gen; } }
+        "#;
+        let id =
+            c.submit(RunTarget::Source(src.into()), RunConfig::iterations(9000).with_events(true)).unwrap();
+        c.wait_job(id, std::time::Duration::from_secs(60)).unwrap();
+        let mut stream = c.event_stream(id, std::time::Duration::from_secs(5));
+        match stream.next() {
+            Some(Err(ClientError::Transport(m))) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        assert!(stream.next().is_none(), "stream ends after the truncation error");
+        // Resuming from the oldest retained seq still works.
+        let page = c.job_events(id, 0).unwrap();
+        assert!(page.first > 0, "the log really did evict");
+        let resumed = c.job_events(id, page.first).unwrap();
+        assert_eq!(resumed.events.first().unwrap()["seq"].as_i64(), Some(page.first as i64));
+    }
+
+    #[test]
+    fn wait_job_with_progress_survives_stream_truncation() {
+        // When the bounded log evicted events, the progress stream is
+        // lost but the completed job's result must still come back.
+        let mut c = logged_in_client();
+        let src = r#"
+            pe Gen : producer { output output; process { emit(iteration); } }
+            workflow Flood { nodes { g = Gen; } }
+        "#;
+        let id =
+            c.submit(RunTarget::Source(src.into()), RunConfig::iterations(9000).with_events(true)).unwrap();
+        c.wait_job(id, std::time::Duration::from_secs(60)).unwrap();
+        let mut events_seen = 0usize;
+        let out = c
+            .wait_job_with_progress(id, std::time::Duration::from_secs(30), |_| events_seen += 1)
+            .expect("result survives the truncated stream");
+        assert_eq!(events_seen, 0, "stream was truncated before the first page");
+        assert_eq!(out.port_values("Gen", "output").len(), 9000);
+    }
+
+    #[test]
+    fn event_stream_for_unknown_job_errors_once() {
+        let c = logged_in_client();
+        let items: Vec<Result<Value, ClientError>> =
+            c.event_stream(4242, std::time::Duration::from_secs(1)).collect();
+        assert_eq!(items.len(), 1);
+        assert!(matches!(items[0], Err(ClientError::Api { status: 404, .. })));
+    }
+
+    #[test]
     fn async_over_tcp() {
         let http = laminar_server::HttpServer::start(LaminarServer::in_memory()).unwrap();
         let mut c = LaminarClient::connect(http.addr());
         c.register("async-tcp", "password").unwrap();
         c.login("async-tcp", "password").unwrap();
         c.register_workflow(WF_SRC, "isPrime", None).unwrap();
-        let id = c.submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(20)).unwrap();
+        let id = c
+            .submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(20).with_events(true))
+            .unwrap();
         let out = c.wait_job(id, std::time::Duration::from_secs(20)).unwrap();
         assert_eq!(out.printed.len(), 8);
+        // The event cursor protocol works over real HTTP too (the
+        // `?since=` query rides inside the percent-encoded segment).
+        let events: Vec<Value> =
+            c.event_stream(id, std::time::Duration::from_secs(10)).collect::<Result<_, _>>().unwrap();
+        assert_eq!(events.last().unwrap()["type"].as_str(), Some("done"));
+        assert_eq!(events.iter().filter(|e| e["type"].as_str() == Some("print")).count(), 8);
+        let page = c.job_events(id, 2).unwrap();
+        assert_eq!(page.events.first().unwrap()["seq"].as_i64(), Some(2));
         http.stop();
     }
 

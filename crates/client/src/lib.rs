@@ -30,5 +30,5 @@
 pub mod client;
 pub mod web;
 
-pub use client::{ClientError, LaminarClient, RunConfig, RunTarget};
+pub use client::{ClientError, EventPage, JobEventStream, LaminarClient, RunConfig, RunTarget};
 pub use web::{InProcessTransport, TcpTransport, Transport};

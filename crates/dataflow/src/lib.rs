@@ -55,7 +55,10 @@ pub mod routing;
 
 pub use error::DataflowError;
 pub use graph::{Connection, NodeId, WorkflowGraph};
-pub use mapping::{MappingKind, RunOptions, RunResult, RunStats, StageTimings};
+pub use mapping::{
+    fold_events, EventFold, MappingKind, RecordingObserver, RunEvent, RunObserver, RunOptions, RunResult,
+    RunStats, StageTimings,
+};
 pub use pe::{consumer_fn, iterative_fn, producer_fn, NativePe, Pe, PeFactory, PeMeta, ScriptPeFactory};
 pub use planner::{ConcretePlan, InstanceId};
 pub use ports::{PortId, PortTable};

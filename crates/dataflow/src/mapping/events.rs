@@ -1,0 +1,448 @@
+//! The enactment event stream: the runtime's results as they happen.
+//!
+//! # Emit-then-fold
+//!
+//! Before this module existed, the runtime *accumulated*: every worker
+//! collected its terminal outputs, prints and counters into per-instance
+//! `Vec`s, and nothing was observable until the collect stage folded the
+//! finished run into one [`RunResult`]. That batch contract made "time to
+//! first output" equal "time to last output" — hostile to long-running and
+//! source-driven workloads.
+//!
+//! The contract is now inverted. An enactment is an **ordered stream of
+//! [`RunEvent`]s** — plan ready, instance lifecycle, terminal-port
+//! outputs, captured prints, final stats — and the batch [`RunResult`] is
+//! *defined* as a fold over that stream ([`EventFold`]). The runtime pipes
+//! every event through one [`EventSink`] which (a) hands it to an optional
+//! [`RunObserver`] the moment it exists and (b) folds it into the result
+//! the caller gets back. Because the returned result and the observed
+//! stream are produced by the same fold from the same sequence, folding a
+//! recorded stream reproduces the batch result bit-for-bit — the property
+//! the cross-mapping equivalence suites assert.
+//!
+//! # Ordering and cost
+//!
+//! * Event `seq` numbers are assigned at the sink: a single total order
+//!   per run, per-instance emission order preserved (each worker emits its
+//!   own events in program order).
+//! * Without an observer the parallel runtime buffers each worker's events
+//!   locally and folds them at join time in dense-instance order — the
+//!   pre-stream accumulate-then-collect cost profile (one lock per worker,
+//!   deterministic result order). With an observer attached, workers flush
+//!   per emission burst so events become visible while upstream instances
+//!   are still producing.
+//! * Events carry `Arc<str>` PE/port names cloned from the plan's interned
+//!   tables — emitting an event never allocates a name, preserving the
+//!   zero-allocation datapath property (`alloc_interning.rs`).
+
+use super::{RunResult, RunStats};
+use laminar_json::Value;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One observable step of an enactment, in stream order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// The plan stage finished: instance counts per PE, in node order.
+    PlanReady {
+        /// `(pe_name, instance_count)` for every node of the graph.
+        pes: Vec<(Arc<str>, usize)>,
+    },
+    /// An instance began executing.
+    InstanceStarted {
+        /// PE name.
+        pe: Arc<str>,
+        /// Instance index within the PE.
+        instance: usize,
+    },
+    /// A value surfaced on a terminal (unconnected) output port.
+    Output {
+        /// PE name.
+        pe: Arc<str>,
+        /// Instance index within the PE.
+        instance: usize,
+        /// Terminal port name.
+        port: Arc<str>,
+        /// The emitted value.
+        value: Value,
+    },
+    /// A `print` line was captured.
+    Print {
+        /// PE name.
+        pe: Arc<str>,
+        /// Instance index within the PE.
+        instance: usize,
+        /// The captured line.
+        line: String,
+    },
+    /// An instance finished (its end-of-stream): final counters.
+    InstanceFinished {
+        /// PE name.
+        pe: Arc<str>,
+        /// Instance index within the PE.
+        instance: usize,
+        /// Data (or producer iterations) the instance processed.
+        processed: u64,
+        /// Emission attempts the instance made.
+        emitted: u64,
+    },
+    /// The run completed: final stats (timings are only known here).
+    /// Terminal event of a successful stream.
+    Finished {
+        /// The completed run's statistics.
+        stats: RunStats,
+    },
+}
+
+impl RunEvent {
+    /// Wire form of one event (the `/events` endpoint's array elements).
+    pub fn to_value(&self, seq: u64) -> Value {
+        let mut v = Value::Null;
+        v.set("seq", seq as i64);
+        match self {
+            RunEvent::PlanReady { pes } => {
+                let mut m = Value::Null;
+                for (pe, n) in pes {
+                    m.set(pe, *n);
+                }
+                v.set("type", "plan").set("pes", m);
+            }
+            RunEvent::InstanceStarted { pe, instance } => {
+                v.set("type", "started").set("pe", &**pe).set("instance", *instance);
+            }
+            RunEvent::Output { pe, instance, port, value } => {
+                v.set("type", "output")
+                    .set("pe", &**pe)
+                    .set("instance", *instance)
+                    .set("port", &**port)
+                    .set("value", value.clone());
+            }
+            RunEvent::Print { pe, instance, line } => {
+                v.set("type", "print").set("pe", &**pe).set("instance", *instance).set("line", line.as_str());
+            }
+            RunEvent::InstanceFinished { pe, instance, processed, emitted } => {
+                v.set("type", "instance_done")
+                    .set("pe", &**pe)
+                    .set("instance", *instance)
+                    .set("processed", *processed as i64)
+                    .set("emitted", *emitted as i64);
+            }
+            RunEvent::Finished { stats } => {
+                v.set("type", "finished")
+                    .set("elapsed_us", stats.elapsed.as_micros() as i64)
+                    .set("plan_us", stats.timings.plan.as_micros() as i64)
+                    .set("enact_us", stats.timings.enact.as_micros() as i64)
+                    .set("collect_us", stats.timings.collect.as_micros() as i64)
+                    .set("events", stats.events as i64);
+                if let Some(d) = stats.first_output {
+                    v.set("first_output_us", d.as_micros() as i64);
+                }
+            }
+        }
+        v
+    }
+}
+
+/// A sink for live enactment events. Implementations must tolerate being
+/// called from several worker threads (the sink serializes calls, but the
+/// observer travels across threads).
+pub trait RunObserver: Send + Sync {
+    /// One event, with its stream sequence number. Called in `seq` order.
+    fn on_event(&self, seq: u64, event: &RunEvent);
+}
+
+/// Fold an event stream back into a [`RunResult`] — the definition of the
+/// batch result. Feed events in stream order; [`EventFold::finish`]
+/// returns the folded result.
+///
+/// Outputs and stats keys are accumulated under the events' shared names
+/// (refcount clones); strings are materialized once per key at finish.
+#[derive(Debug, Default)]
+pub struct EventFold {
+    outputs: BTreeMap<(Arc<str>, Arc<str>), Vec<Value>>,
+    printed: Vec<String>,
+    stats: RunStats,
+    /// Events folded, excluding the terminal [`RunEvent::Finished`].
+    count: u64,
+}
+
+impl EventFold {
+    /// Fold one event.
+    pub fn push(&mut self, event: RunEvent) {
+        match event {
+            RunEvent::PlanReady { pes } => {
+                self.count += 1;
+                for (pe, n) in pes {
+                    self.stats.instances.insert(pe.to_string(), n);
+                }
+            }
+            RunEvent::InstanceStarted { .. } => self.count += 1,
+            RunEvent::Output { pe, port, value, .. } => {
+                self.count += 1;
+                self.outputs.entry((pe, port)).or_default().push(value);
+            }
+            RunEvent::Print { line, .. } => {
+                self.count += 1;
+                self.printed.push(line);
+            }
+            RunEvent::InstanceFinished { pe, processed, emitted, .. } => {
+                self.count += 1;
+                *self.stats.processed.entry(pe.to_string()).or_insert(0) += processed;
+                *self.stats.emitted.entry(pe.to_string()).or_insert(0) += emitted;
+            }
+            // Timing facts only the finished run knows; not counted, so a
+            // recorded stream (which includes Finished) folds to the same
+            // `events` figure as the live fold (which never sees it).
+            RunEvent::Finished { stats } => {
+                self.stats.elapsed = stats.elapsed;
+                self.stats.timings = stats.timings;
+                self.stats.first_output = stats.first_output;
+            }
+        }
+    }
+
+    /// The folded batch result.
+    pub fn finish(mut self) -> RunResult {
+        self.stats.events = self.count;
+        let mut result = RunResult { printed: self.printed, stats: self.stats, ..Default::default() };
+        for ((pe, port), values) in self.outputs {
+            result.outputs.insert((pe.to_string(), port.to_string()), values);
+        }
+        result
+    }
+}
+
+/// Fold a recorded stream in one call (tests, clients replaying a wire
+/// log).
+pub fn fold_events(events: impl IntoIterator<Item = RunEvent>) -> RunResult {
+    let mut fold = EventFold::default();
+    for ev in events {
+        fold.push(ev);
+    }
+    fold.finish()
+}
+
+struct SinkInner {
+    fold: EventFold,
+    seq: u64,
+    enact_start: Option<Instant>,
+    first_output: Option<Duration>,
+    /// Whether events reach the sink as they happen. True for the
+    /// sequential runtime (always) and for observed parallel runs;
+    /// false for unobserved parallel runs, whose workers buffer until
+    /// join — there a first-output timestamp would be meaningless.
+    realtime: bool,
+}
+
+/// The runtime's event funnel: assigns sequence numbers, tees each event
+/// to the observer (if any), and folds it into the nascent [`RunResult`].
+/// Shared by every worker of one enactment.
+pub struct EventSink {
+    observer: Option<Arc<dyn RunObserver>>,
+    inner: Mutex<SinkInner>,
+}
+
+impl EventSink {
+    /// A sink for one enactment.
+    pub fn new(observer: Option<Arc<dyn RunObserver>>) -> EventSink {
+        let realtime = observer.is_some();
+        EventSink {
+            observer,
+            inner: Mutex::new(SinkInner {
+                fold: EventFold::default(),
+                seq: 0,
+                enact_start: None,
+                first_output: None,
+                realtime,
+            }),
+        }
+    }
+
+    /// Whether an observer is attached — workers flush per burst when
+    /// live, at end-of-instance otherwise.
+    pub fn live(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Declare that events reach this sink as they happen even without an
+    /// observer (the sequential runtime), enabling `first_output` timing.
+    pub fn set_realtime(&self) {
+        self.inner.lock().realtime = true;
+    }
+
+    /// Mark the start of the enact stage (the zero of `first_output`).
+    pub fn start_enact(&self) {
+        self.inner.lock().enact_start = Some(Instant::now());
+    }
+
+    /// Push one event into the stream.
+    pub fn push(&self, event: RunEvent) {
+        let mut inner = self.inner.lock();
+        self.push_locked(&mut inner, event);
+    }
+
+    /// Push a worker's buffered events under one lock, draining `buf`.
+    pub fn extend(&self, buf: &mut Vec<RunEvent>) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for ev in buf.drain(..) {
+            self.push_locked(&mut inner, ev);
+        }
+    }
+
+    fn push_locked(&self, inner: &mut SinkInner, event: RunEvent) {
+        if inner.realtime && inner.first_output.is_none() {
+            if let RunEvent::Output { .. } = &event {
+                inner.first_output = Some(inner.enact_start.map(|t| t.elapsed()).unwrap_or_default());
+            }
+        }
+        if let Some(observer) = &self.observer {
+            observer.on_event(inner.seq, &event);
+        }
+        inner.seq += 1;
+        inner.fold.push(event);
+    }
+
+    /// Take the fold (collect stage) along with the observed time-to-first-
+    /// output. The sink stays usable for the terminal [`RunEvent::Finished`].
+    pub fn take_fold(&self) -> (EventFold, Option<Duration>) {
+        let mut inner = self.inner.lock();
+        (std::mem::take(&mut inner.fold), inner.first_output)
+    }
+
+    /// Emit the terminal event carrying the completed run's stats. Only
+    /// the observer sees it — the fold was already taken.
+    pub fn emit_finished(&self, stats: &RunStats) {
+        if let Some(observer) = &self.observer {
+            let mut inner = self.inner.lock();
+            let seq = inner.seq;
+            inner.seq += 1;
+            drop(inner);
+            observer.on_event(seq, &RunEvent::Finished { stats: stats.clone() });
+        }
+    }
+}
+
+/// An observer that records the stream (with arrival offsets) — the
+/// harness behind the equivalence suites and the `streaming_latency`
+/// bench.
+pub struct RecordingObserver {
+    started: Instant,
+    events: Mutex<Vec<(u64, Duration, RunEvent)>>,
+}
+
+impl RecordingObserver {
+    /// A fresh recorder; offsets are measured from this call.
+    pub fn new() -> Arc<RecordingObserver> {
+        Arc::new(RecordingObserver { started: Instant::now(), events: Mutex::new(Vec::new()) })
+    }
+
+    /// Drain the recorded `(seq, arrival_offset, event)` triples.
+    pub fn take(&self) -> Vec<(u64, Duration, RunEvent)> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl RunObserver for RecordingObserver {
+    fn on_event(&self, seq: u64, event: &RunEvent) {
+        self.events.lock().push((seq, self.started.elapsed(), event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn fold_reconstructs_outputs_prints_and_counters() {
+        let events = vec![
+            RunEvent::PlanReady { pes: vec![(arc("A"), 1), (arc("B"), 2)] },
+            RunEvent::InstanceStarted { pe: arc("A"), instance: 0 },
+            RunEvent::Output { pe: arc("B"), instance: 0, port: arc("out"), value: Value::Int(1) },
+            RunEvent::Print { pe: arc("B"), instance: 1, line: "hello".into() },
+            RunEvent::Output { pe: arc("B"), instance: 1, port: arc("out"), value: Value::Int(2) },
+            RunEvent::InstanceFinished { pe: arc("A"), instance: 0, processed: 5, emitted: 5 },
+            RunEvent::InstanceFinished { pe: arc("B"), instance: 0, processed: 2, emitted: 1 },
+            RunEvent::InstanceFinished { pe: arc("B"), instance: 1, processed: 3, emitted: 1 },
+        ];
+        let n = events.len() as u64;
+        let result = fold_events(events);
+        assert_eq!(result.port_values("B", "out"), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(result.printed, vec!["hello"]);
+        assert_eq!(result.stats.processed["A"], 5);
+        assert_eq!(result.stats.processed["B"], 5);
+        assert_eq!(result.stats.emitted["B"], 2);
+        assert_eq!(result.stats.instances["B"], 2);
+        assert_eq!(result.stats.events, n);
+    }
+
+    #[test]
+    fn finished_event_carries_timings_without_counting() {
+        let stats = RunStats {
+            elapsed: Duration::from_millis(7),
+            first_output: Some(Duration::from_millis(2)),
+            ..Default::default()
+        };
+        let result = fold_events(vec![
+            RunEvent::InstanceStarted { pe: arc("A"), instance: 0 },
+            RunEvent::Finished { stats },
+        ]);
+        assert_eq!(result.stats.elapsed, Duration::from_millis(7));
+        assert_eq!(result.stats.first_output, Some(Duration::from_millis(2)));
+        assert_eq!(result.stats.events, 1, "Finished is not a counted event");
+    }
+
+    #[test]
+    fn sink_assigns_sequential_seq_and_tees_observer() {
+        let recorder = RecordingObserver::new();
+        let sink = EventSink::new(Some(Arc::clone(&recorder) as Arc<dyn RunObserver>));
+        sink.start_enact();
+        sink.push(RunEvent::InstanceStarted { pe: arc("A"), instance: 0 });
+        let mut buf = vec![
+            RunEvent::Output { pe: arc("A"), instance: 0, port: arc("out"), value: Value::Int(9) },
+            RunEvent::InstanceFinished { pe: arc("A"), instance: 0, processed: 1, emitted: 1 },
+        ];
+        sink.extend(&mut buf);
+        assert!(buf.is_empty());
+        let (fold, first_output) = sink.take_fold();
+        assert!(first_output.is_some(), "first Output timestamped");
+        let result = fold.finish();
+        sink.emit_finished(&result.stats);
+        let recorded = recorder.take();
+        let seqs: Vec<u64> = recorded.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert!(matches!(recorded.last().unwrap().2, RunEvent::Finished { .. }));
+        // Folding the recorded stream reproduces the sink's own fold.
+        let refolded = fold_events(recorded.into_iter().map(|(_, _, e)| e));
+        assert_eq!(refolded.outputs, result.outputs);
+        assert_eq!(refolded.stats, result.stats);
+    }
+
+    #[test]
+    fn wire_form_tags_every_variant() {
+        let cases = [
+            (RunEvent::PlanReady { pes: vec![(arc("A"), 2)] }, "plan"),
+            (RunEvent::InstanceStarted { pe: arc("A"), instance: 1 }, "started"),
+            (RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(3) }, "output"),
+            (RunEvent::Print { pe: arc("A"), instance: 0, line: "x".into() }, "print"),
+            (
+                RunEvent::InstanceFinished { pe: arc("A"), instance: 0, processed: 1, emitted: 2 },
+                "instance_done",
+            ),
+            (RunEvent::Finished { stats: RunStats::default() }, "finished"),
+        ];
+        for (i, (ev, tag)) in cases.into_iter().enumerate() {
+            let v = ev.to_value(i as u64);
+            assert_eq!(v["type"].as_str(), Some(tag));
+            assert_eq!(v["seq"].as_i64(), Some(i as i64));
+        }
+    }
+}

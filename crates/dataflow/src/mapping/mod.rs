@@ -16,6 +16,7 @@
 //! transport. See the [`runtime`] module docs for how to add a fifth
 //! back-end.
 
+pub mod events;
 mod mpi;
 mod multi;
 mod redis;
@@ -23,6 +24,7 @@ pub mod runtime;
 mod simple;
 pub mod worker;
 
+pub use events::{fold_events, EventFold, RecordingObserver, RunEvent, RunObserver};
 pub use mpi::{Communicator, Envelope, MpiMapping, RankEndpoint, TAG_DATA, TAG_EOS};
 pub use multi::MultiMapping;
 pub use redis::RedisMapping;
@@ -33,6 +35,7 @@ use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use laminar_json::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which mapping to use — the client's `process=` parameter accepts these
@@ -189,6 +192,13 @@ pub struct RunStats {
     pub instances: BTreeMap<String, usize>,
     /// Per-stage breakdown of `elapsed`.
     pub timings: StageTimings,
+    /// Events the enactment's stream carried (excluding the terminal
+    /// [`events::RunEvent::Finished`]).
+    pub events: u64,
+    /// Time from enact start to the first terminal-port output, when the
+    /// stream was real-time (sequential runs and observed parallel runs).
+    /// `None` when nothing was emitted or the run buffered until join.
+    pub first_output: Option<Duration>,
 }
 
 /// The outcome of an enactment.
@@ -219,8 +229,22 @@ impl RunResult {
 pub trait Mapping {
     /// Which kind this is.
     fn kind(&self) -> MappingKind;
-    /// Execute the graph to completion.
-    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError>;
+
+    /// Execute the graph to completion, streaming [`RunEvent`]s to
+    /// `observer` as they happen. The returned batch result is the fold
+    /// over that same stream ([`fold_events`]), so observers and callers
+    /// always agree.
+    fn execute_observed(
+        &self,
+        graph: &WorkflowGraph,
+        options: &RunOptions,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<RunResult, DataflowError>;
+
+    /// Execute the graph to completion (batch: no observer).
+    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
+        self.execute_observed(graph, options, None)
+    }
 }
 
 #[cfg(test)]

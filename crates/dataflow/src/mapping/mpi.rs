@@ -196,8 +196,13 @@ impl Mapping for MpiMapping {
         MappingKind::Mpi
     }
 
-    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        Runtime::new(graph, options).threaded(MpiConnector::default())
+    fn execute_observed(
+        &self,
+        graph: &WorkflowGraph,
+        options: &RunOptions,
+        observer: Option<std::sync::Arc<dyn super::RunObserver>>,
+    ) -> Result<RunResult, DataflowError> {
+        Runtime::new(graph, options).threaded_observed(MpiConnector::default(), observer)
     }
 }
 

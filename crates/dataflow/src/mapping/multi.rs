@@ -105,8 +105,13 @@ impl Mapping for MultiMapping {
         MappingKind::Multi
     }
 
-    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        Runtime::new(graph, options).threaded(ChannelConnector::default())
+    fn execute_observed(
+        &self,
+        graph: &WorkflowGraph,
+        options: &RunOptions,
+        observer: Option<std::sync::Arc<dyn super::RunObserver>>,
+    ) -> Result<RunResult, DataflowError> {
+        Runtime::new(graph, options).threaded_observed(ChannelConnector::default(), observer)
     }
 }
 

@@ -127,7 +127,12 @@ impl Mapping for RedisMapping {
         MappingKind::Redis
     }
 
-    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
+    fn execute_observed(
+        &self,
+        graph: &WorkflowGraph,
+        options: &RunOptions,
+        observer: Option<std::sync::Arc<dyn super::RunObserver>>,
+    ) -> Result<RunResult, DataflowError> {
         let owned_broker;
         let broker = match &self.broker {
             Some(b) => b,
@@ -136,11 +141,10 @@ impl Mapping for RedisMapping {
                 &owned_broker
             }
         };
-        Runtime::new(graph, options).threaded(BrokerConnector {
-            broker,
-            timeout: options.queue_timeout,
-            plan: None,
-        })
+        Runtime::new(graph, options).threaded_observed(
+            BrokerConnector { broker, timeout: options.queue_timeout, plan: None },
+            observer,
+        )
     }
 }
 

@@ -10,9 +10,11 @@
 //!    and set up the transport substrate.
 //! 2. **Enact** — drive source instances through the configured
 //!    invocations, stream routed data downstream, propagate end-of-stream
-//!    once every upstream instance finishes.
-//! 3. **Collect** — fold per-instance outcomes (terminal outputs, captured
-//!    prints, counters) into one [`RunResult`].
+//!    once every upstream instance finishes. Terminal outputs, prints and
+//!    counters leave the workers as [`RunEvent`]s the moment they happen
+//!    (see [`super::events`]).
+//! 3. **Collect** — fold the event stream into one [`RunResult`]
+//!    ([`super::events::EventFold`]): the batch result *is* the fold.
 //!
 //! [`Runtime`] owns all three stages and times each one
 //! ([`super::StageTimings`] — the overhead structure the paper's Table 5
@@ -42,28 +44,30 @@
 //!
 //! impl Mapping for ZmqMapping {
 //!     fn kind(&self) -> MappingKind { /* extend the enum */ }
-//!     fn execute(&self, graph: &WorkflowGraph, options: &RunOptions)
+//!     fn execute_observed(&self, graph: &WorkflowGraph, options: &RunOptions,
+//!                         observer: Option<Arc<dyn RunObserver>>)
 //!         -> Result<RunResult, DataflowError> {
-//!         Runtime::new(graph, options).threaded(ZmqConnector::new())
+//!         Runtime::new(graph, options).threaded_observed(ZmqConnector::new(), observer)
 //!     }
 //! }
 //! ```
 //!
-//! The runtime guarantees the rest: identical routing, grouping, EOS and
-//! stats semantics as the other back-ends, which is what lets the
-//! cross-mapping equivalence suites assert output parity.
+//! The runtime guarantees the rest: identical routing, grouping, EOS,
+//! event-stream and stats semantics as the other back-ends, which is what
+//! lets the cross-mapping equivalence suites assert output parity and
+//! `fold(events) == batch result`.
 
+use super::events::{EventSink, RunEvent, RunObserver};
 use super::worker::{
-    merge_outcomes, merge_stats, plan_counts, run_worker, Emissions, InstanceRunner, RoutedDatum, Transport,
-    WorkerOutcome,
+    emissions_to_events, plan_pes, run_worker, Emissions, InstanceRunner, RoutedDatum, Transport,
 };
 use super::{RunOptions, RunResult, StageTimings};
 use crate::error::DataflowError;
 use crate::graph::WorkflowGraph;
 use crate::planner::{ConcretePlan, InstanceId};
-use crate::ports::PortId;
 use laminar_json::Value;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A mapping's transport factory: how instances get wired together.
@@ -104,6 +108,16 @@ impl<'a> Runtime<'a> {
     /// in-process FIFO is drained breadth-first between iterations so
     /// memory stays flat (streaming, not batch).
     pub fn sequential(&self) -> Result<RunResult, DataflowError> {
+        self.sequential_observed(None)
+    }
+
+    /// [`Runtime::sequential`] with a live event stream: every
+    /// [`RunEvent`] reaches `observer` the moment it happens, and the
+    /// returned result is the fold over that same stream.
+    pub fn sequential_observed(
+        &self,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<RunResult, DataflowError> {
         let t0 = Instant::now();
         let plan = ConcretePlan::sequential(self.graph)?;
         // Flat runner storage indexed by the plan's dense instance id — the
@@ -114,64 +128,71 @@ impl<'a> Runtime<'a> {
         }
         let sources: Vec<usize> =
             runners.iter().enumerate().filter(|(_, r)| r.is_source()).map(|(i, _)| i).collect();
+        let sink = EventSink::new(observer);
+        // The sequential drain pushes events in execution order, so first-
+        // output timing is real even without an observer.
+        sink.set_realtime();
+        sink.push(RunEvent::PlanReady { pes: plan_pes(self.graph, &plan) });
+        for r in &runners {
+            sink.push(RunEvent::InstanceStarted { pe: Arc::clone(&r.node_name), instance: r.inst.index });
+        }
         let plan_time = t0.elapsed();
 
+        sink.start_enact();
         let enact_t0 = Instant::now();
-        let mut result = RunResult::default();
+        let ports = Arc::clone(plan.ports());
         let mut queue: VecDeque<RoutedDatum> = VecDeque::new();
         let mut emissions = Emissions::default();
-        // Terminal outputs accumulate per dense runner id as interned port
-        // ids; names are resolved once in the collect stage below.
-        let mut collected: Vec<Vec<(PortId, Value)>> = (0..runners.len()).map(|_| Vec::new()).collect();
-        let absorb = |dense: usize,
+        let mut scratch: Vec<RunEvent> = Vec::new();
+        // Absorb one invocation's emissions: routed data queues for the
+        // breadth-first drain, terminal outputs and prints become events.
+        let absorb = |runner: &InstanceRunner,
                       emissions: &mut Emissions,
                       queue: &mut VecDeque<RoutedDatum>,
-                      collected: &mut [Vec<(PortId, Value)>],
-                      result: &mut RunResult| {
+                      scratch: &mut Vec<RunEvent>| {
             queue.extend(emissions.routed.drain(..));
-            collected[dense].append(&mut emissions.collected);
-            result.printed.append(&mut emissions.printed);
+            emissions_to_events(&runner.node_name, runner.inst.index, &ports, emissions, scratch);
+            sink.extend(scratch);
         };
         for i in 0..self.options.invocations() {
             for &s in &sources {
                 runners[s].run_iteration(self.options.datum_for(i), &mut emissions)?;
-                absorb(s, &mut emissions, &mut queue, &mut collected, &mut result);
+                absorb(&runners[s], &mut emissions, &mut queue, &mut scratch);
                 while let Some(d) = queue.pop_front() {
                     let dense = plan.dense(d.dest);
                     runners[dense].run_datum(d.port, Value::unshare(d.value), &mut emissions)?;
-                    absorb(dense, &mut emissions, &mut queue, &mut collected, &mut result);
+                    absorb(&runners[dense], &mut emissions, &mut queue, &mut scratch);
                 }
             }
         }
+        for r in &runners {
+            sink.push(RunEvent::InstanceFinished {
+                pe: Arc::clone(&r.node_name),
+                instance: r.inst.index,
+                processed: r.stats.processed,
+                emitted: r.stats.emitted,
+            });
+        }
         let enact_time = enact_t0.elapsed();
 
-        let collect_t0 = Instant::now();
-        let ports = plan.ports();
-        for (runner, outs) in runners.iter().zip(collected) {
-            let mut by_port: BTreeMap<PortId, Vec<Value>> = BTreeMap::new();
-            for (pid, value) in outs {
-                by_port.entry(pid).or_default().push(value);
-            }
-            for (pid, values) in by_port {
-                result
-                    .outputs
-                    .entry((runner.node_name.clone(), ports.name(pid).to_string()))
-                    .or_default()
-                    .extend(values);
-            }
-        }
-        let stats_iter = runners.iter().map(|r| (r.node_name.clone(), r.stats));
-        result.stats = merge_stats(stats_iter, &plan_counts(self.graph, &plan));
-        result.stats.timings =
-            StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
-        result.stats.elapsed = t0.elapsed();
-        Ok(result)
+        Ok(Self::collect(&sink, t0, plan_time, enact_time))
     }
 
     /// Parallel enactment: distribute `options.processes` across the graph,
     /// run one worker thread per instance, and connect them through
     /// `connector`'s transport.
-    pub fn threaded<C: Connector>(&self, mut connector: C) -> Result<RunResult, DataflowError> {
+    pub fn threaded<C: Connector>(&self, connector: C) -> Result<RunResult, DataflowError> {
+        self.threaded_observed(connector, None)
+    }
+
+    /// [`Runtime::threaded`] with a live event stream: workers flush their
+    /// events to `observer` per emission burst, so terminal outputs are
+    /// visible while upstream instances are still producing.
+    pub fn threaded_observed<C: Connector>(
+        &self,
+        mut connector: C,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<RunResult, DataflowError> {
         let t0 = Instant::now();
         let plan = ConcretePlan::distribute(self.graph, self.options.processes)?;
         // Build runners up-front so graph errors surface before spawning.
@@ -185,41 +206,65 @@ impl<'a> Runtime<'a> {
             let transport = connector.endpoint(runner.inst)?;
             workers.push((runner, transport));
         }
+        let sink = EventSink::new(observer);
+        sink.push(RunEvent::PlanReady { pes: plan_pes(self.graph, &plan) });
         let plan_time = t0.elapsed();
 
+        sink.start_enact();
         let enact_t0 = Instant::now();
         let options = self.options;
         let plan_ref = &plan;
-        let outcomes = std::thread::scope(|scope| {
+        let sink_ref = &sink;
+        let buffers = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers.len());
             for (runner, transport) in workers {
-                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, options)));
+                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, options, sink_ref)));
             }
             connector.on_workers_started();
             join_workers(handles)
         })?;
         let enact_time = enact_t0.elapsed();
 
+        // Unobserved workers returned their buffered events; fold them in
+        // dense-instance (spawn) order so the batch result is
+        // deterministic. Observed workers already flushed (empty buffers).
+        for mut events in buffers {
+            sink.extend(&mut events);
+        }
+        Ok(Self::collect(&sink, t0, plan_time, enact_time))
+    }
+
+    /// The collect stage: fold the event stream into the [`RunResult`],
+    /// stamp the stage timings, and emit the terminal
+    /// [`RunEvent::Finished`] to the observer.
+    fn collect(
+        sink: &EventSink,
+        t0: Instant,
+        plan_time: std::time::Duration,
+        enact_time: std::time::Duration,
+    ) -> RunResult {
         let collect_t0 = Instant::now();
-        let counts = plan_counts(self.graph, &plan);
-        let mut result = merge_outcomes(outcomes, &counts, plan.ports());
+        let (fold, first_output) = sink.take_fold();
+        let mut result = fold.finish();
+        result.stats.first_output = first_output;
         result.stats.timings =
             StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
         result.stats.elapsed = t0.elapsed();
-        Ok(result)
+        sink.emit_finished(&result.stats);
+        result
     }
 }
 
 /// Join every worker, preferring the first real failure over secondary
 /// transport errors and panics.
 fn join_workers(
-    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<WorkerOutcome, DataflowError>>>,
-) -> Result<Vec<WorkerOutcome>, DataflowError> {
-    let mut outcomes = Vec::with_capacity(handles.len());
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<Vec<RunEvent>, DataflowError>>>,
+) -> Result<Vec<Vec<RunEvent>>, DataflowError> {
+    let mut buffers = Vec::with_capacity(handles.len());
     let mut first_err = None;
     for h in handles {
         match h.join() {
-            Ok(Ok(o)) => outcomes.push(o),
+            Ok(Ok(events)) => buffers.push(events),
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
             Err(_) => {
                 first_err = first_err.or(Some(DataflowError::Enactment("worker thread panicked".into())))
@@ -228,7 +273,7 @@ fn join_workers(
     }
     match first_err {
         Some(e) => Err(e),
-        None => Ok(outcomes),
+        None => Ok(buffers),
     }
 }
 

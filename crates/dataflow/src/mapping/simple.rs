@@ -15,8 +15,13 @@ impl Mapping for SimpleMapping {
         MappingKind::Simple
     }
 
-    fn execute(&self, graph: &WorkflowGraph, options: &RunOptions) -> Result<RunResult, DataflowError> {
-        Runtime::new(graph, options).sequential()
+    fn execute_observed(
+        &self,
+        graph: &WorkflowGraph,
+        options: &RunOptions,
+        observer: Option<std::sync::Arc<dyn super::RunObserver>>,
+    ) -> Result<RunResult, DataflowError> {
+        Runtime::new(graph, options).sequential_observed(observer)
     }
 }
 

@@ -2,7 +2,9 @@
 //!
 //! An [`InstanceRunner`] wraps one PE instance together with its routing
 //! tables. Mappings feed it data and deliver the routed emissions over
-//! their own transport.
+//! their own transport; terminal outputs, prints and counters leave the
+//! worker loop as [`RunEvent`]s ([`run_worker`]) instead of accumulating
+//! in per-instance buffers.
 //!
 //! # The zero-allocation datapath
 //!
@@ -22,6 +24,7 @@
 //! * Transports send one frame per destination per emission burst
 //!   ([`Transport::send_batch`]), not one per datum.
 
+use super::events::{EventSink, RunEvent};
 use crate::error::DataflowError;
 use crate::graph::{NodeId, WorkflowGraph};
 use crate::pe::Pe;
@@ -30,7 +33,6 @@ use crate::ports::{PortId, PortTable};
 use crate::routing::{Grouping, Router};
 use laminar_json::{SharedValue, Value};
 use laminar_script::Sink;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One outgoing edge from the perspective of a sender instance.
@@ -116,8 +118,9 @@ impl Sink for InternSink {
 pub struct InstanceRunner {
     /// Identity within the concrete plan.
     pub inst: InstanceId,
-    /// PE name (for results/stats).
-    pub node_name: String,
+    /// PE name (for events/results/stats) — refcounted so the event
+    /// stream carries it without allocating.
+    pub node_name: Arc<str>,
     pe: Box<dyn Pe>,
     outgoing: Vec<OutEdge>,
     terminal_ports: Vec<PortId>,
@@ -150,7 +153,7 @@ impl InstanceRunner {
         };
         let factory = graph.node(inst.node)?;
         let meta = factory.meta();
-        let node_name = meta.name.clone();
+        let node_name: Arc<str> = Arc::from(meta.name.as_str());
         let mut outgoing = Vec::new();
         for c in graph.connections().iter().filter(|c| c.from == inst.node) {
             outgoing.push(OutEdge {
@@ -277,22 +280,33 @@ impl InstanceRunner {
     }
 }
 
-/// Merge per-instance stats into per-PE aggregates.
-pub fn merge_stats(
-    per_instance: impl IntoIterator<Item = (String, InstanceStats)>,
-    plan_counts: &BTreeMap<String, usize>,
-) -> super::RunStats {
-    let mut stats = super::RunStats { instances: plan_counts.clone(), ..Default::default() };
-    for (name, s) in per_instance {
-        *stats.processed.entry(name.clone()).or_insert(0) += s.processed;
-        *stats.emitted.entry(name).or_insert(0) += s.emitted;
-    }
-    stats
+/// Plan-level instance counts in node order — the payload of
+/// [`RunEvent::PlanReady`].
+pub fn plan_pes(graph: &WorkflowGraph, plan: &ConcretePlan) -> Vec<(Arc<str>, usize)> {
+    graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (Arc::from(n.meta().name.as_str()), plan.count(NodeId(i))))
+        .collect()
 }
 
-/// Plan-level instance counts keyed by PE name.
-pub fn plan_counts(graph: &WorkflowGraph, plan: &ConcretePlan) -> BTreeMap<String, usize> {
-    graph.nodes().iter().enumerate().map(|(i, n)| (n.meta().name.clone(), plan.count(NodeId(i)))).collect()
+/// Convert one invocation's terminal emissions and prints into events,
+/// appending to `events`. Shared by the sequential drain and the worker
+/// loop.
+pub(super) fn emissions_to_events(
+    pe: &Arc<str>,
+    instance: usize,
+    ports: &PortTable,
+    emissions: &mut Emissions,
+    events: &mut Vec<RunEvent>,
+) {
+    for (pid, value) in emissions.collected.drain(..) {
+        events.push(RunEvent::Output { pe: Arc::clone(pe), instance, port: ports.shared_name(pid), value });
+    }
+    for line in emissions.printed.drain(..) {
+        events.push(RunEvent::Print { pe: Arc::clone(pe), instance, line });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -346,42 +360,43 @@ pub fn drain_batch_groups(
     Ok(())
 }
 
-/// Everything a worker brings home after its instance finishes.
-#[derive(Debug, Default)]
-pub struct WorkerOutcome {
-    /// PE name (attached once here — never cloned per datum).
-    pub node_name: String,
-    /// Counters.
-    pub stats: InstanceStats,
-    /// Terminal emissions `(port, value)`; port names are resolved once at
-    /// merge time.
-    pub outputs: Vec<(PortId, Value)>,
-    /// Captured print lines.
-    pub printed: Vec<String>,
-}
-
-/// Drive one instance to completion over `transport`.
+/// Drive one instance to completion over `transport`, emitting
+/// [`RunEvent`]s as they happen.
 ///
 /// Sources run the configured invocations (striped across sibling source
 /// instances), then signal EOS downstream. Sinks/relays consume data until
 /// every upstream instance has signalled EOS, then propagate EOS.
+///
+/// When the sink is live (an observer is attached) events are flushed into
+/// it per emission burst, so downstream consumers see outputs while the
+/// run is still in flight. Otherwise the worker buffers its events locally
+/// and returns them for the runtime to fold at join time in dense-instance
+/// order — the deterministic batch profile, with one sink lock per worker.
 pub fn run_worker<T: Transport>(
     mut runner: InstanceRunner,
     mut transport: T,
     plan: &ConcretePlan,
     options: &super::RunOptions,
-) -> Result<WorkerOutcome, DataflowError> {
-    let mut outcome = WorkerOutcome { node_name: runner.node_name.clone(), ..Default::default() };
+    sink: &EventSink,
+) -> Result<Vec<RunEvent>, DataflowError> {
+    let pe = Arc::clone(&runner.node_name);
+    let instance = runner.inst.index;
+    let ports = Arc::clone(runner.ports());
+    let live = sink.live();
+    let mut events: Vec<RunEvent> = Vec::new();
+    events.push(RunEvent::InstanceStarted { pe: Arc::clone(&pe), instance });
+    if live {
+        sink.extend(&mut events);
+    }
     let mut emissions = Emissions::default();
     let deliver = |emissions: &mut Emissions,
                    transport: &mut T,
-                   outcome: &mut WorkerOutcome|
+                   events: &mut Vec<RunEvent>|
      -> Result<(), DataflowError> {
         if !emissions.routed.is_empty() {
             transport.send_batch(&mut emissions.routed)?;
         }
-        outcome.outputs.append(&mut emissions.collected);
-        outcome.printed.append(&mut emissions.printed);
+        emissions_to_events(&pe, instance, &ports, emissions, events);
         Ok(())
     };
 
@@ -393,7 +408,10 @@ pub fn run_worker<T: Transport>(
                 continue;
             }
             runner.run_iteration(options.datum_for(i), &mut emissions)?;
-            deliver(&mut emissions, &mut transport, &mut outcome)?;
+            deliver(&mut emissions, &mut transport, &mut events)?;
+            if live {
+                sink.extend(&mut events);
+            }
         }
     } else {
         let mut remaining = runner.expected_eos;
@@ -402,7 +420,10 @@ pub fn run_worker<T: Transport>(
                 TransportMsg::Data(items) => {
                     for (port, value) in items {
                         runner.run_datum(port, Value::unshare(value), &mut emissions)?;
-                        deliver(&mut emissions, &mut transport, &mut outcome)?;
+                        deliver(&mut emissions, &mut transport, &mut events)?;
+                        if live {
+                            sink.extend(&mut events);
+                        }
                     }
                 }
                 TransportMsg::Eos => remaining -= 1,
@@ -412,37 +433,16 @@ pub fn run_worker<T: Transport>(
     for dest in runner.eos_targets(plan) {
         transport.send_eos(dest)?;
     }
-    outcome.stats = runner.stats;
-    Ok(outcome)
-}
-
-/// Fold worker outcomes into a [`super::RunResult`]. Port/PE names are
-/// resolved here, once per terminal port — the collect stage, not the hot
-/// path.
-pub fn merge_outcomes(
-    outcomes: Vec<WorkerOutcome>,
-    counts: &BTreeMap<String, usize>,
-    ports: &PortTable,
-) -> super::RunResult {
-    let mut result = super::RunResult::default();
-    let mut stats_parts = Vec::new();
-    for o in outcomes {
-        let mut by_port: BTreeMap<PortId, Vec<Value>> = BTreeMap::new();
-        for (pid, value) in o.outputs {
-            by_port.entry(pid).or_default().push(value);
-        }
-        for (pid, values) in by_port {
-            result
-                .outputs
-                .entry((o.node_name.clone(), ports.name(pid).to_string()))
-                .or_default()
-                .extend(values);
-        }
-        result.printed.extend(o.printed);
-        stats_parts.push((o.node_name, o.stats));
+    events.push(RunEvent::InstanceFinished {
+        pe,
+        instance,
+        processed: runner.stats.processed,
+        emitted: runner.stats.emitted,
+    });
+    if live {
+        sink.extend(&mut events);
     }
-    result.stats = merge_stats(stats_parts, counts);
-    result
+    Ok(events)
 }
 
 #[cfg(test)]

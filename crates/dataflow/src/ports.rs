@@ -11,6 +11,7 @@
 //! integer on the MPI/Redis wire.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dense index of an interned port name. Valid only together with the
 /// [`PortTable`] of the plan that produced it.
@@ -18,11 +19,12 @@ use std::collections::HashMap;
 pub struct PortId(pub u32);
 
 /// Interner mapping port names to dense [`PortId`]s. Built once per
-/// concrete plan; read-only (and shared) during enactment.
+/// concrete plan; read-only (and shared) during enactment. Names are
+/// stored as `Arc<str>` so event streams can carry them by refcount.
 #[derive(Debug, Default, Clone)]
 pub struct PortTable {
-    names: Vec<String>,
-    index: HashMap<String, PortId>,
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, PortId>,
 }
 
 impl PortTable {
@@ -32,8 +34,9 @@ impl PortTable {
             return id;
         }
         let id = PortId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.index.insert(name.to_string(), id);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&shared));
+        self.index.insert(shared, id);
         id
     }
 
@@ -48,6 +51,15 @@ impl PortTable {
     /// If `id` did not come from this table.
     pub fn name(&self, id: PortId) -> &str {
         &self.names[id.0 as usize]
+    }
+
+    /// The name behind an id as a refcounted handle — what event streams
+    /// carry, so emitting an event never allocates a name.
+    ///
+    /// # Panics
+    /// If `id` did not come from this table.
+    pub fn shared_name(&self, id: PortId) -> Arc<str> {
+        Arc::clone(&self.names[id.0 as usize])
     }
 
     /// Whether `id` is valid for this table (wire-format validation).

@@ -2,11 +2,14 @@
 //!
 //! For any generated stateless pipeline, Simple / Multi / MPI / Redis must
 //! produce the same multiset of terminal outputs; for group-by stateful
-//! pipelines, per-key aggregates must agree exactly.
+//! pipelines, per-key aggregates must agree exactly; and for every
+//! mapping, folding the recorded event stream of a run must reproduce its
+//! batch `RunResult` bit-for-bit (the PR-4 emit-then-fold contract).
 
 use laminar_dataflow::mapping::{Mapping, MpiMapping, MultiMapping, RedisMapping, SimpleMapping};
-use laminar_dataflow::{RunOptions, WorkflowGraph};
+use laminar_dataflow::{fold_events, RecordingObserver, RunObserver, RunOptions, WorkflowGraph};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Build a generated 3-stage pipeline: producer → map → map.
 fn pipeline_source(op1: &str, k1: i64, op2: &str, k2: i64) -> String {
@@ -123,6 +126,65 @@ proptest! {
             prop_assert_eq!(r.stats.processed["Src"], iters as u64);
             prop_assert_eq!(r.stats.processed["M1"], r.stats.emitted["Src"]);
             prop_assert_eq!(r.stats.processed["M2"], r.stats.emitted["M1"]);
+        }
+    }
+
+    /// The emit-then-fold contract: for any generated pipeline, under
+    /// every mapping, folding the recorded event stream of a run
+    /// reproduces that run's batch `RunResult` bit-for-bit (outputs in
+    /// order, prints in order, full stats including timings and the
+    /// event count).
+    #[test]
+    fn fold_of_recorded_stream_equals_batch_result(
+        op1 in prop::sample::select(vec!["+", "*", "-"]),
+        k1 in 1..7i64,
+        op2 in prop::sample::select(vec!["+", "*"]),
+        k2 in 1..7i64,
+        iters in 1..40i64,
+        procs in 2..7usize,
+    ) {
+        let src = pipeline_source(op1, k1, op2, k2);
+        let g = build(&src);
+        let opts = RunOptions::iterations(iters).with_processes(procs);
+        for mapping in [
+            &SimpleMapping as &dyn Mapping,
+            &MultiMapping,
+            &MpiMapping,
+            &RedisMapping::default(),
+        ] {
+            let recorder = RecordingObserver::new();
+            let result = mapping
+                .execute_observed(&g, &opts, Some(recorder.clone() as Arc<dyn RunObserver>))
+                .unwrap();
+            let refolded = fold_events(recorder.take().into_iter().map(|(_, _, e)| e));
+            prop_assert_eq!(&refolded.outputs, &result.outputs, "{} outputs diverged", mapping.kind());
+            prop_assert_eq!(&refolded.printed, &result.printed, "{} prints diverged", mapping.kind());
+            prop_assert_eq!(&refolded.stats, &result.stats, "{} stats diverged", mapping.kind());
+        }
+    }
+
+    /// Observed and batch runs of the same deterministic pipeline agree:
+    /// attaching an observer must not change what the run computes.
+    #[test]
+    fn observation_does_not_perturb_results(iters in 1..30i64, procs in 2..6usize) {
+        let src = pipeline_source("*", 3, "+", 1);
+        let g = build(&src);
+        let opts = RunOptions::iterations(iters).with_processes(procs);
+        for mapping in [
+            &SimpleMapping as &dyn Mapping,
+            &MultiMapping,
+            &MpiMapping,
+            &RedisMapping::default(),
+        ] {
+            let batch = mapping.execute(&g, &opts).unwrap();
+            let recorder = RecordingObserver::new();
+            let observed = mapping
+                .execute_observed(&g, &opts, Some(recorder.clone() as Arc<dyn RunObserver>))
+                .unwrap();
+            prop_assert_eq!(sorted_outputs(&batch), sorted_outputs(&observed), "{}", mapping.kind());
+            prop_assert_eq!(&batch.stats.processed, &observed.stats.processed, "{}", mapping.kind());
+            prop_assert_eq!(&batch.stats.emitted, &observed.stats.emitted, "{}", mapping.kind());
+            prop_assert_eq!(batch.stats.events, observed.stats.events, "{}", mapping.kind());
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::hosts::HostRegistry;
 use crate::netmodel::NetModel;
 use crate::request::ExecutionRequest;
 use laminar_dataflow::mapping::{RunOptions, RunResult};
-use laminar_dataflow::{DataflowError, ScriptPeFactory, StageTimings, WorkflowGraph};
+use laminar_dataflow::{DataflowError, RunEvent, RunObserver, ScriptPeFactory, StageTimings, WorkflowGraph};
 use laminar_json::Value;
 use laminar_script::{analysis, parse_script, VecSink};
 use std::sync::Arc;
@@ -42,6 +42,11 @@ pub struct ExecutionOutput {
     pub queue_wait: Duration,
     /// Which pool worker ran the job (None when run directly).
     pub worker: Option<usize>,
+    /// Events the enactment's stream carried (plan/lifecycle/output/print).
+    pub events: u64,
+    /// Time from enact start to the first terminal-port output, when the
+    /// event stream was real-time (Simple runs and streamed executions).
+    pub first_output: Option<Duration>,
 }
 
 impl ExecutionOutput {
@@ -67,7 +72,11 @@ impl ExecutionOutput {
                 "emitted",
                 self.emitted.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
             )
-            .set("queue_us", self.queue_wait.as_micros() as i64);
+            .set("queue_us", self.queue_wait.as_micros() as i64)
+            .set("events", self.events as i64);
+        if let Some(d) = self.first_output {
+            v.set("first_output_us", d.as_micros() as i64);
+        }
         if let Some(w) = self.worker {
             v.set("engine", w as i64);
         }
@@ -97,6 +106,8 @@ impl ExecutionOutput {
             emitted: Default::default(),
             queue_wait: Duration::from_micros(v["queue_us"].as_i64().unwrap_or(0).max(0) as u64),
             worker: v["engine"].as_i64().map(|w| w.max(0) as usize),
+            events: v["events"].as_i64().unwrap_or(0).max(0) as u64,
+            first_output: v["first_output_us"].as_i64().map(|d| Duration::from_micros(d.max(0) as u64)),
         };
         if let Some(m) = v["processed"].as_object() {
             for (k, n) in m {
@@ -218,6 +229,26 @@ impl ExecutionEngine {
 
     /// Handle one execution request end-to-end.
     pub fn run(&mut self, req: &ExecutionRequest) -> Result<ExecutionOutput, DataflowError> {
+        self.run_observed(req, None)
+    }
+
+    /// Handle one execution request end-to-end, streaming the enactment's
+    /// [`RunEvent`]s to `observer` as they happen (instance lifecycle,
+    /// terminal-port outputs, prints, counters, final stats). The returned
+    /// output is the fold over that same stream.
+    pub fn run_streaming(
+        &mut self,
+        req: &ExecutionRequest,
+        observer: Arc<dyn RunObserver>,
+    ) -> Result<ExecutionOutput, DataflowError> {
+        self.run_observed(req, Some(observer))
+    }
+
+    fn run_observed(
+        &mut self,
+        req: &ExecutionRequest,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<ExecutionOutput, DataflowError> {
         let t0 = Instant::now();
         self.runs += 1;
 
@@ -243,7 +274,7 @@ impl ExecutionEngine {
         //    computes its roots during validation (paper §3.3).
         let host: Arc<dyn laminar_script::Host + Send + Sync> = Arc::new(self.hosts.clone());
         let exec_t0 = Instant::now();
-        let result = self.enact(req, &script, host)?;
+        let result = self.enact(req, &script, host, observer)?;
         let execute_time = exec_t0.elapsed();
 
         // 5. Ephemeral teardown.
@@ -260,6 +291,8 @@ impl ExecutionEngine {
             stages: result.stats.timings,
             processed: result.stats.processed,
             emitted: result.stats.emitted,
+            events: result.stats.events,
+            first_output: result.stats.first_output,
             ..Default::default()
         };
         for ((pe, port), values) in result.outputs {
@@ -276,6 +309,7 @@ impl ExecutionEngine {
         req: &ExecutionRequest,
         script: &laminar_script::Script,
         host: Arc<dyn laminar_script::Host + Send + Sync>,
+        observer: Option<Arc<dyn RunObserver>>,
     ) -> Result<RunResult, DataflowError> {
         let workflow_names: Vec<String> = script.workflows().map(|w| w.name.clone()).collect();
         let pe_names: Vec<String> = script.pes().map(|p| p.name.clone()).collect();
@@ -292,10 +326,14 @@ impl ExecutionEngine {
         if let Some(wf) = target_workflow {
             let graph = WorkflowGraph::from_script_with_host(&req.source, &wf, host)?;
             let mapping = req.mapping.build();
-            mapping.execute(&graph, &options)
+            mapping.execute_observed(&graph, &options, observer)
         } else if pe_names.len() == 1 {
             // FaaS-style single-PE execution (paper §3.4.1).
-            self.run_single_pe(req, &pe_names[0], host, &options)
+            let result = self.run_single_pe(req, &pe_names[0], host, &options)?;
+            if let Some(observer) = observer {
+                replay_result_as_events(&result, &observer);
+            }
+            Ok(result)
         } else {
             Err(DataflowError::Options(
                 "request has no workflow and more than one PE; name the workflow to run".into(),
@@ -334,8 +372,45 @@ impl ExecutionEngine {
         }
         result.printed = sink.printed;
         result.stats.processed.insert(meta.name.clone(), options.invocations() as u64);
+        result.stats.instances.insert(meta.name.clone(), 1);
+        // The stream a replay of this result synthesizes: plan + started +
+        // one event per output/print + instance-finished.
+        result.stats.events = 3 + result.total_outputs() as u64 + result.printed.len() as u64;
         Ok(result)
     }
+}
+
+/// Synthesize the event stream of a completed single-PE (FaaS) run. The
+/// FaaS path has no enactment runtime to stream from, so its events reach
+/// the observer at completion, in result order — same contract
+/// (`fold(events) == result`), degenerate granularity.
+fn replay_result_as_events(result: &RunResult, observer: &Arc<dyn RunObserver>) {
+    let mut seq = 0u64;
+    let mut emit = |ev: RunEvent| {
+        observer.on_event(seq, &ev);
+        seq += 1;
+    };
+    let pes: Vec<(Arc<str>, usize)> =
+        result.stats.instances.iter().map(|(k, &n)| (Arc::from(k.as_str()), n)).collect();
+    let pe: Arc<str> = pes.first().map(|(p, _)| Arc::clone(p)).unwrap_or_else(|| Arc::from("pe"));
+    emit(RunEvent::PlanReady { pes });
+    emit(RunEvent::InstanceStarted { pe: Arc::clone(&pe), instance: 0 });
+    for ((pe_name, port), values) in &result.outputs {
+        for value in values {
+            emit(RunEvent::Output {
+                pe: Arc::from(pe_name.as_str()),
+                instance: 0,
+                port: Arc::from(port.as_str()),
+                value: value.clone(),
+            });
+        }
+    }
+    for line in &result.printed {
+        emit(RunEvent::Print { pe: Arc::clone(&pe), instance: 0, line: line.clone() });
+    }
+    let processed = result.stats.processed.values().sum();
+    emit(RunEvent::InstanceFinished { pe, instance: 0, processed, emitted: result.total_outputs() as u64 });
+    emit(RunEvent::Finished { stats: result.stats.clone() });
 }
 
 #[cfg(test)]

@@ -24,5 +24,5 @@ pub use engine::{ExecutionEngine, ExecutionOutput};
 pub use env::{EnvironmentManager, InstallReport};
 pub use hosts::HostRegistry;
 pub use netmodel::NetModel;
-pub use pool::{EnginePool, JobInfo, JobPhase, JobResult, PoolError, PoolStats};
+pub use pool::{EnginePool, EventPage, JobEventLog, JobInfo, JobPhase, JobResult, PoolError, PoolStats};
 pub use request::ExecutionRequest;

@@ -15,6 +15,7 @@
 
 use crate::engine::{ExecutionEngine, ExecutionOutput};
 use crate::request::ExecutionRequest;
+use laminar_dataflow::{RunEvent, RunObserver};
 use laminar_json::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -24,6 +25,113 @@ use std::time::{Duration, Instant};
 
 /// Finished jobs retained for polling before the oldest are evicted.
 const RETAIN_FINISHED: usize = 4096;
+
+/// Events retained per job before the oldest are evicted (cursor clients
+/// detect the truncation via [`EventPage::first`]).
+const EVENT_LOG_CAPACITY: usize = 8192;
+
+/// Finished streamed jobs whose full event logs stay replayable. Older
+/// finished logs are expired — events dropped, sequence bookkeeping kept
+/// — so large streamed payloads can't pin memory for as long as the
+/// job *records* are retained ([`RETAIN_FINISHED`]).
+const RETAIN_STREAMED_LOGS: usize = 256;
+
+/// Upper bound on events returned per [`EnginePool::events`] page.
+const EVENT_PAGE_LIMIT: usize = 512;
+
+/// One page of a job's sequenced event log, addressed by cursor.
+#[derive(Debug, Clone)]
+pub struct EventPage {
+    /// Events with `seq >= since`, in sequence order (wire form).
+    pub events: Vec<Value>,
+    /// Cursor for the next poll: pass as the next `since`.
+    pub next: u64,
+    /// Oldest sequence number still retained. `since < first` means the
+    /// bounded log evicted events this client never saw.
+    pub first: u64,
+    /// Whether the stream is complete (the job reached a terminal phase
+    /// and its last event is the `done`/`failed` marker).
+    pub closed: bool,
+}
+
+struct EventLogInner {
+    events: VecDeque<Value>,
+    /// Sequence number of `events[0]`.
+    first_seq: u64,
+    closed: bool,
+}
+
+/// A bounded, sequenced log of one job's run events. Written by the
+/// worker's streaming observer, read by cursor through the `/events`
+/// endpoint.
+pub struct JobEventLog {
+    inner: Mutex<EventLogInner>,
+}
+
+impl JobEventLog {
+    fn new() -> Arc<JobEventLog> {
+        Arc::new(JobEventLog {
+            inner: Mutex::new(EventLogInner { events: VecDeque::new(), first_seq: 0, closed: false }),
+        })
+    }
+
+    /// Append one wire-form event, stamping it with the next sequence
+    /// number (overwriting any `seq` the value carried — the log is the
+    /// authority on ordering).
+    fn append(&self, mut event: Value) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        let seq = inner.first_seq + inner.events.len() as u64;
+        event.set("seq", seq as i64);
+        inner.events.push_back(event);
+        while inner.events.len() > EVENT_LOG_CAPACITY {
+            inner.events.pop_front();
+            inner.first_seq += 1;
+        }
+    }
+
+    /// Append the terminal marker and seal the log.
+    fn close(&self, terminal: Value) {
+        self.append(terminal);
+        self.inner.lock().closed = true;
+    }
+
+    /// Drop every retained event, keeping the sequence bookkeeping (and
+    /// closed-ness), so cursor clients observe truncation rather than a
+    /// silently emptied stream.
+    fn expire(&self) {
+        let mut inner = self.inner.lock();
+        inner.first_seq += inner.events.len() as u64;
+        inner.events.clear();
+    }
+
+    /// Read a page of events starting at `since`.
+    fn page(&self, since: u64) -> EventPage {
+        let inner = self.inner.lock();
+        let first = inner.first_seq;
+        let end_seq = first + inner.events.len() as u64;
+        let start = since.max(first).min(end_seq);
+        let take = ((end_seq - start) as usize).min(EVENT_PAGE_LIMIT);
+        let offset = (start - first) as usize;
+        let events: Vec<Value> = inner.events.iter().skip(offset).take(take).cloned().collect();
+        let next = start + events.len() as u64;
+        EventPage { events, next, first, closed: inner.closed && next == end_seq }
+    }
+}
+
+/// The worker-side bridge: converts each [`RunEvent`] to its wire form
+/// and appends it to the job's log the moment it happens.
+struct LogObserver {
+    log: Arc<JobEventLog>,
+}
+
+impl RunObserver for LogObserver {
+    fn on_event(&self, seq: u64, event: &RunEvent) {
+        self.log.append(event.to_value(seq));
+    }
+}
 
 /// Coarse lifecycle phase of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +223,8 @@ pub enum PoolError {
     Failed(String),
     /// The job id is unknown (or belongs to another owner).
     Unknown(i64),
+    /// The pool is shutting down and no longer accepts jobs.
+    ShutDown,
 }
 
 impl std::fmt::Display for PoolError {
@@ -125,6 +235,7 @@ impl std::fmt::Display for PoolError {
             }
             PoolError::Failed(m) => write!(f, "execution failed: {m}"),
             PoolError::Unknown(id) => write!(f, "no such job {id}"),
+            PoolError::ShutDown => write!(f, "engine pool is shut down"),
         }
     }
 }
@@ -177,6 +288,11 @@ struct JobRecord {
     worker: Option<usize>,
     output: Option<Arc<ExecutionOutput>>,
     error: Option<String>,
+    /// The job's sequenced event stream (terminal marker only, unless the
+    /// request asked for live events).
+    events: Arc<JobEventLog>,
+    /// Whether the request asked for a live event stream.
+    streaming: bool,
 }
 
 impl JobRecord {
@@ -199,6 +315,8 @@ struct PoolInner {
     jobs: Mutex<HashMap<i64, JobRecord>>,
     /// Finished ids in completion order, for eviction.
     finished_order: Mutex<VecDeque<i64>>,
+    /// Finished *streamed* ids in completion order, for log expiry.
+    streamed_order: Mutex<VecDeque<i64>>,
     /// Workers wait here for queue items.
     work_cv: Condvar,
     /// Result waiters wait here (paired with `jobs`).
@@ -229,6 +347,7 @@ impl EnginePool {
             queue: Mutex::new(VecDeque::new()),
             jobs: Mutex::new(HashMap::new()),
             finished_order: Mutex::new(VecDeque::new()),
+            streamed_order: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -269,6 +388,9 @@ impl EnginePool {
     /// Enqueue a job. Fails fast with [`PoolError::QueueFull`] when the
     /// queue is at capacity (admission control).
     pub fn submit(&self, owner: &str, req: ExecutionRequest) -> Result<i64, PoolError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(PoolError::ShutDown);
+        }
         let mut queue = self.inner.queue.lock();
         if queue.len() >= self.inner.capacity {
             self.inner.rejected.fetch_add(1, Ordering::SeqCst);
@@ -286,6 +408,8 @@ impl EnginePool {
                 worker: None,
                 output: None,
                 error: None,
+                events: JobEventLog::new(),
+                streaming: req.stream_events,
             },
         );
         queue.push_back((id, req));
@@ -361,6 +485,51 @@ impl EnginePool {
         }
     }
 
+    /// A page of a job's sequenced event log starting at cursor `since`.
+    /// `None` when the id is unknown or owned by someone else. Jobs
+    /// submitted without `events=true` log only the terminal marker.
+    pub fn events(&self, owner: &str, id: i64, since: u64) -> Option<EventPage> {
+        let log = {
+            let jobs = self.inner.jobs.lock();
+            let rec = jobs.get(&id)?;
+            if rec.owner != owner {
+                return None;
+            }
+            Arc::clone(&rec.events)
+        };
+        Some(log.page(since))
+    }
+
+    /// Deterministic shutdown: workers finish their in-flight job and
+    /// exit; every job still queued is *failed* (never silently dropped,
+    /// never run); all worker threads are joined. Idempotent — [`Drop`]
+    /// calls this too.
+    pub fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        // Fail everything a worker hasn't picked. A job popped before the
+        // flag landed simply completes — either way every submitted job
+        // reaches a terminal phase.
+        let orphaned: Vec<i64> = self.inner.queue.lock().drain(..).map(|(id, _)| id).collect();
+        for id in orphaned {
+            let mut jobs = self.inner.jobs.lock();
+            if let Some(rec) = jobs.get_mut(&id) {
+                if rec.phase == JobPhase::Queued {
+                    rec.phase = JobPhase::Failed;
+                    rec.error = Some("engine pool shut down before the job ran".into());
+                    rec.events.close(terminal_event("failed", rec.error.as_deref()));
+                    self.inner.failed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            drop(jobs);
+            evict_finished(&self.inner, id);
+        }
+        self.inner.done_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -377,15 +546,20 @@ impl EnginePool {
 }
 
 impl Drop for EnginePool {
-    /// Deterministic shutdown: workers finish their in-flight job, then
-    /// exit; every thread is joined before drop returns.
+    /// Deterministic shutdown — see [`EnginePool::stop`].
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.work_cv.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.stop();
     }
+}
+
+/// The wire-form terminal event sealing a job's stream.
+fn terminal_event(status: &str, error: Option<&str>) -> Value {
+    let mut v = Value::Null;
+    v.set("type", status);
+    if let Some(e) = error {
+        v.set("error", e);
+    }
+    v
 }
 
 fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize) {
@@ -393,11 +567,13 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
         let job = {
             let mut queue = inner.queue.lock();
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break Some(job);
-                }
+                // Checked before popping: once shutdown lands, queued jobs
+                // belong to `stop()`, which fails them deterministically.
                 if inner.shutdown.load(Ordering::SeqCst) {
                     break None;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
                 }
                 inner.work_cv.wait(&mut queue);
             }
@@ -405,16 +581,24 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
         let Some((id, req)) = job else { return };
 
         let picked = Instant::now();
-        {
+        let (log, streaming) = {
             let mut jobs = inner.jobs.lock();
-            if let Some(rec) = jobs.get_mut(&id) {
-                rec.phase = JobPhase::Running;
-                rec.queue_wait = picked.duration_since(rec.submitted);
-                rec.worker = Some(worker_id);
+            match jobs.get_mut(&id) {
+                Some(rec) => {
+                    rec.phase = JobPhase::Running;
+                    rec.queue_wait = picked.duration_since(rec.submitted);
+                    rec.worker = Some(worker_id);
+                    (Arc::clone(&rec.events), rec.streaming)
+                }
+                None => (JobEventLog::new(), false),
             }
-        }
+        };
         inner.running.fetch_add(1, Ordering::SeqCst);
-        let result = engine.run(&req);
+        let result = if streaming {
+            engine.run_streaming(&req, Arc::new(LogObserver { log: Arc::clone(&log) }))
+        } else {
+            engine.run(&req)
+        };
         inner.running.fetch_sub(1, Ordering::SeqCst);
         let run_time = picked.elapsed();
 
@@ -428,10 +612,13 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         out.worker = Some(worker_id);
                         rec.output = Some(Arc::new(out));
                         rec.phase = JobPhase::Done;
+                        log.close(terminal_event("done", None));
                         inner.completed.fetch_add(1, Ordering::SeqCst);
                     }
                     Err(e) => {
-                        rec.error = Some(e.to_string());
+                        let message = e.to_string();
+                        log.close(terminal_event("failed", Some(&message)));
+                        rec.error = Some(message);
                         rec.phase = JobPhase::Failed;
                         inner.failed.fetch_add(1, Ordering::SeqCst);
                     }
@@ -439,6 +626,9 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
             }
         }
         inner.done_cv.notify_all();
+        if streaming {
+            expire_old_streamed_logs(inner, id);
+        }
         evict_finished(inner, id);
     }
 }
@@ -450,6 +640,22 @@ fn evict_finished(inner: &PoolInner, just_finished: i64) {
     while order.len() > RETAIN_FINISHED {
         if let Some(old) = order.pop_front() {
             inner.jobs.lock().remove(&old);
+        }
+    }
+}
+
+/// Bound the memory held by finished streamed logs: only the most recent
+/// [`RETAIN_STREAMED_LOGS`] keep their events; older ones are expired
+/// (cursor clients see truncation, the terminal phase stays pollable).
+fn expire_old_streamed_logs(inner: &PoolInner, just_finished: i64) {
+    let mut order = inner.streamed_order.lock();
+    order.push_back(just_finished);
+    while order.len() > RETAIN_STREAMED_LOGS {
+        if let Some(old) = order.pop_front() {
+            let log = inner.jobs.lock().get(&old).map(|rec| Arc::clone(&rec.events));
+            if let Some(log) = log {
+                log.expire();
+            }
         }
     }
 }
@@ -577,5 +783,187 @@ mod tests {
         assert!(pool.status("u", 999).is_none());
         assert!(pool.result("u", 999).is_none());
         assert!(pool.wait("u", 999, Duration::from_millis(5)).is_none());
+        assert!(pool.events("u", 999, 0).is_none());
+    }
+
+    #[test]
+    fn streamed_job_logs_cursor_addressable_events() {
+        let pool = instant_pool(1, 8);
+        let id = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 4).with_events(true)).unwrap();
+        pool.wait("u", id, Duration::from_secs(10)).unwrap();
+        // Page from the start: plan, started×N, outputs, instance_done×N,
+        // finished, done.
+        let page = pool.events("u", id, 0).unwrap();
+        assert!(page.closed);
+        assert_eq!(page.first, 0);
+        let types: Vec<&str> = page.events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types.first(), Some(&"plan"));
+        assert_eq!(types.last(), Some(&"done"));
+        assert!(types.contains(&"output"));
+        assert!(types.iter().filter(|t| **t == "instance_done").count() >= 2);
+        let outputs = types.iter().filter(|t| **t == "output").count();
+        assert_eq!(outputs, 4, "Sq's terminal port saw every datum");
+        // Sequence numbers are contiguous from 0.
+        for (i, e) in page.events.iter().enumerate() {
+            assert_eq!(e["seq"].as_i64(), Some(i as i64));
+        }
+        // Cursor addressing: resume mid-stream, then past the end.
+        let mid = pool.events("u", id, page.next - 2).unwrap();
+        assert_eq!(mid.events.len(), 2);
+        assert!(mid.closed);
+        let done = pool.events("u", id, page.next).unwrap();
+        assert!(done.events.is_empty());
+        assert!(done.closed);
+        // Tenant isolation covers the event log too.
+        assert!(pool.events("mallory", id, 0).is_none());
+    }
+
+    #[test]
+    fn unstreamed_job_logs_only_the_terminal_marker() {
+        let pool = instant_pool(1, 8);
+        let id = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 3)).unwrap();
+        pool.wait("u", id, Duration::from_secs(10)).unwrap();
+        let page = pool.events("u", id, 0).unwrap();
+        assert!(page.closed);
+        let types: Vec<&str> = page.events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types, vec!["done"]);
+    }
+
+    #[test]
+    fn failed_job_stream_ends_with_failed_marker() {
+        let pool = instant_pool(1, 4);
+        let id =
+            pool.submit("u", ExecutionRequest::simple("u", "not a script !!", 1).with_events(true)).unwrap();
+        match pool.wait("u", id, Duration::from_secs(10)).unwrap() {
+            JobResult::Failed(..) => {}
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let page = pool.events("u", id, 0).unwrap();
+        assert!(page.closed);
+        let last = page.events.last().unwrap();
+        assert_eq!(last["type"].as_str(), Some("failed"));
+        assert!(last["error"].as_str().is_some());
+    }
+
+    #[test]
+    fn old_finished_streamed_logs_expire_but_stay_cursor_honest() {
+        // One more streamed job than the log-retention bound: the oldest
+        // job's events are expired (memory released) while its record,
+        // terminal phase and truncation-honest cursor survive.
+        let pool = instant_pool(1, RETAIN_STREAMED_LOGS + 8);
+        let src = "pe G : producer { output o; process { emit(1); } }";
+        let first = pool.submit("u", ExecutionRequest::simple("u", src, 1).with_events(true)).unwrap();
+        pool.wait("u", first, Duration::from_secs(10)).unwrap();
+        let before = pool.events("u", first, 0).unwrap();
+        assert!(!before.events.is_empty(), "fresh log is replayable");
+        for _ in 0..RETAIN_STREAMED_LOGS {
+            let id = pool.submit("u", ExecutionRequest::simple("u", src, 1).with_events(true)).unwrap();
+            pool.wait("u", id, Duration::from_secs(10)).unwrap();
+        }
+        // Expiry runs just after the terminal phase is committed (the
+        // wait can return first) — poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let after = loop {
+            let page = pool.events("u", first, 0).unwrap();
+            if page.events.is_empty() || Instant::now() >= deadline {
+                break page;
+            }
+            std::thread::yield_now();
+        };
+        assert!(after.events.is_empty(), "expired log dropped its events");
+        assert!(after.first >= before.next, "seq bookkeeping kept: cursor clients see truncation");
+        assert!(after.closed, "terminal state survives expiry");
+        assert!(pool.status("u", first).unwrap().is_finished(), "job record still pollable");
+    }
+
+    #[test]
+    fn stop_fails_queued_jobs_and_joins_workers() {
+        // One slow worker and a deep queue: at stop() time most jobs are
+        // still queued. Every one must reach a terminal phase — the
+        // in-flight job completes, the queued ones fail — and stop() must
+        // return with all workers joined, never hang.
+        let engine = ExecutionEngine::instant().with_provision_scale(500);
+        let mut pool = EnginePool::start(engine, 1, 16);
+        let ids: Vec<i64> = (0..6)
+            .map(|_| pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1).with_events(true)).unwrap())
+            .collect();
+        // Wait until the worker picked the first job.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.status("u", ids[0]).unwrap().phase == JobPhase::Queued && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        pool.stop();
+        let mut done = 0;
+        let mut failed = 0;
+        for &id in &ids {
+            let info = pool.status("u", id).expect("record survives stop");
+            match info.phase {
+                JobPhase::Done => done += 1,
+                JobPhase::Failed => {
+                    failed += 1;
+                    assert!(info.error.unwrap().contains("shut down"), "shutdown failure is explicit");
+                    // The event stream is sealed with the failure marker.
+                    let page = pool.events("u", id, 0).unwrap();
+                    assert!(page.closed);
+                    assert_eq!(page.events.last().unwrap()["type"].as_str(), Some("failed"));
+                }
+                other => panic!("job {id} left non-terminal: {other:?}"),
+            }
+        }
+        assert_eq!(done + failed, 6, "every job terminal");
+        assert!(failed >= 4, "most jobs were still queued: {done} done / {failed} failed");
+        // After stop, the pool refuses new work instead of hanging it.
+        assert_eq!(pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)), Err(PoolError::ShutDown));
+        // Idempotent.
+        pool.stop();
+    }
+
+    #[test]
+    fn drop_with_queued_jobs_never_hangs() {
+        let engine = ExecutionEngine::instant().with_provision_scale(300);
+        let pool = EnginePool::start(engine, 2, 32);
+        for _ in 0..8 {
+            pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        }
+        let t0 = Instant::now();
+        drop(pool);
+        // Drop fails the backlog instead of draining it: bounded by the
+        // in-flight jobs only (~120ms of simulated provisioning each).
+        assert!(t0.elapsed() < Duration::from_secs(5), "drop took {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn waiters_wake_when_shutdown_fails_their_job() {
+        let engine = ExecutionEngine::instant().with_provision_scale(500);
+        let pool = Arc::new(Mutex::new(Some(EnginePool::start(engine, 1, 16))));
+        let ids: Vec<i64> = {
+            let guard = pool.lock();
+            let p = guard.as_ref().unwrap();
+            (0..4).map(|_| p.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap()).collect()
+        };
+        // A thread blocked in wait() on the *last* queued job must return
+        // promptly once stop() fails it.
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            let last = *ids.last().unwrap();
+            std::thread::spawn(move || {
+                // Re-lock per poll so stop() can proceed concurrently.
+                loop {
+                    let guard = pool.lock();
+                    let p = guard.as_ref()?;
+                    match p.wait("u", last, Duration::from_millis(20)) {
+                        Some(JobResult::Pending(_)) => continue,
+                        terminal => return terminal,
+                    }
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        pool.lock().as_mut().unwrap().stop();
+        match waiter.join().unwrap() {
+            Some(JobResult::Failed(msg, _)) => assert!(msg.contains("shut down"), "{msg}"),
+            Some(JobResult::Done(..)) => {} // the worker got to it first
+            other => panic!("waiter saw {other:?}"),
+        }
     }
 }

@@ -25,6 +25,10 @@ pub struct ExecutionRequest {
     pub processes: usize,
     /// Named resources to stage (`resources=True` + resources dir).
     pub resources: Vec<(String, Vec<u8>)>,
+    /// Whether the run's event stream should be logged for the `/events`
+    /// endpoint (live terminal outputs, prints, progress). Off by default:
+    /// batch jobs skip per-event wire conversion.
+    pub stream_events: bool,
 }
 
 impl ExecutionRequest {
@@ -39,6 +43,7 @@ impl ExecutionRequest {
             input: RunInput::Iterations(iterations),
             processes: 1,
             resources: Vec::new(),
+            stream_events: false,
         }
     }
 
@@ -67,6 +72,12 @@ impl ExecutionRequest {
         self
     }
 
+    /// Request a live event stream (the `/events` endpoint's source).
+    pub fn with_events(mut self, stream: bool) -> Self {
+        self.stream_events = stream;
+        self
+    }
+
     /// Serialize to the JSON envelope the wire protocol uses.
     pub fn to_value(&self) -> Value {
         let mut v = Value::Null;
@@ -74,7 +85,8 @@ impl ExecutionRequest {
             .set("source", self.source.as_str())
             .set("workflow", self.workflow.clone())
             .set("mapping", self.mapping.as_str())
-            .set("processes", self.processes);
+            .set("processes", self.processes)
+            .set("events", self.stream_events);
         match &self.input {
             RunInput::Iterations(n) => {
                 v.set("input", *n);
@@ -119,6 +131,7 @@ impl ExecutionRequest {
             input,
             processes: v["processes"].as_i64().unwrap_or(5).max(1) as usize,
             resources,
+            stream_events: v["events"].as_bool().unwrap_or(false),
         })
     }
 

@@ -132,6 +132,11 @@ impl LaminarServer {
             (Method::Post, ["execution", user, "submit"]) => self.execution_submit(user, &req.body),
             (Method::Get, ["execution", user, "job", id, "status"]) => self.job_status(user, id),
             (Method::Get, ["execution", user, "job", id, "result"]) => self.job_result(user, id),
+            // `tail` is "events" or "events?since=<seq>" — the query stays
+            // inside the percent-decoded final segment.
+            (Method::Get, ["execution", user, "job", id, tail]) if is_events_segment(tail) => {
+                self.job_events(user, id, tail, &req.body)
+            }
 
             _ => return ApiResponse::not_found(&req.path),
         };
@@ -311,7 +316,7 @@ impl LaminarServer {
 
     fn pool_error(e: PoolError) -> RegistryError {
         match e {
-            PoolError::QueueFull { .. } => RegistryError::Busy(e.to_string()),
+            PoolError::QueueFull { .. } | PoolError::ShutDown => RegistryError::Busy(e.to_string()),
             PoolError::Failed(m) => RegistryError::Invalid { field: "execution", message: m },
             PoolError::Unknown(id) => RegistryError::NotFound { entity: "Job", key: id.to_string() },
         }
@@ -349,6 +354,38 @@ impl LaminarServer {
         Ok(info.to_value())
     }
 
+    /// Read a page of a job's sequenced event log. Cursor protocol:
+    /// `?since=<seq>` (or a `since` body field) names the first wanted
+    /// sequence number; the response's `next` is the cursor for the next
+    /// poll, `first` the oldest retained seq (truncation detection), and
+    /// `closed` flags a complete stream (its last event is the
+    /// `done`/`failed` marker). Touches only the pool — never the
+    /// registry lock — so event polling overlaps every other endpoint.
+    fn job_events(&self, user: &str, id: &str, tail: &str, body: &Value) -> Result<Value, RegistryError> {
+        let id = Self::parse_job_id(id)?;
+        let since = match events_since(tail) {
+            Some(Ok(s)) => s,
+            Some(Err(())) => {
+                return Err(RegistryError::Invalid {
+                    field: "since",
+                    message: "must be a non-negative integer".into(),
+                })
+            }
+            None => body["since"].as_i64().unwrap_or(0).max(0) as u64,
+        };
+        let page = self
+            .pool
+            .events(user, id, since)
+            .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
+        let mut v = Value::Null;
+        v.set("jobId", id)
+            .set("events", Value::Array(page.events))
+            .set("next", page.next as i64)
+            .set("first", page.first as i64)
+            .set("closed", page.closed);
+        Ok(v)
+    }
+
     /// Poll a job's result. While the job is pending this returns the
     /// status envelope (no `outputs` key); once done it returns the
     /// execution output with the job metrics merged in; a failed job
@@ -369,6 +406,25 @@ impl LaminarServer {
             JobResult::Failed(message, _) => Err(RegistryError::Invalid { field: "execution", message }),
         }
     }
+}
+
+/// Whether a final path segment addresses the events endpoint
+/// (`events` or `events?<query>`).
+fn is_events_segment(tail: &str) -> bool {
+    tail == "events" || tail.strip_prefix("events?").is_some()
+}
+
+/// Parse `since=<seq>` out of an `events?...` segment. `None` when no
+/// query carries `since`; `Some(Err(()))` when it is present but not a
+/// non-negative integer.
+fn events_since(tail: &str) -> Option<Result<u64, ()>> {
+    let query = tail.strip_prefix("events?")?;
+    for pair in query.split('&') {
+        if let Some(raw) = pair.strip_prefix("since=") {
+            return Some(raw.parse::<u64>().map_err(|_| ()));
+        }
+    }
+    None
 }
 
 fn str_field(body: &Value, field: &'static str) -> Result<String, RegistryError> {
@@ -707,6 +763,79 @@ mod tests {
         assert_eq!(rejected.body["error"].as_str(), Some("Busy"));
         let stats = get(&s, "/execution/pool/stats");
         assert_eq!(stats.body["rejected"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn events_endpoint_streams_and_pages() {
+        let s = server_with_user();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! { "source" => WF_SRC, "input" => 10, "mapping" => "SIMPLE", "events" => true },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let id = r.body["jobId"].as_i64().unwrap();
+        // Poll the event stream by cursor until it closes.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let mut since: i64 = 0;
+        let mut types: Vec<String> = Vec::new();
+        loop {
+            let page = get(&s, &format!("/execution/zz46/job/{id}/events?since={since}"));
+            assert!(page.is_ok(), "{page:?}");
+            assert_eq!(page.body["jobId"].as_i64(), Some(id));
+            for e in page.body["events"].as_array().unwrap() {
+                assert!(e["seq"].as_i64().unwrap() >= since);
+                types.push(e["type"].as_str().unwrap().to_string());
+            }
+            since = page.body["next"].as_i64().unwrap();
+            if page.body["closed"].as_bool() == Some(true) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "stream never closed");
+        }
+        assert_eq!(types.first().map(String::as_str), Some("plan"));
+        assert_eq!(types.last().map(String::as_str), Some("done"));
+        assert_eq!(types.iter().filter(|t| *t == "print").count(), 4, "primes <= 10 printed live");
+        assert!(types.contains(&"finished".to_string()));
+        // The print events match the batch result exactly.
+        let res = get(&s, &format!("/execution/zz46/job/{id}/result"));
+        assert_eq!(res.body["printed"].as_array().unwrap().len(), 4);
+        assert!(res.body["events"].as_i64().unwrap() > 0, "wire output reports the stream size");
+    }
+
+    #[test]
+    fn events_endpoint_errors() {
+        let s = server_with_user();
+        // Unknown job → 404; bad id → 400; bad cursor → 400.
+        assert_eq!(get(&s, "/execution/zz46/job/999/events").status, 404);
+        assert_eq!(get(&s, "/execution/zz46/job/abc/events").status, 400);
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! { "source" => WF_SRC, "input" => 1 },
+        ));
+        let id = r.body["jobId"].as_i64().unwrap();
+        assert_eq!(get(&s, &format!("/execution/zz46/job/{id}/events?since=banana")).status, 400);
+        // A job submitted without events=true still closes with a marker.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let page = get(&s, &format!("/execution/zz46/job/{id}/events"));
+            assert!(page.is_ok(), "{page:?}");
+            if page.body["closed"].as_bool() == Some(true) {
+                let events = page.body["events"].as_array().unwrap();
+                assert_eq!(events.len(), 1);
+                assert_eq!(events[0]["type"].as_str(), Some("done"));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+        }
+        // Cross-tenant: another user cannot read the stream.
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "other", "password" => "password" },
+        ));
+        assert_eq!(get(&s, &format!("/execution/other/job/{id}/events")).status, 404);
     }
 
     #[test]

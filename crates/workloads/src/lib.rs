@@ -8,9 +8,13 @@
 //! * [`astro`] — the Internal Extinction astrophysics workflow (§5.2):
 //!   a synthetic galaxy catalog, a simulated Virtual Observatory service
 //!   with configurable latency, and a from-scratch [`votable`] XML
-//!   writer/parser standing in for astropy.
+//!   writer/parser standing in for astropy;
+//! * [`streaming`] — a long-running source-driven sensor scenario
+//!   (windowed aggregation + live alerts) exercising the enactment event
+//!   stream: first results surface long before the run completes.
 
 pub mod astro;
 pub mod isprime;
+pub mod streaming;
 pub mod votable;
 pub mod wordcount;

@@ -1,0 +1,279 @@
+//! A long-running, source-driven streaming scenario: a sensor fleet
+//! polled one reading per iteration, windowed per-sensor aggregation, and
+//! live alerts — the workload shape the enactment event stream exists
+//! for.
+//!
+//! Unlike the batch showcases (IsPrime, Astrophysics), value here arrives
+//! *during* the run: the window PE emits an aggregate every
+//! [`WINDOW`] readings per sensor, so the first terminal output appears
+//! after a small prefix of the input while the source keeps producing.
+//! "Time to first result" is therefore a small fraction of total runtime
+//! — the property `streaming_latency` (BENCH_PR4.json) measures and the
+//! tests below pin.
+
+use laminar_json::{jarr, Value};
+use laminar_script::{ErrorKind, Host, ScriptError};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Readings per sensor folded into one window aggregate. The same value
+/// appears as a literal inside [`SOURCE`] (`% 8` / `/ 8` in
+/// `WindowStats`) — the `window_constant_matches_the_script` test pins
+/// the two together, so change both or neither.
+pub const WINDOW: usize = 8;
+
+/// The workflow source: poll → window → (terminal stats + live alerts).
+///
+/// `SensorPoll` drives the run: each iteration fetches one reading from
+/// the (simulated) sensor fleet — the inter-arrival latency lives in the
+/// host, like a real message-bus consumer. `WindowStats` groups readings
+/// by sensor id and emits `[sensor, count, mean]` on its terminal
+/// `output` port every [`WINDOW`] readings; hot windows (mean > 0.75)
+/// additionally go to `alerts`, which `AlertPrint` reports live.
+pub const SOURCE: &str = r#"
+pe SensorPoll : producer {
+    doc "Polls the sensor fleet: one reading [sensor, value] per iteration";
+    output output;
+    process {
+        emit(sensor.read(iteration));
+    }
+}
+
+pe WindowStats : generic {
+    doc "Folds readings into per-sensor window aggregates of mean value";
+    input reading groupby 0;
+    output output;
+    output alerts;
+    init { state.n = {}; state.sum = {}; }
+    process {
+        let id = reading[0];
+        state.n[id] = get(state.n, id, 0) + 1;
+        state.sum[id] = get(state.sum, id, 0) + reading[1];
+        if state.n[id] % 8 == 0 {
+            let mean = state.sum[id] / 8;
+            emit([id, state.n[id], mean]);
+            if mean > 0.75 { emit("alerts", [id, mean]); }
+            state.sum[id] = 0;
+        }
+    }
+}
+
+pe AlertPrint : consumer {
+    doc "Reports hot windows as they happen";
+    input alert;
+    process { print("ALERT sensor", alert[0], "mean", round(alert[1], 3)); }
+}
+
+workflow SensorWindows {
+    doc "Streaming sensor aggregation with windowed stats and live alerts";
+    nodes { poll = SensorPoll; win = WindowStats; alert = AlertPrint; }
+    connect poll.output -> win.reading;
+    connect win.alerts -> alert.alert;
+}
+"#;
+
+/// Statistics the simulated fleet tracks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SensorStats {
+    /// Readings served.
+    pub reads: u64,
+}
+
+/// The simulated sensor fleet: `sensors` deterministic sources, one
+/// reading per poll, each poll paying an inter-arrival latency — the
+/// "source-driven" part of the scenario.
+pub struct SensorFleet {
+    sensors: usize,
+    latency: Duration,
+    stats: Mutex<SensorStats>,
+}
+
+impl SensorFleet {
+    /// A fleet of `sensors` sensors with `latency` between readings.
+    pub fn new(sensors: usize, latency: Duration) -> SensorFleet {
+        SensorFleet { sensors: sensors.max(1), latency, stats: Mutex::new(SensorStats::default()) }
+    }
+
+    /// Zero-latency fleet for unit tests.
+    pub fn instant(sensors: usize) -> SensorFleet {
+        SensorFleet::new(sensors, Duration::ZERO)
+    }
+
+    /// Readings served so far.
+    pub fn stats(&self) -> SensorStats {
+        *self.stats.lock()
+    }
+
+    /// Deterministic reading for poll `i`: `[sensor_id, value]` with the
+    /// value in `0.0..1.0`.
+    pub fn reading(&self, i: i64) -> Value {
+        let sensor = (i.rem_euclid(self.sensors as i64)) as usize;
+        let h = (i.wrapping_mul(2654435761)).wrapping_add(sensor as i64 * 97);
+        let value = (h.unsigned_abs() % 1000) as f64 / 1000.0;
+        jarr![format!("s{sensor}"), value]
+    }
+}
+
+impl Host for SensorFleet {
+    fn call(&self, module: &str, name: &str, args: &[Value]) -> Result<Value, ScriptError> {
+        match (module, name) {
+            ("sensor", "read") => {
+                let i = args
+                    .first()
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| ScriptError::new(ErrorKind::ArgumentError, "sensor.read(iteration)"))?;
+                if !self.latency.is_zero() {
+                    std::thread::sleep(self.latency);
+                }
+                self.stats.lock().reads += 1;
+                Ok(self.reading(i))
+            }
+            _ => {
+                Err(ScriptError::new(ErrorKind::NameError, format!("unknown host function {module}.{name}")))
+            }
+        }
+    }
+}
+
+/// Build the streaming graph over a fleet.
+pub fn build_graph(fleet: std::sync::Arc<SensorFleet>) -> laminar_dataflow::WorkflowGraph {
+    laminar_dataflow::WorkflowGraph::from_script_with_host(SOURCE, "SensorWindows", fleet)
+        .expect("streaming source is valid")
+}
+
+/// Window aggregates a run of `readings` polls over `sensors` sensors
+/// produces (the expected terminal output count).
+pub fn expected_windows(readings: usize, sensors: usize) -> usize {
+    let sensors = sensors.max(1);
+    let per_sensor_full = readings / sensors;
+    let extra = readings % sensors;
+    (0..sensors).map(|s| (per_sensor_full + usize::from(s < extra)) / WINDOW).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar_dataflow::mapping::{Mapping, MpiMapping, MultiMapping, RedisMapping, SimpleMapping};
+    use laminar_dataflow::{fold_events, RecordingObserver, RunEvent, RunOptions};
+    use std::sync::Arc;
+
+    fn run(
+        mapping: &dyn Mapping,
+        readings: i64,
+        sensors: usize,
+        processes: usize,
+        latency: Duration,
+    ) -> laminar_dataflow::RunResult {
+        let graph = build_graph(Arc::new(SensorFleet::new(sensors, latency)));
+        mapping.execute(&graph, &RunOptions::iterations(readings).with_processes(processes)).unwrap()
+    }
+
+    #[test]
+    fn window_constant_matches_the_script() {
+        // WINDOW exists on the Rust side (expected_windows, bench config)
+        // while WindowStats computes with literals; this pins them.
+        assert!(
+            SOURCE.contains(&format!("% {WINDOW} == 0")),
+            "WindowStats' window check diverged from WINDOW = {WINDOW}"
+        );
+        assert!(
+            SOURCE.contains(&format!("/ {WINDOW};")),
+            "WindowStats' mean divisor diverged from WINDOW = {WINDOW}"
+        );
+    }
+
+    #[test]
+    fn graph_validates_and_windows_are_exact() {
+        let graph = build_graph(Arc::new(SensorFleet::instant(4)));
+        assert_eq!(graph.len(), 3);
+        assert!(graph.validate().is_ok());
+        let r = run(&SimpleMapping, 64, 4, 1, Duration::ZERO);
+        // 64 readings over 4 sensors = 16 each = 2 full windows each.
+        assert_eq!(r.port_values("WindowStats", "output").len(), expected_windows(64, 4));
+        assert_eq!(expected_windows(64, 4), 8);
+        assert_eq!(r.stats.processed["SensorPoll"], 64);
+    }
+
+    #[test]
+    fn every_mapping_agrees_on_window_aggregates() {
+        let baseline = {
+            let mut v: Vec<String> = run(&SimpleMapping, 96, 3, 1, Duration::ZERO)
+                .port_values("WindowStats", "output")
+                .iter()
+                .map(laminar_json::to_string)
+                .collect();
+            v.sort();
+            v
+        };
+        for mapping in [&MultiMapping as &dyn Mapping, &MpiMapping, &RedisMapping::default()] {
+            let mut got: Vec<String> = run(mapping, 96, 3, 5, Duration::ZERO)
+                .port_values("WindowStats", "output")
+                .iter()
+                .map(laminar_json::to_string)
+                .collect();
+            got.sort();
+            assert_eq!(got, baseline, "{} diverged", mapping.kind());
+        }
+    }
+
+    #[test]
+    fn alerts_fire_only_for_hot_windows() {
+        let r = run(&SimpleMapping, 160, 4, 1, Duration::ZERO);
+        for line in &r.printed {
+            assert!(line.starts_with("ALERT sensor"), "line: {line}");
+        }
+        // The workload is tuned so some (not all) windows alert.
+        let windows = r.port_values("WindowStats", "output").len();
+        assert!(!r.printed.is_empty(), "no window exceeded the alert threshold");
+        assert!(r.printed.len() < windows, "every window alerted — threshold meaningless");
+    }
+
+    #[test]
+    fn first_window_streams_long_before_completion() {
+        // The scenario's defining property: with 25 windows' worth of
+        // input, the first aggregate is observable after ~1/25th of the
+        // run. Assert by stream position (deterministic), not wall clock.
+        let graph = build_graph(Arc::new(SensorFleet::instant(2)));
+        let recorder = RecordingObserver::new();
+        let result = MultiMapping
+            .execute_observed(
+                &graph,
+                &RunOptions::iterations(400).with_processes(4),
+                Some(recorder.clone() as Arc<dyn laminar_dataflow::RunObserver>),
+            )
+            .unwrap();
+        let events = recorder.take();
+        let total = events.len();
+        let first_output = events
+            .iter()
+            .position(|(_, _, e)| matches!(e, RunEvent::Output { .. }))
+            .expect("windows were emitted");
+        assert!(first_output * 4 < total, "first window at event {first_output}/{total} — not streaming");
+        // And the recorded stream folds back to the batch result exactly.
+        let refolded = fold_events(events.into_iter().map(|(_, _, e)| e));
+        assert_eq!(refolded.outputs, result.outputs);
+        assert_eq!(refolded.stats, result.stats);
+    }
+
+    #[test]
+    fn fleet_latency_paces_the_source() {
+        let fleet = Arc::new(SensorFleet::new(2, Duration::from_millis(1)));
+        let graph = build_graph(Arc::clone(&fleet));
+        let r = MultiMapping.execute(&graph, &RunOptions::iterations(32).with_processes(4)).unwrap();
+        assert!(r.stats.elapsed >= Duration::from_millis(32), "32 polls x 1ms inter-arrival");
+        assert_eq!(fleet.stats().reads, 32);
+    }
+
+    #[test]
+    fn fleet_readings_are_deterministic_and_bounded() {
+        let f = SensorFleet::instant(3);
+        for i in 0..30 {
+            let r = f.reading(i);
+            assert_eq!(r, f.reading(i));
+            let v = r[1].as_f64().unwrap();
+            assert!((0.0..1.0).contains(&v), "value {v} out of range");
+        }
+        assert!(f.call("nope", "read", &[]).is_err());
+        assert!(f.call("sensor", "read", &[]).is_err());
+    }
+}

@@ -243,6 +243,103 @@ fn mapping_equivalence_through_the_full_stack() {
 }
 
 #[test]
+fn fold_of_event_stream_reproduces_batch_result_for_every_mapping() {
+    // The PR-4 contract: an enactment is an ordered event stream and the
+    // batch `RunResult` is a fold over it. For each mapping, record the
+    // live stream of one run and check that folding the recording
+    // reproduces the returned result bit-for-bit — outputs, prints, and
+    // the complete `RunStats` (counters, instances, timings, event count,
+    // first-output latency).
+    use laminar::dataflow::{fold_events, RecordingObserver, RunEvent, RunObserver};
+    use std::time::Duration;
+
+    let src = r#"
+        pe Seq : producer { output output; process { emit(iteration + 1); } }
+        pe Halve : iterative { input x; output output; process { if x % 2 == 0 { emit(x / 2); } } }
+        pe Note : iterative { input x; output output; process { if x % 5 == 0 { print("milestone", x); } emit(x * 10); } }
+    "#;
+    let mut g = WorkflowGraph::new("stream-equiv");
+    let s = g.add_script_pe(src, "Seq").unwrap();
+    let h = g.add_script_pe(src, "Halve").unwrap();
+    let n = g.add_script_pe(src, "Note").unwrap();
+    g.connect(s, "output", h, "x").unwrap();
+    g.connect(h, "output", n, "x").unwrap();
+
+    let opts = RunOptions::iterations(40).with_processes(5);
+    for mapping in [&SimpleMapping as &dyn Mapping, &MultiMapping, &MpiMapping, &RedisMapping::default()] {
+        let kind = mapping.kind();
+        let recorder = RecordingObserver::new();
+        let result = mapping
+            .execute_observed(&g, &opts, Some(recorder.clone() as std::sync::Arc<dyn RunObserver>))
+            .unwrap();
+        let recorded = recorder.take();
+
+        // Stream well-formedness: seq is gapless from 0, the terminal
+        // event is Finished, and per-instance events nest correctly.
+        for (i, (seq, _, _)) in recorded.iter().enumerate() {
+            assert_eq!(*seq, i as u64, "{kind}: seq gap");
+        }
+        assert!(
+            matches!(recorded.last().unwrap().2, RunEvent::Finished { .. }),
+            "{kind}: stream must end with Finished"
+        );
+        let started =
+            recorded.iter().filter(|(_, _, e)| matches!(e, RunEvent::InstanceStarted { .. })).count();
+        let finished =
+            recorded.iter().filter(|(_, _, e)| matches!(e, RunEvent::InstanceFinished { .. })).count();
+        assert_eq!(started, finished, "{kind}: every started instance finishes");
+
+        // The acceptance criterion: fold(events) == batch result.
+        let refolded = fold_events(recorded.into_iter().map(|(_, _, e)| e));
+        assert_eq!(refolded.outputs, result.outputs, "{kind}: outputs diverged");
+        assert_eq!(refolded.printed, result.printed, "{kind}: prints diverged");
+        assert_eq!(refolded.stats, result.stats, "{kind}: stats diverged");
+
+        // Observed runs report a real first-output latency.
+        assert!(result.stats.first_output.unwrap() <= result.stats.elapsed.max(Duration::from_nanos(1)));
+        assert_eq!(result.stats.events, refolded.stats.events);
+    }
+}
+
+#[test]
+fn streaming_scenario_through_the_full_stack() {
+    // The streaming sensor workload end-to-end: submit with events=true,
+    // consume the live stream via the client iterator, and check the
+    // folded view agrees with the job result.
+    use laminar::workloads::streaming::{expected_windows, SensorFleet, SOURCE};
+
+    let fleet: Arc<dyn laminar::script::Host + Send + Sync> = Arc::new(SensorFleet::instant(3));
+    let mut sys = LaminarSystem::start_with_hosts(Deployment::Test, &[("sensor", fleet)]).unwrap();
+    let c = login(&mut sys, "streamer");
+    c.register_workflow(SOURCE, "SensorWindows", Some("windowed sensor aggregation")).unwrap();
+    let id = c
+        .submit(
+            laminar::client::RunTarget::Registered("SensorWindows".into()),
+            RunConfig::iterations(96).with_mapping(MappingKind::Multi, 5).with_events(true),
+        )
+        .unwrap();
+    let mut windows = 0usize;
+    let mut alerts = 0usize;
+    let mut closed_with = None;
+    for event in c.event_stream(id, std::time::Duration::from_secs(30)) {
+        let event = event.unwrap();
+        match event["type"].as_str() {
+            Some("output") => windows += 1,
+            Some("print") => alerts += 1,
+            Some("done") | Some("failed") => closed_with = event["type"].as_str().map(str::to_string),
+            _ => {}
+        }
+    }
+    assert_eq!(closed_with.as_deref(), Some("done"));
+    assert_eq!(windows, expected_windows(96, 3), "every window aggregate streamed");
+    let out = c.wait_job(id, std::time::Duration::from_secs(10)).unwrap();
+    assert_eq!(out.port_values("WindowStats", "output").len(), windows);
+    assert_eq!(out.printed.len(), alerts, "alerts streamed == alerts in the batch result");
+    assert!(out.first_output.is_some(), "streamed runs report first-output latency");
+    sys.stop();
+}
+
+#[test]
 fn four_mappings_same_graph_same_outputs_and_counts() {
     // The satellite equivalence check: one WorkflowGraph value, enacted by
     // all four back-ends through the shared runtime, must yield identical
