@@ -1,45 +1,120 @@
 #!/usr/bin/env bash
-# The full local gate. Offline by construction: every dependency is a
-# workspace path dependency (see README.md "Zero external dependencies").
+# The local gate, structured as named tiers. Offline by construction:
+# every dependency is a workspace path dependency (see README.md "Zero
+# external dependencies").
+#
+# Usage:
+#   ./ci.sh                     # the full gate: every tier, in order
+#   ./ci.sh <tier> [<tier>...]  # only the named tiers
+#   ./ci.sh --quick             # fail-fast subset: build + test
+#   ./ci.sh --list              # show the tiers
+#
+# Tiers:
+#   build        release build of the workspace + examples
+#   test         the whole test suite
+#   stress       the concurrency stress suite (unrestricted test threads)
+#   streaming    streaming + cancellation scenario tiers
+#   bench-smoke  bench compile, smoke runs, and the bench_check
+#                regression guard against the committed BENCH_PR*.json
+#   lint         rustfmt + clippy (warnings are errors)
+#
+# Every run ends with a per-tier wall-clock timing summary and, when all
+# selected tiers passed, the line "CI GREEN".
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== build (release) =="
-cargo build --release --workspace
+ALL_TIERS=(build test stress streaming bench-smoke lint)
+QUICK_TIERS=(build test)
 
-echo "== build examples =="
-cargo build --examples
+tier_build() {
+  cargo build --release --workspace
+  cargo build --examples
+}
 
-echo "== test =="
-cargo test -q --workspace
+tier_test() {
+  cargo test -q --workspace
+}
 
-echo "== concurrency stress tier (unrestricted test threads) =="
-cargo test -q -p laminar-server --test concurrent
+tier_stress() {
+  cargo test -q -p laminar-server --test concurrent
+}
 
-echo "== streaming scenario tier =="
-cargo test -q -p laminar-workloads streaming
-cargo test -q --test integration streaming
-cargo test -q -p laminar-dataflow --test proptest_mappings fold_of_recorded_stream
+tier_streaming() {
+  cargo test -q -p laminar-workloads streaming
+  cargo test -q --test integration streaming
+  cargo test -q --test integration cancel
+  cargo test -q -p laminar-dataflow --test proptest_mappings fold_of_recorded_stream
+  cargo test -q -p laminar-dataflow --test proptest_cancel
+  cargo test -q -p laminar-engine pool::tests::cancel
+}
 
-echo "== bench compile (no run) =="
-cargo bench --no-run --workspace
+tier_bench_smoke() {
+  cargo bench --no-run --workspace
+  cargo run --release -p laminar-bench --bin perf_report -- --smoke --out target/bench_smoke.json
+  test -s target/bench_smoke.json
+  cargo run --release -p laminar-bench --bin concurrent_serving -- --smoke --out target/bench_concurrent_smoke.json
+  test -s target/bench_concurrent_smoke.json
+  cargo run --release -p laminar-bench --bin streaming_latency -- --smoke --out target/bench_streaming_smoke.json
+  test -s target/bench_streaming_smoke.json
+  # The regression guard: fresh smoke vs the committed trajectory.
+  cargo run --release -p laminar-bench --bin bench_check
+}
 
-echo "== perf_report smoke =="
-cargo run --release -p laminar-bench --bin perf_report -- --smoke --out target/bench_smoke.json
-test -s target/bench_smoke.json
+tier_lint() {
+  cargo fmt --check
+  cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "== concurrent_serving smoke =="
-cargo run --release -p laminar-bench --bin concurrent_serving -- --smoke --out target/bench_concurrent_smoke.json
-test -s target/bench_concurrent_smoke.json
+usage() {
+  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+}
 
-echo "== streaming_latency smoke =="
-cargo run --release -p laminar-bench --bin streaming_latency -- --smoke --out target/bench_streaming_smoke.json
-test -s target/bench_streaming_smoke.json
+TIERS=()
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    --list) printf '%s\n' "${ALL_TIERS[@]}"; exit 0 ;;
+    -h|--help) usage; exit 0 ;;
+    -*) echo "ci.sh: unknown flag '$arg'" >&2; usage >&2; exit 2 ;;
+    *) TIERS+=("$arg") ;;
+  esac
+done
 
-echo "== fmt =="
-cargo fmt --check
+if [ ${#TIERS[@]} -eq 0 ]; then
+  if [ "$QUICK" -eq 1 ]; then
+    TIERS=("${QUICK_TIERS[@]}")
+  else
+    TIERS=("${ALL_TIERS[@]}")
+  fi
+elif [ "$QUICK" -eq 1 ]; then
+  echo "ci.sh: note: explicit tiers given; --quick only selects the default subset" >&2
+fi
 
-echo "== clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+for tier in "${TIERS[@]}"; do
+  case " ${ALL_TIERS[*]} " in
+    *" $tier "*) ;;
+    *) echo "ci.sh: unknown tier '$tier' (valid: ${ALL_TIERS[*]})" >&2; exit 2 ;;
+  esac
+done
+
+TIER_NAMES=()
+TIER_SECS=()
+for tier in "${TIERS[@]}"; do
+  echo "== tier: $tier =="
+  t0=$SECONDS
+  "tier_${tier//-/_}"
+  TIER_NAMES+=("$tier")
+  TIER_SECS+=($((SECONDS - t0)))
+done
+
+echo
+echo "== CI timing summary =="
+total=0
+for i in "${!TIER_NAMES[@]}"; do
+  printf '  %-12s %4ds\n' "${TIER_NAMES[$i]}" "${TIER_SECS[$i]}"
+  total=$((total + TIER_SECS[i]))
+done
+printf '  %-12s %4ds\n' "total" "$total"
 
 echo "CI GREEN"

@@ -1,0 +1,176 @@
+//! `bench_check`: the CI bench-regression guard.
+//!
+//! Compares a fresh set of `--smoke` bench reports (produced earlier in
+//! the `bench-smoke` tier) against the committed `BENCH_PR*.json`
+//! trajectory and fails — non-zero exit — when a headline metric
+//! regressed by more than [`REGRESSION_FACTOR`]×:
+//!
+//! * **throughput** — `perf_report` figure1 datums/s per mapping vs.
+//!   `BENCH_PR2.json`, and `concurrent_serving` pooled-vs-mutex speedup
+//!   vs. `BENCH_PR3.json`;
+//! * **first-result latency** — `streaming_latency` time-to-first-result
+//!   as a *fraction of total runtime* per mapping vs. `BENCH_PR4.json`
+//!   (the fraction is dimensionless, so the comparison is robust to the
+//!   smoke configs' smaller workloads), floored at
+//!   [`MIN_FRACTION_LIMIT`] to absorb startup jitter on tiny runs.
+//!
+//! The 5× margin is deliberately coarse: smoke configs are smaller than
+//! the committed full runs and CI machines are noisy — this gate exists
+//! to catch order-of-magnitude regressions (a serialized pool, a
+//! batch-buffered stream), not percent-level drift, which the committed
+//! full reports track across PRs.
+//!
+//! ```text
+//! cargo run -p laminar-bench --release --bin bench_check
+//! cargo run -p laminar-bench --release --bin bench_check -- \
+//!     --fresh-perf target/bench_smoke.json --baseline-dir .
+//! ```
+
+use laminar_json::Value;
+
+/// A metric must stay within this factor of the committed trajectory.
+const REGRESSION_FACTOR: f64 = 5.0;
+
+/// Floor for the streaming first-result-fraction limit: smoke runs are
+/// short enough that startup noise dominates below this.
+const MIN_FRACTION_LIMIT: f64 = 0.20;
+
+const MAPPINGS: [&str; 4] = ["SIMPLE", "MULTI", "MPI", "REDIS"];
+
+struct Check {
+    name: String,
+    fresh: f64,
+    limit: f64,
+    /// True when the metric must stay *above* the limit (throughput),
+    /// false when it must stay *below* (latency fraction).
+    higher_is_better: bool,
+}
+
+impl Check {
+    fn pass(&self) -> bool {
+        if self.higher_is_better {
+            self.fresh >= self.limit
+        } else {
+            self.fresh <= self.limit
+        }
+    }
+}
+
+fn load(path: &str) -> Value {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("bench_check: cannot read {path}: {e}"));
+    laminar_json::parse(&text).unwrap_or_else(|e| panic!("bench_check: {path} is not JSON: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::to_string);
+    let fresh_perf = flag_value("--fresh-perf").unwrap_or_else(|| "target/bench_smoke.json".into());
+    let fresh_streaming =
+        flag_value("--fresh-streaming").unwrap_or_else(|| "target/bench_streaming_smoke.json".into());
+    let fresh_concurrent =
+        flag_value("--fresh-concurrent").unwrap_or_else(|| "target/bench_concurrent_smoke.json".into());
+    let baseline_dir = flag_value("--baseline-dir").unwrap_or_else(|| ".".into());
+    let out_path = flag_value("--out").unwrap_or_else(|| "target/bench_check.json".into());
+
+    let perf = load(&fresh_perf);
+    let streaming = load(&fresh_streaming);
+    let concurrent = load(&fresh_concurrent);
+    let committed_perf = load(&format!("{baseline_dir}/BENCH_PR2.json"));
+    let committed_concurrent = load(&format!("{baseline_dir}/BENCH_PR3.json"));
+    let committed_streaming = load(&format!("{baseline_dir}/BENCH_PR4.json"));
+
+    let mut checks: Vec<Check> = Vec::new();
+
+    // Enactment throughput per mapping (datums/s, figure1).
+    for mapping in MAPPINGS {
+        let fresh = perf["runs"]["figure1"][mapping]["throughput_per_sec"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{fresh_perf}: missing figure1 throughput for {mapping}"));
+        let committed = committed_perf["runs"]["figure1"][mapping]["throughput_per_sec"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("BENCH_PR2.json: missing figure1 throughput for {mapping}"));
+        checks.push(Check {
+            name: format!("figure1 throughput [{mapping}] (datums/s)"),
+            fresh,
+            limit: committed / REGRESSION_FACTOR,
+            higher_is_better: true,
+        });
+    }
+
+    // Streaming time-to-first-result as a fraction of total runtime.
+    // Driven off the MAPPINGS constant (like the figure1 block), so a
+    // report that dropped a mapping or renamed a key fails loudly
+    // instead of silently removing the guard.
+    let fraction = |report: &Value, source: &str, mapping: &str| {
+        report["mappings"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|m| m["mapping"].as_str() == Some(mapping))
+            .and_then(|m| m["first_result_fraction"].as_f64())
+            .unwrap_or_else(|| panic!("{source}: missing first_result_fraction for {mapping}"))
+    };
+    for mapping in MAPPINGS {
+        let fresh = fraction(&streaming, &fresh_streaming, mapping);
+        let committed = fraction(&committed_streaming, "BENCH_PR4.json", mapping);
+        checks.push(Check {
+            name: format!("streaming first-result fraction [{mapping}]"),
+            fresh,
+            limit: (committed * REGRESSION_FACTOR).max(MIN_FRACTION_LIMIT),
+            higher_is_better: false,
+        });
+    }
+
+    // Concurrent serving: pooled vs single-mutex jobs/s speedup.
+    let fresh_speedup = concurrent["jobs_per_sec_speedup"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("{fresh_concurrent}: missing jobs_per_sec_speedup"));
+    let committed_speedup = committed_concurrent["jobs_per_sec_speedup"]
+        .as_f64()
+        .expect("BENCH_PR3.json: missing jobs_per_sec_speedup");
+    checks.push(Check {
+        name: "concurrent serving speedup (pooled / mutex jobs per s)".into(),
+        fresh: fresh_speedup,
+        limit: committed_speedup / REGRESSION_FACTOR,
+        higher_is_better: true,
+    });
+
+    // Report.
+    let mut failed = 0usize;
+    let mut rows = Vec::new();
+    eprintln!("bench_check: fresh smoke vs committed trajectory ({REGRESSION_FACTOR}x guard)");
+    for c in &checks {
+        let verdict = if c.pass() { "ok  " } else { "FAIL" };
+        let bound = if c.higher_is_better { ">=" } else { "<=" };
+        eprintln!("  [{verdict}] {:<52} {:>12.4} (must be {bound} {:.4})", c.name, c.fresh, c.limit);
+        if !c.pass() {
+            failed += 1;
+        }
+        let mut row = Value::Null;
+        row.set("check", c.name.as_str())
+            .set("fresh", (c.fresh * 10000.0).round() / 10000.0)
+            .set("limit", (c.limit * 10000.0).round() / 10000.0)
+            .set("pass", c.pass());
+        rows.push(row);
+    }
+
+    let mut report = Value::Null;
+    report
+        .set("report", "laminar bench regression guard")
+        .set("regression_factor", REGRESSION_FACTOR)
+        .set("checks", Value::Array(rows))
+        .set("failed", failed as i64);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, laminar_json::to_string_pretty(&report)).expect("write report");
+    eprintln!("report written to {out_path}");
+
+    if failed > 0 {
+        eprintln!("bench_check: {failed} metric(s) regressed past the {REGRESSION_FACTOR}x guard");
+        std::process::exit(1);
+    }
+    eprintln!("bench_check: all {} metrics within bounds", checks.len());
+}

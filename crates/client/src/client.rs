@@ -21,6 +21,13 @@ pub enum ClientError {
         /// Human-readable message.
         message: String,
     },
+    /// The awaited job was cancelled (via [`LaminarClient::cancel_job`],
+    /// another client, or server shutdown) — distinct from a failure:
+    /// the job's event log holds the valid prefix it produced.
+    Cancelled {
+        /// The cancelled job's id.
+        job: i64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -30,6 +37,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Api { status, kind, message } => {
                 write!(f, "server error {status} ({kind}): {message}")
             }
+            ClientError::Cancelled { job } => write!(f, "job {job} was cancelled"),
         }
     }
 }
@@ -82,6 +90,24 @@ impl RunConfig {
             processes: 1,
             resources: vec![],
             stream_events: false,
+        }
+    }
+
+    /// Run unbounded (until cancelled via [`LaminarClient::cancel_job`]),
+    /// pacing each source instance by `pace` between iterations. Only
+    /// valid with the async submit path — the sync `run` endpoint
+    /// rejects inputs that never complete — so this also turns on the
+    /// event stream, the one place an unbounded run's results can be
+    /// consumed.
+    pub fn unbounded(pace: std::time::Duration) -> RunConfig {
+        let mut input = Value::Null;
+        input.set("mode", "unbounded").set("pace_us", pace.as_micros() as i64);
+        RunConfig {
+            input,
+            mapping: MappingKind::Simple,
+            processes: 1,
+            resources: vec![],
+            stream_events: true,
         }
     }
 
@@ -403,7 +429,8 @@ impl LaminarClient {
     }
 
     /// Poll a job's result: `Ok(Some(output))` once done, `Ok(None)` while
-    /// queued or running, `Err` for unknown ids or failed executions.
+    /// queued or running, `Err` for unknown ids, failed executions, or
+    /// cancelled jobs ([`ClientError::Cancelled`]).
     pub fn job_result(&self, job_id: i64) -> Result<Option<ExecutionOutput>, ClientError> {
         let user = self.current_user()?.to_string();
         let resp = self.call(&web::get(format!("/execution/{user}/job/{job_id}/result")))?;
@@ -411,8 +438,20 @@ impl LaminarClient {
             Some("done") => ExecutionOutput::from_value(&resp)
                 .map(Some)
                 .ok_or(ClientError::Transport("server returned a malformed execution output".into())),
+            Some("cancelled") => Err(ClientError::Cancelled { job: job_id }),
             _ => Ok(None),
         }
+    }
+
+    /// Request cooperative cancellation of a job
+    /// (`DELETE /execution/{user}/job/{id}`). Idempotent: 200 with the
+    /// job's current status whether it was queued (terminated on the
+    /// spot), running (stops at its next invocation boundary — watch the
+    /// event stream for the `cancelled` marker), or already finished
+    /// (no-op). Unknown jobs surface the 404 envelope.
+    pub fn cancel_job(&self, job_id: i64) -> Result<Value, ClientError> {
+        let user = self.current_user()?.to_string();
+        self.call(&web::delete(format!("/execution/{user}/job/{job_id}")))
     }
 
     /// Poll a job until it finishes or `timeout` passes. Polling backs
@@ -460,7 +499,7 @@ impl LaminarClient {
     /// Iterate a job's events as they arrive, blocking between pages with
     /// the same 2→50 ms backoff as [`LaminarClient::wait_job`] (reset
     /// whenever events arrive). The iterator ends when the stream closes
-    /// (the last item is the `done`/`failed` marker) or `timeout` passes
+    /// (the last item is the `done`/`failed`/`cancelled` marker) or `timeout` passes
     /// with the stream still open (final item: a transport error). A
     /// transport error is also surfaced when the server's bounded log
     /// evicted events past the cursor (truncation) — the stream would
@@ -518,6 +557,28 @@ pub struct JobEventStream<'a> {
     closed: bool,
     failed: bool,
     deadline: std::time::Instant,
+}
+
+impl JobEventStream<'_> {
+    /// The job this stream follows.
+    pub fn job_id(&self) -> i64 {
+        self.job_id
+    }
+
+    /// Request cancellation of the job being streamed — the idiomatic way
+    /// to end an unbounded run from its consumer loop:
+    ///
+    /// ```ignore
+    /// let mut stream = client.event_stream(job, timeout);
+    /// while let Some(event) = stream.next() {
+    ///     if enough(&event?) { stream.cancel()?; }
+    ///     // keep iterating: the stream drains the prefix and ends at
+    ///     // the `cancelled` marker.
+    /// }
+    /// ```
+    pub fn cancel(&self) -> Result<Value, ClientError> {
+        self.client.cancel_job(self.job_id)
+    }
 }
 
 impl Iterator for JobEventStream<'_> {
@@ -829,6 +890,52 @@ mod tests {
             .expect("result survives the truncated stream");
         assert_eq!(events_seen, 0, "stream was truncated before the first page");
         assert_eq!(out.port_values("Gen", "output").len(), 9000);
+    }
+
+    #[test]
+    fn unbounded_job_cancelled_from_the_event_stream() {
+        // The long-running serving loop: submit an unbounded source,
+        // consume its live stream, stop it from the consumer side, and
+        // observe the `cancelled` seal + the Cancelled wait outcome.
+        let mut c = logged_in_client();
+        let src = r#"
+            pe Gen : producer { output output; process { emit(iteration); } }
+            workflow Forever { nodes { g = Gen; } }
+        "#;
+        let id = c
+            .submit(
+                RunTarget::Source(src.into()),
+                RunConfig::unbounded(std::time::Duration::from_micros(300)),
+            )
+            .unwrap();
+        let mut stream = c.event_stream(id, std::time::Duration::from_secs(30));
+        let mut outputs = 0usize;
+        let mut types: Vec<String> = Vec::new();
+        while let Some(event) = stream.next() {
+            let event = event.unwrap();
+            let ty = event["type"].as_str().unwrap().to_string();
+            if ty == "output" {
+                outputs += 1;
+                if outputs == 5 {
+                    let r = stream.cancel().unwrap();
+                    assert!(matches!(r["status"].as_str(), Some("running") | Some("cancelled")));
+                }
+            }
+            types.push(ty);
+        }
+        assert!(outputs >= 5, "streamed real data before the cancel: {outputs}");
+        assert_eq!(types.last().map(String::as_str), Some("cancelled"), "stream sealed");
+        assert_eq!(types.iter().filter(|t| *t == "cancelled").count(), 1);
+        assert!(!types.contains(&"done".to_string()), "cancel is not completion");
+        // Waiting on a cancelled job reports Cancelled, not a timeout.
+        match c.wait_job(id, std::time::Duration::from_secs(10)) {
+            Err(ClientError::Cancelled { job }) => assert_eq!(job, id),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // Idempotent from the client too.
+        assert_eq!(c.cancel_job(id).unwrap()["status"].as_str(), Some("cancelled"));
+        // Unknown jobs keep 404 semantics.
+        assert!(matches!(c.cancel_job(424242), Err(ClientError::Api { status: 404, .. })));
     }
 
     #[test]

@@ -16,6 +16,12 @@ pub enum DataflowError {
     Enactment(String),
     /// Run options were inconsistent (e.g. zero processes).
     Options(String),
+    /// The run was cancelled via its
+    /// [`crate::mapping::CancelToken`] before completing. Not a failure:
+    /// events emitted before the stop are a valid prefix of the run's
+    /// stream, and consumers see a `Cancelled` terminal marker instead of
+    /// an error.
+    Cancelled,
 }
 
 impl fmt::Display for DataflowError {
@@ -26,6 +32,7 @@ impl fmt::Display for DataflowError {
             DataflowError::PeFailed { pe, error } => write!(f, "PE '{pe}' failed: {error}"),
             DataflowError::Enactment(m) => write!(f, "enactment error: {m}"),
             DataflowError::Options(m) => write!(f, "options error: {m}"),
+            DataflowError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }

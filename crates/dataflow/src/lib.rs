@@ -56,8 +56,8 @@ pub mod routing;
 pub use error::DataflowError;
 pub use graph::{Connection, NodeId, WorkflowGraph};
 pub use mapping::{
-    fold_events, EventFold, MappingKind, RecordingObserver, RunEvent, RunObserver, RunOptions, RunResult,
-    RunStats, StageTimings,
+    fold_events, CancelToken, EventFold, MappingKind, RecordingObserver, RunEvent, RunInput, RunObserver,
+    RunOptions, RunResult, RunStats, SourceGenerator, StageTimings,
 };
 pub use pe::{consumer_fn, iterative_fn, producer_fn, NativePe, Pe, PeFactory, PeMeta, ScriptPeFactory};
 pub use planner::{ConcretePlan, InstanceId};

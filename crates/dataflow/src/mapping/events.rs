@@ -94,6 +94,12 @@ pub enum RunEvent {
         /// The completed run's statistics.
         stats: RunStats,
     },
+    /// The run was stopped by its [`super::CancelToken`] before
+    /// completing. Terminal event of a cancelled stream — everything
+    /// before it is a valid prefix of the run's event stream, and folding
+    /// that prefix is the cancelled run's result. Distinguishes "stopped
+    /// on request" from a failure.
+    Cancelled,
 }
 
 impl RunEvent {
@@ -140,8 +146,70 @@ impl RunEvent {
                     v.set("first_output_us", d.as_micros() as i64);
                 }
             }
+            RunEvent::Cancelled => {
+                v.set("type", "cancelled");
+            }
         }
         v
+    }
+
+    /// Parse the wire form back into an event (the inverse of
+    /// [`RunEvent::to_value`], modulo the timing fields `Finished` carries
+    /// at microsecond resolution). `None` for values that are not run
+    /// events — notably the pool's `done`/`failed` job markers — so a
+    /// client can `filter_map` a recorded `/events` log straight into
+    /// [`fold_events`].
+    pub fn from_value(v: &Value) -> Option<RunEvent> {
+        let pe = || v["pe"].as_str().map(Arc::<str>::from);
+        let instance = || v["instance"].as_i64().map(|i| i.max(0) as usize);
+        Some(match v["type"].as_str()? {
+            "plan" => {
+                let pes = v["pes"]
+                    .as_object()?
+                    .iter()
+                    .map(|(name, n)| {
+                        (Arc::<str>::from(name.as_str()), n.as_i64().unwrap_or(0).max(0) as usize)
+                    })
+                    .collect();
+                RunEvent::PlanReady { pes }
+            }
+            "started" => RunEvent::InstanceStarted { pe: pe()?, instance: instance()? },
+            "output" => RunEvent::Output {
+                pe: pe()?,
+                instance: instance()?,
+                port: v["port"].as_str().map(Arc::<str>::from)?,
+                value: v["value"].clone(),
+            },
+            "print" => {
+                RunEvent::Print { pe: pe()?, instance: instance()?, line: v["line"].as_str()?.to_string() }
+            }
+            "instance_done" => RunEvent::InstanceFinished {
+                pe: pe()?,
+                instance: instance()?,
+                processed: v["processed"].as_i64().unwrap_or(0).max(0) as u64,
+                emitted: v["emitted"].as_i64().unwrap_or(0).max(0) as u64,
+            },
+            "finished" => {
+                let us = |field: &str| Duration::from_micros(v[field].as_i64().unwrap_or(0).max(0) as u64);
+                RunEvent::Finished {
+                    stats: RunStats {
+                        elapsed: us("elapsed_us"),
+                        timings: super::StageTimings {
+                            plan: us("plan_us"),
+                            enact: us("enact_us"),
+                            collect: us("collect_us"),
+                        },
+                        events: v["events"].as_i64().unwrap_or(0).max(0) as u64,
+                        first_output: v["first_output_us"]
+                            .as_i64()
+                            .map(|d| Duration::from_micros(d.max(0) as u64)),
+                        ..Default::default()
+                    },
+                }
+            }
+            "cancelled" => RunEvent::Cancelled,
+            _ => return None,
+        })
     }
 }
 
@@ -200,6 +268,9 @@ impl EventFold {
                 self.stats.timings = stats.timings;
                 self.stats.first_output = stats.first_output;
             }
+            // A terminal marker, not data: folding a cancelled stream
+            // yields exactly the prefix-fold of the events before it.
+            RunEvent::Cancelled => {}
         }
     }
 
@@ -317,12 +388,24 @@ impl EventSink {
     /// Emit the terminal event carrying the completed run's stats. Only
     /// the observer sees it — the fold was already taken.
     pub fn emit_finished(&self, stats: &RunStats) {
+        self.emit_terminal(&RunEvent::Finished { stats: stats.clone() });
+    }
+
+    /// Emit the [`RunEvent::Cancelled`] terminal marker sealing a
+    /// cancelled stream. Only the observer sees it — the runtime returns
+    /// [`crate::DataflowError::Cancelled`] instead of a result, so there
+    /// is no fold to feed.
+    pub fn emit_cancelled(&self) {
+        self.emit_terminal(&RunEvent::Cancelled);
+    }
+
+    fn emit_terminal(&self, event: &RunEvent) {
         if let Some(observer) = &self.observer {
             let mut inner = self.inner.lock();
             let seq = inner.seq;
             inner.seq += 1;
             drop(inner);
-            observer.on_event(seq, &RunEvent::Finished { stats: stats.clone() });
+            observer.on_event(seq, event);
         }
     }
 }
@@ -438,11 +521,61 @@ mod tests {
                 "instance_done",
             ),
             (RunEvent::Finished { stats: RunStats::default() }, "finished"),
+            (RunEvent::Cancelled, "cancelled"),
         ];
         for (i, (ev, tag)) in cases.into_iter().enumerate() {
             let v = ev.to_value(i as u64);
             assert_eq!(v["type"].as_str(), Some(tag));
             assert_eq!(v["seq"].as_i64(), Some(i as i64));
         }
+    }
+
+    #[test]
+    fn wire_form_round_trips_through_from_value() {
+        let cases = [
+            RunEvent::PlanReady { pes: vec![(arc("A"), 2), (arc("B"), 1)] },
+            RunEvent::InstanceStarted { pe: arc("A"), instance: 1 },
+            RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(3) },
+            RunEvent::Print { pe: arc("A"), instance: 0, line: "x".into() },
+            RunEvent::InstanceFinished { pe: arc("A"), instance: 0, processed: 1, emitted: 2 },
+            RunEvent::Cancelled,
+        ];
+        for ev in cases {
+            let back = RunEvent::from_value(&ev.to_value(7)).unwrap();
+            assert_eq!(back, ev);
+        }
+        // Finished round-trips the timing facts the fold consumes, at
+        // microsecond resolution.
+        let stats = RunStats {
+            elapsed: Duration::from_micros(1234),
+            first_output: Some(Duration::from_micros(56)),
+            events: 9,
+            ..Default::default()
+        };
+        match RunEvent::from_value(&RunEvent::Finished { stats }.to_value(0)).unwrap() {
+            RunEvent::Finished { stats } => {
+                assert_eq!(stats.elapsed, Duration::from_micros(1234));
+                assert_eq!(stats.first_output, Some(Duration::from_micros(56)));
+                assert_eq!(stats.events, 9);
+            }
+            other => panic!("expected Finished, got {other:?}"),
+        }
+        // Pool job markers and junk are not run events.
+        let mut done = Value::Null;
+        done.set("type", "done");
+        assert!(RunEvent::from_value(&done).is_none());
+        assert!(RunEvent::from_value(&Value::Null).is_none());
+    }
+
+    #[test]
+    fn cancelled_marker_folds_as_a_no_op() {
+        let events = vec![
+            RunEvent::InstanceStarted { pe: arc("A"), instance: 0 },
+            RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(4) },
+        ];
+        let prefix = fold_events(events.clone());
+        let cancelled = fold_events(events.into_iter().chain([RunEvent::Cancelled]));
+        assert_eq!(cancelled.outputs, prefix.outputs);
+        assert_eq!(cancelled.stats, prefix.stats, "Cancelled is not counted and carries no stats");
     }
 }

@@ -16,6 +16,7 @@
 //! transport. See the [`runtime`] module docs for how to add a fifth
 //! back-end.
 
+pub mod cancel;
 pub mod events;
 mod mpi;
 mod multi;
@@ -24,6 +25,7 @@ pub mod runtime;
 mod simple;
 pub mod worker;
 
+pub use cancel::CancelToken;
 pub use events::{fold_events, EventFold, RecordingObserver, RunEvent, RunObserver};
 pub use mpi::{Communicator, Envelope, MpiMapping, RankEndpoint, TAG_DATA, TAG_EOS};
 pub use multi::MultiMapping;
@@ -91,8 +93,14 @@ impl std::fmt::Display for MappingKind {
     }
 }
 
+/// Generator callback for [`RunInput::Unbounded`] sources: produces the
+/// datum for producer invocation `i`. Runs on worker threads, so it must
+/// be `Send + Sync`; it never crosses the wire (a remote unbounded run
+/// drives its producers by iteration count or host calls instead).
+pub type SourceGenerator = Arc<dyn Fn(usize) -> Value + Send + Sync>;
+
 /// What drives the root producers.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum RunInput {
     /// Run each producer for `n` iterations (the paper's `input=5`).
     Iterations(i64),
@@ -100,6 +108,33 @@ pub enum RunInput {
     /// `input=[{"input": "resources/coordinates.txt"}]` form). Each datum
     /// becomes one producer invocation, bound to `input`.
     Data(Vec<Value>),
+    /// Run producers until the run's [`CancelToken`] fires — the
+    /// long-running streaming mode. Each source paces itself by sleeping
+    /// `pace` between its own iterations; `generator`, when present,
+    /// produces the datum for invocation `i` (bound to `input`), otherwise
+    /// producers are driven by bare iteration count exactly like
+    /// [`RunInput::Iterations`].
+    Unbounded {
+        /// Optional per-invocation datum source.
+        generator: Option<SourceGenerator>,
+        /// Sleep between a source instance's iterations (zero = as fast
+        /// as the PE runs).
+        pace: Duration,
+    },
+}
+
+impl std::fmt::Debug for RunInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunInput::Iterations(n) => f.debug_tuple("Iterations").field(n).finish(),
+            RunInput::Data(d) => f.debug_tuple("Data").field(d).finish(),
+            RunInput::Unbounded { generator, pace } => f
+                .debug_struct("Unbounded")
+                .field("generator", &generator.as_ref().map(|_| "<fn>"))
+                .field("pace", pace)
+                .finish(),
+        }
+    }
 }
 
 /// Options for one enactment.
@@ -112,6 +147,10 @@ pub struct RunOptions {
     pub processes: usize,
     /// Safety timeout for distributed queue pops.
     pub queue_timeout: Duration,
+    /// Cooperative stop signal, checked between PE invocations. Defaults
+    /// to a fresh token nobody cancels; [`RunInput::Unbounded`] runs end
+    /// *only* through it.
+    pub cancel: CancelToken,
 }
 
 impl Default for RunOptions {
@@ -120,7 +159,12 @@ impl Default for RunOptions {
     /// which [`crate::planner::ConcretePlan::distribute`] spreads as one
     /// producer instance plus two instances for each downstream PE.
     fn default() -> RunOptions {
-        RunOptions { input: RunInput::Iterations(5), processes: 5, queue_timeout: Duration::from_secs(10) }
+        RunOptions {
+            input: RunInput::Iterations(5),
+            processes: 5,
+            queue_timeout: Duration::from_secs(10),
+            cancel: CancelToken::new(),
+        }
     }
 }
 
@@ -136,17 +180,61 @@ impl RunOptions {
         RunOptions { input: RunInput::Data(values), ..RunOptions::default() }
     }
 
+    /// Run producers until `cancel` fires (see [`RunInput::Unbounded`]),
+    /// pacing each source instance by `pace` between iterations.
+    pub fn unbounded(pace: Duration, cancel: CancelToken) -> RunOptions {
+        RunOptions { input: RunInput::Unbounded { generator: None, pace }, cancel, ..RunOptions::default() }
+    }
+
     /// Set the process count.
     pub fn with_processes(mut self, n: usize) -> RunOptions {
         self.processes = n;
         self
     }
 
-    /// Number of producer invocations this input implies.
+    /// Attach the cancellation token the runtime checks between PE
+    /// invocations.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> RunOptions {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attach a generator callback to an [`RunInput::Unbounded`] drive
+    /// (no-op for bounded inputs).
+    pub fn with_generator(mut self, g: SourceGenerator) -> RunOptions {
+        if let RunInput::Unbounded { generator, .. } = &mut self.input {
+            *generator = Some(g);
+        }
+        self
+    }
+
+    /// Number of producer invocations this input implies
+    /// (`usize::MAX` for [`RunInput::Unbounded`] — use
+    /// [`RunOptions::bounded_invocations`] in loops).
     pub fn invocations(&self) -> usize {
+        self.bounded_invocations().unwrap_or(usize::MAX)
+    }
+
+    /// The invocation bound, `None` when the run is unbounded
+    /// (run-until-cancelled).
+    pub fn bounded_invocations(&self) -> Option<usize> {
         match &self.input {
-            RunInput::Iterations(n) => (*n).max(0) as usize,
-            RunInput::Data(d) => d.len(),
+            RunInput::Iterations(n) => Some((*n).max(0) as usize),
+            RunInput::Data(d) => Some(d.len()),
+            RunInput::Unbounded { .. } => None,
+        }
+    }
+
+    /// Whether the run ends only through its [`CancelToken`].
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self.input, RunInput::Unbounded { .. })
+    }
+
+    /// Per-source-instance inter-iteration sleep (zero for bounded runs).
+    pub fn pace(&self) -> Duration {
+        match &self.input {
+            RunInput::Unbounded { pace, .. } => *pace,
+            _ => Duration::ZERO,
         }
     }
 
@@ -155,6 +243,7 @@ impl RunOptions {
         match &self.input {
             RunInput::Iterations(_) => None,
             RunInput::Data(d) => d.get(i).cloned(),
+            RunInput::Unbounded { generator, .. } => generator.as_ref().map(|g| g(i)),
         }
     }
 }
@@ -269,6 +358,27 @@ mod tests {
         assert_eq!(d.datum_for(1), Some(Value::Int(2)));
         assert_eq!(d.datum_for(9), None);
         assert_eq!(RunOptions::iterations(3).datum_for(0), None);
+    }
+
+    #[test]
+    fn unbounded_options_shape() {
+        let token = CancelToken::new();
+        let o = RunOptions::unbounded(Duration::from_millis(1), token.clone());
+        assert!(o.is_unbounded());
+        assert_eq!(o.bounded_invocations(), None);
+        assert_eq!(o.invocations(), usize::MAX);
+        assert_eq!(o.pace(), Duration::from_millis(1));
+        assert_eq!(o.datum_for(3), None, "no generator: iteration-driven");
+        let o = o.with_generator(Arc::new(|i| Value::Int(i as i64 * 2)));
+        assert_eq!(o.datum_for(3), Some(Value::Int(6)));
+        token.cancel();
+        assert!(o.cancel.is_cancelled(), "options share the caller's token");
+        assert!(format!("{:?}", o.input).contains("Unbounded"));
+        // Bounded runs have no pace and ignore with_generator.
+        let b = RunOptions::iterations(3).with_generator(Arc::new(|_| Value::Null));
+        assert_eq!(b.pace(), Duration::ZERO);
+        assert_eq!(b.datum_for(0), None);
+        assert!(!b.is_unbounded());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! communicate exclusively through the broker (serialized payloads), the
 //! way dispel4py's Redis mapping coordinates its worker processes.
 
+use super::cancel::CancelToken;
 use super::mpi::{decode_pairs, encode_pairs};
 use super::runtime::{Connector, Runtime};
 use super::worker::{drain_batch_groups, RoutedDatum, Transport, TransportMsg};
@@ -40,6 +41,15 @@ struct RedisTransport {
     my_queue: String,
     plan: ConcretePlan,
     timeout: std::time::Duration,
+    /// Unbounded (run-until-cancelled) runs retry an empty-queue pop
+    /// instead of treating it as starvation: with no invocation bound
+    /// there is no moment by which a message *must* have arrived, and
+    /// cancellation guarantees EOS frames eventually wake every relay.
+    retry_on_timeout: bool,
+    /// The run's token: the retry loop bails out once it fires, so a
+    /// wedged relay (e.g. an upstream that died without EOS) can always
+    /// be unstuck by `DELETE .../job/{id}` or pool shutdown.
+    cancel: CancelToken,
 }
 
 impl RedisTransport {
@@ -66,13 +76,25 @@ impl Transport for RedisTransport {
     }
 
     fn recv(&mut self) -> Result<TransportMsg, DataflowError> {
-        let bytes = self.client.blpop(&self.my_queue, self.timeout).map_err(|e| match e {
-            BrokerError::Timeout => DataflowError::Enactment(format!(
-                "queue '{}' starved: no message within {:?}",
-                self.my_queue, self.timeout
-            )),
-            other => DataflowError::Enactment(format!("broker pop failed: {other}")),
-        })?;
+        let bytes = loop {
+            match self.client.blpop(&self.my_queue, self.timeout) {
+                Ok(bytes) => break bytes,
+                // Cancelled: stop retrying. Normally EOS from the wound-
+                // down sources arrives first; this is the escape hatch
+                // when a peer died without sending it.
+                Err(BrokerError::Timeout) if self.cancel.is_cancelled() => {
+                    return Err(DataflowError::Cancelled)
+                }
+                Err(BrokerError::Timeout) if self.retry_on_timeout => continue,
+                Err(BrokerError::Timeout) => {
+                    return Err(DataflowError::Enactment(format!(
+                        "queue '{}' starved: no message within {:?}",
+                        self.my_queue, self.timeout
+                    )))
+                }
+                Err(other) => return Err(DataflowError::Enactment(format!("broker pop failed: {other}"))),
+            }
+        };
         let mut v = pickle::loads(&bytes)
             .map_err(|e| DataflowError::Enactment(format!("corrupt queue frame: {e}")))?;
         match v["kind"].as_str() {
@@ -100,6 +122,8 @@ impl Transport for RedisTransport {
 struct BrokerConnector<'b> {
     broker: &'b Broker,
     timeout: Duration,
+    retry_on_timeout: bool,
+    cancel: CancelToken,
     plan: Option<ConcretePlan>,
 }
 
@@ -118,6 +142,8 @@ impl Connector for BrokerConnector<'_> {
             my_queue: queue_key(inst),
             plan: self.plan.clone().expect("connect ran first"),
             timeout: self.timeout,
+            retry_on_timeout: self.retry_on_timeout,
+            cancel: self.cancel.clone(),
         })
     }
 }
@@ -142,7 +168,16 @@ impl Mapping for RedisMapping {
             }
         };
         Runtime::new(graph, options).threaded_observed(
-            BrokerConnector { broker, timeout: options.queue_timeout, plan: None },
+            BrokerConnector {
+                broker,
+                timeout: options.queue_timeout,
+                // An unbounded source may legitimately pause longer than
+                // any safety timeout (its pace is caller-chosen), so
+                // empty-queue pops retry until data or EOS arrives.
+                retry_on_timeout: options.is_unbounded(),
+                cancel: options.cancel.clone(),
+                plan: None,
+            },
             observer,
         )
     }
@@ -171,6 +206,50 @@ mod tests {
         s.sort();
         r.sort();
         assert_eq!(s, r);
+    }
+
+    #[test]
+    fn unbounded_run_survives_queue_pops_slower_than_the_safety_timeout() {
+        // A paced unbounded source whose inter-message gap exceeds the
+        // queue safety timeout: relays must retry the empty pop (no
+        // invocation bound means no starvation deadline), not fail the
+        // run — it ends via the token, as Cancelled.
+        use crate::mapping::{CancelToken, Mapping, RunEvent, RunObserver};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct Count(AtomicUsize);
+        impl RunObserver for Count {
+            fn on_event(&self, _seq: u64, event: &RunEvent) {
+                if matches!(event, RunEvent::Output { .. }) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+
+        let token = CancelToken::new();
+        let outputs = Arc::new(Count(AtomicUsize::new(0)));
+        let handle = {
+            let token = token.clone();
+            let observer = Arc::clone(&outputs);
+            std::thread::spawn(move || {
+                let mut g = WorkflowGraph::new("slow");
+                let a = g.add(producer_fn("Nums", Value::Int));
+                let b = g.add(iterative_fn("Relay", Some));
+                g.connect(a, "output", b, "input").unwrap();
+                let mut opts = RunOptions::unbounded(Duration::from_millis(60), token).with_processes(3);
+                opts.queue_timeout = Duration::from_millis(10); // << pace
+                RedisMapping::default().execute_observed(&g, &opts, Some(observer as Arc<dyn RunObserver>))
+            })
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while outputs.0.load(Ordering::SeqCst) < 3 {
+            assert!(std::time::Instant::now() < deadline, "paced unbounded Redis run starved");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        token.cancel();
+        let result = handle.join().unwrap();
+        assert_eq!(result.unwrap_err(), DataflowError::Cancelled, "cancel, not queue starvation");
     }
 
     #[test]

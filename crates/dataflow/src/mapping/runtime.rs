@@ -154,15 +154,43 @@ impl<'a> Runtime<'a> {
             emissions_to_events(&runner.node_name, runner.inst.index, &ports, emissions, scratch);
             sink.extend(scratch);
         };
-        for i in 0..self.options.invocations() {
+        // The drive loop. Cancellation is checked before every PE
+        // invocation, so a cancelled run stops at an invocation boundary:
+        // the events it emitted are exactly a prefix of the stream the
+        // uncancelled (deterministic) run would have produced.
+        let cancel = &self.options.cancel;
+        let limit = self.options.bounded_invocations();
+        let pace = self.options.pace();
+        let mut i = 0usize;
+        'drive: loop {
+            if cancel.is_cancelled() {
+                sink.emit_cancelled();
+                return Err(DataflowError::Cancelled);
+            }
+            if limit.is_some_and(|n| i >= n) {
+                break;
+            }
             for &s in &sources {
                 runners[s].run_iteration(self.options.datum_for(i), &mut emissions)?;
                 absorb(&runners[s], &mut emissions, &mut queue, &mut scratch);
                 while let Some(d) = queue.pop_front() {
+                    if cancel.is_cancelled() {
+                        sink.emit_cancelled();
+                        return Err(DataflowError::Cancelled);
+                    }
                     let dense = plan.dense(d.dest);
                     runners[dense].run_datum(d.port, Value::unshare(d.value), &mut emissions)?;
                     absorb(&runners[dense], &mut emissions, &mut queue, &mut scratch);
                 }
+                if cancel.is_cancelled() {
+                    continue 'drive; // re-check at the loop head, which stops the run
+                }
+            }
+            i += 1;
+            if !pace.is_zero() {
+                // Interruptible: a DELETE mid-pace stops the run within
+                // a sleep slice, not after the full (caller-chosen) pace.
+                cancel.sleep_cancellable(pace);
             }
         }
         for r in &runners {
@@ -225,6 +253,15 @@ impl<'a> Runtime<'a> {
         })?;
         let enact_time = enact_t0.elapsed();
 
+        // Workers wind down cooperatively on cancellation (sources stop
+        // producing and propagate EOS, relays drain-and-discard), so the
+        // join above is clean — but the run did not complete: seal the
+        // stream with the Cancelled marker instead of folding a result.
+        if self.options.cancel.is_cancelled() {
+            sink.emit_cancelled();
+            return Err(DataflowError::Cancelled);
+        }
+
         // Unobserved workers returned their buffered events; fold them in
         // dense-instance (spawn) order so the batch result is
         // deterministic. Observed workers already flushed (empty buffers).
@@ -256,19 +293,24 @@ impl<'a> Runtime<'a> {
 }
 
 /// Join every worker, preferring the first real failure over secondary
-/// transport errors and panics.
+/// transport errors, panics, and cancellation bail-outs (a relay that
+/// stopped waiting because the token fired must not mask the PE error
+/// that actually killed the run).
 fn join_workers(
     handles: Vec<std::thread::ScopedJoinHandle<'_, Result<Vec<RunEvent>, DataflowError>>>,
 ) -> Result<Vec<Vec<RunEvent>>, DataflowError> {
     let mut buffers = Vec::with_capacity(handles.len());
-    let mut first_err = None;
+    let mut first_err: Option<DataflowError> = None;
+    let note = |e: DataflowError, first_err: &mut Option<DataflowError>| match first_err {
+        None => *first_err = Some(e),
+        Some(DataflowError::Cancelled) if !matches!(e, DataflowError::Cancelled) => *first_err = Some(e),
+        Some(_) => {}
+    };
     for h in handles {
         match h.join() {
             Ok(Ok(events)) => buffers.push(events),
-            Ok(Err(e)) => first_err = first_err.or(Some(e)),
-            Err(_) => {
-                first_err = first_err.or(Some(DataflowError::Enactment("worker thread panicked".into())))
-            }
+            Ok(Err(e)) => note(e, &mut first_err),
+            Err(_) => note(DataflowError::Enactment("worker thread panicked".into()), &mut first_err),
         }
     }
     match first_err {
@@ -279,10 +321,14 @@ fn join_workers(
 
 #[cfg(test)]
 mod tests {
-    use super::super::{Mapping, MappingKind, MpiMapping, MultiMapping, RedisMapping, SimpleMapping};
+    use super::super::events::RecordingObserver;
+    use super::super::{
+        CancelToken, Mapping, MappingKind, MpiMapping, MultiMapping, RedisMapping, SimpleMapping,
+    };
     use super::*;
     use crate::pe::{iterative_fn, producer_fn};
     use laminar_json::Value;
+    use parking_lot::Mutex;
 
     fn square_graph() -> WorkflowGraph {
         let mut g = WorkflowGraph::new("sq");
@@ -316,6 +362,115 @@ mod tests {
         let via_mapping = SimpleMapping.execute(&g, &opts).unwrap();
         assert_eq!(via_runtime.outputs, via_mapping.outputs);
         assert_eq!(via_runtime.stats.processed, via_mapping.stats.processed);
+    }
+
+    /// Records the stream and fires the shared token once `at` events
+    /// have been observed.
+    struct CancelAt {
+        token: CancelToken,
+        at: u64,
+        events: Mutex<Vec<RunEvent>>,
+    }
+
+    impl super::super::RunObserver for CancelAt {
+        fn on_event(&self, seq: u64, event: &RunEvent) {
+            self.events.lock().push(event.clone());
+            if seq + 1 >= self.at {
+                self.token.cancel();
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_cancel_yields_prefix_of_the_batch_stream() {
+        let g = square_graph();
+        // Reference: the deterministic batch stream of the full run.
+        let recorder = RecordingObserver::new();
+        Runtime::new(&g, &RunOptions::iterations(20))
+            .sequential_observed(Some(recorder.clone() as Arc<dyn super::super::RunObserver>))
+            .unwrap();
+        let batch: Vec<RunEvent> = recorder.take().into_iter().map(|(_, _, e)| e).collect();
+
+        // Same run, cancelled after 9 events.
+        let token = CancelToken::new();
+        let observer = Arc::new(CancelAt { token: token.clone(), at: 9, events: Mutex::new(Vec::new()) });
+        let opts = RunOptions::iterations(20).with_cancel(token);
+        let err = Runtime::new(&g, &opts)
+            .sequential_observed(Some(Arc::clone(&observer) as Arc<dyn super::super::RunObserver>))
+            .unwrap_err();
+        assert_eq!(err, DataflowError::Cancelled);
+
+        let got = observer.events.lock().clone();
+        assert!(matches!(got.last(), Some(RunEvent::Cancelled)), "stream sealed by Cancelled");
+        let prefix = &got[..got.len() - 1];
+        assert!(prefix.len() >= 9, "cancellation is cooperative: at least the trigger prefix ran");
+        assert!(prefix.len() < batch.len(), "the run really stopped early");
+        assert_eq!(prefix, &batch[..prefix.len()], "cancelled stream is an exact batch prefix");
+    }
+
+    #[test]
+    fn unbounded_threaded_run_ends_only_via_cancel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Count(AtomicUsize);
+        impl super::super::RunObserver for Count {
+            fn on_event(&self, _seq: u64, event: &RunEvent) {
+                if matches!(event, RunEvent::Output { .. }) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        let token = CancelToken::new();
+        let outputs = Arc::new(Count(AtomicUsize::new(0)));
+        let handle = {
+            let token = token.clone();
+            let outputs = Arc::clone(&outputs);
+            std::thread::spawn(move || {
+                let g = square_graph();
+                let opts =
+                    RunOptions::unbounded(std::time::Duration::from_micros(100), token).with_processes(4);
+                MultiMapping.execute_observed(&g, &opts, Some(outputs as Arc<dyn super::super::RunObserver>))
+            })
+        };
+        let deadline = Instant::now() + std::time::Duration::from_secs(20);
+        while outputs.0.load(std::sync::atomic::Ordering::SeqCst) < 5 {
+            assert!(Instant::now() < deadline, "unbounded source never produced");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        token.cancel();
+        let result = handle.join().unwrap();
+        assert_eq!(result.unwrap_err(), DataflowError::Cancelled);
+        assert!(outputs.0.load(std::sync::atomic::Ordering::SeqCst) >= 5);
+    }
+
+    #[test]
+    fn unbounded_generator_feeds_sources_until_cancel() {
+        // A data-driven producer with no host: the Unbounded generator
+        // callback supplies each invocation's datum.
+        let src = "pe Relay : producer { output output; process { emit(input * 3); } }";
+        let mut g = WorkflowGraph::new("gen");
+        g.add_script_pe(src, "Relay").unwrap();
+        let token = CancelToken::new();
+        let observer = Arc::new(CancelAt { token: token.clone(), at: 8, events: Mutex::new(Vec::new()) });
+        let opts = RunOptions::unbounded(std::time::Duration::ZERO, token)
+            .with_generator(Arc::new(|i| Value::Int(i as i64)));
+        let err = Runtime::new(&g, &opts)
+            .sequential_observed(Some(Arc::clone(&observer) as Arc<dyn super::super::RunObserver>))
+            .unwrap_err();
+        assert_eq!(err, DataflowError::Cancelled);
+        let outputs: Vec<i64> = observer
+            .events
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::Output { value, .. } => value.as_i64(),
+                _ => None,
+            })
+            .collect();
+        assert!(outputs.len() >= 2, "generator drove several invocations: {outputs:?}");
+        // The generator's data arrived in order: 0, 3, 6, ...
+        for (i, v) in outputs.iter().enumerate() {
+            assert_eq!(*v, i as i64 * 3);
+        }
     }
 
     #[test]

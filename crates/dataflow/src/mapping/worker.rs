@@ -400,25 +400,54 @@ pub fn run_worker<T: Transport>(
         Ok(())
     };
 
+    let cancel = &options.cancel;
     if runner.is_source() {
         let siblings = plan.count(runner.inst.node);
         let my_index = runner.inst.index;
-        for i in 0..options.invocations() {
-            if i % siblings != my_index {
-                continue;
+        let limit = options.bounded_invocations();
+        let pace = options.pace();
+        let mut i = 0usize;
+        // Cancellation is checked before every iteration: an unbounded
+        // source ([`super::RunInput::Unbounded`]) ends *only* here, and a
+        // bounded one stops early at an invocation boundary. Either way
+        // the source falls through to normal EOS propagation below, so
+        // downstream instances terminate cleanly.
+        loop {
+            if cancel.is_cancelled() {
+                break;
             }
-            runner.run_iteration(options.datum_for(i), &mut emissions)?;
-            deliver(&mut emissions, &mut transport, &mut events)?;
-            if live {
-                sink.extend(&mut events);
+            if limit.is_some_and(|n| i >= n) {
+                break;
             }
+            if i % siblings == my_index {
+                runner.run_iteration(options.datum_for(i), &mut emissions)?;
+                deliver(&mut emissions, &mut transport, &mut events)?;
+                if live {
+                    sink.extend(&mut events);
+                }
+                if !pace.is_zero() && cancel.sleep_cancellable(pace) {
+                    break; // cancelled mid-pace: don't run another iteration
+                }
+            }
+            i += 1;
         }
     } else {
         let mut remaining = runner.expected_eos;
+        // Once cancellation is observed the instance stops *processing*
+        // but keeps *draining*: in-flight data is discarded until every
+        // upstream EOS arrives, so no peer ever blocks on a full or
+        // closed channel and the shutdown stays deadlock-free.
+        let mut discard = false;
         while remaining > 0 {
             match transport.recv()? {
                 TransportMsg::Data(items) => {
                     for (port, value) in items {
+                        if !discard && cancel.is_cancelled() {
+                            discard = true;
+                        }
+                        if discard {
+                            continue;
+                        }
                         runner.run_datum(port, Value::unshare(value), &mut emissions)?;
                         deliver(&mut emissions, &mut transport, &mut events)?;
                         if live {
@@ -433,14 +462,20 @@ pub fn run_worker<T: Transport>(
     for dest in runner.eos_targets(plan) {
         transport.send_eos(dest)?;
     }
-    events.push(RunEvent::InstanceFinished {
-        pe,
-        instance,
-        processed: runner.stats.processed,
-        emitted: runner.stats.emitted,
-    });
-    if live {
-        sink.extend(&mut events);
+    // A cancelled run makes no completeness claim: suppress the final
+    // counters so the emitted stream stays a clean prefix (terminated by
+    // the runtime's `Cancelled` marker, never by partial `instance_done`
+    // events that would fold into misleading totals).
+    if !cancel.is_cancelled() {
+        events.push(RunEvent::InstanceFinished {
+            pe,
+            instance,
+            processed: runner.stats.processed,
+            emitted: runner.stats.emitted,
+        });
+        if live {
+            sink.extend(&mut events);
+        }
     }
     Ok(events)
 }

@@ -1,0 +1,169 @@
+//! Cancellation determinism properties.
+//!
+//! The contract introduced with cooperative cancellation: a cancelled
+//! deterministic (Simple) run emits **exactly a prefix** of the event
+//! stream the uncancelled run produces, sealed by `RunEvent::Cancelled`
+//! — so folding the cancelled recording equals the prefix-fold of the
+//! recorded batch stream. Cancel-at-seq-N is driven from inside the
+//! observer, the same vantage point a streaming consumer has.
+
+use laminar_dataflow::mapping::{Mapping, SimpleMapping};
+use laminar_dataflow::{
+    fold_events, CancelToken, DataflowError, RecordingObserver, RunEvent, RunObserver, RunOptions,
+    WorkflowGraph,
+};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn pipeline_source(op1: &str, k1: i64, op2: &str, k2: i64) -> String {
+    format!(
+        r#"
+        pe Src : producer {{ output output; process {{ emit(iteration); }} }}
+        pe M1 : iterative {{ input x; output output; process {{ emit(x {op1} {k1}); }} }}
+        pe M2 : iterative {{ input x; output output; process {{ if x % 2 == 0 {{ emit(x {op2} {k2}); }} print("saw", x); }} }}
+        "#
+    )
+}
+
+fn build(src: &str) -> WorkflowGraph {
+    let mut g = WorkflowGraph::new("gen");
+    let a = g.add_script_pe(src, "Src").unwrap();
+    let b = g.add_script_pe(src, "M1").unwrap();
+    let c = g.add_script_pe(src, "M2").unwrap();
+    g.connect(a, "output", b, "x").unwrap();
+    g.connect(b, "output", c, "x").unwrap();
+    g
+}
+
+/// Records the stream and fires the token once `at` events were seen.
+struct CancelAt {
+    token: CancelToken,
+    at: u64,
+    events: Mutex<Vec<RunEvent>>,
+}
+
+impl RunObserver for CancelAt {
+    fn on_event(&self, seq: u64, event: &RunEvent) {
+        self.events.lock().push(event.clone());
+        if seq + 1 >= self.at {
+            self.token.cancel();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(14))]
+
+    /// Cancel-at-random-seq: the cancelled run's fold equals the
+    /// prefix-fold of the recorded batch stream, event for event.
+    #[test]
+    fn cancel_at_seq_folds_to_a_prefix_fold_of_the_batch_stream(
+        op1 in prop::sample::select(vec!["+", "*", "-"]),
+        k1 in 1..7i64,
+        op2 in prop::sample::select(vec!["+", "*"]),
+        k2 in 1..7i64,
+        iters in 3..30i64,
+        at in 1u64..140,
+    ) {
+        let src = pipeline_source(op1, k1, op2, k2);
+        let g = build(&src);
+
+        // Reference: the deterministic batch stream, recorded once.
+        let recorder = RecordingObserver::new();
+        SimpleMapping
+            .execute_observed(
+                &g,
+                &RunOptions::iterations(iters),
+                Some(recorder.clone() as Arc<dyn RunObserver>),
+            )
+            .unwrap();
+        let batch: Vec<RunEvent> = recorder.take().into_iter().map(|(_, _, e)| e).collect();
+
+        // The same run, cancelled after `at` events.
+        let token = CancelToken::new();
+        let observer = Arc::new(CancelAt { token: token.clone(), at, events: Mutex::new(Vec::new()) });
+        let opts = RunOptions::iterations(iters).with_cancel(token);
+        let result = SimpleMapping
+            .execute_observed(&g, &opts, Some(Arc::clone(&observer) as Arc<dyn RunObserver>));
+        let recorded = observer.events.lock().clone();
+
+        match result {
+            // The trigger landed while the run was still driving: the
+            // recording must be an exact batch prefix sealed by Cancelled.
+            Err(DataflowError::Cancelled) => {
+                prop_assert!(
+                    matches!(recorded.last(), Some(RunEvent::Cancelled)),
+                    "cancelled stream must end with the Cancelled marker"
+                );
+                let prefix = &recorded[..recorded.len() - 1];
+                prop_assert!(prefix.len() <= batch.len());
+                prop_assert_eq!(
+                    prefix,
+                    &batch[..prefix.len()],
+                    "cancelled stream diverged from the batch prefix"
+                );
+                // The headline property: fold(cancelled recording) ==
+                // prefix-fold(batch stream).
+                let folded = fold_events(recorded.clone());
+                let prefix_folded = fold_events(batch[..prefix.len()].iter().cloned());
+                prop_assert_eq!(&folded.outputs, &prefix_folded.outputs);
+                prop_assert_eq!(&folded.printed, &prefix_folded.printed);
+                prop_assert_eq!(&folded.stats, &prefix_folded.stats);
+            }
+            // The trigger seq was beyond the run's drive loop (or the
+            // whole stream): the run completed untouched and recorded the
+            // full batch stream (modulo the wall-clock timings only the
+            // terminal Finished event carries).
+            Ok(_) => {
+                prop_assert_eq!(recorded.len(), batch.len());
+                prop_assert_eq!(
+                    &recorded[..recorded.len() - 1],
+                    &batch[..batch.len() - 1],
+                    "uncancelled replay must equal the batch stream"
+                );
+                match (recorded.last(), batch.last()) {
+                    (
+                        Some(RunEvent::Finished { stats: a }),
+                        Some(RunEvent::Finished { stats: b }),
+                    ) => {
+                        prop_assert_eq!(&a.processed, &b.processed);
+                        prop_assert_eq!(&a.emitted, &b.emitted);
+                        prop_assert_eq!(a.events, b.events);
+                    }
+                    other => prop_assert!(false, "both streams must end in Finished: {other:?}"),
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// Cancelling before the run starts yields the plan-stage prefix and
+    /// no data events, for any pipeline.
+    #[test]
+    fn pre_cancelled_runs_emit_no_data(
+        iters in 1..20i64,
+    ) {
+        let src = pipeline_source("+", 1, "*", 2);
+        let g = build(&src);
+        let token = CancelToken::new();
+        token.cancel();
+        let recorder = RecordingObserver::new();
+        let err = SimpleMapping
+            .execute_observed(
+                &g,
+                &RunOptions::iterations(iters).with_cancel(token),
+                Some(recorder.clone() as Arc<dyn RunObserver>),
+            )
+            .unwrap_err();
+        prop_assert_eq!(err, DataflowError::Cancelled);
+        let events: Vec<RunEvent> = recorder.take().into_iter().map(|(_, _, e)| e).collect();
+        prop_assert!(matches!(events.last(), Some(RunEvent::Cancelled)));
+        prop_assert!(
+            !events.iter().any(|e| matches!(e, RunEvent::Output { .. } | RunEvent::Print { .. })),
+            "a pre-cancelled run must not process data"
+        );
+        let folded = fold_events(events);
+        prop_assert_eq!(folded.total_outputs(), 0);
+    }
+}

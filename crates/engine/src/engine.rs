@@ -5,7 +5,9 @@ use crate::hosts::HostRegistry;
 use crate::netmodel::NetModel;
 use crate::request::ExecutionRequest;
 use laminar_dataflow::mapping::{RunOptions, RunResult};
-use laminar_dataflow::{DataflowError, RunEvent, RunObserver, ScriptPeFactory, StageTimings, WorkflowGraph};
+use laminar_dataflow::{
+    CancelToken, DataflowError, RunEvent, RunObserver, ScriptPeFactory, StageTimings, WorkflowGraph,
+};
 use laminar_json::Value;
 use laminar_script::{analysis, parse_script, VecSink};
 use std::sync::Arc;
@@ -229,7 +231,7 @@ impl ExecutionEngine {
 
     /// Handle one execution request end-to-end.
     pub fn run(&mut self, req: &ExecutionRequest) -> Result<ExecutionOutput, DataflowError> {
-        self.run_observed(req, None)
+        self.run_controlled(req, None, &CancelToken::new())
     }
 
     /// Handle one execution request end-to-end, streaming the enactment's
@@ -241,13 +243,22 @@ impl ExecutionEngine {
         req: &ExecutionRequest,
         observer: Arc<dyn RunObserver>,
     ) -> Result<ExecutionOutput, DataflowError> {
-        self.run_observed(req, Some(observer))
+        self.run_controlled(req, Some(observer), &CancelToken::new())
     }
 
-    fn run_observed(
+    /// The fully-controlled entry point: an optional live event observer
+    /// plus a cooperative [`CancelToken`] the enactment checks between PE
+    /// invocations. Cancellation surfaces as
+    /// [`DataflowError::Cancelled`]; the events emitted up to that point
+    /// (observer-visible, sealed by [`RunEvent::Cancelled`]) are a valid
+    /// prefix of the run's stream. Unbounded requests
+    /// ([`ExecutionRequest::with_unbounded`]) terminate *only* through
+    /// the token.
+    pub fn run_controlled(
         &mut self,
         req: &ExecutionRequest,
         observer: Option<Arc<dyn RunObserver>>,
+        cancel: &CancelToken,
     ) -> Result<ExecutionOutput, DataflowError> {
         let t0 = Instant::now();
         self.runs += 1;
@@ -274,7 +285,17 @@ impl ExecutionEngine {
         //    computes its roots during validation (paper §3.3).
         let host: Arc<dyn laminar_script::Host + Send + Sync> = Arc::new(self.hosts.clone());
         let exec_t0 = Instant::now();
-        let result = self.enact(req, &script, host, observer)?;
+        let result = self.enact(req, &script, host, observer, cancel);
+        // Cancelled or failed runs must not leak staged state into the
+        // worker's next job: tear down before propagating the error.
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => {
+                self.hosts.clear_resources();
+                self.env.teardown();
+                return Err(e);
+            }
+        };
         let execute_time = exec_t0.elapsed();
 
         // 5. Ephemeral teardown.
@@ -310,6 +331,7 @@ impl ExecutionEngine {
         script: &laminar_script::Script,
         host: Arc<dyn laminar_script::Host + Send + Sync>,
         observer: Option<Arc<dyn RunObserver>>,
+        cancel: &CancelToken,
     ) -> Result<RunResult, DataflowError> {
         let workflow_names: Vec<String> = script.workflows().map(|w| w.name.clone()).collect();
         let pe_names: Vec<String> = script.pes().map(|p| p.name.clone()).collect();
@@ -320,7 +342,7 @@ impl ExecutionEngine {
             (None, _) => Some(workflow_names[0].clone()),
         };
 
-        let mut options = RunOptions::iterations(0).with_processes(req.processes);
+        let mut options = RunOptions::iterations(0).with_processes(req.processes).with_cancel(cancel.clone());
         options.input = req.input.clone();
 
         if let Some(wf) = target_workflow {
@@ -350,6 +372,16 @@ impl ExecutionEngine {
         host: Arc<dyn laminar_script::Host + Send + Sync>,
         options: &RunOptions,
     ) -> Result<RunResult, DataflowError> {
+        if options.is_unbounded() {
+            // The FaaS path buffers everything and replays it at
+            // completion — an unbounded run would never surface a single
+            // result. Only workflow enactments stream.
+            return Err(DataflowError::Options(
+                "unbounded input requires a workflow enactment; a single-PE (FaaS) run only returns \
+                 results at completion"
+                    .into(),
+            ));
+        }
         let factory = ScriptPeFactory::from_source_with_host(&req.source, pe_name, host)?;
         let meta = factory.meta().clone();
         let mut pe: Box<dyn Pe> = factory.instantiate();
@@ -357,7 +389,17 @@ impl ExecutionEngine {
         pe.setup(0, 1, &mut sink)?;
         let is_producer = meta.inputs.is_empty();
         let default_in = meta.inputs.first().map(|p| p.name.clone()).unwrap_or_else(|| "input".into());
-        for i in 0..options.invocations() {
+        let mut invoked = 0usize;
+        // Same cooperative contract as the dataflow runtime: the token is
+        // checked between invocations, so DELETE stops a long bounded
+        // FaaS run at a clean boundary. (Unbounded input was rejected
+        // above — this loop always has a limit.)
+        let limit = options.bounded_invocations().expect("unbounded rejected above");
+        while invoked < limit {
+            if options.cancel.is_cancelled() {
+                return Err(DataflowError::Cancelled);
+            }
+            let i = invoked;
             let datum = options.datum_for(i);
             let input = match (&datum, is_producer) {
                 (Some(v), _) => Some((default_in.as_str(), v.clone())),
@@ -365,13 +407,14 @@ impl ExecutionEngine {
                 (None, false) => Some((default_in.as_str(), Value::Int(i as i64))),
             };
             pe.process(input, i as i64, &mut sink)?;
+            invoked += 1;
         }
         let mut result = RunResult::default();
         for (port, value) in sink.emitted {
             result.outputs.entry((meta.name.clone(), port)).or_default().push(value);
         }
         result.printed = sink.printed;
-        result.stats.processed.insert(meta.name.clone(), options.invocations() as u64);
+        result.stats.processed.insert(meta.name.clone(), invoked as u64);
         result.stats.instances.insert(meta.name.clone(), 1);
         // The stream a replay of this result synthesizes: plan + started +
         // one event per output/print + instance-finished.
@@ -518,6 +561,33 @@ mod tests {
         // A second run without the resource fails inside the PE.
         let bare = ExecutionRequest::simple("u", src, 1);
         assert!(engine.run(&bare).is_err());
+    }
+
+    #[test]
+    fn single_pe_unbounded_rejected_and_workflow_unbounded_cancels() {
+        // FaaS path: unbounded input is a structural error.
+        let src = "pe Gen : producer { output output; process { emit(iteration); } }";
+        let mut engine = ExecutionEngine::instant();
+        let req = ExecutionRequest::simple("u", src, 0).with_unbounded(Duration::from_micros(100));
+        let err = engine.run(&req).unwrap_err();
+        assert!(matches!(err, DataflowError::Options(_)), "{err}");
+
+        // Workflow path: runs until the token fires, then reports
+        // Cancelled (not a failure).
+        let token = CancelToken::new();
+        let wf = r#"
+            pe Gen : producer { output output; process { emit(iteration); } }
+            workflow Forever { nodes { g = Gen; } }
+        "#;
+        let req = ExecutionRequest::simple("u", wf, 0).with_unbounded(Duration::from_micros(100));
+        let handle = {
+            let token = token.clone();
+            std::thread::spawn(move || ExecutionEngine::instant().run_controlled(&req, None, &token))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        token.cancel();
+        let result = handle.join().unwrap();
+        assert_eq!(result.unwrap_err(), DataflowError::Cancelled);
     }
 
     #[test]

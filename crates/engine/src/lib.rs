@@ -26,3 +26,5 @@ pub use hosts::HostRegistry;
 pub use netmodel::NetModel;
 pub use pool::{EnginePool, EventPage, JobEventLog, JobInfo, JobPhase, JobResult, PoolError, PoolStats};
 pub use request::ExecutionRequest;
+
+pub use laminar_dataflow::{CancelToken, RunInput};

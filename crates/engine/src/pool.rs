@@ -15,7 +15,7 @@
 
 use crate::engine::{ExecutionEngine, ExecutionOutput};
 use crate::request::ExecutionRequest;
-use laminar_dataflow::{RunEvent, RunObserver};
+use laminar_dataflow::{CancelToken, DataflowError, RunEvent, RunObserver};
 use laminar_json::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
@@ -98,6 +98,25 @@ impl JobEventLog {
         self.inner.lock().closed = true;
     }
 
+    /// Seal the log as cancelled. The [`RunEvent::Cancelled`] marker may
+    /// already be present (the enactment runtime emits it through the
+    /// streaming observer before unwinding); when it is not — queued jobs
+    /// cancelled before a worker picked them, non-streamed jobs, shutdown
+    /// — append it first, so a cancelled stream always ends in exactly
+    /// one `cancelled` marker.
+    fn close_cancelled(&self) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        let sealed = inner.events.back().and_then(|e| e["type"].as_str()) == Some("cancelled");
+        if !sealed {
+            let seq = inner.first_seq + inner.events.len() as u64;
+            inner.events.push_back(RunEvent::Cancelled.to_value(seq));
+        }
+        inner.closed = true;
+    }
+
     /// Drop every retained event, keeping the sequence bookkeeping (and
     /// closed-ness), so cursor clients observe truncation rather than a
     /// silently emptied stream.
@@ -144,6 +163,11 @@ pub enum JobPhase {
     Done,
     /// Finished with an execution error.
     Failed,
+    /// Stopped on request (`DELETE /execution/{user}/job/{id}` or pool
+    /// shutdown) before completing. Terminal, but not a failure: the
+    /// job's event log is a valid stream prefix sealed by the
+    /// `cancelled` marker.
+    Cancelled,
 }
 
 impl JobPhase {
@@ -154,6 +178,7 @@ impl JobPhase {
             JobPhase::Running => "running",
             JobPhase::Done => "done",
             JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
         }
     }
 }
@@ -178,7 +203,7 @@ pub struct JobInfo {
 impl JobInfo {
     /// Whether the job reached a terminal phase.
     pub fn is_finished(&self) -> bool {
-        matches!(self.phase, JobPhase::Done | JobPhase::Failed)
+        matches!(self.phase, JobPhase::Done | JobPhase::Failed | JobPhase::Cancelled)
     }
 
     /// Serialize for the wire.
@@ -209,6 +234,9 @@ pub enum JobResult {
     Done(Arc<ExecutionOutput>, JobInfo),
     /// Finished with an error.
     Failed(String, JobInfo),
+    /// Stopped on request before completing; no output exists. Consume
+    /// what the job produced through its event log instead.
+    Cancelled(JobInfo),
 }
 
 /// Errors the pool surfaces to callers.
@@ -223,6 +251,8 @@ pub enum PoolError {
     Failed(String),
     /// The job id is unknown (or belongs to another owner).
     Unknown(i64),
+    /// The job was cancelled before completing.
+    Cancelled(i64),
     /// The pool is shutting down and no longer accepts jobs.
     ShutDown,
 }
@@ -235,6 +265,7 @@ impl std::fmt::Display for PoolError {
             }
             PoolError::Failed(m) => write!(f, "execution failed: {m}"),
             PoolError::Unknown(id) => write!(f, "no such job {id}"),
+            PoolError::Cancelled(id) => write!(f, "job {id} was cancelled"),
             PoolError::ShutDown => write!(f, "engine pool is shut down"),
         }
     }
@@ -259,6 +290,8 @@ pub struct PoolStats {
     pub completed: u64,
     /// Total failed executions.
     pub failed: u64,
+    /// Total jobs cancelled (while queued or mid-run).
+    pub cancelled: u64,
     /// Total submissions rejected by admission control.
     pub rejected: u64,
 }
@@ -274,6 +307,7 @@ impl PoolStats {
             .set("submitted", self.submitted as i64)
             .set("completed", self.completed as i64)
             .set("failed", self.failed as i64)
+            .set("cancelled", self.cancelled as i64)
             .set("rejected", self.rejected as i64);
         v
     }
@@ -293,6 +327,9 @@ struct JobRecord {
     events: Arc<JobEventLog>,
     /// Whether the request asked for a live event stream.
     streaming: bool,
+    /// Cooperative stop signal, shared with the enactment once a worker
+    /// picks the job.
+    cancel: CancelToken,
 }
 
 impl JobRecord {
@@ -328,6 +365,7 @@ struct PoolInner {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
     rejected: AtomicU64,
 }
 
@@ -357,6 +395,7 @@ impl EnginePool {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
         });
         let hosts = prototype.hosts().clone();
@@ -410,6 +449,7 @@ impl EnginePool {
                 error: None,
                 events: JobEventLog::new(),
                 streaming: req.stream_events,
+                cancel: CancelToken::new(),
             },
         );
         queue.push_back((id, req));
@@ -446,6 +486,7 @@ impl EnginePool {
             JobPhase::Failed => {
                 JobResult::Failed(rec.error.clone().unwrap_or_else(|| "unknown".into()), rec.info(id))
             }
+            JobPhase::Cancelled => JobResult::Cancelled(rec.info(id)),
             _ => JobResult::Pending(rec.info(id)),
         }
     }
@@ -460,7 +501,7 @@ impl EnginePool {
                 None => return None,
                 Some(rec) if rec.owner != owner => return None,
                 Some(rec) => {
-                    if matches!(rec.phase, JobPhase::Done | JobPhase::Failed) || Instant::now() >= deadline {
+                    if rec.info(id).is_finished() || Instant::now() >= deadline {
                         return Some(Self::result_of(rec, id));
                     }
                 }
@@ -481,8 +522,56 @@ impl EnginePool {
                 Ok(Arc::try_unwrap(out).unwrap_or_else(|shared| (*shared).clone()))
             }
             Some(JobResult::Failed(msg, _)) => Err(PoolError::Failed(msg)),
+            Some(JobResult::Cancelled(_)) => Err(PoolError::Cancelled(id)),
             Some(JobResult::Pending(_)) | None => Err(PoolError::Unknown(id)),
         }
+    }
+
+    /// Request cancellation of a job (the `DELETE .../job/{id}` path).
+    /// Idempotent:
+    ///
+    /// * **queued** — the job is cancelled on the spot: terminal
+    ///   [`JobPhase::Cancelled`], event log sealed with the `cancelled`
+    ///   marker, queue slot released; it will never run.
+    /// * **running** — the job's [`CancelToken`] fires; the enactment
+    ///   stops cooperatively at its next invocation boundary and the
+    ///   worker commits the `Cancelled` phase (poll `status` to observe
+    ///   it). A run that finishes before noticing stays `done`.
+    /// * **finished** (done/failed/cancelled) — a no-op.
+    ///
+    /// Returns the job's post-request view, or `None` when the id is
+    /// unknown or owned by someone else.
+    pub fn cancel(&self, owner: &str, id: i64) -> Option<JobInfo> {
+        let (info, newly_cancelled) = {
+            let mut jobs = self.inner.jobs.lock();
+            let rec = jobs.get_mut(&id)?;
+            if rec.owner != owner {
+                return None;
+            }
+            let newly = match rec.phase {
+                JobPhase::Queued => {
+                    rec.phase = JobPhase::Cancelled;
+                    rec.cancel.cancel();
+                    rec.events.close_cancelled();
+                    self.inner.cancelled.fetch_add(1, Ordering::SeqCst);
+                    true
+                }
+                JobPhase::Running => {
+                    rec.cancel.cancel();
+                    false
+                }
+                _ => false,
+            };
+            (rec.info(id), newly)
+        };
+        if newly_cancelled {
+            // Free the queue slot (admission control) — the worker-side
+            // phase check makes this safe against a concurrent pop.
+            self.inner.queue.lock().retain(|(qid, _)| *qid != id);
+            self.inner.done_cv.notify_all();
+            evict_finished(&self.inner, id);
+        }
+        Some(info)
     }
 
     /// A page of a job's sequenced event log starting at cursor `since`.
@@ -500,29 +589,43 @@ impl EnginePool {
         Some(log.page(since))
     }
 
-    /// Deterministic shutdown: workers finish their in-flight job and
-    /// exit; every job still queued is *failed* (never silently dropped,
-    /// never run); all worker threads are joined. Idempotent — [`Drop`]
-    /// calls this too.
+    /// Deterministic shutdown: every job still queued is *cancelled*
+    /// (never silently dropped, never run) with its event log sealed by
+    /// the `cancelled` marker; in-flight jobs get their cancel token
+    /// fired, so even unbounded streaming enactments wind down at their
+    /// next invocation boundary (short bounded jobs typically complete
+    /// first and stay `done`); all worker threads are joined. Idempotent
+    /// — [`Drop`] calls this too.
     pub fn stop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.work_cv.notify_all();
-        // Fail everything a worker hasn't picked. A job popped before the
-        // flag landed simply completes — either way every submitted job
-        // reaches a terminal phase.
+        // Cancel everything a worker hasn't picked. A job popped before
+        // the flag landed terminates through its token — either way every
+        // submitted job reaches a terminal phase.
         let orphaned: Vec<i64> = self.inner.queue.lock().drain(..).map(|(id, _)| id).collect();
         for id in orphaned {
             let mut jobs = self.inner.jobs.lock();
             if let Some(rec) = jobs.get_mut(&id) {
                 if rec.phase == JobPhase::Queued {
-                    rec.phase = JobPhase::Failed;
-                    rec.error = Some("engine pool shut down before the job ran".into());
-                    rec.events.close(terminal_event("failed", rec.error.as_deref()));
-                    self.inner.failed.fetch_add(1, Ordering::SeqCst);
+                    rec.phase = JobPhase::Cancelled;
+                    rec.cancel.cancel();
+                    rec.events.close_cancelled();
+                    self.inner.cancelled.fetch_add(1, Ordering::SeqCst);
                 }
             }
             drop(jobs);
             evict_finished(&self.inner, id);
+        }
+        // Fire in-flight tokens so the join below terminates even when a
+        // worker is running an unbounded (run-until-cancelled) job. This
+        // covers `Queued` too: a worker may have popped a job from the
+        // queue (so the orphan drain above missed it) without having
+        // marked it `Running` yet — skipping it would hand that worker an
+        // unbounded enactment nobody can ever stop.
+        for rec in self.inner.jobs.lock().values() {
+            if matches!(rec.phase, JobPhase::Queued | JobPhase::Running) {
+                rec.cancel.cancel();
+            }
         }
         self.inner.done_cv.notify_all();
         for handle in self.workers.drain(..) {
@@ -540,6 +643,7 @@ impl EnginePool {
             submitted: self.inner.submitted.load(Ordering::SeqCst),
             completed: self.inner.completed.load(Ordering::SeqCst),
             failed: self.inner.failed.load(Ordering::SeqCst),
+            cancelled: self.inner.cancelled.load(Ordering::SeqCst),
             rejected: self.inner.rejected.load(Ordering::SeqCst),
         }
     }
@@ -581,24 +685,26 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
         let Some((id, req)) = job else { return };
 
         let picked = Instant::now();
-        let (log, streaming) = {
+        let (log, streaming, cancel) = {
             let mut jobs = inner.jobs.lock();
             match jobs.get_mut(&id) {
+                // A job cancelled while queued stays cancelled: its
+                // record is already terminal and sealed, so the popped
+                // queue entry is simply dropped.
+                Some(rec) if rec.phase != JobPhase::Queued => continue,
                 Some(rec) => {
                     rec.phase = JobPhase::Running;
                     rec.queue_wait = picked.duration_since(rec.submitted);
                     rec.worker = Some(worker_id);
-                    (Arc::clone(&rec.events), rec.streaming)
+                    (Arc::clone(&rec.events), rec.streaming, rec.cancel.clone())
                 }
-                None => (JobEventLog::new(), false),
+                None => (JobEventLog::new(), false, CancelToken::new()),
             }
         };
         inner.running.fetch_add(1, Ordering::SeqCst);
-        let result = if streaming {
-            engine.run_streaming(&req, Arc::new(LogObserver { log: Arc::clone(&log) }))
-        } else {
-            engine.run(&req)
-        };
+        let observer: Option<Arc<dyn RunObserver>> =
+            streaming.then(|| Arc::new(LogObserver { log: Arc::clone(&log) }) as Arc<dyn RunObserver>);
+        let result = engine.run_controlled(&req, observer, &cancel);
         inner.running.fetch_sub(1, Ordering::SeqCst);
         let run_time = picked.elapsed();
 
@@ -614,6 +720,14 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         rec.phase = JobPhase::Done;
                         log.close(terminal_event("done", None));
                         inner.completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(DataflowError::Cancelled) => {
+                        // The streaming observer already logged the
+                        // runtime's Cancelled marker; close_cancelled
+                        // appends it for non-streamed jobs and seals.
+                        rec.phase = JobPhase::Cancelled;
+                        log.close_cancelled();
+                        inner.cancelled.fetch_add(1, Ordering::SeqCst);
                     }
                     Err(e) => {
                         let message = e.to_string();
@@ -877,11 +991,13 @@ mod tests {
     }
 
     #[test]
-    fn stop_fails_queued_jobs_and_joins_workers() {
+    fn stop_cancels_queued_jobs_and_joins_workers() {
         // One slow worker and a deep queue: at stop() time most jobs are
         // still queued. Every one must reach a terminal phase — the
-        // in-flight job completes, the queued ones fail — and stop() must
-        // return with all workers joined, never hang.
+        // in-flight job completes (or notices the shutdown token and
+        // cancels), the queued ones are *cancelled* with their streams
+        // sealed by the `cancelled` marker — and stop() must return with
+        // all workers joined, never hang.
         let engine = ExecutionEngine::instant().with_provision_scale(500);
         let mut pool = EnginePool::start(engine, 1, 16);
         let ids: Vec<i64> = (0..6)
@@ -894,24 +1010,29 @@ mod tests {
         }
         pool.stop();
         let mut done = 0;
-        let mut failed = 0;
+        let mut cancelled = 0;
         for &id in &ids {
             let info = pool.status("u", id).expect("record survives stop");
             match info.phase {
                 JobPhase::Done => done += 1,
-                JobPhase::Failed => {
-                    failed += 1;
-                    assert!(info.error.unwrap().contains("shut down"), "shutdown failure is explicit");
-                    // The event stream is sealed with the failure marker.
+                JobPhase::Cancelled => {
+                    cancelled += 1;
+                    assert!(info.error.is_none(), "cancellation is not a failure");
+                    // The event stream is sealed with the cancelled
+                    // marker — exactly one.
                     let page = pool.events("u", id, 0).unwrap();
                     assert!(page.closed);
-                    assert_eq!(page.events.last().unwrap()["type"].as_str(), Some("failed"));
+                    assert_eq!(page.events.last().unwrap()["type"].as_str(), Some("cancelled"));
+                    let markers =
+                        page.events.iter().filter(|e| e["type"].as_str() == Some("cancelled")).count();
+                    assert_eq!(markers, 1, "exactly one terminal marker");
                 }
                 other => panic!("job {id} left non-terminal: {other:?}"),
             }
         }
-        assert_eq!(done + failed, 6, "every job terminal");
-        assert!(failed >= 4, "most jobs were still queued: {done} done / {failed} failed");
+        assert_eq!(done + cancelled, 6, "every job terminal");
+        assert!(cancelled >= 4, "most jobs were still queued: {done} done / {cancelled} cancelled");
+        assert!(pool.stats().cancelled >= 4);
         // After stop, the pool refuses new work instead of hanging it.
         assert_eq!(pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)), Err(PoolError::ShutDown));
         // Idempotent.
@@ -961,9 +1082,108 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         pool.lock().as_mut().unwrap().stop();
         match waiter.join().unwrap() {
-            Some(JobResult::Failed(msg, _)) => assert!(msg.contains("shut down"), "{msg}"),
+            Some(JobResult::Cancelled(info)) => assert!(info.is_finished()),
             Some(JobResult::Done(..)) => {} // the worker got to it first
             other => panic!("waiter saw {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_queued_job_is_terminal_sealed_and_frees_the_queue_slot() {
+        // One slow worker, queue bound 1: the first job occupies the
+        // worker, the second fills the queue. Cancelling the queued job
+        // must terminate it without running it AND release the slot for
+        // a new submission.
+        let engine = ExecutionEngine::instant().with_provision_scale(500);
+        let pool = EnginePool::start(engine, 1, 1);
+        let first = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.status("u", first).unwrap().phase == JobPhase::Queued && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let queued = pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1).with_events(true)).unwrap();
+        let info = pool.cancel("u", queued).expect("own job");
+        assert_eq!(info.phase, JobPhase::Cancelled);
+        assert!(info.error.is_none());
+        let page = pool.events("u", queued, 0).unwrap();
+        assert!(page.closed);
+        let types: Vec<&str> = page.events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types, vec!["cancelled"], "never ran: only the terminal marker");
+        // A waiter observes the terminal phase immediately.
+        match pool.wait("u", queued, Duration::from_secs(5)).unwrap() {
+            JobResult::Cancelled(info) => assert_eq!(info.phase, JobPhase::Cancelled),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The queue slot is free again.
+        assert!(pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).is_ok());
+        assert_eq!(pool.stats().cancelled, 1);
+        // Idempotent: a second cancel is a no-op on a terminal job.
+        assert_eq!(pool.cancel("u", queued).unwrap().phase, JobPhase::Cancelled);
+        assert_eq!(pool.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn cancel_running_unbounded_job_stops_it_mid_stream() {
+        let pool = instant_pool(1, 4);
+        let req = ExecutionRequest::simple("u", WF_SRC, 0)
+            .with_unbounded(Duration::from_micros(200))
+            .with_events(true);
+        let id = pool.submit("u", req).unwrap();
+        // Wait until the stream proves the job is producing.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let page = pool.events("u", id, 0).unwrap();
+            if page.events.iter().any(|e| e["type"].as_str() == Some("output")) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "unbounded job never produced");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let info = pool.cancel("u", id).expect("own job");
+        assert!(matches!(info.phase, JobPhase::Running | JobPhase::Cancelled), "{:?}", info.phase);
+        // The cooperative stop commits the terminal phase shortly after.
+        match pool.wait("u", id, Duration::from_secs(20)).unwrap() {
+            JobResult::Cancelled(info) => {
+                assert_eq!(info.phase, JobPhase::Cancelled);
+                assert!(info.error.is_none());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The sealed stream: data prefix, then exactly one cancelled marker.
+        let mut since = 0;
+        let mut types: Vec<String> = Vec::new();
+        loop {
+            let page = pool.events("u", id, since).unwrap();
+            types.extend(page.events.iter().filter_map(|e| e["type"].as_str().map(str::to_string)));
+            since = page.next;
+            if page.closed && page.events.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(types.last().map(String::as_str), Some("cancelled"));
+        assert_eq!(types.iter().filter(|t| *t == "cancelled").count(), 1);
+        assert!(types.iter().any(|t| t == "output"), "the prefix carries real data");
+        assert!(!types.iter().any(|t| t == "finished" || t == "done"), "cancel is not completion");
+        assert_eq!(pool.stats().cancelled, 1);
+        // The record stays pollable after cancellation.
+        assert!(pool.status("u", id).unwrap().is_finished());
+    }
+
+    #[test]
+    fn cancel_is_tenant_isolated_and_idempotent_on_finished_jobs() {
+        let pool = instant_pool(1, 8);
+        let id = pool.submit("alice", ExecutionRequest::simple("alice", WF_SRC, 2)).unwrap();
+        pool.wait("alice", id, Duration::from_secs(10)).unwrap();
+        // Another tenant cannot cancel (or even observe) the job.
+        assert!(pool.cancel("mallory", id).is_none());
+        assert!(pool.cancel("u", 999).is_none());
+        // Cancelling a finished job is a no-op that reports the phase.
+        let info = pool.cancel("alice", id).unwrap();
+        assert_eq!(info.phase, JobPhase::Done);
+        assert_eq!(pool.stats().cancelled, 0);
+        match pool.result("alice", id).unwrap() {
+            JobResult::Done(..) => {}
+            other => panic!("done job unaffected by late cancel, got {other:?}"),
         }
     }
 }

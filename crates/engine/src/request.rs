@@ -66,6 +66,15 @@ impl ExecutionRequest {
         self
     }
 
+    /// Run the producers unbounded (until the job is cancelled), pacing
+    /// each source instance by `pace` between iterations. Generator
+    /// callbacks do not cross the wire: server-side unbounded runs drive
+    /// producers by iteration count or host calls.
+    pub fn with_unbounded(mut self, pace: std::time::Duration) -> Self {
+        self.input = RunInput::Unbounded { generator: None, pace };
+        self
+    }
+
     /// Stage a resource.
     pub fn with_resource(mut self, name: &str, bytes: Vec<u8>) -> Self {
         self.resources.push((name.to_string(), bytes));
@@ -94,6 +103,11 @@ impl ExecutionRequest {
             RunInput::Data(d) => {
                 v.set("input", Value::Array(d.clone()));
             }
+            RunInput::Unbounded { pace, .. } => {
+                let mut u = Value::Null;
+                u.set("mode", "unbounded").set("pace_us", pace.as_micros() as i64);
+                v.set("input", u);
+            }
         }
         let resources: Value = self
             .resources
@@ -115,6 +129,10 @@ impl ExecutionRequest {
             Value::Int(n) => RunInput::Iterations(*n),
             Value::Array(a) => RunInput::Data(a.clone()),
             Value::Null => RunInput::Iterations(5),
+            obj @ Value::Object(_) if obj["mode"].as_str() == Some("unbounded") => RunInput::Unbounded {
+                generator: None,
+                pace: std::time::Duration::from_micros(obj["pace_us"].as_i64().unwrap_or(0).max(0) as u64),
+            },
             _ => return None,
         };
         let mut resources = Vec::new();
@@ -171,6 +189,26 @@ mod tests {
             RunInput::Data(d) => assert_eq!(d.len(), 2),
             other => panic!("expected data input, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn unbounded_input_round_trip() {
+        let req = ExecutionRequest::simple("u", "src", 0)
+            .with_unbounded(std::time::Duration::from_micros(750))
+            .with_events(true);
+        let back = ExecutionRequest::from_value(&req.to_value()).unwrap();
+        match back.input {
+            RunInput::Unbounded { pace, generator } => {
+                assert_eq!(pace, std::time::Duration::from_micros(750));
+                assert!(generator.is_none(), "generators never cross the wire");
+            }
+            other => panic!("expected unbounded input, got {other:?}"),
+        }
+        assert!(back.stream_events);
+        // An object input without the unbounded mode tag is malformed.
+        let mut v = req.to_value();
+        v.set("input", laminar_json::jobj! { "mode" => "mystery" });
+        assert!(ExecutionRequest::from_value(&v).is_none());
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum RegistryError {
     Storage(String),
     /// The server is saturated (admission control); retry later.
     Busy(String),
+    /// The requested work was cancelled on purpose (job cancel, pool
+    /// shutdown) — terminal, but not a failure: the job's event log
+    /// holds the valid prefix it produced.
+    Cancelled(String),
 }
 
 impl RegistryError {
@@ -32,6 +36,7 @@ impl RegistryError {
             RegistryError::Invalid { .. } => 400,
             RegistryError::Storage(_) => 500,
             RegistryError::Busy(_) => 429,
+            RegistryError::Cancelled(_) => 409,
         }
     }
 
@@ -44,6 +49,7 @@ impl RegistryError {
             RegistryError::Invalid { .. } => "Invalid",
             RegistryError::Storage(_) => "Storage",
             RegistryError::Busy(_) => "Busy",
+            RegistryError::Cancelled(_) => "Cancelled",
         }
     }
 
@@ -81,6 +87,7 @@ impl fmt::Display for RegistryError {
             RegistryError::Invalid { field, message } => write!(f, "invalid {field}: {message}"),
             RegistryError::Storage(m) => write!(f, "storage error: {m}"),
             RegistryError::Busy(m) => write!(f, "server busy: {m}"),
+            RegistryError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
 }

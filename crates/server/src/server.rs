@@ -132,6 +132,7 @@ impl LaminarServer {
             (Method::Post, ["execution", user, "submit"]) => self.execution_submit(user, &req.body),
             (Method::Get, ["execution", user, "job", id, "status"]) => self.job_status(user, id),
             (Method::Get, ["execution", user, "job", id, "result"]) => self.job_result(user, id),
+            (Method::Delete, ["execution", user, "job", id]) => self.job_cancel(user, id),
             // `tail` is "events" or "events?since=<seq>" — the query stays
             // inside the percent-decoded final segment.
             (Method::Get, ["execution", user, "job", id, tail]) if is_events_segment(tail) => {
@@ -318,13 +319,27 @@ impl LaminarServer {
         match e {
             PoolError::QueueFull { .. } | PoolError::ShutDown => RegistryError::Busy(e.to_string()),
             PoolError::Failed(m) => RegistryError::Invalid { field: "execution", message: m },
+            // Distinct from Failed: a cancelled sync run answers the 409
+            // "Cancelled" envelope, never the generic 400 failure shape.
+            PoolError::Cancelled(_) => RegistryError::Cancelled(e.to_string()),
             PoolError::Unknown(id) => RegistryError::NotFound { entity: "Job", key: id.to_string() },
         }
     }
 
     /// The synchronous endpoint: a thin wrapper over submit + wait.
+    /// Unbounded (run-until-cancelled) inputs are rejected here: a run
+    /// with no finish line can only be consumed through the async
+    /// submit/events path and stopped via `DELETE .../job/{id}`.
     fn execution_run(&self, user: &str, body: &Value) -> Result<Value, RegistryError> {
         let req = self.resolve_request(user, body)?;
+        if matches!(req.input, laminar_engine::RunInput::Unbounded { .. }) {
+            return Err(RegistryError::Invalid {
+                field: "input",
+                message: "unbounded input never completes; use POST .../submit and stop it with \
+                          DELETE .../job/{id}"
+                    .into(),
+            });
+        }
         let output = self.pool.run_sync(user, req).map_err(Self::pool_error)?;
         Ok(output.to_value())
     }
@@ -389,7 +404,9 @@ impl LaminarServer {
     /// Poll a job's result. While the job is pending this returns the
     /// status envelope (no `outputs` key); once done it returns the
     /// execution output with the job metrics merged in; a failed job
-    /// surfaces the standard execution error envelope.
+    /// surfaces the standard execution error envelope; a cancelled job
+    /// answers its status envelope (`status: "cancelled"`, 200 — not an
+    /// error: consume what it produced through `/events`).
     fn job_result(&self, user: &str, id: &str) -> Result<Value, RegistryError> {
         let id = Self::parse_job_id(id)?;
         let result = self
@@ -397,7 +414,7 @@ impl LaminarServer {
             .result(user, id)
             .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
         match result {
-            JobResult::Pending(info) => Ok(info.to_value()),
+            JobResult::Pending(info) | JobResult::Cancelled(info) => Ok(info.to_value()),
             JobResult::Done(output, info) => {
                 let mut v = output.to_value();
                 v.set("jobId", info.id).set("status", "done");
@@ -405,6 +422,23 @@ impl LaminarServer {
             }
             JobResult::Failed(message, _) => Err(RegistryError::Invalid { field: "execution", message }),
         }
+    }
+
+    /// `DELETE /execution/{user}/job/{id}`: request cooperative
+    /// cancellation. Idempotent — cancelling a queued job terminates it
+    /// on the spot, cancelling a running job fires its token (the
+    /// enactment stops at its next invocation boundary; poll `status`),
+    /// and cancelling a finished job is a 200 no-op reporting the
+    /// current phase. Unknown or foreign jobs answer 404.
+    fn job_cancel(&self, user: &str, id: &str) -> Result<Value, RegistryError> {
+        let id = Self::parse_job_id(id)?;
+        let info = self
+            .pool
+            .cancel(user, id)
+            .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
+        let mut v = Value::Null;
+        v.set("jobId", id).set("status", info.phase.as_str());
+        Ok(v)
     }
 }
 
@@ -836,6 +870,183 @@ mod tests {
             jobj! { "userName" => "other", "password" => "password" },
         ));
         assert_eq!(get(&s, &format!("/execution/other/job/{id}/events")).status, 404);
+    }
+
+    fn delete(s: &LaminarServer, path: &str) -> ApiResponse {
+        s.handle(&ApiRequest::new(Method::Delete, path, Value::Null))
+    }
+
+    #[test]
+    fn cancel_endpoint_on_queued_running_and_finished_jobs() {
+        // --- finished: DELETE is an idempotent 200 no-op ----------------
+        let s = server_with_user();
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! { "source" => WF_SRC, "input" => 5 },
+        ));
+        let done_id = r.body["jobId"].as_i64().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while get(&s, &format!("/execution/zz46/job/{done_id}/status")).body["status"].as_str()
+            != Some("done")
+        {
+            assert!(std::time::Instant::now() < deadline, "job never finished");
+        }
+        let r = delete(&s, &format!("/execution/zz46/job/{done_id}"));
+        assert_eq!(r.status, 200, "{r:?}");
+        assert_eq!(r.body["status"].as_str(), Some("done"), "late cancel does not rewrite history");
+        assert_eq!(delete(&s, &format!("/execution/zz46/job/{done_id}")).status, 200, "idempotent");
+
+        // --- unknown/foreign/bad ids ------------------------------------
+        assert_eq!(delete(&s, "/execution/zz46/job/999").status, 404);
+        assert_eq!(delete(&s, "/execution/zz46/job/abc").status, 400);
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "other", "password" => "password" },
+        ));
+        assert_eq!(delete(&s, &format!("/execution/other/job/{done_id}")).status, 404);
+
+        // --- queued: cancelled on the spot, never runs ------------------
+        let slow = LaminarServer::with_pool(
+            Registry::in_memory(),
+            ExecutionEngine::instant().with_provision_scale(1000),
+            1,
+            4,
+        );
+        slow.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "zz46", "password" => "password" },
+        ));
+        let submit = |events: bool| {
+            slow.handle(&ApiRequest::new(
+                Method::Post,
+                "/execution/zz46/submit",
+                jobj! { "source" => WF_SRC, "input" => 1, "events" => events },
+            ))
+        };
+        let first = submit(false).body["jobId"].as_i64().unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while get(&slow, &format!("/execution/zz46/job/{first}/status")).body["status"].as_str()
+            == Some("queued")
+        {
+            assert!(std::time::Instant::now() < deadline, "first job never picked");
+            std::thread::yield_now();
+        }
+        let queued = submit(true).body["jobId"].as_i64().unwrap();
+        let r = delete(&slow, &format!("/execution/zz46/job/{queued}"));
+        assert_eq!(r.status, 200, "{r:?}");
+        assert_eq!(r.body["status"].as_str(), Some("cancelled"));
+        // Result endpoint answers the status envelope, 200 (not an error).
+        let res = get(&slow, &format!("/execution/zz46/job/{queued}/result"));
+        assert_eq!(res.status, 200);
+        assert_eq!(res.body["status"].as_str(), Some("cancelled"));
+        // The sealed stream is just the cancelled marker.
+        let page = get(&slow, &format!("/execution/zz46/job/{queued}/events"));
+        assert_eq!(page.body["closed"].as_bool(), Some(true));
+        let events = page.body["events"].as_array().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0]["type"].as_str(), Some("cancelled"));
+        let stats = get(&slow, "/execution/pool/stats");
+        assert_eq!(stats.body["cancelled"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn cancel_endpoint_stops_a_running_unbounded_job() {
+        let s = server_with_user();
+        // An unbounded producer: runs until cancelled, streaming outputs.
+        // (Wrapped in a workflow: only workflow enactments stream, the
+        // single-PE FaaS path rejects unbounded input.)
+        let src = r#"
+            pe Gen : producer { output o; process { emit(iteration); } }
+            workflow Forever { nodes { g = Gen; } }
+        "#;
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! {
+                "source" => src,
+                "input" => jobj! { "mode" => "unbounded", "pace_us" => 300 },
+                "events" => true
+            },
+        ));
+        assert!(r.is_ok(), "{r:?}");
+        let id = r.body["jobId"].as_i64().unwrap();
+        // Wait until outputs stream, proving it is genuinely running.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let page = get(&s, &format!("/execution/zz46/job/{id}/events"));
+            let has_output =
+                page.body["events"].as_array().unwrap().iter().any(|e| e["type"].as_str() == Some("output"));
+            if has_output {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "unbounded job never produced");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let r = delete(&s, &format!("/execution/zz46/job/{id}"));
+        assert_eq!(r.status, 200, "{r:?}");
+        // Cooperative: the job commits `cancelled` at its next boundary.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let st = get(&s, &format!("/execution/zz46/job/{id}/status"));
+            match st.body["status"].as_str() {
+                Some("cancelled") => break,
+                Some("running") => {
+                    assert!(std::time::Instant::now() < deadline, "cancel never landed")
+                }
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        // The stream is sealed by exactly one cancelled marker and the
+        // events before it are a clean prefix (no done/finished).
+        let mut since = 0i64;
+        let mut types: Vec<String> = Vec::new();
+        loop {
+            let page = get(&s, &format!("/execution/zz46/job/{id}/events?since={since}"));
+            for e in page.body["events"].as_array().unwrap() {
+                types.push(e["type"].as_str().unwrap().to_string());
+            }
+            since = page.body["next"].as_i64().unwrap();
+            if page.body["closed"].as_bool() == Some(true) {
+                break;
+            }
+        }
+        assert_eq!(types.last().map(String::as_str), Some("cancelled"));
+        assert_eq!(types.iter().filter(|t| *t == "cancelled").count(), 1);
+        assert!(types.iter().filter(|t| *t == "output").count() >= 1);
+        assert!(!types.contains(&"done".to_string()));
+        assert!(!types.contains(&"finished".to_string()));
+    }
+
+    #[test]
+    fn cancelled_pool_error_maps_to_the_409_cancelled_envelope() {
+        // A cancelled sync run must not wear the generic 400 failure
+        // shape — callers distinguish "stopped on request" from errors.
+        let e = LaminarServer::pool_error(PoolError::Cancelled(7));
+        assert_eq!(e.code(), 409);
+        assert_eq!(e.kind(), "Cancelled");
+        let v = e.to_value();
+        assert_eq!(v["error"].as_str(), Some("Cancelled"));
+        assert!(v["message"].as_str().unwrap().contains("7"));
+        // Failures keep their 400 shape.
+        let f = LaminarServer::pool_error(PoolError::Failed("boom".into()));
+        assert_eq!(f.code(), 400);
+        assert_eq!(f.kind(), "Invalid");
+    }
+
+    #[test]
+    fn sync_run_rejects_unbounded_input() {
+        let s = server_with_user();
+        let src = "pe Gen : producer { output o; process { emit(iteration); } }";
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/run",
+            jobj! { "source" => src, "input" => jobj! { "mode" => "unbounded", "pace_us" => 100 } },
+        ));
+        assert_eq!(r.status, 400, "{r:?}");
+        assert!(r.body["message"].as_str().unwrap().contains("submit"), "{r:?}");
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! "Time to first result" is therefore a small fraction of total runtime
 //! — the property `streaming_latency` (BENCH_PR4.json) measures and the
 //! tests below pin.
+//!
+//! Since the cancellation PR the scenario runs in its natural mode:
+//! **unbounded** ([`unbounded_options`]) — the fleet is polled until the
+//! run's `CancelToken` fires, and the stream of window aggregates is
+//! sealed by the `Cancelled` marker. Fixed reading counts remain only
+//! where an exact workload size is the point (benchmarks, window-count
+//! assertions).
 
 use laminar_json::{jarr, Value};
 use laminar_script::{ErrorKind, Host, ScriptError};
@@ -141,6 +148,22 @@ pub fn build_graph(fleet: std::sync::Arc<SensorFleet>) -> laminar_dataflow::Work
         .expect("streaming source is valid")
 }
 
+/// Options for the scenario's natural mode: an **unbounded** enactment
+/// that polls the fleet until `cancel` fires. This is what the sensor
+/// workload is *for* — a fleet does not stop producing after N readings;
+/// the run ends when the operator (or the server's
+/// `DELETE /execution/{user}/job/{id}`) says so, and the window
+/// aggregates it emitted up to that point are a valid stream prefix.
+/// Bounded runs (`RunOptions::iterations`) remain available for
+/// benchmarks that need an exact reading count.
+pub fn unbounded_options(
+    processes: usize,
+    pace: Duration,
+    cancel: laminar_dataflow::CancelToken,
+) -> laminar_dataflow::RunOptions {
+    laminar_dataflow::RunOptions::unbounded(pace, cancel).with_processes(processes)
+}
+
 /// Window aggregates a run of `readings` polls over `sensors` sensors
 /// produces (the expected terminal output count).
 pub fn expected_windows(readings: usize, sensors: usize) -> usize {
@@ -253,6 +276,85 @@ mod tests {
         let refolded = fold_events(events.into_iter().map(|(_, _, e)| e));
         assert_eq!(refolded.outputs, result.outputs);
         assert_eq!(refolded.stats, result.stats);
+    }
+
+    #[test]
+    fn unbounded_sensor_run_cancels_cleanly_on_every_mapping() {
+        // The scenario's defining lifecycle: run with no reading limit,
+        // watch window aggregates stream, stop via the token, and check
+        // the recorded stream is a well-formed cancelled prefix — sealed
+        // by Cancelled, whose fold is exactly the prefix-fold of the
+        // events before it.
+        use laminar_dataflow::{CancelToken, DataflowError};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Watch {
+            outputs: AtomicUsize,
+            events: Mutex<Vec<RunEvent>>,
+        }
+        impl laminar_dataflow::RunObserver for Watch {
+            fn on_event(&self, _seq: u64, event: &RunEvent) {
+                if matches!(event, RunEvent::Output { .. }) {
+                    self.outputs.fetch_add(1, Ordering::SeqCst);
+                }
+                self.events.lock().push(event.clone());
+            }
+        }
+
+        for kind in [
+            laminar_dataflow::MappingKind::Simple,
+            laminar_dataflow::MappingKind::Multi,
+            laminar_dataflow::MappingKind::Mpi,
+            laminar_dataflow::MappingKind::Redis,
+        ] {
+            let token = CancelToken::new();
+            let watch = Arc::new(Watch { outputs: AtomicUsize::new(0), events: Mutex::new(Vec::new()) });
+            let handle = {
+                let token = token.clone();
+                let watch = Arc::clone(&watch);
+                std::thread::spawn(move || {
+                    let graph = build_graph(Arc::new(SensorFleet::instant(2)));
+                    let options = super::unbounded_options(4, Duration::from_micros(100), token);
+                    kind.build().execute_observed(
+                        &graph,
+                        &options,
+                        Some(watch as Arc<dyn laminar_dataflow::RunObserver>),
+                    )
+                })
+            };
+            // Let at least two window aggregates stream before stopping.
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while watch.outputs.load(Ordering::SeqCst) < 2 {
+                assert!(std::time::Instant::now() < deadline, "{kind}: no windows streamed");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            token.cancel();
+            let result = handle.join().unwrap();
+            assert_eq!(result.unwrap_err(), DataflowError::Cancelled, "{kind}");
+
+            let events = watch.events.lock().clone();
+            assert!(matches!(events.last(), Some(RunEvent::Cancelled)), "{kind}: stream sealed by Cancelled");
+            let windows: Vec<laminar_json::Value> = events
+                .iter()
+                .filter_map(|e| match e {
+                    RunEvent::Output { value, .. } => Some(value.clone()),
+                    _ => None,
+                })
+                .collect();
+            assert!(windows.len() >= 2, "{kind}: cancelled after real output");
+            // Every streamed aggregate is a well-formed [sensor, n, mean].
+            for w in &windows {
+                assert!(w[0].as_str().unwrap().starts_with('s'), "{kind}: {w:?}");
+                assert_eq!(w[1].as_i64().unwrap() % WINDOW as i64, 0, "{kind}: {w:?}");
+            }
+            // fold(recorded prefix) == prefix-fold: the folded outputs
+            // are exactly the streamed aggregates, in order, and the
+            // terminal Cancelled marker itself is not counted.
+            let total = events.len();
+            let folded = laminar_dataflow::fold_events(events);
+            assert_eq!(folded.port_values("WindowStats", "output"), &windows[..], "{kind}");
+            assert_eq!(folded.stats.events, (total - 1) as u64, "{kind}: all but the Cancelled marker");
+        }
     }
 
     #[test]

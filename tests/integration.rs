@@ -340,6 +340,131 @@ fn streaming_scenario_through_the_full_stack() {
 }
 
 #[test]
+fn cancel_unbounded_sensor_run_via_client_on_all_mappings() {
+    // The acceptance scenario for cooperative cancellation: the sensor
+    // workload runs in its natural, unbounded mode; the client consumes
+    // the live stream, stops the job mid-stream via
+    // DELETE /execution/{user}/job/{id}, and the sealed log is a valid
+    // prefix — terminated by exactly one `cancelled` marker — whose fold
+    // equals the prefix-fold of its recorded events. All four mappings.
+    use laminar::dataflow::{fold_events, RunEvent};
+    use laminar::workloads::streaming::{SensorFleet, SOURCE};
+    use std::time::Duration;
+
+    for mapping in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+        let fleet: Arc<dyn laminar::script::Host + Send + Sync> = Arc::new(SensorFleet::instant(2));
+        let mut sys = LaminarSystem::start_with_hosts(Deployment::Test, &[("sensor", fleet)]).unwrap();
+        let c = login(&mut sys, "streamer");
+        c.register_workflow(SOURCE, "SensorWindows", None).unwrap();
+        let id = c
+            .submit(
+                laminar::client::RunTarget::Registered("SensorWindows".into()),
+                RunConfig::unbounded(Duration::from_micros(200)).with_mapping(mapping, 4),
+            )
+            .unwrap();
+
+        // Consume the stream; cancel from the consumer loop once four
+        // window aggregates have arrived; drain to the seal.
+        let mut stream = c.event_stream(id, Duration::from_secs(60));
+        let mut wire_events: Vec<Value> = Vec::new();
+        let mut outputs = 0usize;
+        while let Some(event) = stream.next() {
+            let event = event.unwrap_or_else(|e| panic!("{mapping}: stream error {e}"));
+            if event["type"].as_str() == Some("output") {
+                outputs += 1;
+                if outputs == 4 {
+                    let r = stream.cancel().unwrap();
+                    assert!(
+                        matches!(r["status"].as_str(), Some("running") | Some("cancelled")),
+                        "{mapping}: {r:?}"
+                    );
+                }
+            }
+            wire_events.push(event);
+        }
+        assert!(outputs >= 4, "{mapping}: cancelled mid-stream after real data");
+        let types: Vec<&str> = wire_events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types.last(), Some(&"cancelled"), "{mapping}: sealed by the cancelled marker");
+        assert_eq!(types.iter().filter(|t| **t == "cancelled").count(), 1, "{mapping}");
+        assert!(!types.contains(&"done") && !types.contains(&"finished"), "{mapping}");
+
+        // The job is terminally cancelled, distinguishable from failure.
+        let status = c.job_status(id).unwrap();
+        assert_eq!(status["status"].as_str(), Some("cancelled"), "{mapping}");
+        match c.wait_job(id, Duration::from_secs(5)) {
+            Err(ClientError::Cancelled { job }) => assert_eq!(job, id, "{mapping}"),
+            other => panic!("{mapping}: expected Cancelled, got {other:?}"),
+        }
+
+        // fold(recorded events) == prefix-fold: parsing the wire log back
+        // into run events and folding it reproduces exactly the streamed
+        // window aggregates and alerts, in order.
+        let run_events: Vec<RunEvent> = wire_events.iter().filter_map(RunEvent::from_value).collect();
+        assert!(matches!(run_events.last(), Some(RunEvent::Cancelled)), "{mapping}");
+        let streamed_windows: Vec<Value> = wire_events
+            .iter()
+            .filter(|e| e["type"].as_str() == Some("output"))
+            .map(|e| e["value"].clone())
+            .collect();
+        let streamed_alerts: Vec<String> = wire_events
+            .iter()
+            .filter(|e| e["type"].as_str() == Some("print"))
+            .filter_map(|e| e["line"].as_str().map(str::to_string))
+            .collect();
+        let folded = fold_events(run_events);
+        assert_eq!(
+            folded.port_values("WindowStats", "output"),
+            &streamed_windows[..],
+            "{mapping}: fold != prefix-fold of the recorded stream"
+        );
+        assert_eq!(folded.printed, streamed_alerts, "{mapping}");
+        sys.stop();
+    }
+}
+
+#[test]
+fn cancel_unbounded_job_over_real_tcp() {
+    // The DELETE verb and the cancel lifecycle through the actual HTTP
+    // front-end (request-line parsing, percent-decoding, connection
+    // handling) — not just the in-process transport.
+    use std::time::Duration;
+
+    let mut sys = LaminarSystem::start(Deployment::RemoteSimulated).unwrap();
+    let c = login(&mut sys, "tcp-cancel");
+    let src = r#"
+        pe Gen : producer { output output; process { emit(iteration); } }
+        workflow Forever { nodes { g = Gen; } }
+    "#;
+    let id = c
+        .submit(
+            laminar::client::RunTarget::Source(src.into()),
+            RunConfig::unbounded(Duration::from_micros(300)),
+        )
+        .unwrap();
+    let mut stream = c.event_stream(id, Duration::from_secs(30));
+    let mut outputs = 0usize;
+    let mut last_type = String::new();
+    while let Some(event) = stream.next() {
+        let event = event.unwrap();
+        if event["type"].as_str() == Some("output") {
+            outputs += 1;
+            if outputs == 3 {
+                stream.cancel().unwrap();
+            }
+        }
+        last_type = event["type"].as_str().unwrap_or("?").to_string();
+    }
+    assert!(outputs >= 3);
+    assert_eq!(last_type, "cancelled");
+    assert_eq!(c.job_status(id).unwrap()["status"].as_str(), Some("cancelled"));
+    match c.wait_job(id, Duration::from_secs(5)) {
+        Err(ClientError::Cancelled { job }) => assert_eq!(job, id),
+        other => panic!("expected Cancelled over TCP, got {other:?}"),
+    }
+    sys.stop();
+}
+
+#[test]
 fn four_mappings_same_graph_same_outputs_and_counts() {
     // The satellite equivalence check: one WorkflowGraph value, enacted by
     // all four back-ends through the shared runtime, must yield identical
