@@ -6,12 +6,15 @@
 # Usage:
 #   ./ci.sh                     # the full gate: every tier, in order
 #   ./ci.sh <tier> [<tier>...]  # only the named tiers
-#   ./ci.sh --quick             # fail-fast subset: build + test
+#   ./ci.sh --quick             # fail-fast subset: build + test-quick
 #   ./ci.sh --list              # show the tiers
 #
 # Tiers:
 #   build        release build of the workspace + examples
 #   test         the whole test suite
+#   test-quick   the whole suite with property tests (including the
+#                VM-vs-interpreter differential suite) at a reduced
+#                case count (PROPTEST_CASES=8)
 #   stress       the concurrency stress suite (unrestricted test threads)
 #   streaming    streaming + cancellation scenario tiers
 #   bench-smoke  bench compile, smoke runs, and the bench_check
@@ -23,8 +26,8 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_TIERS=(build test stress streaming bench-smoke lint)
-QUICK_TIERS=(build test)
+ALL_TIERS=(build test test-quick stress streaming bench-smoke lint)
+QUICK_TIERS=(build test-quick)
 
 tier_build() {
   cargo build --release --workspace
@@ -33,6 +36,13 @@ tier_build() {
 
 tier_test() {
   cargo test -q --workspace
+}
+
+tier_test_quick() {
+  # Same suite, property tests at 8 cases instead of 64. The differential
+  # VM-vs-interpreter proptests still run — the quick gate trades fuzzing
+  # depth for latency, not coverage of the parity contract.
+  PROPTEST_CASES=8 cargo test -q --workspace
 }
 
 tier_stress() {

@@ -8,6 +8,10 @@
 //! * **throughput** — `perf_report` figure1 datums/s per mapping vs.
 //!   `BENCH_PR2.json`, and `concurrent_serving` pooled-vs-mutex speedup
 //!   vs. `BENCH_PR3.json`;
+//! * **VM speedup** — `perf_report` figure1_script VM-vs-interpreter
+//!   throughput ratio must stay at or above [`VM_SPEEDUP_FLOOR`]× (this
+//!   one compares two backends measured in the *same* fresh run, so it
+//!   needs no committed baseline and no noise margin);
 //! * **first-result latency** — `streaming_latency` time-to-first-result
 //!   as a *fraction of total runtime* per mapping vs. `BENCH_PR4.json`
 //!   (the fraction is dimensionless, so the comparison is robust to the
@@ -30,6 +34,14 @@ use laminar_json::Value;
 
 /// A metric must stay within this factor of the committed trajectory.
 const REGRESSION_FACTOR: f64 = 5.0;
+
+/// The compiled bytecode VM must beat the tree-walking interpreter by at
+/// least this factor on the figure1_script workload. Both sides are
+/// measured in the same smoke run on the same machine, so the bound is
+/// tight by design: the VM's full-run advantage is well above 1.5x, and
+/// falling below it means the compiled path regressed (or silently fell
+/// back to the interpreter).
+const VM_SPEEDUP_FLOOR: f64 = 1.5;
 
 /// Floor for the streaming first-result-fraction limit: smoke runs are
 /// short enough that startup noise dominates below this.
@@ -98,6 +110,18 @@ fn main() {
             higher_is_better: true,
         });
     }
+
+    // Scripted figure1: compiled-VM throughput vs the interpreter's, from
+    // the same fresh report.
+    let vm_speedup = perf["runs"]["figure1_script"]["vm_speedup_vs_interp"]
+        .as_f64()
+        .unwrap_or_else(|| panic!("{fresh_perf}: missing figure1_script vm_speedup_vs_interp"));
+    checks.push(Check {
+        name: "figure1_script VM speedup vs interpreter".into(),
+        fresh: vm_speedup,
+        limit: VM_SPEEDUP_FLOOR,
+        higher_is_better: true,
+    });
 
     // Streaming time-to-first-result as a fraction of total runtime.
     // Driven off the MAPPINGS constant (like the figure1 block), so a

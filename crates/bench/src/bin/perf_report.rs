@@ -1,16 +1,18 @@
 //! Generates the `BENCH_*.json` perf trajectory report: throughput and
 //! per-stage timings of the figure1 and table5 workloads across all four
-//! mappings.
+//! mappings, plus the scripted-figure1 VM-vs-interpreter comparison
+//! (PR 6's headline: the same LamScript pipeline enacted on the compiled
+//! bytecode backend and on the tree-walking interpreter).
 //!
 //! ```text
-//! cargo run -p laminar-bench --release --bin perf_report             # BENCH_PR2.json
+//! cargo run -p laminar-bench --release --bin perf_report             # BENCH_PR6.json
 //! cargo run -p laminar-bench --release --bin perf_report -- --smoke  # quick CI gate
 //! ```
 //!
 //! Flags:
 //! * `--smoke` — small iteration counts / few reps; exercises the harness,
 //!   numbers are not meaningful.
-//! * `--out PATH` — where to write the report (default `BENCH_PR2.json`).
+//! * `--out PATH` — where to write the report (default `BENCH_PR6.json`).
 //! * `--save-baseline PATH` — additionally save the measured runs (without
 //!   the baseline section) to PATH; used to record a pre-refactor baseline
 //!   that later reports embed for comparison.
@@ -21,7 +23,9 @@
 //! `"baseline"` so the figure1 Multi throughput delta is visible in one
 //! file.
 
-use laminar_bench::{astro_graph, bench_mapping, figure1_graph, BenchRun, Table5Config};
+use laminar_bench::{
+    astro_graph, bench_mapping, figure1_graph, figure1_script_graph, BenchRun, Table5Config,
+};
 use laminar_dataflow::MappingKind;
 use laminar_dataflow::RunOptions;
 use laminar_json::Value;
@@ -48,7 +52,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag_value =
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::to_string);
-    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let baseline_out = flag_value("--save-baseline");
 
     // figure1: the paper's showcase deployment is 500 iterations over
@@ -70,8 +74,35 @@ fn main() {
     eprintln!("table5 ({} coordinates, {t5_reps} reps):", t5_cfg.coordinates);
     let table5 = run_workload(&t5_graph, &t5_opts, t5_reps);
 
+    // figure1_script: the same pipeline with LamScript bodies, enacted on
+    // the Simple mapping (single-threaded, so script execution dominates
+    // and the backend comparison is clean) — once on the compiled VM
+    // (the default) and once on the tree-walking interpreter.
+    let (fs_iters, fs_reps) = if smoke { (300, 3) } else { (2000, 11) };
+    let fs_graph = figure1_script_graph();
+    let vm_opts = RunOptions::iterations(fs_iters);
+    let interp_opts = RunOptions::iterations(fs_iters).with_interpreter(true);
+    eprintln!("figure1_script ({fs_iters} iterations, Simple mapping, {fs_reps} reps):");
+    let vm_run = bench_mapping(&fs_graph, MappingKind::Simple, &vm_opts, fs_reps);
+    eprintln!(
+        "  vm     {:>9} inv  {:>12} us  {:>12.0}/s",
+        vm_run.invocations, vm_run.elapsed_us, vm_run.throughput
+    );
+    let interp_run = bench_mapping(&fs_graph, MappingKind::Simple, &interp_opts, fs_reps);
+    eprintln!(
+        "  interp {:>9} inv  {:>12} us  {:>12.0}/s",
+        interp_run.invocations, interp_run.elapsed_us, interp_run.throughput
+    );
+    let vm_speedup = vm_run.throughput / interp_run.throughput.max(1e-9);
+    eprintln!("  vm speedup vs interp: {vm_speedup:.2}x");
+    let mut figure1_script = Value::Null;
+    figure1_script
+        .set("vm", vm_run.to_value())
+        .set("interp", interp_run.to_value())
+        .set("vm_speedup_vs_interp", (vm_speedup * 1000.0).round() / 1000.0);
+
     let mut runs = Value::Null;
-    runs.set("figure1", figure1).set("table5", table5);
+    runs.set("figure1", figure1).set("figure1_script", figure1_script).set("table5", table5);
 
     if let Some(path) = &baseline_out {
         std::fs::write(path, laminar_json::to_string_pretty(&runs)).expect("write baseline");
@@ -81,12 +112,13 @@ fn main() {
     let mut report = Value::Null;
     report
         .set("report", "laminar perf trajectory")
-        .set("pr", "PR2: interned + batched enactment datapath")
+        .set("pr", "PR6: compiled LamScript bytecode VM")
         .set("smoke", smoke)
         .set(
             "workloads",
             laminar_json::jobj! {
                 "figure1" => format!("native PE1->PE2->PE3 pipeline, {fig_iters} iterations, 5 processes"),
+                "figure1_script" => format!("LamScript PE1->PE2->PE3 pipeline, {fs_iters} iterations, Simple mapping, VM vs interpreter"),
                 "table5" => format!("Internal Extinction, {} coordinates, zero VO latency", t5_cfg.coordinates)
             },
         )

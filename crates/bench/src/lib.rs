@@ -186,6 +186,52 @@ pub fn figure1_graph() -> WorkflowGraph {
     g
 }
 
+/// The Figure 1 topology again, but with the PE bodies written in
+/// LamScript, so the measured cost is dominated by script execution —
+/// the workload the PR-6 bytecode VM targets. Same shape as
+/// [`figure1_graph`]: structured payload, per-datum field arithmetic,
+/// a reduce to a scalar.
+pub const FIGURE1_SCRIPT: &str = r#"
+pe PE1 : producer {
+    output output;
+    process {
+        let xs = [];
+        let j = 0;
+        while j < 8 {
+            xs = xs + [iteration + j];
+            j = j + 1;
+        }
+        emit({"id": iteration, "tags": ["alpha", "beta", "gamma", "delta"], "xs": xs});
+    }
+}
+pe PE2 : iterative {
+    input input;
+    output output;
+    process {
+        let total = 0;
+        for v in input.xs { total = total + v; }
+        input.sum = total;
+        emit(input);
+    }
+}
+pe PE3 : iterative {
+    input input;
+    output output;
+    process { emit(input.sum + input.id); }
+}
+"#;
+
+/// Build the scripted Figure 1 pipeline ([`FIGURE1_SCRIPT`]).
+pub fn figure1_script_graph() -> WorkflowGraph {
+    let mut g = WorkflowGraph::new("figure1_script");
+    let p1 = g.add_script_pe(FIGURE1_SCRIPT, "PE1").unwrap();
+    let p2 = g.add_script_pe(FIGURE1_SCRIPT, "PE2").unwrap();
+    let p3 = g.add_script_pe(FIGURE1_SCRIPT, "PE3").unwrap();
+    g.connect(p1, "output", p2, "input").unwrap();
+    g.connect(p2, "output", p3, "input").unwrap();
+    g
+}
+
 /// One measured enactment: the median over `reps` repetitions.
 #[derive(Debug, Clone)]
 pub struct BenchRun {
@@ -205,6 +251,9 @@ pub struct BenchRun {
     pub enact_us: u64,
     /// See [`BenchRun::plan_us`].
     pub collect_us: u64,
+    /// One-time script-compilation cost the graph paid at construction
+    /// (zero for native-PE workloads; near-zero on compile-cache hits).
+    pub compile_us: u64,
     /// Producer invocations per second (median repetition).
     pub throughput: f64,
 }
@@ -221,6 +270,7 @@ impl BenchRun {
             .set("plan_us", self.plan_us as i64)
             .set("enact_us", self.enact_us as i64)
             .set("collect_us", self.collect_us as i64)
+            .set("compile_us", self.compile_us as i64)
             .set("throughput_per_sec", (self.throughput * 100.0).round() / 100.0);
         v
     }
@@ -251,6 +301,7 @@ pub fn bench_mapping(
         plan_us: median.timings.plan.as_micros() as u64,
         enact_us: median.timings.enact.as_micros() as u64,
         collect_us: median.timings.collect.as_micros() as u64,
+        compile_us: median.timings.compile.as_micros() as u64,
         throughput: options.invocations() as f64 / secs,
     }
 }

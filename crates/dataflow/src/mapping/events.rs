@@ -141,6 +141,7 @@ impl RunEvent {
                     .set("plan_us", stats.timings.plan.as_micros() as i64)
                     .set("enact_us", stats.timings.enact.as_micros() as i64)
                     .set("collect_us", stats.timings.collect.as_micros() as i64)
+                    .set("compile_us", stats.timings.compile.as_micros() as i64)
                     .set("events", stats.events as i64);
                 if let Some(d) = stats.first_output {
                     v.set("first_output_us", d.as_micros() as i64);
@@ -198,6 +199,7 @@ impl RunEvent {
                             plan: us("plan_us"),
                             enact: us("enact_us"),
                             collect: us("collect_us"),
+                            compile: us("compile_us"),
                         },
                         events: v["events"].as_i64().unwrap_or(0).max(0) as u64,
                         first_output: v["first_output_us"]

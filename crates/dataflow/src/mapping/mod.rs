@@ -151,6 +151,11 @@ pub struct RunOptions {
     /// to a fresh token nobody cancels; [`RunInput::Unbounded`] runs end
     /// *only* through it.
     pub cancel: CancelToken,
+    /// Force scripted PEs onto the tree-walking interpreter instead of the
+    /// compiled bytecode VM. The interpreter is the differential oracle the
+    /// VM is tested against; this flag keeps it reachable end-to-end (and
+    /// is the escape hatch if a compiled body ever misbehaves).
+    pub interpret_scripts: bool,
 }
 
 impl Default for RunOptions {
@@ -164,6 +169,7 @@ impl Default for RunOptions {
             processes: 5,
             queue_timeout: Duration::from_secs(10),
             cancel: CancelToken::new(),
+            interpret_scripts: false,
         }
     }
 }
@@ -196,6 +202,13 @@ impl RunOptions {
     /// invocations.
     pub fn with_cancel(mut self, cancel: CancelToken) -> RunOptions {
         self.cancel = cancel;
+        self
+    }
+
+    /// Run scripted PEs on the tree-walking interpreter instead of the
+    /// compiled VM (see [`RunOptions::interpret_scripts`]).
+    pub fn with_interpreter(mut self, on: bool) -> RunOptions {
+        self.interpret_scripts = on;
         self
     }
 
@@ -259,6 +272,11 @@ pub struct StageTimings {
     pub enact: Duration,
     /// Result collection: folding worker outcomes into a [`RunResult`].
     pub collect: Duration,
+    /// Script-to-bytecode compilation for the graph's scripted PEs. Paid
+    /// once when each factory is built (and amortized across runs by the
+    /// process-wide compile cache), so it is reported alongside — not
+    /// inside — the per-run stages above.
+    pub compile: Duration,
 }
 
 impl StageTimings {

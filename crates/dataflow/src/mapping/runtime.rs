@@ -124,7 +124,12 @@ impl<'a> Runtime<'a> {
         // per-datum lookup is an array index, not a `BTreeMap` walk.
         let mut runners: Vec<InstanceRunner> = Vec::with_capacity(plan.total_processes);
         for inst in plan.all_instances() {
-            runners.push(InstanceRunner::new(self.graph, &plan, inst)?);
+            runners.push(InstanceRunner::with_backend(
+                self.graph,
+                &plan,
+                inst,
+                self.options.interpret_scripts,
+            )?);
         }
         let sources: Vec<usize> =
             runners.iter().enumerate().filter(|(_, r)| r.is_source()).map(|(i, _)| i).collect();
@@ -203,7 +208,7 @@ impl<'a> Runtime<'a> {
         }
         let enact_time = enact_t0.elapsed();
 
-        Ok(Self::collect(&sink, t0, plan_time, enact_time))
+        Ok(Self::collect(&sink, t0, plan_time, enact_time, self.compile_time()))
     }
 
     /// Parallel enactment: distribute `options.processes` across the graph,
@@ -226,7 +231,12 @@ impl<'a> Runtime<'a> {
         // Build runners up-front so graph errors surface before spawning.
         let mut runners = Vec::with_capacity(plan.total_processes);
         for inst in plan.all_instances() {
-            runners.push(InstanceRunner::new(self.graph, &plan, inst)?);
+            runners.push(InstanceRunner::with_backend(
+                self.graph,
+                &plan,
+                inst,
+                self.options.interpret_scripts,
+            )?);
         }
         connector.connect(self.graph, &plan)?;
         let mut workers = Vec::with_capacity(runners.len());
@@ -268,7 +278,14 @@ impl<'a> Runtime<'a> {
         for mut events in buffers {
             sink.extend(&mut events);
         }
-        Ok(Self::collect(&sink, t0, plan_time, enact_time))
+        Ok(Self::collect(&sink, t0, plan_time, enact_time, self.compile_time()))
+    }
+
+    /// Total script-compilation time across the graph's factories — paid at
+    /// graph construction (amortized by the compile cache), reported with
+    /// every run's timings.
+    fn compile_time(&self) -> std::time::Duration {
+        self.graph.nodes().iter().map(|n| n.compile_time()).sum()
     }
 
     /// The collect stage: fold the event stream into the [`RunResult`],
@@ -279,13 +296,18 @@ impl<'a> Runtime<'a> {
         t0: Instant,
         plan_time: std::time::Duration,
         enact_time: std::time::Duration,
+        compile_time: std::time::Duration,
     ) -> RunResult {
         let collect_t0 = Instant::now();
         let (fold, first_output) = sink.take_fold();
         let mut result = fold.finish();
         result.stats.first_output = first_output;
-        result.stats.timings =
-            StageTimings { plan: plan_time, enact: enact_time, collect: collect_t0.elapsed() };
+        result.stats.timings = StageTimings {
+            plan: plan_time,
+            enact: enact_time,
+            collect: collect_t0.elapsed(),
+            compile: compile_time,
+        };
         result.stats.elapsed = t0.elapsed();
         sink.emit_finished(&result.stats);
         result

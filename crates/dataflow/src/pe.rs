@@ -12,9 +12,11 @@
 use crate::error::DataflowError;
 use laminar_json::Value;
 use laminar_script::{
-    analysis, parse_script, to_source, Host, Interp, NullHost, PeDecl, PeKind, PortDecl, Script, Sink,
+    analysis, compile, parse_script, to_source, Host, Interp, NullHost, PeDecl, PeKind, PortDecl, Program,
+    Script, Sink, Vm,
 };
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Static description of a PE: ports, kind, provenance.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +91,11 @@ pub trait Pe: Send {
         iteration: i64,
         out: &mut dyn Sink,
     ) -> Result<(), DataflowError>;
+
+    /// Ask the instance to run on its reference implementation instead of
+    /// any compiled fast path (see [`crate::mapping::RunOptions::interpret_scripts`]).
+    /// Must be called before [`Pe::setup`]; no-op for PEs with one backend.
+    fn use_interpreter(&mut self) {}
 }
 
 /// A cloneable recipe producing fresh [`Pe`] instances; the graph stores
@@ -98,6 +105,12 @@ pub trait PeFactory: Send + Sync {
     fn meta(&self) -> &PeMeta;
     /// Create a fresh instance with isolated state.
     fn instantiate(&self) -> Box<dyn Pe>;
+    /// Time spent compiling this PE when the factory was built: zero for
+    /// native PEs, near-zero on compile-cache hits — which is what makes it
+    /// a useful cache-effectiveness signal in [`crate::mapping::StageTimings`].
+    fn compile_time(&self) -> Duration {
+        Duration::ZERO
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -105,6 +118,14 @@ pub trait PeFactory: Send + Sync {
 // ---------------------------------------------------------------------------
 
 /// Factory for script-defined PEs.
+///
+/// Construction compiles the canonical source to bytecode through the
+/// process-wide compile cache ([`compile::shared`]); instances then run
+/// the [`Vm`] unless the run forces the interpreter or compilation was
+/// unavailable. Both engines execute the *canonical reparse* of the
+/// source, so their observable behaviour — including error line numbers —
+/// is identical, and equal canonical sources share one compiled program
+/// across factories and engine forks.
 pub struct ScriptPeFactory {
     script: Arc<Script>,
     decl: PeDecl,
@@ -112,6 +133,8 @@ pub struct ScriptPeFactory {
     host: Arc<dyn Host + Send + Sync>,
     fuel: u64,
     seed: u64,
+    program: Option<Arc<Program>>,
+    compile_time: Duration,
 }
 
 impl ScriptPeFactory {
@@ -127,14 +150,29 @@ impl ScriptPeFactory {
         pe_name: &str,
         host: Arc<dyn Host + Send + Sync>,
     ) -> Result<Self, DataflowError> {
-        let script =
+        let parsed =
             parse_script(source).map_err(|e| DataflowError::PeFailed { pe: pe_name.into(), error: e })?;
+        if parsed.pe(pe_name).is_none() {
+            return Err(DataflowError::Graph(format!("source defines no PE named '{pe_name}'")));
+        }
+        let canonical = to_source(&parsed);
+        // Execute the canonical reparse (not the original parse): the
+        // compiled program is cached under the canonical text, so running
+        // the interpreter on the same AST keeps the two backends
+        // observationally identical down to error line numbers.
+        let script = parse_script(&canonical).unwrap_or(parsed);
         let decl = script
             .pe(pe_name)
             .cloned()
             .ok_or_else(|| DataflowError::Graph(format!("source defines no PE named '{pe_name}'")))?;
         let mut meta = PeMeta::from_decl(&decl);
-        meta.source = Some(to_source(&script));
+        meta.source = Some(canonical.clone());
+        let t0 = Instant::now();
+        // Compilation failure (e.g. a pathologically large body overflowing
+        // the bytecode's index spaces) is not fatal: the tree-walking
+        // interpreter remains as the fallback backend.
+        let program = compile::shared(&canonical).ok();
+        let compile_time = t0.elapsed();
         Ok(ScriptPeFactory {
             script: Arc::new(script),
             decl,
@@ -142,6 +180,8 @@ impl ScriptPeFactory {
             host,
             fuel: laminar_script::interp::DEFAULT_FUEL,
             seed: 0x1a31_4a12,
+            program,
+            compile_time,
         })
     }
 
@@ -171,10 +211,24 @@ impl PeFactory for ScriptPeFactory {
             host: Arc::clone(&self.host),
             fuel: self.fuel,
             seed: self.seed,
-            interp: None,
+            program: self.program.clone(),
+            prefer_interp: false,
+            backend: None,
             state: Value::Null,
         })
     }
+
+    fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+}
+
+/// The engine executing one scripted instance.
+enum ScriptBackend {
+    /// Compiled register bytecode — the default.
+    Vm(Vm),
+    /// Tree-walking interpreter — the oracle/fallback.
+    Interp(Interp),
 }
 
 /// A running scripted PE instance.
@@ -185,7 +239,9 @@ pub struct ScriptPe {
     host: Arc<dyn Host + Send + Sync>,
     fuel: u64,
     seed: u64,
-    interp: Option<Interp>,
+    program: Option<Arc<Program>>,
+    prefer_interp: bool,
+    backend: Option<ScriptBackend>,
     state: Value,
 }
 
@@ -195,14 +251,25 @@ impl Pe for ScriptPe {
     }
 
     fn setup(&mut self, instance: usize, _total: usize, out: &mut dyn Sink) -> Result<(), DataflowError> {
-        let interp = Interp::new(&self.script, Arc::clone(&self.host))
-            .with_fuel(self.fuel)
-            .with_seed(self.seed.wrapping_add(instance as u64));
-        self.interp = Some(interp);
-        let interp = self.interp.as_mut().expect("just set");
-        interp
-            .run_init(&self.decl, &mut self.state, out)
-            .map_err(|e| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e })
+        let seed = self.seed.wrapping_add(instance as u64);
+        let pe_failed =
+            |e: laminar_script::ScriptError| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e };
+        match (&self.program, self.prefer_interp) {
+            (Some(program), false) => {
+                let mut vm =
+                    Vm::new(Arc::clone(program), Arc::clone(&self.host)).with_fuel(self.fuel).with_seed(seed);
+                let r = vm.run_init(&self.meta.name, &mut self.state, out);
+                self.backend = Some(ScriptBackend::Vm(vm));
+                r.map_err(pe_failed)
+            }
+            _ => {
+                let mut interp =
+                    Interp::new(&self.script, Arc::clone(&self.host)).with_fuel(self.fuel).with_seed(seed);
+                let r = interp.run_init(&self.decl, &mut self.state, out);
+                self.backend = Some(ScriptBackend::Interp(interp));
+                r.map_err(pe_failed)
+            }
+        }
     }
 
     fn process(
@@ -211,17 +278,22 @@ impl Pe for ScriptPe {
         iteration: i64,
         out: &mut dyn Sink,
     ) -> Result<(), DataflowError> {
-        if self.interp.is_none() {
+        if self.backend.is_none() {
             self.setup(0, 1, out)?;
         }
-        let interp = self.interp.as_mut().expect("setup ran");
         let (value, port) = match input {
             Some((p, v)) => (Some(v), Some(p)),
             None => (None, None),
         };
-        let returned = interp
-            .run_process(&self.decl, value, port, iteration, &mut self.state, out)
-            .map_err(|e| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e })?;
+        let returned = match self.backend.as_mut().expect("setup ran") {
+            ScriptBackend::Vm(vm) => {
+                vm.run_process(&self.meta.name, value, port, iteration, &mut self.state, out)
+            }
+            ScriptBackend::Interp(interp) => {
+                interp.run_process(&self.decl, value, port, iteration, &mut self.state, out)
+            }
+        }
+        .map_err(|e| DataflowError::PeFailed { pe: self.meta.name.clone(), error: e })?;
         // dispel4py shorthand: a returned value is written to the default
         // output port.
         if let Some(v) = returned {
@@ -230,6 +302,11 @@ impl Pe for ScriptPe {
             }
         }
         Ok(())
+    }
+
+    fn use_interpreter(&mut self) {
+        self.prefer_interp = true;
+        debug_assert!(self.backend.is_none(), "use_interpreter must precede setup");
     }
 }
 

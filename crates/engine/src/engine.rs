@@ -66,6 +66,7 @@ impl ExecutionOutput {
             .set("plan_us", self.stages.plan.as_micros() as i64)
             .set("enact_us", self.stages.enact.as_micros() as i64)
             .set("collect_us", self.stages.collect.as_micros() as i64)
+            .set("compile_us", self.stages.compile.as_micros() as i64)
             .set(
                 "processed",
                 self.processed.iter().map(|(k, n)| (k.clone(), Value::Int(*n as i64))).collect::<Value>(),
@@ -103,6 +104,7 @@ impl ExecutionOutput {
                 plan: Duration::from_micros(v["plan_us"].as_i64().unwrap_or(0).max(0) as u64),
                 enact: Duration::from_micros(v["enact_us"].as_i64().unwrap_or(0).max(0) as u64),
                 collect: Duration::from_micros(v["collect_us"].as_i64().unwrap_or(0).max(0) as u64),
+                compile: Duration::from_micros(v["compile_us"].as_i64().unwrap_or(0).max(0) as u64),
             },
             processed: Default::default(),
             emitted: Default::default(),
@@ -411,7 +413,7 @@ impl ExecutionEngine {
         }
         let mut result = RunResult::default();
         for (port, value) in sink.emitted {
-            result.outputs.entry((meta.name.clone(), port)).or_default().push(value);
+            result.outputs.entry((meta.name.clone(), port.to_string())).or_default().push(value);
         }
         result.printed = sink.printed;
         result.stats.processed.insert(meta.name.clone(), invoked as u64);

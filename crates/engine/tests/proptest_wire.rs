@@ -39,6 +39,7 @@ proptest! {
         plan_us in 0..2_000_000i64,
         enact_us in 0..2_000_000i64,
         collect_us in 0..2_000_000i64,
+        compile_us in 0..2_000_000i64,
         queue_us in 0..2_000_000i64,
         counters in prop::collection::btree_map("[A-Z][a-z]{0,7}", (0..100000i64, 0..100000i64), 0..5),
         events in 0..1_000_000i64,
@@ -55,6 +56,7 @@ proptest! {
                 plan: Duration::from_micros(plan_us as u64),
                 enact: Duration::from_micros(enact_us as u64),
                 collect: Duration::from_micros(collect_us as u64),
+                compile: Duration::from_micros(compile_us as u64),
             },
             queue_wait: Duration::from_micros(queue_us as u64),
             events: events as u64,

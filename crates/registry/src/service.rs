@@ -206,6 +206,12 @@ impl Registry {
             })?
             .clone();
         let canonical = to_source(&script);
+        // Warm the process-wide compile cache at registration time so the
+        // first workflow that enacts this PE gets a bytecode cache hit
+        // instead of paying the lowering cost on the serving path. A compile
+        // error is not a registration error: the PE still registers and will
+        // fall back to the interpreter at enactment.
+        let _ = laminar_script::compile::warm(&canonical);
 
         if let Ok(existing) = self.dao.pe_by_name(&decl.name) {
             if existing.source().as_deref() == Some(canonical.as_str()) {

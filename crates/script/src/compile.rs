@@ -1,0 +1,978 @@
+//! AST → register-bytecode compiler for LamScript.
+//!
+//! The tree-walking [`crate::interp::Interp`] re-traverses the AST and
+//! re-resolves every identifier per `process` invocation — the innermost
+//! loop of every enactment. This module lowers a parsed [`Script`] once into
+//! a compact register machine ([`Program`]) that the [`crate::vm::Vm`]
+//! executes:
+//!
+//! * variables the compiler can see (`state`, `input`, `let` bindings,
+//!   function parameters) become fixed register slots — no per-invocation
+//!   `HashMap` lookups;
+//! * literals are interned in a per-chunk constant pool;
+//! * call targets are classified at compile time in the interpreter's
+//!   dispatch order (`print` → RNG builtins → user functions → builtin
+//!   table → host), so dispatch is a direct instruction;
+//! * `emit`/`print` are fused instructions that hand `Value`s straight to
+//!   the [`crate::interp::Sink`].
+//!
+//! The lowering is *semantics-preserving by construction*: fuel is burned by
+//! explicit [`Instr::Fuel`] instructions (and fused into the leaf loads)
+//! in exactly the order the interpreter burns it, runtime checks (call
+//! depth, arity, undeclared ports) stay runtime checks with the
+//! interpreter's error kinds and messages, and names the compiler cannot
+//! resolve (the datum's per-invocation port binding) fall back to
+//! [`Instr::Dynamic`] lookups. `tests/proptest_vm.rs` differential-tests
+//! the VM against the interpreter over generated programs.
+//!
+//! Compiled programs are cached process-wide, keyed by the canonical
+//! pretty-printed source ([`source_hash`]), so a PE registered once is
+//! compiled once and every engine fork reuses the same `Arc<Program>`.
+
+use crate::ast::*;
+use crate::error::{ErrorKind, ScriptError};
+use laminar_json::Value;
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// RNG-backed builtins that consume the VM's seeded generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandKind {
+    /// `randint(a, b)` — inclusive integer range.
+    Randint,
+    /// `random()` — float in `[0, 1)`.
+    Random,
+    /// `shuffle(list)` — Fisher-Yates.
+    Shuffle,
+}
+
+/// One accessor step of a compiled assignment path (`x[i].f = v`).
+#[derive(Debug, Clone, Copy)]
+pub enum PathAcc {
+    /// Field access; index into [`Chunk::names`].
+    Field(u16),
+    /// Index access; the register holding the evaluated index value.
+    Index(u16),
+}
+
+/// Bytecode instructions. Registers (`dst`, `src`, …) are frame-relative
+/// slots; `line` mirrors the AST node's source line for error parity with
+/// the interpreter.
+#[derive(Debug, Clone, Copy)]
+pub enum Instr {
+    /// Burn one fuel unit (statement/operator entry).
+    Fuel { line: u32 },
+    /// `dst = consts[idx]` (burns one unit: literal evaluation).
+    Const { dst: u16, idx: u16 },
+    /// `dst = regs[slot]` (burns one unit: variable evaluation).
+    Local { dst: u16, slot: u16, line: u32 },
+    /// Lookup of a name the compiler could not resolve: the datum's
+    /// per-invocation port binding, else `NameError` (burns one unit).
+    Dynamic { dst: u16, name: u16, line: u32 },
+    /// `regs[slot] = take(regs[src])`.
+    StoreLocal { slot: u16, src: u16 },
+    /// Assign to the dynamic port binding, else `NameError`.
+    StoreDynamic { name: u16, src: u16 },
+    /// Assignment through an accessor path rooted at a local slot
+    /// (`root_local`) or the dynamic binding.
+    StorePath { root_local: bool, root: u16, path_start: u16, path_len: u16, src: u16 },
+    /// `dst = [regs[start..start+n]]`.
+    MakeList { dst: u16, start: u16, n: u16 },
+    /// `dst = {names[keys_start+i]: regs[start+i]}`.
+    MakeMap { dst: u16, keys_start: u16, start: u16, n: u16 },
+    /// `dst = a <op> b` (non-logical operators).
+    Bin { op: BinOp, dst: u16, a: u16, b: u16, line: u32 },
+    /// Arithmetic negation in place.
+    Neg { dst: u16 },
+    /// Logical not in place.
+    Not { dst: u16 },
+    /// `dst = Bool(truthy(dst))`.
+    Truthy { dst: u16 },
+    /// Unconditional jump.
+    Jump { to: u32 },
+    /// Jump when `regs[cond]` is falsy.
+    JumpIfFalse { cond: u16, to: u32 },
+    /// Jump when `regs[cond]` is truthy.
+    JumpIfTrue { cond: u16, to: u32 },
+    /// `dst = regs[obj][regs[idx]]` (consumes both operands).
+    IndexGet { dst: u16, obj: u16, idx: u16 },
+    /// `dst = regs[obj].names[name]` (consumes the object).
+    FieldGet { dst: u16, obj: u16, name: u16, line: u32 },
+    /// Call user function `fns[fidx]` with `regs[start..start+argc]`.
+    CallFn { dst: u16, fidx: u16, start: u16, argc: u16, line: u32 },
+    /// Call a builtin-table function (`module == u16::MAX` means
+    /// unqualified).
+    CallBuiltin { dst: u16, module: u16, name: u16, start: u16, argc: u16, line: u32 },
+    /// Call a host function `names[module].names[name]`.
+    CallHost { dst: u16, module: u16, name: u16, start: u16, argc: u16 },
+    /// Fused `print(...)`: join args, hand to the sink, `dst = null`.
+    Print { dst: u16, start: u16, argc: u16 },
+    /// RNG builtin drawing from the VM's seeded generator.
+    Rand { dst: u16, kind: RandKind, start: u16, argc: u16 },
+    /// Fused `emit(v)` to the chunk's default output port.
+    EmitDefault { src: u16 },
+    /// Fused `emit(port, v)` to a declared output port.
+    EmitPort { name: u16, src: u16 },
+    /// Materialize `regs[src]` into an iterator for a `for` loop.
+    ForPrep { src: u16 },
+    /// Advance the innermost iterator: write the item to `slot` (burning
+    /// the per-item unit) or pop the iterator and jump to `exit`.
+    ForNext { slot: u16, exit: u32 },
+    /// Discard the innermost iterator (`break` out of a `for`).
+    PopIter,
+    /// Return `take(regs[src])` from the chunk.
+    Return { src: u16 },
+    /// Return `null` (bare `return;` — no expression, no extra burn).
+    ReturnNull,
+    /// Raise the precomputed error `errors[idx]`.
+    Raise { idx: u16 },
+    /// End of chunk: return `null`.
+    End,
+}
+
+/// A compiled function body, `init` block, or `process` block.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Function name (used in arity-error messages); empty for PE chunks.
+    pub name: String,
+    /// Parameter count (function chunks).
+    pub arity: usize,
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Interned names: fields, ports, dynamic vars, map keys, call targets.
+    pub names: Vec<String>,
+    /// Assignment path accessors (referenced by [`Instr::StorePath`]).
+    pub paths: Vec<PathAcc>,
+    /// Precomputed errors (referenced by [`Instr::Raise`]).
+    pub errors: Vec<ScriptError>,
+    /// Frame size: number of registers this chunk needs.
+    pub n_regs: u16,
+    /// Default output port for fused `emit` (process chunks only).
+    pub default_output: Option<String>,
+}
+
+/// A compiled PE: optional `init` plus the `process` body.
+#[derive(Debug, Clone)]
+pub struct PeProgram {
+    /// Compiled `init { ... }` block, when declared.
+    pub init: Option<Chunk>,
+    /// Compiled `process { ... }` body.
+    pub process: Chunk,
+    /// Declared default input port (the datum's fallback binding name).
+    pub default_input: Option<String>,
+}
+
+/// A fully compiled script: shared function table plus per-PE chunks.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// User functions in first-declaration order (later same-name
+    /// declarations overwrite in place, like the interpreter's map).
+    pub fns: Vec<Chunk>,
+    /// Compiled PEs by name (first declaration wins, like `Script::pe`).
+    pub pes: HashMap<String, PeProgram>,
+}
+
+fn too_large() -> ScriptError {
+    ScriptError::new(ErrorKind::Parse, "program too large to compile")
+}
+
+fn u16x(n: usize) -> Result<u16, ScriptError> {
+    u16::try_from(n).map_err(|_| too_large())
+}
+
+fn u32x(n: usize) -> Result<u32, ScriptError> {
+    u32::try_from(n).map_err(|_| too_large())
+}
+
+/// Compile a whole script. The only compile-time failures are size
+/// overflows (register/constant/name pools beyond `u16`), reported as
+/// [`ErrorKind::Parse`] so callers can fall back to the interpreter.
+pub fn compile_script(script: &Script) -> Result<Program, ScriptError> {
+    // Function table: first-declaration index order, later decl wins in
+    // place (the interpreter's HashMap insert-overwrite has the same
+    // visible effect).
+    let mut fn_index: HashMap<String, u16> = HashMap::new();
+    let mut decls: Vec<&FnDecl> = Vec::new();
+    for item in &script.items {
+        if let Item::Fn(f) = item {
+            match fn_index.get(&f.name) {
+                Some(&i) => decls[i as usize] = f,
+                None => {
+                    fn_index.insert(f.name.clone(), u16x(decls.len())?);
+                    decls.push(f);
+                }
+            }
+        }
+    }
+    let mut fns = Vec::with_capacity(decls.len());
+    for f in &decls {
+        let mut lw = Lowerer::new(&f.name, f.params.len(), None, &[], &fn_index);
+        for p in &f.params {
+            let slot = lw.alloc()?;
+            lw.define(p, slot);
+        }
+        lw.block(&f.body)?;
+        fns.push(lw.finish());
+    }
+    let mut pes = HashMap::new();
+    for pe in script.pes() {
+        if pes.contains_key(&pe.name) {
+            continue; // Script::pe finds the first declaration.
+        }
+        pes.insert(pe.name.clone(), compile_pe(pe, &fn_index)?);
+    }
+    Ok(Program { fns, pes })
+}
+
+fn compile_pe(pe: &PeDecl, fn_index: &HashMap<String, u16>) -> Result<PeProgram, ScriptError> {
+    // `init` runs with no emit context (the interpreter uses an empty
+    // PeCtx there): only `state` is pre-bound.
+    let init = match &pe.init {
+        Some(block) => {
+            let mut lw = Lowerer::new("", 0, None, &[], fn_index);
+            let slot = lw.alloc()?;
+            lw.define("state", slot);
+            lw.block(block)?;
+            Some(lw.finish())
+        }
+        None => None,
+    };
+    // `process` pre-binds the interpreter's root scope: state, input,
+    // input_port, iteration (slots 0-3). The port-named datum alias is a
+    // runtime binding (the port is only known per invocation) and resolves
+    // through Dynamic instructions.
+    let mut lw = Lowerer::new("", 0, pe.default_output().map(str::to_string), &pe.outputs, fn_index);
+    for name in ["state", "input", "input_port", "iteration"] {
+        let slot = lw.alloc()?;
+        lw.define(name, slot);
+    }
+    lw.block(&pe.process)?;
+    Ok(PeProgram { init, process: lw.finish(), default_input: pe.default_input().map(str::to_string) })
+}
+
+struct Scope {
+    vars: Vec<(String, u16)>,
+    saved_next: u16,
+}
+
+struct LoopFrame {
+    head: usize,
+    breaks: Vec<usize>,
+    is_for: bool,
+}
+
+struct Lowerer<'a> {
+    chunk: Chunk,
+    scopes: Vec<Scope>,
+    next_reg: u16,
+    max_reg: u16,
+    fn_index: &'a HashMap<String, u16>,
+    loops: Vec<LoopFrame>,
+    /// `break`/`continue` outside any loop terminate the chunk (the
+    /// interpreter propagates the flow out of the body); patched to End.
+    end_jumps: Vec<usize>,
+    outputs: &'a [String],
+    err: Option<ScriptError>,
+}
+
+enum CallKind {
+    Print,
+    Rand(RandKind),
+    User(u16),
+    Builtin,
+    Host,
+    Unknown,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(
+        name: &str,
+        arity: usize,
+        default_output: Option<String>,
+        outputs: &'a [String],
+        fn_index: &'a HashMap<String, u16>,
+    ) -> Self {
+        Lowerer {
+            chunk: Chunk {
+                name: name.to_string(),
+                arity,
+                instrs: Vec::new(),
+                consts: Vec::new(),
+                names: Vec::new(),
+                paths: Vec::new(),
+                errors: Vec::new(),
+                n_regs: 0,
+                default_output,
+            },
+            scopes: vec![Scope { vars: Vec::new(), saved_next: 0 }],
+            next_reg: 0,
+            max_reg: 0,
+            fn_index,
+            loops: Vec::new(),
+            end_jumps: Vec::new(),
+            outputs,
+            err: None,
+        }
+    }
+
+    fn finish(mut self) -> Chunk {
+        let end = self.chunk.instrs.len();
+        self.emit(Instr::End);
+        for at in std::mem::take(&mut self.end_jumps) {
+            self.patch(at, end);
+        }
+        self.chunk.n_regs = self.max_reg;
+        self.chunk
+    }
+
+    // ---- registers and scopes ------------------------------------------
+
+    fn alloc(&mut self) -> Result<u16, ScriptError> {
+        if self.next_reg == u16::MAX {
+            return Err(too_large());
+        }
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.max_reg = self.max_reg.max(self.next_reg);
+        Ok(r)
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Scope { vars: Vec::new(), saved_next: self.next_reg });
+    }
+
+    fn pop_scope(&mut self) {
+        let s = self.scopes.pop().expect("scope underflow");
+        self.next_reg = s.saved_next;
+    }
+
+    fn define(&mut self, name: &str, slot: u16) {
+        self.scopes.last_mut().expect("at least one scope").vars.push((name.to_string(), slot));
+    }
+
+    /// Innermost-scope-first, latest-binding-first — mirrors the
+    /// interpreter's `Env::lookup` over insert-overwrite maps.
+    fn resolve(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.vars.iter().rev().find(|(n, _)| n == name).map(|(_, slot)| *slot))
+    }
+
+    // ---- pools ---------------------------------------------------------
+
+    fn add_const(&mut self, v: Value) -> Result<u16, ScriptError> {
+        // Bit-exact float comparison: f64 PartialEq would conflate 0.0 and
+        // -0.0 (and never dedup NaN, which is fine either way).
+        let eq = |a: &Value, b: &Value| match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        };
+        if let Some(i) = self.chunk.consts.iter().position(|c| eq(c, &v)) {
+            return u16x(i);
+        }
+        let i = u16x(self.chunk.consts.len())?;
+        self.chunk.consts.push(v);
+        Ok(i)
+    }
+
+    fn add_name(&mut self, name: &str) -> Result<u16, ScriptError> {
+        if let Some(i) = self.chunk.names.iter().position(|n| n == name) {
+            return u16x(i);
+        }
+        self.add_name_raw(name)
+    }
+
+    /// Append without dedup — map-literal key runs must stay contiguous.
+    fn add_name_raw(&mut self, name: &str) -> Result<u16, ScriptError> {
+        let i = u16x(self.chunk.names.len())?;
+        self.chunk.names.push(name.to_string());
+        Ok(i)
+    }
+
+    fn add_error(&mut self, e: ScriptError) -> Result<u16, ScriptError> {
+        let i = u16x(self.chunk.errors.len())?;
+        self.chunk.errors.push(e);
+        Ok(i)
+    }
+
+    // ---- instruction stream --------------------------------------------
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.chunk.instrs.push(i);
+        self.chunk.instrs.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, to: usize) {
+        let Ok(to32) = u32::try_from(to) else {
+            self.err.get_or_insert(too_large());
+            return;
+        };
+        match &mut self.chunk.instrs[at] {
+            Instr::Jump { to }
+            | Instr::JumpIfFalse { to, .. }
+            | Instr::JumpIfTrue { to, .. }
+            | Instr::ForNext { exit: to, .. } => *to = to32,
+            other => unreachable!("patch target is not a jump: {other:?}"),
+        }
+    }
+
+    fn here(&self) -> usize {
+        self.chunk.instrs.len()
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn block(&mut self, b: &Block) -> Result<(), ScriptError> {
+        self.push_scope();
+        let r = self.stmts(&b.stmts);
+        self.pop_scope();
+        r
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), ScriptError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ScriptError> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        // Statement-entry burn, matching Interp::exec_stmt.
+        self.emit(Instr::Fuel { line: 0 });
+        let mark = self.next_reg;
+        match s {
+            Stmt::Let { name, value } => {
+                // The slot is allocated before the value is lowered, but the
+                // name is defined only after: `let x = x + 1;` still sees
+                // the outer (or dynamic) `x`, like the interpreter.
+                let slot = self.alloc()?;
+                self.expr(value, slot)?;
+                self.define(name, slot);
+                self.next_reg = slot + 1;
+                return Ok(());
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.alloc()?;
+                self.expr(value, v)?;
+                self.assign(target, v)?;
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                let t = self.alloc()?;
+                self.expr(cond, t)?;
+                let jf = self.emit(Instr::JumpIfFalse { cond: t, to: u32::MAX });
+                self.next_reg = mark;
+                self.block(then_block)?;
+                match else_block {
+                    Some(e) => {
+                        let jend = self.emit(Instr::Jump { to: u32::MAX });
+                        let here = self.here();
+                        self.patch(jf, here);
+                        self.block(e)?;
+                        let here = self.here();
+                        self.patch(jend, here);
+                    }
+                    None => {
+                        let here = self.here();
+                        self.patch(jf, here);
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                // Loop-head burn: the interpreter burns one unit per
+                // condition check (`loop { burn; cond; ... }`).
+                let head = self.here();
+                self.emit(Instr::Fuel { line: 0 });
+                let t = self.alloc()?;
+                self.expr(cond, t)?;
+                let jf = self.emit(Instr::JumpIfFalse { cond: t, to: u32::MAX });
+                self.next_reg = mark;
+                self.loops.push(LoopFrame { head, breaks: Vec::new(), is_for: false });
+                self.block(body)?;
+                self.emit(Instr::Jump { to: u32x(head)? });
+                let frame = self.loops.pop().expect("loop frame");
+                let exit = self.here();
+                self.patch(jf, exit);
+                for b in frame.breaks {
+                    self.patch(b, exit);
+                }
+            }
+            Stmt::For { var, iter, body } => {
+                let t = self.alloc()?;
+                self.expr(iter, t)?;
+                self.emit(Instr::ForPrep { src: t });
+                self.next_reg = mark;
+                // One scope holds the loop variable and the body's `let`s,
+                // mirroring exec_stmt's push/define/exec_stmts shape.
+                self.push_scope();
+                let slot = self.alloc()?;
+                self.define(var, slot);
+                let head = self.here();
+                let fnext = self.emit(Instr::ForNext { slot, exit: u32::MAX });
+                self.loops.push(LoopFrame { head, breaks: Vec::new(), is_for: true });
+                self.stmts(&body.stmts)?;
+                self.emit(Instr::Jump { to: u32x(head)? });
+                let frame = self.loops.pop().expect("loop frame");
+                let exit = self.here();
+                self.patch(fnext, exit);
+                for b in frame.breaks {
+                    self.patch(b, exit);
+                }
+                self.pop_scope();
+            }
+            Stmt::Return(e) => match e {
+                Some(e) => {
+                    let t = self.alloc()?;
+                    self.expr(e, t)?;
+                    self.emit(Instr::Return { src: t });
+                }
+                None => {
+                    self.emit(Instr::ReturnNull);
+                }
+            },
+            Stmt::Break => match self.loops.last() {
+                Some(frame) => {
+                    if frame.is_for {
+                        self.emit(Instr::PopIter);
+                    }
+                    let j = self.emit(Instr::Jump { to: u32::MAX });
+                    self.loops.last_mut().expect("loop frame").breaks.push(j);
+                }
+                None => {
+                    let j = self.emit(Instr::Jump { to: u32::MAX });
+                    self.end_jumps.push(j);
+                }
+            },
+            Stmt::Continue => match self.loops.last() {
+                Some(frame) => {
+                    let head = frame.head;
+                    self.emit(Instr::Jump { to: u32x(head)? });
+                }
+                None => {
+                    let j = self.emit(Instr::Jump { to: u32::MAX });
+                    self.end_jumps.push(j);
+                }
+            },
+            Stmt::Emit(e) => {
+                let t = self.alloc()?;
+                self.expr(e, t)?;
+                match self.chunk.default_output.is_some() {
+                    true => {
+                        self.emit(Instr::EmitDefault { src: t });
+                    }
+                    false => {
+                        // Evaluated, then rejected — interpreter order.
+                        let idx = self.add_error(ScriptError::new(
+                            ErrorKind::ContextError,
+                            "emit() used in a PE without output ports",
+                        ))?;
+                        self.emit(Instr::Raise { idx });
+                    }
+                }
+            }
+            Stmt::EmitTo { port, value } => {
+                if self.outputs.iter().any(|p| p == port) {
+                    let t = self.alloc()?;
+                    self.expr(value, t)?;
+                    let name = self.add_name(port)?;
+                    self.emit(Instr::EmitPort { name, src: t });
+                } else {
+                    // Rejected before evaluation — interpreter order.
+                    let idx = self.add_error(ScriptError::new(
+                        ErrorKind::ContextError,
+                        format!("emit to undeclared output port '{port}'"),
+                    ))?;
+                    self.emit(Instr::Raise { idx });
+                }
+            }
+            Stmt::ExprStmt(e) => {
+                let t = self.alloc()?;
+                self.expr(e, t)?;
+            }
+        }
+        self.next_reg = mark;
+        Ok(())
+    }
+
+    /// Lower `target = regs[v]`. The value is already evaluated; accessor
+    /// index expressions evaluate here, outermost-first, exactly like
+    /// `Interp::assign`'s walk.
+    fn assign(&mut self, target: &Expr, v: u16) -> Result<(), ScriptError> {
+        enum CAcc<'e> {
+            Index(u16),
+            Field(&'e str),
+        }
+        let mut accs: Vec<CAcc<'_>> = Vec::new();
+        let mut cur = target;
+        let root = loop {
+            match cur {
+                Expr::Var { name, .. } => break name,
+                Expr::Index { base, index, .. } => {
+                    let r = self.alloc()?;
+                    self.expr(index, r)?;
+                    accs.push(CAcc::Index(r));
+                    cur = base;
+                }
+                Expr::Field { base, field, .. } => {
+                    accs.push(CAcc::Field(field));
+                    cur = base;
+                }
+                _ => {
+                    // The parser never produces this; kept for parity with
+                    // the interpreter's defensive arm.
+                    let idx =
+                        self.add_error(ScriptError::new(ErrorKind::TypeError, "invalid assignment target"))?;
+                    self.emit(Instr::Raise { idx });
+                    return Ok(());
+                }
+            }
+        };
+        accs.reverse(); // walk order → application order
+        if accs.is_empty() {
+            match self.resolve(root) {
+                Some(slot) => {
+                    self.emit(Instr::StoreLocal { slot, src: v });
+                }
+                None => {
+                    let name = self.add_name(root)?;
+                    self.emit(Instr::StoreDynamic { name, src: v });
+                }
+            }
+            return Ok(());
+        }
+        let path_start = u16x(self.chunk.paths.len())?;
+        let path_len = u16x(accs.len())?;
+        for acc in accs {
+            let p = match acc {
+                CAcc::Index(r) => PathAcc::Index(r),
+                CAcc::Field(f) => PathAcc::Field(self.add_name(f)?),
+            };
+            self.chunk.paths.push(p);
+        }
+        let (root_local, root) = match self.resolve(root) {
+            Some(slot) => (true, slot),
+            None => (false, self.add_name(root)?),
+        };
+        self.emit(Instr::StorePath { root_local, root, path_start, path_len, src: v });
+        Ok(())
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Lower `e`, leaving its value in `dst`. Temporaries are allocated
+    /// above the current high-mark and released before returning.
+    fn expr(&mut self, e: &Expr, dst: u16) -> Result<(), ScriptError> {
+        let mark = self.next_reg;
+        match e {
+            Expr::Int(n) => {
+                let idx = self.add_const(Value::Int(*n))?;
+                self.emit(Instr::Const { dst, idx });
+            }
+            Expr::Float(f) => {
+                let idx = self.add_const(Value::Float(*f))?;
+                self.emit(Instr::Const { dst, idx });
+            }
+            Expr::Str(s) => {
+                let idx = self.add_const(Value::Str(s.clone()))?;
+                self.emit(Instr::Const { dst, idx });
+            }
+            Expr::Bool(b) => {
+                let idx = self.add_const(Value::Bool(*b))?;
+                self.emit(Instr::Const { dst, idx });
+            }
+            Expr::Null => {
+                let idx = self.add_const(Value::Null)?;
+                self.emit(Instr::Const { dst, idx });
+            }
+            Expr::Var { name, line } => {
+                let line = u32x(*line)?;
+                match self.resolve(name) {
+                    Some(slot) => {
+                        self.emit(Instr::Local { dst, slot, line });
+                    }
+                    None => {
+                        let name = self.add_name(name)?;
+                        self.emit(Instr::Dynamic { dst, name, line });
+                    }
+                }
+            }
+            Expr::List(items) => {
+                self.emit(Instr::Fuel { line: 0 });
+                let start = self.next_reg;
+                for item in items {
+                    let r = self.alloc()?;
+                    self.expr(item, r)?;
+                }
+                self.emit(Instr::MakeList { dst, start, n: u16x(items.len())? });
+            }
+            Expr::MapLit(pairs) => {
+                self.emit(Instr::Fuel { line: 0 });
+                // Keys must be a contiguous run, so bypass name dedup.
+                let keys_start = u16x(self.chunk.names.len())?;
+                let start = self.next_reg;
+                for (k, _) in pairs {
+                    self.add_name_raw(k)?;
+                }
+                for (_, e) in pairs {
+                    let r = self.alloc()?;
+                    self.expr(e, r)?;
+                }
+                self.emit(Instr::MakeMap { dst, keys_start, start, n: u16x(pairs.len())? });
+            }
+            Expr::Unary { op, operand, line } => {
+                self.emit(Instr::Fuel { line: u32x(*line)? });
+                self.expr(operand, dst)?;
+                match op {
+                    UnOp::Neg => self.emit(Instr::Neg { dst }),
+                    UnOp::Not => self.emit(Instr::Not { dst }),
+                };
+            }
+            Expr::Binary { op: op @ (BinOp::And | BinOp::Or), lhs, rhs, line } => {
+                self.emit(Instr::Fuel { line: u32x(*line)? });
+                self.expr(lhs, dst)?;
+                self.emit(Instr::Truthy { dst });
+                let j = match op {
+                    BinOp::And => self.emit(Instr::JumpIfFalse { cond: dst, to: u32::MAX }),
+                    _ => self.emit(Instr::JumpIfTrue { cond: dst, to: u32::MAX }),
+                };
+                self.expr(rhs, dst)?;
+                self.emit(Instr::Truthy { dst });
+                let here = self.here();
+                self.patch(j, here);
+            }
+            Expr::Binary { op, lhs, rhs, line } => {
+                self.emit(Instr::Fuel { line: u32x(*line)? });
+                let a = self.alloc()?;
+                self.expr(lhs, a)?;
+                let b = self.alloc()?;
+                self.expr(rhs, b)?;
+                self.emit(Instr::Bin { op: *op, dst, a, b, line: u32x(*line)? });
+            }
+            Expr::Index { base, index, line } => {
+                self.emit(Instr::Fuel { line: u32x(*line)? });
+                let obj = self.alloc()?;
+                self.expr(base, obj)?;
+                let idx = self.alloc()?;
+                self.expr(index, idx)?;
+                self.emit(Instr::IndexGet { dst, obj, idx });
+            }
+            Expr::Field { base, field, line } => {
+                self.emit(Instr::Fuel { line: u32x(*line)? });
+                let obj = self.alloc()?;
+                self.expr(base, obj)?;
+                let name = self.add_name(field)?;
+                self.emit(Instr::FieldGet { dst, obj, name, line: u32x(*line)? });
+            }
+            Expr::Call { module, name, args, line } => {
+                self.emit(Instr::Fuel { line: u32x(*line)? });
+                let start = self.next_reg;
+                for a in args {
+                    let r = self.alloc()?;
+                    self.expr(a, r)?;
+                }
+                let argc = u16x(args.len())?;
+                let line32 = u32x(*line)?;
+                match self.classify(module.as_deref(), name) {
+                    CallKind::Print => {
+                        self.emit(Instr::Print { dst, start, argc });
+                    }
+                    CallKind::Rand(kind) => {
+                        self.emit(Instr::Rand { dst, kind, start, argc });
+                    }
+                    CallKind::User(fidx) => {
+                        self.emit(Instr::CallFn { dst, fidx, start, argc, line: line32 });
+                    }
+                    CallKind::Builtin => {
+                        let m = match module {
+                            Some(m) => self.add_name(m)?,
+                            None => u16::MAX,
+                        };
+                        let n = self.add_name(name)?;
+                        self.emit(Instr::CallBuiltin { dst, module: m, name: n, start, argc, line: line32 });
+                    }
+                    CallKind::Host => {
+                        let m = self.add_name(module.as_deref().expect("host call has module"))?;
+                        let n = self.add_name(name)?;
+                        self.emit(Instr::CallHost { dst, module: m, name: n, start, argc });
+                    }
+                    CallKind::Unknown => {
+                        // Arguments evaluate first, then the lookup fails —
+                        // interpreter order.
+                        let idx = self.add_error(ScriptError::at(
+                            ErrorKind::NameError,
+                            format!("unknown function '{name}'"),
+                            *line,
+                            0,
+                        ))?;
+                        self.emit(Instr::Raise { idx });
+                    }
+                }
+            }
+        }
+        self.next_reg = mark;
+        Ok(())
+    }
+
+    /// Compile-time call classification, in `Interp::call`'s dispatch
+    /// order. The function table and builtin set are fixed for a program,
+    /// so this is exactly the decision the interpreter would make per
+    /// invocation.
+    fn classify(&self, module: Option<&str>, name: &str) -> CallKind {
+        if module.is_none() && name == "print" {
+            return CallKind::Print;
+        }
+        if module.is_none() || module == Some("random") {
+            match name {
+                "randint" => return CallKind::Rand(RandKind::Randint),
+                "random" => return CallKind::Rand(RandKind::Random),
+                "shuffle" => return CallKind::Rand(RandKind::Shuffle),
+                _ => {}
+            }
+        }
+        if module.is_none() {
+            if let Some(&i) = self.fn_index.get(name) {
+                return CallKind::User(i);
+            }
+        }
+        // Probe the builtin table with no arguments: every arm matches the
+        // name first, so presence is argument-independent.
+        if crate::builtins::call(module, name, &[]).is_some() {
+            return CallKind::Builtin;
+        }
+        if module.is_some() {
+            return CallKind::Host;
+        }
+        CallKind::Unknown
+    }
+}
+
+// ---- process-wide compile cache ---------------------------------------
+
+type CacheMap = HashMap<u64, Vec<(String, Arc<Program>)>>;
+
+static CACHE: OnceLock<Mutex<CacheMap>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hash of a canonical (pretty-printed) source — the compile-cache key.
+pub fn source_hash(canonical: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write(canonical.as_bytes());
+    h.finish()
+}
+
+/// Compile or return the cached program for `canonical` (which must be
+/// `pretty::to_source` output; the round-trip property test pins that
+/// canonicalization is stable). On a miss the canonical text itself is
+/// parsed and compiled, so the cached program — including the source line
+/// numbers baked into its error tables — is a pure function of the cache
+/// key, not of whichever formatting variant reached the cache first.
+pub fn shared(canonical: &str) -> Result<Arc<Program>, ScriptError> {
+    let key = source_hash(canonical);
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entries) = guard.get(&key) {
+            for (src, program) in entries {
+                if src == canonical {
+                    HITS.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(program));
+                }
+            }
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let canonical_script = crate::parser::parse_script(canonical)?;
+    let program = Arc::new(compile_script(&canonical_script)?);
+    let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+    let entries = guard.entry(key).or_default();
+    // Another thread may have compiled the same source concurrently; keep
+    // one entry per canonical text.
+    if !entries.iter().any(|(src, _)| src == canonical) {
+        entries.push((canonical.to_string(), Arc::clone(&program)));
+    }
+    Ok(program)
+}
+
+/// Alias for [`shared`] named for its call site: the registry warms the
+/// cache at PE-registration time so engine forks start hot.
+pub fn warm(canonical: &str) -> Result<Arc<Program>, ScriptError> {
+    shared(canonical)
+}
+
+/// `(hits, misses)` of the process-wide compile cache.
+pub fn cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_script;
+
+    #[test]
+    fn compiles_representative_pe() {
+        let src = r#"
+            fn fact(n) { if n <= 1 { return 1; } return n * fact(n - 1); }
+            pe P : iterative {
+                input num;
+                output output;
+                init { state.count = 0; }
+                process {
+                    let x = num;
+                    while x > 0 { x = x - 1; }
+                    for c in [1, 2, 3] { state.count = state.count + c; }
+                    emit(fact(num));
+                }
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let program = compile_script(&script).unwrap();
+        assert_eq!(program.fns.len(), 1);
+        assert_eq!(program.fns[0].name, "fact");
+        assert_eq!(program.fns[0].arity, 1);
+        let pe = program.pes.get("P").unwrap();
+        assert!(pe.init.is_some());
+        assert!(pe.process.n_regs >= 4);
+        assert_eq!(pe.process.default_output.as_deref(), Some("output"));
+        assert_eq!(pe.default_input.as_deref(), Some("num"));
+    }
+
+    #[test]
+    fn cache_hits_on_same_canonical_source() {
+        let src = "pe CacheProbe : iterative { input x; output o; process { emit(x); } }";
+        let script = parse_script(src).unwrap();
+        let canonical = crate::pretty::to_source(&script);
+        let a = shared(&canonical).unwrap();
+        let (_, m0) = cache_stats();
+        let b = shared(&canonical).unwrap();
+        let (_, m1) = cache_stats();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(m0, m1, "second lookup must not recompile");
+        // A formatting variant of the same program shares the entry.
+        let variant = "pe CacheProbe : iterative {\n  input x;\n  output o;\n  process { emit(x); }\n}";
+        assert_eq!(crate::canonicalize(variant).unwrap(), canonical);
+        let c = shared(&canonical).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn oversized_program_fails_with_parse_error() {
+        // 70k `let`s overflow the u16 register file (the constant dedups).
+        let mut body = String::from("pe Big : iterative { input x; output o; process {");
+        for i in 0..70_000 {
+            body.push_str(&format!("let v{i} = 0;"));
+        }
+        body.push_str("} }");
+        let script = parse_script(&body).unwrap();
+        let err = compile_script(&script).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Parse);
+    }
+}

@@ -27,17 +27,43 @@ pub trait Sink {
 /// Sink that records everything, used by tests and the engine's output
 /// capture (the paper's Figure 9 shows engine stdout forwarded to the
 /// client).
+///
+/// Port names are interned as `Arc<str>`: a PE has a handful of ports but
+/// emits millions of data, so per-emit `String` allocation was pure waste.
 #[derive(Debug, Default)]
 pub struct VecSink {
     /// `(port, value)` pairs in emission order.
-    pub emitted: Vec<(String, Value)>,
+    pub emitted: Vec<(Arc<str>, Value)>,
     /// Captured print lines.
     pub printed: Vec<String>,
+    /// Interned port names (linear scan; port counts are tiny).
+    names: Vec<Arc<str>>,
+}
+
+impl VecSink {
+    /// Intern `port`, cloning the backing allocation only on first sight.
+    fn intern(&mut self, port: &str) -> Arc<str> {
+        match self.names.iter().find(|n| &***n == port) {
+            Some(n) => Arc::clone(n),
+            None => {
+                let n: Arc<str> = Arc::from(port);
+                self.names.push(Arc::clone(&n));
+                n
+            }
+        }
+    }
+
+    /// Emissions as owned `(port, value)` pairs — convenience for tests
+    /// that predate the interned representation.
+    pub fn port_values(&self) -> Vec<(String, Value)> {
+        self.emitted.iter().map(|(p, v)| (p.to_string(), v.clone())).collect()
+    }
 }
 
 impl Sink for VecSink {
     fn emit(&mut self, port: &str, value: Value) {
-        self.emitted.push((port.to_string(), value));
+        let port = self.intern(port);
+        self.emitted.push((port, value));
     }
     fn print(&mut self, text: &str) {
         self.printed.push(text.to_string());
@@ -117,6 +143,12 @@ impl Interp {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.rng = StdRng::seed_from_u64(seed);
         self
+    }
+
+    /// Fuel left after the last invocation (differential testing against
+    /// the bytecode VM).
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
     }
 
     /// Run a PE's `init` block against `state`.
@@ -715,14 +747,14 @@ pub fn value_eq(a: &Value, b: &Value) -> bool {
     }
 }
 
-fn display_value(v: &Value) -> String {
+pub(crate) fn display_value(v: &Value) -> String {
     match v {
         Value::Str(s) => s.clone(),
         other => other.to_string(),
     }
 }
 
-fn index_value(base: &Value, index: &Value) -> Result<Value, ScriptError> {
+pub(crate) fn index_value(base: &Value, index: &Value) -> Result<Value, ScriptError> {
     match (base, index) {
         (Value::Array(a), Value::Int(i)) => {
             let len = a.len() as i64;
@@ -747,7 +779,7 @@ fn index_value(base: &Value, index: &Value) -> Result<Value, ScriptError> {
     }
 }
 
-fn binary_op(op: BinOp, l: &Value, r: &Value, line: usize) -> Result<Value, ScriptError> {
+pub(crate) fn binary_op(op: BinOp, l: &Value, r: &Value, line: usize) -> Result<Value, ScriptError> {
     use BinOp::*;
     use Value::*;
     let type_err = |msg: String| ScriptError::at(ErrorKind::TypeError, msg, line, 0);
@@ -920,10 +952,10 @@ mod tests {
             if let Some(v) = ret {
                 // dispel4py convention: returned value goes to default port.
                 let port = pe.default_output().unwrap_or("output").to_string();
-                sink.emitted.push((port, v));
+                sink.emit(&port, v);
             }
         }
-        (sink.emitted, sink.printed, state)
+        (sink.port_values(), sink.printed, state)
     }
 
     #[test]

@@ -31,26 +31,33 @@
 //! ## Pipeline
 //!
 //! [`lex`](lexer::lex) → [`parse`](parser::parse_script) →
-//! [`Interp`](interp::Interp) (tree-walking, fuel-bounded) plus
-//! [`analysis`] (imports à la `findimports`, identifier and def-use
-//! extraction for the embedding models) and [`pretty`] (canonical source
-//! form stored in the registry).
+//! [`Interp`](interp::Interp) (tree-walking, fuel-bounded) or
+//! [`compile`](compile::compile_script) → [`Vm`](vm::Vm) (register
+//! bytecode, cached per canonical source, differential-tested against the
+//! interpreter) plus [`analysis`] (imports à la `findimports`, identifier
+//! and def-use extraction for the embedding models) and [`pretty`]
+//! (canonical source form stored in the registry and used as the compile
+//! cache key).
 
 pub mod analysis;
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod vm;
 
 pub use ast::{Block, Expr, Item, PeDecl, PeKind, PortDecl, Script, Stmt, WorkflowDecl};
+pub use compile::{compile_script, Program};
 pub use error::{ErrorKind, ScriptError};
 pub use interp::{Host, Interp, NullHost, Sink, VecSink};
 pub use lexer::{lex, Token, TokenKind};
 pub use parser::{parse_expr, parse_script};
 pub use pretty::to_source;
+pub use vm::Vm;
 
 /// Parse and pretty-print: the canonical form of a script, used when the
 /// registry stores PE code so that equivalent sources embed identically.

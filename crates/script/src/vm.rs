@@ -1,0 +1,748 @@
+//! Register-machine executor for compiled LamScript ([`crate::compile`]).
+//!
+//! `Vm` is a drop-in peer of [`crate::interp::Interp`]: same constructor
+//! shape, same `run_init`/`run_process` contract, same fuel budget, call
+//! depth, RNG stream, emission order, and error kinds/messages. The
+//! differential suite (`tests/proptest_vm.rs`) holds the two executors to
+//! byte-identical observable behavior, which is what lets the engine swap
+//! the VM in underneath all four mappings with the interpreter kept as
+//! fallback and oracle.
+//!
+//! Execution model: one flat `Vec<Value>` register stack, frames addressed
+//! by a base offset. User-function calls place the callee frame directly
+//! above the caller's registers; `for` loops keep their materialized
+//! iterators on a side stack so `break`/`return` can unwind them exactly
+//! like the interpreter dropping its eager item vector.
+
+use crate::builtins;
+use crate::compile::{Chunk, Instr, PathAcc, Program, RandKind};
+use crate::error::{ErrorKind, ScriptError};
+use crate::interp::{binary_op, display_value, truthy, Host, Sink, DEFAULT_FUEL, MAX_CALL_DEPTH};
+use laminar_json::{Map, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// The per-invocation binding of the datum under its input-port name
+/// (`input words;` makes the datum visible as `words`). The port is only
+/// known at runtime, so the compiler routes unresolved names here.
+type Dynamic = Option<(String, Value)>;
+
+/// A bytecode executor bound to a compiled program.
+///
+/// Like [`crate::interp::Interp`], fully owned (`'static` + `Send`): PE
+/// instances hold one across process calls so RNG state and fuel
+/// accounting persist per instance, and the register stack is reused
+/// between invocations.
+pub struct Vm {
+    program: Arc<Program>,
+    host: Arc<dyn Host + Send + Sync>,
+    fuel: u64,
+    fuel_limit: u64,
+    rng: StdRng,
+    stack: Vec<Value>,
+    iters: Vec<std::vec::IntoIter<Value>>,
+}
+
+impl Vm {
+    /// Build a VM for `program` with the given host.
+    pub fn new(program: Arc<Program>, host: Arc<dyn Host + Send + Sync>) -> Self {
+        Vm {
+            program,
+            host,
+            fuel: DEFAULT_FUEL,
+            fuel_limit: DEFAULT_FUEL,
+            rng: StdRng::seed_from_u64(0x1a31_4a12),
+            stack: Vec::new(),
+            iters: Vec::new(),
+        }
+    }
+
+    /// Override the per-invocation fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel_limit = fuel;
+        self.fuel = fuel;
+        self
+    }
+
+    /// Seed the RNG (tests and reproducible benchmarks).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Fuel left after the last invocation (differential testing).
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
+    fn burn(&mut self, line: usize) -> Result<(), ScriptError> {
+        if self.fuel == 0 {
+            return Err(ScriptError::at(
+                ErrorKind::FuelExhausted,
+                format!("fuel budget of {} exhausted", self.fuel_limit),
+                line,
+                0,
+            ));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Run a PE's `init` block against `state`. Mirrors
+    /// `Interp::run_init`, including the error path leaving `state` null.
+    pub fn run_init(&mut self, pe: &str, state: &mut Value, sink: &mut dyn Sink) -> Result<(), ScriptError> {
+        if state.is_null() {
+            *state = Value::Object(Map::new());
+        }
+        let program = Arc::clone(&self.program);
+        let pp = program
+            .pes
+            .get(pe)
+            .ok_or_else(|| ScriptError::new(ErrorKind::NameError, format!("unknown PE '{pe}'")))?;
+        let Some(init) = &pp.init else { return Ok(()) };
+        self.fuel = self.fuel_limit;
+        self.stack.clear();
+        self.stack.resize(init.n_regs as usize, Value::Null);
+        self.iters.clear();
+        self.stack[0] = std::mem::take(state);
+        let mut dynamic: Dynamic = None;
+        self.exec(&program, init, 0, 0, sink, &mut dynamic)?;
+        *state = std::mem::take(&mut self.stack[0]);
+        Ok(())
+    }
+
+    /// Run one `process` invocation — the same contract as
+    /// `Interp::run_process`.
+    pub fn run_process(
+        &mut self,
+        pe: &str,
+        input: Option<Value>,
+        input_port: Option<&str>,
+        iteration: i64,
+        state: &mut Value,
+        sink: &mut dyn Sink,
+    ) -> Result<Option<Value>, ScriptError> {
+        self.fuel = self.fuel_limit;
+        if state.is_null() {
+            *state = Value::Object(Map::new());
+        }
+        let program = Arc::clone(&self.program);
+        let pp = program
+            .pes
+            .get(pe)
+            .ok_or_else(|| ScriptError::new(ErrorKind::NameError, format!("unknown PE '{pe}'")))?;
+        let chunk = &pp.process;
+        self.stack.clear();
+        self.stack.resize(chunk.n_regs as usize, Value::Null);
+        self.iters.clear();
+        // Root frame mirrors the interpreter's root scope definitions, in
+        // order: state, port-named datum alias, input, input_port,
+        // iteration. The alias either collides with a fixed slot (where a
+        // later define overwrites or is overwritten) or becomes the
+        // dynamic binding.
+        self.stack[0] = std::mem::take(state);
+        let datum = input.unwrap_or(Value::Null);
+        let mut dynamic: Dynamic = None;
+        let pv = input_port.map(str::to_string).or_else(|| pp.default_input.clone());
+        if let Some(pv) = pv {
+            match pv.as_str() {
+                // `input` is skipped outright; `input_port` and
+                // `iteration` are defined after the alias in the
+                // interpreter and thus shadow it.
+                "input" | "input_port" | "iteration" => {}
+                "state" => self.stack[0] = datum.clone(),
+                _ => dynamic = Some((pv, datum.clone())),
+            }
+        }
+        self.stack[1] = datum;
+        self.stack[2] = input_port.map(Value::from).unwrap_or(Value::Null);
+        self.stack[3] = Value::Int(iteration);
+        let v = self.exec(&program, chunk, 0, 0, sink, &mut dynamic)?;
+        *state = std::mem::take(&mut self.stack[0]);
+        Ok(if v.is_null() { None } else { Some(v) })
+    }
+
+    /// Execute one chunk frame; unwinds this frame's `for` iterators on
+    /// both exits.
+    fn exec(
+        &mut self,
+        program: &Program,
+        chunk: &Chunk,
+        base: usize,
+        depth: usize,
+        sink: &mut dyn Sink,
+        dynamic: &mut Dynamic,
+    ) -> Result<Value, ScriptError> {
+        let iter_base = self.iters.len();
+        let r = self.exec_inner(program, chunk, base, depth, sink, dynamic);
+        self.iters.truncate(iter_base);
+        r
+    }
+
+    fn exec_inner(
+        &mut self,
+        program: &Program,
+        chunk: &Chunk,
+        base: usize,
+        depth: usize,
+        sink: &mut dyn Sink,
+        dynamic: &mut Dynamic,
+    ) -> Result<Value, ScriptError> {
+        if self.stack.len() < base + chunk.n_regs as usize {
+            self.stack.resize(base + chunk.n_regs as usize, Value::Null);
+        }
+        let mut pc = 0usize;
+        while pc < chunk.instrs.len() {
+            let instr = chunk.instrs[pc];
+            pc += 1;
+            match instr {
+                Instr::Fuel { line } => self.burn(line as usize)?,
+                Instr::Const { dst, idx } => {
+                    self.burn(0)?;
+                    self.stack[base + dst as usize] = chunk.consts[idx as usize].clone();
+                }
+                Instr::Local { dst, slot, line } => {
+                    self.burn(line as usize)?;
+                    let v = self.stack[base + slot as usize].clone();
+                    self.stack[base + dst as usize] = v;
+                }
+                Instr::Dynamic { dst, name, line } => {
+                    self.burn(line as usize)?;
+                    let wanted = &chunk.names[name as usize];
+                    match dynamic {
+                        Some((n, v)) if n == wanted => {
+                            let v = v.clone();
+                            self.stack[base + dst as usize] = v;
+                        }
+                        _ => {
+                            return Err(ScriptError::at(
+                                ErrorKind::NameError,
+                                format!("undefined variable '{wanted}'"),
+                                line as usize,
+                                0,
+                            ))
+                        }
+                    }
+                }
+                Instr::StoreLocal { slot, src } => {
+                    let v = std::mem::take(&mut self.stack[base + src as usize]);
+                    self.stack[base + slot as usize] = v;
+                }
+                Instr::StoreDynamic { name, src } => {
+                    let wanted = &chunk.names[name as usize];
+                    match dynamic {
+                        Some((n, v)) if n == wanted => {
+                            *v = std::mem::take(&mut self.stack[base + src as usize]);
+                        }
+                        _ => {
+                            return Err(ScriptError::new(
+                                ErrorKind::NameError,
+                                format!("assignment to undefined variable '{wanted}'"),
+                            ))
+                        }
+                    }
+                }
+                Instr::StorePath { root_local, root, path_start, path_len, src } => {
+                    self.store_path(chunk, base, root_local, root, path_start, path_len, src, dynamic)?;
+                }
+                Instr::MakeList { dst, start, n } => {
+                    let mut out = Vec::with_capacity(n as usize);
+                    for i in 0..n as usize {
+                        out.push(std::mem::take(&mut self.stack[base + start as usize + i]));
+                    }
+                    self.stack[base + dst as usize] = Value::Array(out);
+                }
+                Instr::MakeMap { dst, keys_start, start, n } => {
+                    let mut m = Map::new();
+                    for i in 0..n as usize {
+                        m.insert(
+                            chunk.names[keys_start as usize + i].clone(),
+                            std::mem::take(&mut self.stack[base + start as usize + i]),
+                        );
+                    }
+                    self.stack[base + dst as usize] = Value::Object(m);
+                }
+                Instr::Bin { op, dst, a, b, line } => {
+                    let v = binary_op(
+                        op,
+                        &self.stack[base + a as usize],
+                        &self.stack[base + b as usize],
+                        line as usize,
+                    )?;
+                    self.stack[base + dst as usize] = v;
+                }
+                Instr::Neg { dst } => {
+                    let v = std::mem::take(&mut self.stack[base + dst as usize]);
+                    self.stack[base + dst as usize] = match v {
+                        Value::Int(i) => Value::Int(i.wrapping_neg()),
+                        Value::Float(f) => Value::Float(-f),
+                        other => {
+                            return Err(ScriptError::new(
+                                ErrorKind::TypeError,
+                                format!("cannot negate {}", other.type_name()),
+                            ))
+                        }
+                    };
+                }
+                Instr::Not { dst } => {
+                    let b = !truthy(&self.stack[base + dst as usize]);
+                    self.stack[base + dst as usize] = Value::Bool(b);
+                }
+                Instr::Truthy { dst } => {
+                    let b = truthy(&self.stack[base + dst as usize]);
+                    self.stack[base + dst as usize] = Value::Bool(b);
+                }
+                Instr::Jump { to } => pc = to as usize,
+                Instr::JumpIfFalse { cond, to } => {
+                    if !truthy(&self.stack[base + cond as usize]) {
+                        pc = to as usize;
+                    }
+                }
+                Instr::JumpIfTrue { cond, to } => {
+                    if truthy(&self.stack[base + cond as usize]) {
+                        pc = to as usize;
+                    }
+                }
+                Instr::IndexGet { dst, obj, idx } => {
+                    let b = std::mem::take(&mut self.stack[base + obj as usize]);
+                    let i = std::mem::take(&mut self.stack[base + idx as usize]);
+                    self.stack[base + dst as usize] = index_owned(b, i)?;
+                }
+                Instr::FieldGet { dst, obj, name, line } => {
+                    let b = std::mem::take(&mut self.stack[base + obj as usize]);
+                    let field = &chunk.names[name as usize];
+                    self.stack[base + dst as usize] = match b {
+                        Value::Object(mut m) => m.remove(field.as_str()).unwrap_or(Value::Null),
+                        other => {
+                            return Err(ScriptError::at(
+                                ErrorKind::TypeError,
+                                format!("cannot access field '{field}' on {}", other.type_name()),
+                                line as usize,
+                                0,
+                            ))
+                        }
+                    };
+                }
+                Instr::CallFn { dst, fidx, start, argc, line } => {
+                    let callee = &program.fns[fidx as usize];
+                    if depth + 1 > MAX_CALL_DEPTH {
+                        return Err(ScriptError::at(
+                            ErrorKind::StackOverflow,
+                            "call depth exceeded",
+                            line as usize,
+                            0,
+                        ));
+                    }
+                    if callee.arity != argc as usize {
+                        return Err(ScriptError::at(
+                            ErrorKind::ArgumentError,
+                            format!("{}() expects {} arguments, got {}", callee.name, callee.arity, argc),
+                            line as usize,
+                            0,
+                        ));
+                    }
+                    let callee_base = base + chunk.n_regs as usize;
+                    let need = callee_base + callee.n_regs as usize;
+                    if self.stack.len() < need {
+                        self.stack.resize(need, Value::Null);
+                    }
+                    for i in 0..argc as usize {
+                        self.stack[callee_base + i] =
+                            std::mem::take(&mut self.stack[base + start as usize + i]);
+                    }
+                    // User functions see a fresh environment: no datum
+                    // alias.
+                    let mut none: Dynamic = None;
+                    let v = self.exec(program, callee, callee_base, depth + 1, sink, &mut none)?;
+                    self.stack[base + dst as usize] = v;
+                }
+                Instr::CallBuiltin { dst, module, name, start, argc, line } => {
+                    let module_s =
+                        if module == u16::MAX { None } else { Some(chunk.names[module as usize].as_str()) };
+                    let name_s = &chunk.names[name as usize];
+                    let lo = base + start as usize;
+                    let args = &self.stack[lo..lo + argc as usize];
+                    match builtins::call(module_s, name_s, args) {
+                        Some(r) => {
+                            let v = r.map_err(|mut e| {
+                                if e.line == 0 {
+                                    e.line = line as usize;
+                                }
+                                e
+                            })?;
+                            self.stack[base + dst as usize] = v;
+                        }
+                        // Unreachable: classification probed the same table
+                        // at compile time.
+                        None => {
+                            return Err(ScriptError::at(
+                                ErrorKind::NameError,
+                                format!("unknown function '{name_s}'"),
+                                line as usize,
+                                0,
+                            ))
+                        }
+                    }
+                }
+                Instr::CallHost { dst, module, name, start, argc } => {
+                    let lo = base + start as usize;
+                    let v = self.host.call(
+                        &chunk.names[module as usize],
+                        &chunk.names[name as usize],
+                        &self.stack[lo..lo + argc as usize],
+                    )?;
+                    self.stack[base + dst as usize] = v;
+                }
+                Instr::Print { dst, start, argc } => {
+                    let lo = base + start as usize;
+                    let text = self.stack[lo..lo + argc as usize]
+                        .iter()
+                        .map(display_value)
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    sink.print(&text);
+                    self.stack[base + dst as usize] = Value::Null;
+                }
+                Instr::Rand { dst, kind, start, argc } => {
+                    let lo = base + start as usize;
+                    let args = &self.stack[lo..lo + argc as usize];
+                    let v = match kind {
+                        RandKind::Randint => {
+                            let (a, b) = builtins::two_ints(args, "randint")?;
+                            if a > b {
+                                return Err(ScriptError::new(
+                                    ErrorKind::ArgumentError,
+                                    "randint: empty range",
+                                ));
+                            }
+                            Value::Int(self.rng.random_range(a..=b))
+                        }
+                        RandKind::Random => {
+                            if !args.is_empty() {
+                                return Err(ScriptError::new(
+                                    ErrorKind::ArgumentError,
+                                    "random() takes no arguments",
+                                ));
+                            }
+                            Value::Float(self.rng.random::<f64>())
+                        }
+                        RandKind::Shuffle => {
+                            let [Value::Array(a)] = args else {
+                                return Err(ScriptError::new(ErrorKind::ArgumentError, "shuffle(list)"));
+                            };
+                            let mut a = a.clone();
+                            for i in (1..a.len()).rev() {
+                                let j = self.rng.random_range(0..=i);
+                                a.swap(i, j);
+                            }
+                            Value::Array(a)
+                        }
+                    };
+                    self.stack[base + dst as usize] = v;
+                }
+                Instr::EmitDefault { src } => {
+                    let v = std::mem::take(&mut self.stack[base + src as usize]);
+                    let port = chunk.default_output.as_deref().expect("compiled with default output");
+                    sink.emit(port, v);
+                }
+                Instr::EmitPort { name, src } => {
+                    let v = std::mem::take(&mut self.stack[base + src as usize]);
+                    sink.emit(&chunk.names[name as usize], v);
+                }
+                Instr::ForPrep { src } => {
+                    let seq = std::mem::take(&mut self.stack[base + src as usize]);
+                    let items: Vec<Value> = match seq {
+                        Value::Array(a) => a,
+                        Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
+                        Value::Object(m) => m.into_keys().map(Value::Str).collect(),
+                        other => {
+                            return Err(ScriptError::new(
+                                ErrorKind::TypeError,
+                                format!("cannot iterate over {}", other.type_name()),
+                            ))
+                        }
+                    };
+                    self.iters.push(items.into_iter());
+                }
+                Instr::ForNext { slot, exit } => match self.iters.last_mut().and_then(Iterator::next) {
+                    Some(item) => {
+                        self.burn(0)?;
+                        self.stack[base + slot as usize] = item;
+                    }
+                    None => {
+                        self.iters.pop();
+                        pc = exit as usize;
+                    }
+                },
+                Instr::PopIter => {
+                    self.iters.pop();
+                }
+                Instr::Return { src } => {
+                    return Ok(std::mem::take(&mut self.stack[base + src as usize]));
+                }
+                Instr::ReturnNull => return Ok(Value::Null),
+                Instr::Raise { idx } => return Err(chunk.errors[idx as usize].clone()),
+                Instr::End => return Ok(Value::Null),
+            }
+        }
+        Ok(Value::Null)
+    }
+
+    /// Assignment through an accessor path — `Interp::assign`'s walk with
+    /// the indices pre-evaluated into registers.
+    #[allow(clippy::too_many_arguments)] // unpacked StorePath operands
+    fn store_path(
+        &mut self,
+        chunk: &Chunk,
+        base: usize,
+        root_local: bool,
+        root: u16,
+        path_start: u16,
+        path_len: u16,
+        src: u16,
+        dynamic: &mut Dynamic,
+    ) -> Result<(), ScriptError> {
+        enum OAcc<'c> {
+            Field(&'c str),
+            Index(Value),
+        }
+        let value = std::mem::take(&mut self.stack[base + src as usize]);
+        let mut accs = Vec::with_capacity(path_len as usize);
+        for p in &chunk.paths[path_start as usize..(path_start + path_len) as usize] {
+            match p {
+                PathAcc::Field(n) => accs.push(OAcc::Field(chunk.names[*n as usize].as_str())),
+                PathAcc::Index(r) => {
+                    accs.push(OAcc::Index(std::mem::take(&mut self.stack[base + *r as usize])))
+                }
+            }
+        }
+        let mut place: &mut Value = if root_local {
+            &mut self.stack[base + root as usize]
+        } else {
+            let wanted = &chunk.names[root as usize];
+            match dynamic {
+                Some((n, v)) if n == wanted => v,
+                _ => {
+                    return Err(ScriptError::new(
+                        ErrorKind::NameError,
+                        format!("assignment to undefined variable '{wanted}'"),
+                    ))
+                }
+            }
+        };
+        for acc in accs {
+            match acc {
+                OAcc::Field(f) => {
+                    if place.is_null() {
+                        *place = Value::Object(Map::new());
+                    }
+                    let m = place.as_object_mut().ok_or_else(|| {
+                        ScriptError::new(
+                            ErrorKind::TypeError,
+                            format!("cannot set field '{f}' on non-object"),
+                        )
+                    })?;
+                    place = m.entry(f.to_string()).or_insert(Value::Null);
+                }
+                OAcc::Index(idx) => {
+                    if place.is_null() && matches!(idx, Value::Str(_)) {
+                        *place = Value::Object(Map::new());
+                    }
+                    match (&mut *place, idx) {
+                        (Value::Object(m), key) => {
+                            let k = match key {
+                                Value::Str(s) => s,
+                                other => other.to_string(),
+                            };
+                            place = m.entry(k).or_insert(Value::Null);
+                        }
+                        (Value::Array(a), Value::Int(i)) => {
+                            let len = a.len() as i64;
+                            let real = if i < 0 { i + len } else { i };
+                            if real < 0 || real >= len {
+                                return Err(ScriptError::new(
+                                    ErrorKind::IndexError,
+                                    format!("list index {i} out of range (len {len})"),
+                                ));
+                            }
+                            place = &mut a[real as usize];
+                        }
+                        (other, idx) => {
+                            return Err(ScriptError::new(
+                                ErrorKind::TypeError,
+                                format!("cannot index {} with {}", other.type_name(), idx.type_name()),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        *place = value;
+        Ok(())
+    }
+}
+
+/// Owned-value indexing with the interpreter's exact error messages
+/// (`index_value` clones; owning the operands lets the VM move instead).
+fn index_owned(base: Value, index: Value) -> Result<Value, ScriptError> {
+    match (base, index) {
+        (Value::Array(mut a), Value::Int(i)) => {
+            let len = a.len() as i64;
+            let real = if i < 0 { i + len } else { i };
+            if real < 0 || real >= len {
+                return Err(ScriptError::new(
+                    ErrorKind::IndexError,
+                    format!("list index {i} out of range (len {len})"),
+                ));
+            }
+            Ok(a.swap_remove(real as usize))
+        }
+        (Value::Str(s), Value::Int(i)) => {
+            let chars: Vec<char> = s.chars().collect();
+            let len = chars.len() as i64;
+            let real = if i < 0 { i + len } else { i };
+            chars.get(real as usize).map(|c| Value::Str(c.to_string())).ok_or_else(|| {
+                ScriptError::new(ErrorKind::IndexError, format!("string index {i} out of range"))
+            })
+        }
+        (Value::Object(mut m), Value::Str(k)) => Ok(m.remove(&k).unwrap_or(Value::Null)),
+        (b, i) => Err(ScriptError::new(
+            ErrorKind::TypeError,
+            format!("cannot index {} with {}", b.type_name(), i.type_name()),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_script;
+    use crate::interp::{Interp, NullHost, VecSink};
+    use crate::parser::parse_script;
+
+    type Observed = (Vec<(String, Value)>, Vec<String>, Value);
+
+    fn run_both(src: &str, pe: &str, inputs: Vec<Option<Value>>) -> (Observed, Observed) {
+        let script = parse_script(src).unwrap();
+        let program = Arc::new(compile_script(&script).unwrap());
+        let decl = script.pe(pe).unwrap();
+
+        let mut interp = Interp::new(&script, Arc::new(NullHost)).with_seed(7);
+        let mut istate = Value::Null;
+        let mut isink = VecSink::default();
+        interp.run_init(decl, &mut istate, &mut isink).unwrap();
+        for (it, input) in inputs.iter().cloned().enumerate() {
+            if let Some(v) =
+                interp.run_process(decl, input, None, it as i64, &mut istate, &mut isink).unwrap()
+            {
+                isink.emit(decl.default_output().unwrap_or("output"), v);
+            }
+        }
+
+        let mut vm = Vm::new(program, Arc::new(NullHost)).with_seed(7);
+        let mut vstate = Value::Null;
+        let mut vsink = VecSink::default();
+        vm.run_init(pe, &mut vstate, &mut vsink).unwrap();
+        for (it, input) in inputs.into_iter().enumerate() {
+            if let Some(v) = vm.run_process(pe, input, None, it as i64, &mut vstate, &mut vsink).unwrap() {
+                vsink.emit(decl.default_output().unwrap_or("output"), v);
+            }
+        }
+
+        ((isink.port_values(), isink.printed, istate), (vsink.port_values(), vsink.printed, vstate))
+    }
+
+    #[test]
+    fn vm_matches_interp_on_prime_sieve() {
+        let src = r#"
+            pe IsPrime : iterative {
+                input num;
+                output output;
+                process {
+                    let i = 2;
+                    let prime = num > 1;
+                    while i * i <= num {
+                        if num % i == 0 { prime = false; break; }
+                        i = i + 1;
+                    }
+                    if prime { emit(num); }
+                }
+            }
+        "#;
+        let inputs: Vec<Option<Value>> = (1..=30).map(|n| Some(Value::Int(n))).collect();
+        let (interp, vm) = run_both(src, "IsPrime", inputs);
+        assert_eq!(interp, vm);
+        let primes: Vec<i64> = vm.0.iter().map(|(_, v)| v.as_i64().unwrap()).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn vm_matches_interp_on_stateful_rng_and_functions() {
+        let src = r#"
+            fn scale(v, k) { return v * k; }
+            pe Mix : generic {
+                input data;
+                output big;
+                output small;
+                init { state.seen = 0; state.log = []; }
+                process {
+                    state.seen = state.seen + 1;
+                    let jitter = randint(1, 6);
+                    let v = scale(data, 10) + jitter;
+                    state.log = push(state.log, v);
+                    print("saw", data, "->", v);
+                    for c in "ab" { state.last_char = c; }
+                    if v >= 25 { emit("big", v); } else { emit("small", v); }
+                }
+            }
+        "#;
+        let inputs: Vec<Option<Value>> = (1..=5).map(|n| Some(Value::Int(n))).collect();
+        let (interp, vm) = run_both(src, "Mix", inputs);
+        assert_eq!(interp, vm);
+    }
+
+    #[test]
+    fn vm_matches_interp_on_errors_and_fuel() {
+        let src = "pe F : iterative { input x; output o; process { while true { let a = 1; } } }";
+        let script = parse_script(src).unwrap();
+        let program = Arc::new(compile_script(&script).unwrap());
+        let decl = script.pe("F").unwrap();
+
+        let mut interp = Interp::new(&script, Arc::new(NullHost)).with_fuel(10_000);
+        let mut istate = Value::Null;
+        let mut isink = VecSink::default();
+        let ie = interp.run_process(decl, Some(Value::Int(1)), None, 0, &mut istate, &mut isink).unwrap_err();
+
+        let mut vm = Vm::new(program, Arc::new(NullHost)).with_fuel(10_000);
+        let mut vstate = Value::Null;
+        let mut vsink = VecSink::default();
+        let ve = vm.run_process("F", Some(Value::Int(1)), None, 0, &mut vstate, &mut vsink).unwrap_err();
+
+        assert_eq!(ie.kind, ve.kind);
+        assert_eq!(ie.message, ve.message);
+        assert_eq!(interp.fuel_remaining(), vm.fuel_remaining());
+        assert_eq!(istate, vstate);
+    }
+
+    #[test]
+    fn dynamic_port_binding_resolves_like_interp() {
+        let src = r#"
+            pe W : generic {
+                input words;
+                output output;
+                process { emit(words + words); }
+            }
+        "#;
+        let script = parse_script(src).unwrap();
+        let program = Arc::new(compile_script(&script).unwrap());
+        let mut vm = Vm::new(program, Arc::new(NullHost));
+        let mut state = Value::Null;
+        let mut sink = VecSink::default();
+        vm.run_process("W", Some(Value::Int(4)), Some("words"), 0, &mut state, &mut sink).unwrap();
+        // Default-input fallback when no explicit port is given.
+        vm.run_process("W", Some(Value::Int(5)), None, 1, &mut state, &mut sink).unwrap();
+        let vals: Vec<i64> = sink.port_values().iter().map(|(_, v)| v.as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![8, 10]);
+    }
+}

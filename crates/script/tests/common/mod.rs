@@ -1,0 +1,181 @@
+//! Shared grammar-directed program generator for the property suites.
+//!
+//! Generates *source text* (always syntactically valid by construction) for
+//! full scripts: optional helper functions, an optional `init` block, and a
+//! `process` body drawn from a statement pool that covers every statement
+//! form and the interesting expression shapes — including ones that error
+//! at runtime (division by zero, undefined names, arity mismatches, deep
+//! recursion, undeclared ports), because error parity is part of the
+//! VM-vs-interpreter contract.
+
+#![allow(dead_code)]
+
+use laminar_json::Value;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::sample::select;
+use proptest::strategy::one_of;
+
+/// The PE name every generated script uses.
+pub const PE_NAME: &str = "Gen";
+
+fn arb_expr() -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-9..50i64).prop_map(|n| n.to_string()),
+        select(vec!["0.5", "3.25", "10.0"]).prop_map(str::to_string),
+        select(vec!["\"ab\"", "\"\"", "\"x y\\n\"", "\"héllo\""]).prop_map(str::to_string),
+        select(vec!["true", "false", "null"]).prop_map(str::to_string),
+        // `x`/`y` are always let-bound in the prelude; `data` is bound only
+        // when the input port is named `data` (the dynamic-binding path);
+        // `w` is bound only when a generated `let w` ran first.
+        select(vec!["input", "x", "y", "iteration", "data", "w", "input_port"]).prop_map(str::to_string),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), select(vec!["+", "-", "*", "/", "%"]), inner.clone())
+                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
+            (inner.clone(), select(vec!["<", "<=", ">", ">=", "==", "!="]), inner.clone())
+                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
+            (inner.clone(), select(vec!["and", "or"]), inner.clone())
+                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
+            (select(vec!["-", "not "]), inner.clone()).prop_map(|(op, a)| format!("({op}{a})")),
+            vec(inner.clone(), 0..3).prop_map(|items| format!("[{}]", items.join(", "))),
+            (select(vec!["k", "n", "z z"]), inner.clone()).prop_map(|(k, v)| format!("{{\"{k}\": {v}}}")),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| format!("({b})[{i}]")),
+            inner.clone().prop_map(|b| format!("({b}).f")),
+            Just("state.acc".to_string()),
+            // Calls: builtins, RNG, user functions (f1/f2/rec exist when
+            // the script includes helpers), arity mistakes, unknown and
+            // host functions.
+            (
+                select(vec![
+                    "len([1, 2])",
+                    "str",
+                    "abs",
+                    "get(state, \"acc\", 0)",
+                    "randint(1, 6)",
+                    "random()",
+                    "shuffle([3, 1, 2])",
+                    "f1",
+                    "f2(2, 3)",
+                    "rec(3)",
+                    "rec(200)",
+                    "f1(1, 2)",
+                    "no_such_fn(1)",
+                    "vo.fetch(1)",
+                    "math.sqrt(4)",
+                    "upper(\"aB\")",
+                    "sum([1, 2, 3])",
+                    "pow(2, 5)",
+                ]),
+                inner
+            )
+                .prop_map(|(f, a)| if f.contains('(') {
+                    f.to_string()
+                } else {
+                    format!("{f}({a})")
+                }),
+        ]
+    })
+}
+
+fn arb_stmts(depth: u32) -> BoxedStrategy<String> {
+    vec(arb_stmt(depth), 0..4).prop_map(|v| v.join(" "))
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    let e = arb_expr();
+    let mut arms: Vec<BoxedStrategy<String>> = vec![
+        (select(vec!["w", "x", "tmp"]), e.clone()).prop_map(|(v, e)| format!("let {v} = {e};")).boxed(),
+        (select(vec!["x", "y", "w", "data", "state.acc", "state.m[\"k\"]", "state.m[x]", "x[0]"]), e.clone())
+            .prop_map(|(t, e)| format!("{t} = {e};"))
+            .boxed(),
+        e.clone().prop_map(|e| format!("print(\"v\", {e});")).boxed(),
+        e.clone().prop_map(|e| format!("emit({e});")).boxed(),
+        (select(vec!["out2", "output", "nope"]), e.clone())
+            .prop_map(|(p, e)| format!("emit(\"{p}\", {e});"))
+            .boxed(),
+        e.clone().prop_map(|e| format!("return {e};")).boxed(),
+        Just("return;".to_string()).boxed(),
+        e.clone().prop_map(|e| format!("{e};")).boxed(),
+        // Flow-control statements outside any loop terminate the body in
+        // the interpreter; keep them rare but present.
+        select(vec!["break;", "continue;"]).prop_map(str::to_string).boxed(),
+    ];
+    if depth > 0 {
+        arms.push(
+            (e.clone(), arb_stmts(depth - 1), arb_stmts(depth - 1))
+                .prop_map(|(c, a, b)| format!("if {c} {{ {a} }} else {{ {b} }}"))
+                .boxed(),
+        );
+        arms.push((e.clone(), arb_stmts(depth - 1)).prop_map(|(c, a)| format!("if {c} {{ {a} }}")).boxed());
+        // Bounded while loop, occasionally with break/continue.
+        arms.push(
+            (
+                (1..4i64),
+                arb_stmts(depth - 1),
+                select(vec!["", "if (i9 == 1) { break; }", "if (i9 == 1) { continue; }"]),
+            )
+                .prop_map(|(k, body, bc)| {
+                    format!("let i9 = 0; while (i9 < {k}) {{ i9 = i9 + 1; {bc} {body} }}")
+                })
+                .boxed(),
+        );
+        // Unbounded loop: fuel-exhaustion parity (burn order matters).
+        arms.push(arb_stmts(depth - 1).prop_map(|body| format!("while true {{ {body} }}")).boxed());
+        arms.push(
+            (
+                select(vec!["range(0, 3)", "[1, \"a\", 2.5]", "\"héllo\"", "{\"a\": 1, \"b\": 2}", "x"]),
+                arb_stmts(depth - 1),
+            )
+                .prop_map(|(it, body)| format!("for fv in {it} {{ {body} }}"))
+                .boxed(),
+        );
+    }
+    one_of(arms)
+}
+
+/// A whole generated script: helpers, one PE named [`PE_NAME`].
+pub fn arb_script_source() -> BoxedStrategy<String> {
+    let helpers = "\
+        fn f1(a) { return a + 1; } \
+        fn f2(a, b) { if (a > b) { return a - b; } return a * b; } \
+        fn rec(n) { if (n <= 0) { return 0; } return rec(n - 1) + 1; } ";
+    (select(vec!["input", "data"]), proptest::bool::ANY, proptest::bool::ANY, arb_stmts(2))
+        .prop_map(move |(port, with_helpers, with_init, body)| {
+            let mut src = String::new();
+            if with_helpers {
+                src.push_str(helpers);
+            }
+            src.push_str(&format!("pe {PE_NAME} : generic {{ input {port}; output output; output out2; "));
+            if with_init {
+                src.push_str("init { state.acc = 0; state.m = {}; } ");
+            }
+            // Prelude keeps `x`/`y` always defined so the body isn't
+            // dominated by NameErrors.
+            src.push_str(&format!("process {{ let x = input; let y = iteration; {body} }} }}"));
+            src
+        })
+        .boxed()
+}
+
+/// A datum to feed a generated PE.
+pub fn arb_input() -> BoxedStrategy<Value> {
+    prop_oneof![
+        (-9..99i64).prop_map(Value::Int),
+        select(vec!["", "a", "the", "x y"]).prop_map(|s| Value::Str(s.to_string())),
+        select(vec![0.0, 1.5, -2.25]).prop_map(Value::Float),
+        Just(Value::Null),
+        Just(Value::Bool(true)),
+        vec((-5..50i64).prop_map(Value::Int), 0..4).prop_map(Value::Array),
+        proptest::collection::btree_map("[a-c]{1,2}", (-5..50i64).prop_map(Value::Int), 0..3)
+            .prop_map(|m| Value::Object(m.into_iter().collect())),
+    ]
+    .boxed()
+}
+
+/// Which port label to deliver the datum on: `None` (default-input
+/// fallback), the matching declared port, or a foreign label.
+pub fn arb_port_choice() -> BoxedStrategy<u8> {
+    (0..3u8).boxed()
+}

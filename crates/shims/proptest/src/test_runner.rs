@@ -4,7 +4,10 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 /// How many cases each property runs, configurable per file via
-/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` or globally via the
+/// `PROPTEST_CASES` environment variable (which wins over the default but
+/// not over an explicit `with_cases`; CI's `--quick` tier uses it to run a
+/// reduced sweep).
 #[derive(Debug, Clone, Copy)]
 pub struct ProptestConfig {
     /// Number of generated cases per property.
@@ -13,7 +16,12 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
