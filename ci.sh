@@ -17,6 +17,10 @@
 #                case count (PROPTEST_CASES=8)
 #   stress       the concurrency stress suite (unrestricted test threads)
 #   streaming    streaming + cancellation scenario tiers
+#   chaos        durability fault-injection suite at full proptest depth:
+#                crash/resume chaos, cross-backend epoch parity, torn
+#                journal segments, and the mid-stream worker-failure
+#                regression (PROPTEST_CASES env raises the depth)
 #   bench-smoke  bench compile, smoke runs, and the bench_check
 #                regression guard against the committed BENCH_PR*.json
 #   lint         rustfmt + clippy (warnings are errors)
@@ -26,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_TIERS=(build test test-quick stress streaming bench-smoke lint)
+ALL_TIERS=(build test test-quick stress streaming chaos bench-smoke lint)
 QUICK_TIERS=(build test-quick)
 
 tier_build() {
@@ -58,6 +62,16 @@ tier_streaming() {
   cargo test -q -p laminar-engine pool::tests::cancel
 }
 
+tier_chaos() {
+  # Durability under injected faults, at full property-test depth
+  # (export PROPTEST_CASES to push deeper). chaos_truncation is its own
+  # integration binary because it arms process-global LAMINAR_FAULTS.
+  cargo test -q -p laminar-dataflow --test proptest_chaos
+  cargo test -q -p laminar-dataflow --test proptest_backends
+  cargo test -q -p laminar-engine --test chaos_truncation
+  cargo test -q -p laminar-dataflow mid_stream_worker_error
+}
+
 tier_bench_smoke() {
   cargo bench --no-run --workspace
   cargo run --release -p laminar-bench --bin perf_report -- --smoke --out target/bench_smoke.json
@@ -66,6 +80,8 @@ tier_bench_smoke() {
   test -s target/bench_concurrent_smoke.json
   cargo run --release -p laminar-bench --bin streaming_latency -- --smoke --out target/bench_streaming_smoke.json
   test -s target/bench_streaming_smoke.json
+  cargo run --release -p laminar-bench --bin durability_overhead -- --smoke --out target/bench_durability_smoke.json
+  test -s target/bench_durability_smoke.json
   # The regression guard: fresh smoke vs the committed trajectory.
   cargo run --release -p laminar-bench --bin bench_check
 }
@@ -76,7 +92,7 @@ tier_lint() {
 }
 
 usage() {
-  sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 TIERS=()

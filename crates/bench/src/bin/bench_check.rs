@@ -16,7 +16,11 @@
 //!   as a *fraction of total runtime* per mapping vs. `BENCH_PR4.json`
 //!   (the fraction is dimensionless, so the comparison is robust to the
 //!   smoke configs' smaller workloads), floored at
-//!   [`MIN_FRACTION_LIMIT`] to absorb startup jitter on tiny runs.
+//!   [`MIN_FRACTION_LIMIT`] to absorb startup jitter on tiny runs;
+//! * **checkpoint overhead** — `durability_overhead` checkpointed-vs-plain
+//!   runtime ratio per mapping must stay at or below
+//!   [`CHECKPOINT_OVERHEAD_CEILING`] (both sides from the same fresh
+//!   run, interleaved best-of-n, so no committed baseline is needed).
 //!
 //! The 5× margin is deliberately coarse: smoke configs are smaller than
 //! the committed full runs and CI machines are noisy — this gate exists
@@ -46,6 +50,13 @@ const VM_SPEEDUP_FLOOR: f64 = 1.5;
 /// Floor for the streaming first-result-fraction limit: smoke runs are
 /// short enough that startup noise dominates below this.
 const MIN_FRACTION_LIMIT: f64 = 0.20;
+
+/// Epoch checkpointing may cost at most this factor over the same run
+/// uncheckpointed. Like the VM floor, both sides come from the *same*
+/// fresh `durability_overhead` smoke run (interleaved, best-of-n), so
+/// the bound is tight by design: blowing past it means an epoch started
+/// costing a re-enactment instead of a snapshot and a reconnect.
+const CHECKPOINT_OVERHEAD_CEILING: f64 = 1.25;
 
 const MAPPINGS: [&str; 4] = ["SIMPLE", "MULTI", "MPI", "REDIS"];
 
@@ -83,12 +94,15 @@ fn main() {
         flag_value("--fresh-streaming").unwrap_or_else(|| "target/bench_streaming_smoke.json".into());
     let fresh_concurrent =
         flag_value("--fresh-concurrent").unwrap_or_else(|| "target/bench_concurrent_smoke.json".into());
+    let fresh_durability =
+        flag_value("--fresh-durability").unwrap_or_else(|| "target/bench_durability_smoke.json".into());
     let baseline_dir = flag_value("--baseline-dir").unwrap_or_else(|| ".".into());
     let out_path = flag_value("--out").unwrap_or_else(|| "target/bench_check.json".into());
 
     let perf = load(&fresh_perf);
     let streaming = load(&fresh_streaming);
     let concurrent = load(&fresh_concurrent);
+    let durability = load(&fresh_durability);
     let committed_perf = load(&format!("{baseline_dir}/BENCH_PR2.json"));
     let committed_concurrent = load(&format!("{baseline_dir}/BENCH_PR3.json"));
     let committed_streaming = load(&format!("{baseline_dir}/BENCH_PR4.json"));
@@ -143,6 +157,24 @@ fn main() {
             name: format!("streaming first-result fraction [{mapping}]"),
             fresh,
             limit: (committed * REGRESSION_FACTOR).max(MIN_FRACTION_LIMIT),
+            higher_is_better: false,
+        });
+    }
+
+    // Durability: epoch checkpointing overhead per mapping, fresh-vs-fresh
+    // from the durability_overhead smoke run.
+    for mapping in MAPPINGS {
+        let fresh = durability["mappings"]
+            .as_array()
+            .into_iter()
+            .flatten()
+            .find(|m| m["mapping"].as_str() == Some(mapping))
+            .and_then(|m| m["checkpoint_overhead_ratio"].as_f64())
+            .unwrap_or_else(|| panic!("{fresh_durability}: missing checkpoint_overhead_ratio for {mapping}"));
+        checks.push(Check {
+            name: format!("checkpoint overhead ratio [{mapping}]"),
+            fresh,
+            limit: CHECKPOINT_OVERHEAD_CEILING,
             higher_is_better: false,
         });
     }

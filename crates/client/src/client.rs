@@ -28,6 +28,17 @@ pub enum ClientError {
         /// The cancelled job's id.
         job: i64,
     },
+    /// **Non-fatal**: the server's bounded event log evicted events past
+    /// the stream's cursor, but the retained window holds an epoch
+    /// checkpoint, so [`LaminarClient::event_stream`] resumed from it.
+    /// The epoch's `state` summarizes everything evicted before it;
+    /// iteration continues with the events after the marker.
+    Resumed {
+        /// The streamed job's id.
+        job: i64,
+        /// The epoch checkpoint the stream resumed from.
+        at_epoch: i64,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -38,6 +49,9 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server error {status} ({kind}): {message}")
             }
             ClientError::Cancelled { job } => write!(f, "job {job} was cancelled"),
+            ClientError::Resumed { job, at_epoch } => {
+                write!(f, "job {job} event stream resumed from epoch {at_epoch} after eviction")
+            }
         }
     }
 }
@@ -68,6 +82,10 @@ pub struct RunConfig {
     /// Ask the server to log the run's live event stream (consumed via
     /// [`LaminarClient::job_events`] / [`LaminarClient::event_stream`]).
     pub stream_events: bool,
+    /// Checkpoint interval in source iterations (0 = off): the enactment
+    /// emits an epoch snapshot every `n` iterations, journaled per-job on
+    /// durable servers and resumable via [`LaminarClient::resume_job`].
+    pub checkpoint_every: usize,
 }
 
 impl RunConfig {
@@ -79,6 +97,7 @@ impl RunConfig {
             processes: 1,
             resources: vec![],
             stream_events: false,
+            checkpoint_every: 0,
         }
     }
 
@@ -90,6 +109,7 @@ impl RunConfig {
             processes: 1,
             resources: vec![],
             stream_events: false,
+            checkpoint_every: 0,
         }
     }
 
@@ -108,6 +128,7 @@ impl RunConfig {
             processes: 1,
             resources: vec![],
             stream_events: true,
+            checkpoint_every: 0,
         }
     }
 
@@ -127,6 +148,12 @@ impl RunConfig {
     /// Request a live event stream for the job.
     pub fn with_events(mut self, stream: bool) -> RunConfig {
         self.stream_events = stream;
+        self
+    }
+
+    /// Checkpoint the enactment every `n` source iterations (0 = off).
+    pub fn with_checkpoints(mut self, n: usize) -> RunConfig {
+        self.checkpoint_every = n;
         self
     }
 }
@@ -165,7 +192,25 @@ impl LaminarClient {
     }
 
     fn call(&self, request: &laminar_server::ApiRequest) -> Result<Value, ClientError> {
-        let resp: ApiResponse = self.transport.call(request).map_err(ClientError::Transport)?;
+        // GETs are idempotent reads (status, events, stats, registry
+        // lookups): a transient connection failure is retried with the
+        // client's standard 2→50 ms backoff, at most 3 attempts. POSTs,
+        // PUTs and DELETEs are never retried — a request that mutates
+        // state may have been applied before the connection dropped.
+        let attempts = if request.method == laminar_server::api::Method::Get { 3 } else { 1 };
+        let mut delay = std::time::Duration::from_millis(2);
+        let mut resp: Result<ApiResponse, String>;
+        let mut attempt = 0;
+        loop {
+            resp = self.transport.call(request);
+            attempt += 1;
+            if resp.is_ok() || attempt >= attempts {
+                break;
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(std::time::Duration::from_millis(50));
+        }
+        let resp = resp.map_err(ClientError::Transport)?;
         if resp.is_ok() {
             Ok(resp.body)
         } else {
@@ -372,6 +417,9 @@ impl LaminarClient {
             .set("mapping", config.mapping.as_str())
             .set("processes", config.processes)
             .set("events", config.stream_events);
+        if config.checkpoint_every > 0 {
+            body.set("checkpoint_every", config.checkpoint_every);
+        }
         let resources: Value = config
             .resources
             .iter()
@@ -454,6 +502,25 @@ impl LaminarClient {
         self.call(&web::delete(format!("/execution/{user}/job/{job_id}")))
     }
 
+    /// Resume an interrupted checkpointed job from its server-side journal
+    /// (`POST /execution/{user}/job/{id}/resume`). Only meaningful against
+    /// a durable server: the job is re-enqueued under its original id,
+    /// restarting from its last complete epoch. Answers 404 when the job
+    /// was never journaled, completed (journal cleaned up), or belongs to
+    /// someone else.
+    pub fn resume_job(&self, job_id: i64) -> Result<i64, ClientError> {
+        let user = self.current_user()?.to_string();
+        let resp = self.call(&web::post(format!("/execution/{user}/job/{job_id}/resume"), Value::Null))?;
+        resp["jobId"].as_i64().ok_or(ClientError::Transport("server returned no job id".into()))
+    }
+
+    /// The engine pool's aggregate counters
+    /// (`GET /execution/pool/stats` — workers, queue depth, submitted /
+    /// completed / failed / cancelled / rejected totals).
+    pub fn pool_stats(&self) -> Result<Value, ClientError> {
+        self.call(&web::get("/execution/pool/stats"))
+    }
+
     /// Poll a job until it finishes or `timeout` passes. Polling backs
     /// off exponentially (2 ms doubling to a 50 ms cap), so long jobs
     /// cost a handful of requests instead of hammering the server.
@@ -533,6 +600,9 @@ impl LaminarClient {
         for event in self.event_stream(job_id, timeout) {
             match event {
                 Ok(event) => on_event(&event),
+                // The stream recovered from eviction at an epoch marker —
+                // keep reporting from there.
+                Err(ClientError::Resumed { .. }) => {}
                 // A lost stream (log truncation, transport hiccup) must
                 // not lose a retrievable result — fall through to the
                 // result poll below.
@@ -597,13 +667,26 @@ impl Iterator for JobEventStream<'_> {
                 Ok(page) => {
                     // The server's log is bounded: if the oldest retained
                     // seq moved past our cursor, events were evicted before
-                    // we read them. Surface the gap instead of silently
+                    // we read them. A checkpointed job leaves epoch markers
+                    // in the stream, and an epoch's state summarizes every
+                    // event before it — so when the retained window holds
+                    // one, resume from the earliest marker (non-fatal,
+                    // iteration continues there). Without a checkpoint the
+                    // gap is unrecoverable: surface it instead of silently
                     // yielding a divergent stream.
                     if self.cursor < page.first {
+                        let epoch_at = page.events.iter().position(|e| e["type"].as_str() == Some("epoch"));
+                        if let Some(pos) = epoch_at {
+                            let at_epoch = page.events[pos]["epoch"].as_i64().unwrap_or(0);
+                            self.buffered.extend(page.events.into_iter().skip(pos));
+                            self.cursor = page.next;
+                            self.closed = page.closed;
+                            return Some(Err(ClientError::Resumed { job: self.job_id, at_epoch }));
+                        }
                         self.failed = true;
                         return Some(Err(ClientError::Transport(format!(
                             "job {} event log truncated: events {}..{} were evicted before they were \
-                             read (poll faster or fold from the job result)",
+                             read (poll faster, checkpoint the run, or fold from the job result)",
                             self.job_id, self.cursor, page.first
                         ))));
                     }
@@ -945,6 +1028,140 @@ mod tests {
             c.event_stream(4242, std::time::Duration::from_secs(1)).collect();
         assert_eq!(items.len(), 1);
         assert!(matches!(items[0], Err(ClientError::Api { status: 404, .. })));
+    }
+
+    #[test]
+    fn checkpointed_submit_streams_epoch_markers_and_matches_batch() {
+        let mut c = logged_in_client();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c
+            .submit(
+                RunTarget::Registered("isPrime".into()),
+                RunConfig::iterations(20).with_checkpoints(6).with_events(true),
+            )
+            .unwrap();
+        let events: Vec<Value> =
+            c.event_stream(id, std::time::Duration::from_secs(20)).collect::<Result<_, _>>().unwrap();
+        let epochs: Vec<i64> = events
+            .iter()
+            .filter(|e| e["type"].as_str() == Some("epoch"))
+            .filter_map(|e| e["epoch"].as_i64())
+            .collect();
+        assert_eq!(epochs, vec![1, 2, 3], "20 iterations at interval 6 cross three full chunks");
+        for e in events.iter().filter(|e| e["type"].as_str() == Some("epoch")) {
+            assert!(e["state"].as_array().is_some(), "epoch carries the instance snapshots: {e:?}");
+        }
+        // Checkpointing never changes what the run computes.
+        let out = c.wait_job(id, std::time::Duration::from_secs(5)).unwrap();
+        let plain = c.run_registered("isPrime", RunConfig::iterations(20)).unwrap();
+        assert_eq!(out.printed, plain.printed);
+    }
+
+    #[test]
+    fn event_stream_resumes_from_an_epoch_after_eviction() {
+        // Same eviction as event_stream_detects_server_side_truncation,
+        // but the run is checkpointed: the retained window holds epoch
+        // markers, so the stream recovers with a non-fatal Resumed notice
+        // and continues from the earliest retained epoch.
+        let mut c = logged_in_client();
+        let src = r#"
+            pe Gen : producer { output output; process { emit(iteration); } }
+            workflow Flood { nodes { g = Gen; } }
+        "#;
+        let id = c
+            .submit(
+                RunTarget::Source(src.into()),
+                RunConfig::iterations(9000).with_checkpoints(500).with_events(true),
+            )
+            .unwrap();
+        c.wait_job(id, std::time::Duration::from_secs(60)).unwrap();
+        let mut stream = c.event_stream(id, std::time::Duration::from_secs(10));
+        let (job, at_epoch) = match stream.next() {
+            Some(Err(ClientError::Resumed { job, at_epoch })) => (job, at_epoch),
+            other => panic!("expected the Resumed notice, got {other:?}"),
+        };
+        assert_eq!(job, id);
+        assert!(at_epoch >= 1, "resumed from a real epoch, got {at_epoch}");
+        // The stream continues: first an epoch marker (the resume point),
+        // then the tail of the run through the done marker.
+        let rest: Vec<Value> = stream.collect::<Result<_, _>>().expect("no further errors");
+        assert_eq!(rest.first().unwrap()["type"].as_str(), Some("epoch"));
+        assert_eq!(rest.first().unwrap()["epoch"].as_i64(), Some(at_epoch));
+        assert_eq!(rest.last().unwrap()["type"].as_str(), Some("done"));
+        // The recovered suffix is gap-free.
+        let seqs: Vec<i64> = rest.iter().filter_map(|e| e["seq"].as_i64()).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "contiguous after resume");
+    }
+
+    /// A transport that fails the next `fail_next` calls before reaching
+    /// the wrapped in-process server — the transient-connection-error
+    /// model for the retry tests.
+    struct FlakyTransport {
+        inner: InProcessTransport,
+        fail_next: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        calls: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl crate::web::Transport for FlakyTransport {
+        fn call(&self, request: &laminar_server::ApiRequest) -> Result<ApiResponse, String> {
+            use std::sync::atomic::Ordering;
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let remaining = self.fail_next.load(Ordering::SeqCst);
+            if remaining > 0 {
+                self.fail_next.store(remaining - 1, Ordering::SeqCst);
+                return Err("connection reset by peer".into());
+            }
+            self.inner.call(request)
+        }
+
+        fn endpoint(&self) -> String {
+            "flaky".to_string()
+        }
+    }
+
+    #[test]
+    fn idempotent_gets_are_retried_but_mutations_fail_fast() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let fail_next = Arc::new(AtomicUsize::new(0));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let transport = FlakyTransport {
+            inner: InProcessTransport::new(LaminarServer::in_memory()),
+            fail_next: Arc::clone(&fail_next),
+            calls: Arc::clone(&calls),
+        };
+        let mut c = LaminarClient::with_transport(Box::new(transport));
+        c.register("zz46", "password").unwrap();
+        c.login("zz46", "password").unwrap();
+
+        // A GET rides out two transient failures (attempt 3 succeeds).
+        fail_next.store(2, Ordering::SeqCst);
+        let before = calls.load(Ordering::SeqCst);
+        let stats = c.pool_stats().expect("third attempt reaches the server");
+        assert!(stats["workers"].as_i64().unwrap() > 0);
+        assert_eq!(calls.load(Ordering::SeqCst) - before, 3);
+
+        // Three consecutive failures exhaust the retry budget.
+        fail_next.store(3, Ordering::SeqCst);
+        let before = calls.load(Ordering::SeqCst);
+        assert!(matches!(c.job_status(1), Err(ClientError::Transport(_))));
+        assert_eq!(calls.load(Ordering::SeqCst) - before, 3, "max 3 attempts");
+
+        // A POST is never retried: it may have been applied server-side
+        // before the connection dropped.
+        fail_next.store(1, Ordering::SeqCst);
+        let before = calls.load(Ordering::SeqCst);
+        assert!(matches!(
+            c.register_pe("pe X : producer { output o; process { emit(1); } }", None),
+            Err(ClientError::Transport(_))
+        ));
+        assert_eq!(calls.load(Ordering::SeqCst) - before, 1, "mutations get exactly one attempt");
+    }
+
+    #[test]
+    fn resume_job_for_unknown_job_is_404() {
+        let c = logged_in_client();
+        assert!(matches!(c.resume_job(777), Err(ClientError::Api { status: 404, .. })));
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub enum DataflowError {
     /// stream, and consumers see a `Cancelled` terminal marker instead of
     /// an error.
     Cancelled,
+    /// A deliberately injected failure (see [`crate::fault::FaultPlan`]):
+    /// the run was killed at the named epoch by the chaos harness. The
+    /// checkpoint sealed just before the kill is durable, so a job that
+    /// dies this way is resumable.
+    Injected {
+        /// The epoch whose seal triggered the kill.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for DataflowError {
@@ -33,6 +41,9 @@ impl fmt::Display for DataflowError {
             DataflowError::Enactment(m) => write!(f, "enactment error: {m}"),
             DataflowError::Options(m) => write!(f, "options error: {m}"),
             DataflowError::Cancelled => write!(f, "run cancelled"),
+            DataflowError::Injected { epoch } => {
+                write!(f, "injected fault: run killed after epoch {epoch}")
+            }
         }
     }
 }

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod mapping;
 pub mod pe;
@@ -54,10 +55,11 @@ pub mod ports;
 pub mod routing;
 
 pub use error::DataflowError;
+pub use fault::FaultPlan;
 pub use graph::{Connection, NodeId, WorkflowGraph};
 pub use mapping::{
-    fold_events, CancelToken, EventFold, MappingKind, RecordingObserver, RunEvent, RunInput, RunObserver,
-    RunOptions, RunResult, RunStats, SourceGenerator, StageTimings,
+    fold_events, CancelToken, EventFold, MappingKind, RecordingObserver, ResumePoint, RunEvent, RunInput,
+    RunObserver, RunOptions, RunResult, RunStats, SourceGenerator, StageTimings,
 };
 pub use pe::{consumer_fn, iterative_fn, producer_fn, NativePe, Pe, PeFactory, PeMeta, ScriptPeFactory};
 pub use planner::{ConcretePlan, InstanceId};

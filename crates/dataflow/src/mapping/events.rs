@@ -88,6 +88,22 @@ pub enum RunEvent {
         /// Emission attempts the instance made.
         emitted: u64,
     },
+    /// An epoch boundary: the enactment is quiescent (no data in flight)
+    /// and every instance's durable state has been captured. `state` is
+    /// the checkpoint payload — an array of per-instance snapshots in
+    /// dense plan order (see `InstanceRunner::snapshot`) — which the
+    /// engine's journal persists; a resumed run rebuilds its instances
+    /// from the latest `Epoch` and replays the events that preceded it.
+    /// Folds as a marker, not data: `fold(events with epochs)` equals
+    /// `fold(events without)`, which is what makes the refold identity
+    /// `fold(checkpoint + replayed events) == fold(batch)` well-defined.
+    Epoch {
+        /// Epoch number, starting at 1 (epoch `k` covers the first
+        /// `k * checkpoint_every` source iterations).
+        id: u64,
+        /// Per-instance snapshots, in dense plan-instance order.
+        state: Value,
+    },
     /// The run completed: final stats (timings are only known here).
     /// Terminal event of a successful stream.
     Finished {
@@ -134,6 +150,9 @@ impl RunEvent {
                     .set("instance", *instance)
                     .set("processed", *processed as i64)
                     .set("emitted", *emitted as i64);
+            }
+            RunEvent::Epoch { id, state } => {
+                v.set("type", "epoch").set("epoch", *id as i64).set("state", state.clone());
             }
             RunEvent::Finished { stats } => {
                 v.set("type", "finished")
@@ -189,6 +208,10 @@ impl RunEvent {
                 instance: instance()?,
                 processed: v["processed"].as_i64().unwrap_or(0).max(0) as u64,
                 emitted: v["emitted"].as_i64().unwrap_or(0).max(0) as u64,
+            },
+            "epoch" => RunEvent::Epoch {
+                id: v["epoch"].as_i64().unwrap_or(0).max(0) as u64,
+                state: v["state"].clone(),
             },
             "finished" => {
                 let us = |field: &str| Duration::from_micros(v[field].as_i64().unwrap_or(0).max(0) as u64);
@@ -273,6 +296,10 @@ impl EventFold {
             // A terminal marker, not data: folding a cancelled stream
             // yields exactly the prefix-fold of the events before it.
             RunEvent::Cancelled => {}
+            // A checkpoint marker, not data: folding a checkpointed
+            // stream yields the same outputs/prints/counters as the
+            // uncheckpointed one.
+            RunEvent::Epoch { .. } => {}
         }
     }
 
@@ -364,6 +391,19 @@ impl EventSink {
         let mut inner = self.inner.lock();
         for ev in buf.drain(..) {
             self.push_locked(&mut inner, ev);
+        }
+    }
+
+    /// Fold an already-observed prefix into the sink without re-observing
+    /// it: the resume path replays journaled events through here so the
+    /// resumed run's `RunResult` covers the whole job, while the observer
+    /// (whose log was pre-filled separately) only sees the live tail.
+    /// Advances `seq` so live events continue the journaled numbering.
+    pub fn preload(&self, events: impl IntoIterator<Item = RunEvent>) {
+        let mut inner = self.inner.lock();
+        for ev in events {
+            inner.seq += 1;
+            inner.fold.push(ev);
         }
     }
 
@@ -522,6 +562,7 @@ mod tests {
                 RunEvent::InstanceFinished { pe: arc("A"), instance: 0, processed: 1, emitted: 2 },
                 "instance_done",
             ),
+            (RunEvent::Epoch { id: 3, state: Value::Array(vec![Value::Int(1)]) }, "epoch"),
             (RunEvent::Finished { stats: RunStats::default() }, "finished"),
             (RunEvent::Cancelled, "cancelled"),
         ];
@@ -540,6 +581,7 @@ mod tests {
             RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(3) },
             RunEvent::Print { pe: arc("A"), instance: 0, line: "x".into() },
             RunEvent::InstanceFinished { pe: arc("A"), instance: 0, processed: 1, emitted: 2 },
+            RunEvent::Epoch { id: 2, state: Value::Array(vec![Value::Null, Value::Int(5)]) },
             RunEvent::Cancelled,
         ];
         for ev in cases {
@@ -579,5 +621,39 @@ mod tests {
         let cancelled = fold_events(events.into_iter().chain([RunEvent::Cancelled]));
         assert_eq!(cancelled.outputs, prefix.outputs);
         assert_eq!(cancelled.stats, prefix.stats, "Cancelled is not counted and carries no stats");
+    }
+
+    #[test]
+    fn epoch_marker_folds_as_a_no_op() {
+        let events = vec![
+            RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(4) },
+            RunEvent::Print { pe: arc("A"), instance: 0, line: "p".into() },
+        ];
+        let plain = fold_events(events.clone());
+        let mut with_epochs = vec![events[0].clone()];
+        with_epochs.push(RunEvent::Epoch { id: 1, state: Value::Array(vec![Value::Int(7)]) });
+        with_epochs.push(events[1].clone());
+        with_epochs.push(RunEvent::Epoch { id: 2, state: Value::Array(vec![Value::Int(9)]) });
+        let folded = fold_events(with_epochs);
+        assert_eq!(folded.outputs, plain.outputs);
+        assert_eq!(folded.printed, plain.printed);
+        assert_eq!(folded.stats, plain.stats, "Epoch is a marker, not data");
+    }
+
+    #[test]
+    fn preload_folds_without_observing_and_advances_seq() {
+        let recorder = RecordingObserver::new();
+        let sink = EventSink::new(Some(Arc::clone(&recorder) as Arc<dyn RunObserver>));
+        sink.preload(vec![
+            RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(1) },
+            RunEvent::Epoch { id: 1, state: Value::Null },
+        ]);
+        sink.push(RunEvent::Output { pe: arc("A"), instance: 0, port: arc("o"), value: Value::Int(2) });
+        let recorded = recorder.take();
+        assert_eq!(recorded.len(), 1, "preloaded events bypass the observer");
+        assert_eq!(recorded[0].0, 2, "live seq continues after the preloaded prefix");
+        let (fold, _) = sink.take_fold();
+        let result = fold.finish();
+        assert_eq!(result.port_values("A", "o"), &[Value::Int(1), Value::Int(2)]);
     }
 }

@@ -26,7 +26,7 @@ mod simple;
 pub mod worker;
 
 pub use cancel::CancelToken;
-pub use events::{fold_events, EventFold, RecordingObserver, RunEvent, RunObserver};
+pub use events::{fold_events, EventFold, EventSink, RecordingObserver, RunEvent, RunObserver};
 pub use mpi::{Communicator, Envelope, MpiMapping, RankEndpoint, TAG_DATA, TAG_EOS};
 pub use multi::MultiMapping;
 pub use redis::RedisMapping;
@@ -156,6 +156,34 @@ pub struct RunOptions {
     /// VM is tested against; this flag keeps it reachable end-to-end (and
     /// is the escape hatch if a compiled body ever misbehaves).
     pub interpret_scripts: bool,
+    /// Checkpoint interval in source iterations. `0` (the default)
+    /// disables checkpointing; `n > 0` makes the runtime enact in
+    /// *rounds* of `n` iterations, draining to quiescence between rounds
+    /// and emitting a [`RunEvent::Epoch`] snapshot of every instance's
+    /// durable state at each boundary (see [`runtime`] docs).
+    pub checkpoint_every: usize,
+    /// Deterministic fault schedule for the chaos suites (empty in
+    /// production).
+    pub faults: crate::fault::FaultPlan,
+    /// Resume from a checkpoint: rebuild instances from `snapshots`, skip
+    /// the source iterations the checkpoint covers, and fold the replayed
+    /// event prefix into the result. Produced by the engine's journal.
+    pub resume: Option<ResumePoint>,
+}
+
+/// Where a resumed run picks up: the last complete epoch's snapshot plus
+/// the events that preceded it (see [`RunOptions::resume`]).
+#[derive(Debug, Clone)]
+pub struct ResumePoint {
+    /// The epoch being resumed from (`iterations_done = epoch *
+    /// checkpoint_every`).
+    pub epoch: u64,
+    /// Per-instance snapshots in dense plan order — the `state` payload
+    /// of the epoch's [`RunEvent::Epoch`].
+    pub snapshots: Value,
+    /// The journaled event prefix up to and including that epoch, folded
+    /// into the resumed result via [`events::EventSink::preload`].
+    pub events: Vec<RunEvent>,
 }
 
 impl Default for RunOptions {
@@ -170,6 +198,9 @@ impl Default for RunOptions {
             queue_timeout: Duration::from_secs(10),
             cancel: CancelToken::new(),
             interpret_scripts: false,
+            checkpoint_every: 0,
+            faults: crate::fault::FaultPlan::default(),
+            resume: None,
         }
     }
 }
@@ -209,6 +240,25 @@ impl RunOptions {
     /// compiled VM (see [`RunOptions::interpret_scripts`]).
     pub fn with_interpreter(mut self, on: bool) -> RunOptions {
         self.interpret_scripts = on;
+        self
+    }
+
+    /// Checkpoint every `n` source iterations (`0` disables — the
+    /// default). See [`RunOptions::checkpoint_every`].
+    pub fn with_checkpoints(mut self, n: usize) -> RunOptions {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Attach a deterministic fault schedule (chaos tests).
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> RunOptions {
+        self.faults = faults;
+        self
+    }
+
+    /// Resume from a checkpoint (see [`ResumePoint`]).
+    pub fn with_resume(mut self, resume: ResumePoint) -> RunOptions {
+        self.resume = Some(resume);
         self
     }
 

@@ -74,6 +74,10 @@ impl Connector for ChannelConnector {
     type Transport = ChannelTransport;
 
     fn connect(&mut self, _graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError> {
+        // Checkpointed runs reconnect once per round: start from a clean
+        // slate so dense indices line up with the fresh channels.
+        self.senders.clear();
+        self.receivers.clear();
         for _ in 0..plan.total_processes {
             let (tx, rx) = channel();
             self.senders.push(tx);
@@ -238,6 +242,38 @@ mod tests {
             DataflowError::PeFailed { pe, .. } => assert_eq!(pe, "Bad"),
             DataflowError::Enactment(_) => {} // peer saw the closed channel first
             other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_stream_worker_error_does_not_strand_its_peers() {
+        // Regression: a PE that fails while its upstream producer is still
+        // mid-stream used to deadlock the enactment — the dead relay
+        // dropped its receiver without draining or propagating EOS, the
+        // producer hit a closed channel before it could send EOS, and the
+        // surviving relay blocked in `recv` forever (its own transport
+        // holds a sender to its channel, so it never disconnects). The
+        // injected send delay pins the producer mid-stream at the moment
+        // `Bad` dies, making the former deadlock deterministic. With the
+        // failure wind-down in `run_worker` the run must end promptly, and
+        // with the *PE's* error: nobody observes a closed channel.
+        use crate::fault::FaultPlan;
+        let src = r#"
+            pe Nums : producer { output output; process { emit(iteration); } }
+            pe Bad : iterative { input x; output output; process { emit(x / (x - 2)); } }
+        "#;
+        let mut g = WorkflowGraph::new("strand");
+        let a = g.add_script_pe(src, "Nums").unwrap();
+        let b = g.add_script_pe(src, "Bad").unwrap();
+        g.connect(a, "output", b, "x").unwrap();
+        let opts = RunOptions::iterations(40).with_processes(3).with_faults(FaultPlan {
+            delay_send: Some(std::time::Duration::from_millis(1)),
+            ..FaultPlan::none()
+        });
+        let err = MultiMapping.execute(&g, &opts).unwrap_err();
+        match err {
+            DataflowError::PeFailed { pe, .. } => assert_eq!(pe, "Bad"),
+            other => panic!("expected the PE failure, got {other:?}"),
         }
     }
 

@@ -59,7 +59,7 @@
 
 use super::events::{EventSink, RunEvent, RunObserver};
 use super::worker::{
-    emissions_to_events, plan_pes, run_worker, Emissions, InstanceRunner, RoutedDatum, Transport,
+    emissions_to_events, plan_pes, run_worker, Emissions, InstanceRunner, RoutedDatum, SourceRange, Transport,
 };
 use super::{RunOptions, RunResult, StageTimings};
 use crate::error::DataflowError;
@@ -76,12 +76,16 @@ pub trait Connector {
     type Transport: Transport + Send;
 
     /// Set up the shared substrate (channels, rank tables, queues) once the
-    /// concrete plan is known. Called exactly once, before any
-    /// [`Connector::endpoint`] call.
+    /// concrete plan is known. Called once per enactment *round* — plain
+    /// runs have exactly one; checkpointed runs reconnect between epochs
+    /// (each round drains to EOS, so the previous substrate is empty and
+    /// fully consumed when this is called again). Implementations must
+    /// rebuild from scratch on every call.
     fn connect(&mut self, graph: &WorkflowGraph, plan: &ConcretePlan) -> Result<(), DataflowError>;
 
     /// Produce the transport endpoint for one instance. Called exactly once
-    /// per planned instance, after [`Connector::connect`].
+    /// per planned instance per round, after that round's
+    /// [`Connector::connect`].
     fn endpoint(&mut self, inst: InstanceId) -> Result<Self::Transport, DataflowError>;
 
     /// Hook invoked after every worker holds its endpoint; connectors drop
@@ -120,27 +124,19 @@ impl<'a> Runtime<'a> {
     ) -> Result<RunResult, DataflowError> {
         let t0 = Instant::now();
         let plan = ConcretePlan::sequential(self.graph)?;
-        // Flat runner storage indexed by the plan's dense instance id — the
-        // per-datum lookup is an array index, not a `BTreeMap` walk.
-        let mut runners: Vec<InstanceRunner> = Vec::with_capacity(plan.total_processes);
-        for inst in plan.all_instances() {
-            runners.push(InstanceRunner::with_backend(
-                self.graph,
-                &plan,
-                inst,
-                self.options.interpret_scripts,
-            )?);
-        }
-        let sources: Vec<usize> =
-            runners.iter().enumerate().filter(|(_, r)| r.is_source()).map(|(i, _)| i).collect();
         let sink = EventSink::new(observer);
         // The sequential drain pushes events in execution order, so first-
         // output timing is real even without an observer.
         sink.set_realtime();
-        sink.push(RunEvent::PlanReady { pes: plan_pes(self.graph, &plan) });
-        for r in &runners {
-            sink.push(RunEvent::InstanceStarted { pe: Arc::clone(&r.node_name), instance: r.inst.index });
+        let (mut epoch, mut snapshots) = self.resume_into(&sink);
+        if self.options.resume.is_none() {
+            sink.push(RunEvent::PlanReady { pes: plan_pes(self.graph, &plan) });
         }
+        // Flat runner storage indexed by the plan's dense instance id — the
+        // per-datum lookup is an array index, not a `BTreeMap` walk.
+        let mut runners = self.build_runners(&plan, snapshots.as_ref())?;
+        let sources: Vec<usize> =
+            runners.iter().enumerate().filter(|(_, r)| r.is_source()).map(|(i, _)| i).collect();
         let plan_time = t0.elapsed();
 
         sink.start_enact();
@@ -149,62 +145,83 @@ impl<'a> Runtime<'a> {
         let mut queue: VecDeque<RoutedDatum> = VecDeque::new();
         let mut emissions = Emissions::default();
         let mut scratch: Vec<RunEvent> = Vec::new();
-        // Absorb one invocation's emissions: routed data queues for the
-        // breadth-first drain, terminal outputs and prints become events.
-        let absorb = |runner: &InstanceRunner,
-                      emissions: &mut Emissions,
-                      queue: &mut VecDeque<RoutedDatum>,
-                      scratch: &mut Vec<RunEvent>| {
-            queue.extend(emissions.routed.drain(..));
-            emissions_to_events(&runner.node_name, runner.inst.index, &ports, emissions, scratch);
-            sink.extend(scratch);
-        };
-        // The drive loop. Cancellation is checked before every PE
-        // invocation, so a cancelled run stops at an invocation boundary:
-        // the events it emitted are exactly a prefix of the stream the
-        // uncancelled (deterministic) run would have produced.
         let cancel = &self.options.cancel;
+        let chunk = self.options.checkpoint_every;
         let limit = self.options.bounded_invocations();
         let pace = self.options.pace();
-        let mut i = 0usize;
-        'drive: loop {
-            if cancel.is_cancelled() {
-                sink.emit_cancelled();
-                return Err(DataflowError::Cancelled);
+        // The round loop: with checkpointing off there is exactly one
+        // round covering the whole input; otherwise each round drives
+        // `chunk` global iterations, drains to quiescence, snapshots, and
+        // rebuilds its runners from the snapshot — so the restore path is
+        // exercised at every epoch, not only after a crash.
+        loop {
+            let range = Self::round_range(chunk, limit, epoch);
+            for r in &runners {
+                sink.push(RunEvent::InstanceStarted { pe: Arc::clone(&r.node_name), instance: r.inst.index });
             }
-            if limit.is_some_and(|n| i >= n) {
-                break;
-            }
-            for &s in &sources {
-                runners[s].run_iteration(self.options.datum_for(i), &mut emissions)?;
-                absorb(&runners[s], &mut emissions, &mut queue, &mut scratch);
-                while let Some(d) = queue.pop_front() {
-                    if cancel.is_cancelled() {
-                        sink.emit_cancelled();
-                        return Err(DataflowError::Cancelled);
-                    }
-                    let dense = plan.dense(d.dest);
-                    runners[dense].run_datum(d.port, Value::unshare(d.value), &mut emissions)?;
-                    absorb(&runners[dense], &mut emissions, &mut queue, &mut scratch);
-                }
+            // Absorb one invocation's emissions: routed data queues for the
+            // breadth-first drain, terminal outputs and prints become events.
+            let absorb = |runner: &InstanceRunner,
+                          emissions: &mut Emissions,
+                          queue: &mut VecDeque<RoutedDatum>,
+                          scratch: &mut Vec<RunEvent>| {
+                queue.extend(emissions.routed.drain(..));
+                emissions_to_events(&runner.node_name, runner.inst.index, &ports, emissions, scratch);
+                sink.extend(scratch);
+            };
+            // The drive loop. Cancellation is checked before every PE
+            // invocation, so a cancelled run stops at an invocation
+            // boundary: the events it emitted are exactly a prefix of the
+            // stream the uncancelled (deterministic) run would have
+            // produced.
+            let mut i = range.base;
+            'drive: loop {
                 if cancel.is_cancelled() {
-                    continue 'drive; // re-check at the loop head, which stops the run
+                    sink.emit_cancelled();
+                    return Err(DataflowError::Cancelled);
+                }
+                if range.end.is_some_and(|n| i >= n) {
+                    break;
+                }
+                for &s in &sources {
+                    runners[s].run_iteration(self.options.datum_for(i), &mut emissions)?;
+                    absorb(&runners[s], &mut emissions, &mut queue, &mut scratch);
+                    while let Some(d) = queue.pop_front() {
+                        if cancel.is_cancelled() {
+                            sink.emit_cancelled();
+                            return Err(DataflowError::Cancelled);
+                        }
+                        let dense = plan.dense(d.dest);
+                        runners[dense].run_datum(d.port, Value::unshare(d.value), &mut emissions)?;
+                        absorb(&runners[dense], &mut emissions, &mut queue, &mut scratch);
+                    }
+                    if cancel.is_cancelled() {
+                        continue 'drive; // re-check at the loop head, which stops the run
+                    }
+                }
+                i += 1;
+                if !pace.is_zero() {
+                    // Interruptible: a DELETE mid-pace stops the run within
+                    // a sleep slice, not after the full (caller-chosen) pace.
+                    cancel.sleep_cancellable(pace);
                 }
             }
-            i += 1;
-            if !pace.is_zero() {
-                // Interruptible: a DELETE mid-pace stops the run within
-                // a sleep slice, not after the full (caller-chosen) pace.
-                cancel.sleep_cancellable(pace);
+            // Per-round counters: the event fold sums `instance_done`
+            // deltas, so round totals add up to exactly the batch figures.
+            for r in &runners {
+                sink.push(RunEvent::InstanceFinished {
+                    pe: Arc::clone(&r.node_name),
+                    instance: r.inst.index,
+                    processed: r.stats.processed,
+                    emitted: r.stats.emitted,
+                });
             }
-        }
-        for r in &runners {
-            sink.push(RunEvent::InstanceFinished {
-                pe: Arc::clone(&r.node_name),
-                instance: r.inst.index,
-                processed: r.stats.processed,
-                emitted: r.stats.emitted,
-            });
+            match self.seal_round(&sink, &runners, chunk, limit, range, &mut epoch, &mut snapshots)? {
+                RoundOutcome::Continue => {
+                    runners = self.build_runners(&plan, snapshots.as_ref())?;
+                }
+                RoundOutcome::Done => break,
+            }
         }
         let enact_time = enact_t0.elapsed();
 
@@ -228,57 +245,165 @@ impl<'a> Runtime<'a> {
     ) -> Result<RunResult, DataflowError> {
         let t0 = Instant::now();
         let plan = ConcretePlan::distribute(self.graph, self.options.processes)?;
-        // Build runners up-front so graph errors surface before spawning.
-        let mut runners = Vec::with_capacity(plan.total_processes);
-        for inst in plan.all_instances() {
-            runners.push(InstanceRunner::with_backend(
-                self.graph,
-                &plan,
-                inst,
-                self.options.interpret_scripts,
-            )?);
-        }
-        connector.connect(self.graph, &plan)?;
-        let mut workers = Vec::with_capacity(runners.len());
-        for runner in runners {
-            let transport = connector.endpoint(runner.inst)?;
-            workers.push((runner, transport));
-        }
         let sink = EventSink::new(observer);
-        sink.push(RunEvent::PlanReady { pes: plan_pes(self.graph, &plan) });
+        let (mut epoch, mut snapshots) = self.resume_into(&sink);
+        if self.options.resume.is_none() {
+            sink.push(RunEvent::PlanReady { pes: plan_pes(self.graph, &plan) });
+        }
+        // Build runners up-front so graph errors surface before spawning.
+        let mut runners = self.build_runners(&plan, snapshots.as_ref())?;
         let plan_time = t0.elapsed();
 
         sink.start_enact();
         let enact_t0 = Instant::now();
+        let chunk = self.options.checkpoint_every;
+        let limit = self.options.bounded_invocations();
         let options = self.options;
         let plan_ref = &plan;
         let sink_ref = &sink;
-        let buffers = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers.len());
-            for (runner, transport) in workers {
-                handles.push(scope.spawn(move || run_worker(runner, transport, plan_ref, options, sink_ref)));
+        // The round loop: each round is a full sub-enactment — connect,
+        // spawn, drain to EOS, join — so the post-join point is globally
+        // quiescent: no datum is in flight on any transport, making the
+        // epoch snapshot consistent without a barrier protocol.
+        loop {
+            let range = Self::round_range(chunk, limit, epoch);
+            connector.connect(self.graph, &plan)?;
+            let mut endpoints = Vec::with_capacity(runners.len());
+            for runner in &runners {
+                endpoints.push(connector.endpoint(runner.inst)?);
             }
-            connector.on_workers_started();
-            join_workers(handles)
-        })?;
+            let buffers = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(runners.len());
+                for (runner, transport) in runners.iter_mut().zip(endpoints) {
+                    handles
+                        .push(scope.spawn(move || {
+                            run_worker(runner, transport, plan_ref, options, range, sink_ref)
+                        }));
+                }
+                connector.on_workers_started();
+                join_workers(handles)
+            })?;
+
+            // Workers wind down cooperatively on cancellation (sources stop
+            // producing and propagate EOS, relays drain-and-discard), so the
+            // join above is clean — but the run did not complete: seal the
+            // stream with the Cancelled marker instead of folding a result.
+            if self.options.cancel.is_cancelled() {
+                sink.emit_cancelled();
+                return Err(DataflowError::Cancelled);
+            }
+
+            // Unobserved workers returned their buffered events; fold them in
+            // dense-instance (spawn) order so the batch result is
+            // deterministic. Observed workers already flushed (empty buffers).
+            for mut events in buffers {
+                sink.extend(&mut events);
+            }
+            match self.seal_round(&sink, &runners, chunk, limit, range, &mut epoch, &mut snapshots)? {
+                RoundOutcome::Continue => {
+                    runners = self.build_runners(&plan, snapshots.as_ref())?;
+                }
+                RoundOutcome::Done => break,
+            }
+        }
         let enact_time = enact_t0.elapsed();
 
-        // Workers wind down cooperatively on cancellation (sources stop
-        // producing and propagate EOS, relays drain-and-discard), so the
-        // join above is clean — but the run did not complete: seal the
-        // stream with the Cancelled marker instead of folding a result.
-        if self.options.cancel.is_cancelled() {
-            sink.emit_cancelled();
-            return Err(DataflowError::Cancelled);
-        }
-
-        // Unobserved workers returned their buffered events; fold them in
-        // dense-instance (spawn) order so the batch result is
-        // deterministic. Observed workers already flushed (empty buffers).
-        for mut events in buffers {
-            sink.extend(&mut events);
-        }
         Ok(Self::collect(&sink, t0, plan_time, enact_time, self.compile_time()))
+    }
+
+    /// Apply a resume point: fold the journaled event prefix into the sink
+    /// without re-observing it (consumers already saw those events in the
+    /// original run), and hand back the epoch and snapshot set to restart
+    /// from. A fresh run starts at epoch 0 with no snapshots.
+    fn resume_into(&self, sink: &EventSink) -> (u64, Option<Value>) {
+        match &self.options.resume {
+            Some(r) => {
+                sink.preload(r.events.iter().cloned());
+                (r.epoch, Some(r.snapshots.clone()))
+            }
+            None => (0, None),
+        }
+    }
+
+    /// Build one runner per planned instance, restoring each from the
+    /// dense-indexed `snapshots` array when resuming or starting a
+    /// checkpointed round. Restore runs after `setup`, mirroring a process
+    /// that re-initialised and then loaded its checkpoint.
+    fn build_runners(
+        &self,
+        plan: &ConcretePlan,
+        snapshots: Option<&Value>,
+    ) -> Result<Vec<InstanceRunner>, DataflowError> {
+        let mut runners = Vec::with_capacity(plan.total_processes);
+        for inst in plan.all_instances() {
+            let mut r = InstanceRunner::with_backend(self.graph, plan, inst, self.options.interpret_scripts)?;
+            if let Some(snap) = snapshots.and_then(|s| s.as_array()).and_then(|a| a.get(runners.len())) {
+                r.restore(snap);
+            }
+            runners.push(r);
+        }
+        Ok(runners)
+    }
+
+    /// The dense snapshot array for the current runner set, in plan order —
+    /// the `state` payload of [`RunEvent::Epoch`].
+    fn collect_snapshots(runners: &[InstanceRunner]) -> Value {
+        Value::Array(runners.iter().map(InstanceRunner::snapshot).collect())
+    }
+
+    /// The global source-iteration window for the round following `epoch`
+    /// completed epochs. With checkpointing off the single round covers the
+    /// whole input.
+    fn round_range(chunk: usize, limit: Option<usize>, epoch: u64) -> SourceRange {
+        if chunk == 0 {
+            return SourceRange { base: 0, end: limit };
+        }
+        let base = epoch as usize * chunk;
+        let end = match limit {
+            Some(l) => (base + chunk).min(l),
+            None => base + chunk,
+        };
+        SourceRange { base, end: Some(end) }
+    }
+
+    /// Seal one completed round: if it covered a full chunk, advance the
+    /// epoch — snapshot every runner at this quiescent point, publish the
+    /// [`RunEvent::Epoch`] marker, and apply any injected faults — then
+    /// decide whether another round follows. Partial final rounds get no
+    /// epoch: their events are only ever replayed, never resumed past.
+    #[allow(clippy::too_many_arguments)]
+    fn seal_round(
+        &self,
+        sink: &EventSink,
+        runners: &[InstanceRunner],
+        chunk: usize,
+        limit: Option<usize>,
+        range: SourceRange,
+        epoch: &mut u64,
+        snapshots: &mut Option<Value>,
+    ) -> Result<RoundOutcome, DataflowError> {
+        let full_chunk = chunk > 0 && range.end == Some(range.base + chunk);
+        if !full_chunk {
+            return Ok(RoundOutcome::Done);
+        }
+        *epoch += 1;
+        let snaps = Self::collect_snapshots(runners);
+        sink.push(RunEvent::Epoch { id: *epoch, state: snaps.clone() });
+        *snapshots = Some(snaps);
+        let faults = &self.options.faults;
+        if faults.should_kill_after(*epoch) {
+            // The injected crash: the Epoch marker above already reached the
+            // observer (and any journal behind it) — the run dies *after*
+            // persisting, exactly like a process killed between epochs.
+            return Err(DataflowError::Injected { epoch: *epoch });
+        }
+        if faults.should_stop_after(*epoch) {
+            return Ok(RoundOutcome::Done);
+        }
+        if limit.is_some_and(|l| *epoch as usize * chunk >= l) {
+            return Ok(RoundOutcome::Done);
+        }
+        Ok(RoundOutcome::Continue)
     }
 
     /// Total script-compilation time across the graph's factories — paid at
@@ -312,6 +437,13 @@ impl<'a> Runtime<'a> {
         sink.emit_finished(&result.stats);
         result
     }
+}
+
+/// What follows a sealed round: another round (checkpointing, input left)
+/// or the end of enactment.
+enum RoundOutcome {
+    Continue,
+    Done,
 }
 
 /// Join every worker, preferring the first real failure over secondary
@@ -493,6 +625,186 @@ mod tests {
         for (i, v) in outputs.iter().enumerate() {
             assert_eq!(*v, i as i64 * 3);
         }
+    }
+
+    /// A graph whose downstream PE carries all three kinds of resumable
+    /// state: `state.*` entries (group-by tallies), a running scalar, and
+    /// the PRNG stream — if any of them is lost at an epoch boundary the
+    /// outputs diverge from the batch run.
+    fn stateful_graph() -> WorkflowGraph {
+        let src = r#"
+            pe Words : producer {
+                output output;
+                process {
+                    let words = ["a", "b", "c"];
+                    emit([words[iteration % 3], iteration]);
+                }
+            }
+            pe Tally : generic {
+                input input groupby 0;
+                output output;
+                init { state.seen = {}; state.noise = 0; }
+                process {
+                    let w = input[0];
+                    state.seen[w] = get(state.seen, w, 0) + 1;
+                    state.noise = state.noise + randint(0, 9);
+                    emit([w, state.seen[w], state.noise]);
+                }
+            }
+        "#;
+        let mut g = WorkflowGraph::new("tally");
+        let w = g.add_script_pe(src, "Words").unwrap();
+        let t = g.add_script_pe(src, "Tally").unwrap();
+        g.connect(w, "output", t, "input").unwrap();
+        g
+    }
+
+    fn sorted_outputs(r: &super::super::RunResult) -> Vec<String> {
+        let mut v: Vec<String> = r
+            .outputs
+            .iter()
+            .flat_map(|((pe, port), vals)| vals.iter().map(move |val| format!("{pe}/{port}:{val:?}")))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn checkpointed_run_matches_batch_on_every_mapping() {
+        let g = stateful_graph();
+        for kind in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+            let opts = RunOptions::iterations(20).with_processes(4);
+            let plain = kind.build().execute(&g, &opts).unwrap();
+            let opts = RunOptions::iterations(20).with_processes(4).with_checkpoints(6);
+            let ck = kind.build().execute(&g, &opts).unwrap();
+            // 20 iterations in chunks of 6: epochs after 6, 12, 18, then a
+            // partial round [18, 20). Group-by state, the noise accumulator
+            // and the PRNG stream all cross three restore boundaries.
+            assert_eq!(sorted_outputs(&ck), sorted_outputs(&plain), "{kind}: outputs diverged");
+            assert_eq!(ck.stats.processed, plain.stats.processed, "{kind}: processed diverged");
+            assert_eq!(ck.stats.emitted, plain.stats.emitted, "{kind}: emitted diverged");
+        }
+    }
+
+    #[test]
+    fn sequential_checkpointed_run_is_byte_identical_to_batch() {
+        // The Simple mapping is fully deterministic, so checkpointing must
+        // not even reorder outputs.
+        let g = stateful_graph();
+        let plain = SimpleMapping.execute(&g, &RunOptions::iterations(21)).unwrap();
+        let ck = SimpleMapping.execute(&g, &RunOptions::iterations(21).with_checkpoints(7)).unwrap();
+        assert_eq!(ck.outputs, plain.outputs);
+        assert_eq!(ck.printed, plain.printed);
+    }
+
+    #[test]
+    fn epoch_markers_land_on_chunk_boundaries_only() {
+        let g = stateful_graph();
+        let recorder = RecordingObserver::new();
+        Runtime::new(&g, &RunOptions::iterations(10).with_checkpoints(4))
+            .sequential_observed(Some(recorder.clone() as Arc<dyn super::super::RunObserver>))
+            .unwrap();
+        let epochs: Vec<u64> = recorder
+            .take()
+            .into_iter()
+            .filter_map(|(_, _, e)| match e {
+                RunEvent::Epoch { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        // Full chunks end at 4 and 8; the partial tail [8, 10) gets none.
+        assert_eq!(epochs, vec![1, 2]);
+
+        // A limit landing exactly on a chunk boundary still gets its epoch.
+        let recorder = RecordingObserver::new();
+        Runtime::new(&g, &RunOptions::iterations(8).with_checkpoints(4))
+            .sequential_observed(Some(recorder.clone() as Arc<dyn super::super::RunObserver>))
+            .unwrap();
+        let epochs: Vec<u64> = recorder
+            .take()
+            .into_iter()
+            .filter_map(|(_, _, e)| match e {
+                RunEvent::Epoch { id, .. } => Some(id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(epochs, vec![1, 2]);
+    }
+
+    #[test]
+    fn kill_fault_dies_after_publishing_the_epoch() {
+        use crate::fault::FaultPlan;
+        let g = stateful_graph();
+        let recorder = RecordingObserver::new();
+        let opts = RunOptions::iterations(20)
+            .with_checkpoints(4)
+            .with_faults(FaultPlan { kill_at_epoch: Some(2), ..FaultPlan::none() });
+        let err = Runtime::new(&g, &opts)
+            .sequential_observed(Some(recorder.clone() as Arc<dyn super::super::RunObserver>))
+            .unwrap_err();
+        assert_eq!(err, DataflowError::Injected { epoch: 2 });
+        let events: Vec<RunEvent> = recorder.take().into_iter().map(|(_, _, e)| e).collect();
+        // The crash happens *after* the epoch marker reached the observer:
+        // a journal behind this observer has the checkpoint on disk.
+        assert!(
+            matches!(events.last(), Some(RunEvent::Epoch { id: 2, .. })),
+            "last event should be epoch 2, got {:?}",
+            events.last()
+        );
+    }
+
+    #[test]
+    fn resume_from_a_kill_refolds_to_the_batch_result() {
+        use super::super::ResumePoint;
+        use crate::fault::FaultPlan;
+        let g = stateful_graph();
+        let batch = SimpleMapping.execute(&g, &RunOptions::iterations(20)).unwrap();
+
+        // Crash after epoch 2 (8 of 20 iterations done), recording the
+        // stream a journal would have persisted.
+        let recorder = RecordingObserver::new();
+        let opts = RunOptions::iterations(20)
+            .with_checkpoints(4)
+            .with_faults(FaultPlan { kill_at_epoch: Some(2), ..FaultPlan::none() });
+        Runtime::new(&g, &opts)
+            .sequential_observed(Some(recorder.clone() as Arc<dyn super::super::RunObserver>))
+            .unwrap_err();
+        let events: Vec<RunEvent> = recorder.take().into_iter().map(|(_, _, e)| e).collect();
+        let snapshots = match events.last() {
+            Some(RunEvent::Epoch { id: 2, state }) => state.clone(),
+            other => panic!("expected epoch 2 last, got {other:?}"),
+        };
+
+        // Resume from the journaled prefix and finish the run.
+        let opts = RunOptions::iterations(20).with_checkpoints(4).with_resume(ResumePoint {
+            epoch: 2,
+            snapshots,
+            events,
+        });
+        let resumed = Runtime::new(&g, &opts).sequential().unwrap();
+        assert_eq!(resumed.outputs, batch.outputs, "resume diverged from batch outputs");
+        assert_eq!(resumed.printed, batch.printed, "resume diverged from batch prints");
+        assert_eq!(resumed.stats.processed, batch.stats.processed);
+        assert_eq!(resumed.stats.emitted, batch.stats.emitted);
+    }
+
+    #[test]
+    fn stop_fault_ends_an_unbounded_run_deterministically() {
+        use crate::fault::FaultPlan;
+        let g = stateful_graph();
+        // Unbounded source, checkpoint every 5, stop after 2 epochs: the
+        // run completes *successfully* having done exactly 10 iterations —
+        // bit-for-bit the bounded 10-iteration run, which is what lets the
+        // chaos suite compare an interrupted+resumed unbounded run against
+        // a batch reference.
+        let token = CancelToken::new();
+        let opts = RunOptions::unbounded(std::time::Duration::ZERO, token)
+            .with_checkpoints(5)
+            .with_faults(FaultPlan { stop_at_epoch: Some(2), ..FaultPlan::none() });
+        let stopped = Runtime::new(&g, &opts).sequential().unwrap();
+        let bounded = SimpleMapping.execute(&g, &RunOptions::iterations(10)).unwrap();
+        assert_eq!(stopped.outputs, bounded.outputs);
+        assert_eq!(stopped.stats.processed, bounded.stats.processed);
     }
 
     #[test]

@@ -278,6 +278,42 @@ impl InstanceRunner {
         Ok(())
     }
 
+    /// Capture this instance's durable state for an epoch checkpoint:
+    /// the PE's own snapshot (script `state.*` + RNG; `null` for native
+    /// PEs), the invocation counter feeding the script-visible
+    /// `iteration`, and the shuffle cursors of the outgoing routers. Must
+    /// only be called at quiescence (no data in flight) — the round-based
+    /// checkpoint driver guarantees that by draining each round to EOS.
+    pub fn snapshot(&self) -> Value {
+        let cursors = self.outgoing.iter().map(|e| Value::Int(e.router.cursor() as i64)).collect();
+        let mut snap = Value::Null;
+        snap.set("pe", self.pe.snapshot_state().unwrap_or(Value::Null))
+            .set("iteration", self.iteration)
+            .set("cursors", Value::Array(cursors));
+        snap
+    }
+
+    /// Restore state captured by [`InstanceRunner::snapshot`] into a
+    /// freshly built runner. The runner's `setup` (script `init`) has
+    /// already run; the snapshot overwrites its effects, and any prints
+    /// `init` produced are discarded — a restored instance is a
+    /// continuation, not a fresh start. Stats counters stay at zero: each
+    /// round reports its own deltas and the event fold sums them.
+    pub fn restore(&mut self, snapshot: &Value) {
+        if !snapshot["pe"].is_null() {
+            self.pe.restore_state(&snapshot["pe"]);
+        }
+        self.iteration = snapshot["iteration"].as_i64().unwrap_or(0);
+        if let Some(cursors) = snapshot["cursors"].as_array() {
+            for (edge, c) in self.outgoing.iter_mut().zip(cursors) {
+                if let Some(c) = c.as_i64() {
+                    edge.router.set_cursor(c.max(0) as usize);
+                }
+            }
+        }
+        self.sink.printed.clear();
+    }
+
     /// Downstream instances that must be told when this instance finishes:
     /// every instance of every successor node, once per outgoing edge.
     pub fn eos_targets(&self, plan: &ConcretePlan) -> Vec<InstanceId> {
@@ -377,12 +413,35 @@ pub fn drain_batch_groups(
     Ok(())
 }
 
+/// The window of *global* source iterations one [`run_worker`] call
+/// drives: `[base, end)`, with `end = None` meaning run until cancelled.
+/// A plain run uses the full window (`0 .. bounded_invocations()`); the
+/// checkpoint driver slices the same global sequence into
+/// `checkpoint_every`-sized rounds, so striping (`i % siblings`) and
+/// `datum_for(i)` see identical indices either way.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceRange {
+    /// First global iteration of the window.
+    pub base: usize,
+    /// One past the last iteration, `None` for unbounded.
+    pub end: Option<usize>,
+}
+
+impl SourceRange {
+    /// The whole input as one window (the non-checkpointed path).
+    pub fn full(options: &super::RunOptions) -> SourceRange {
+        SourceRange { base: 0, end: options.bounded_invocations() }
+    }
+}
+
 /// Drive one instance to completion over `transport`, emitting
 /// [`RunEvent`]s as they happen.
 ///
-/// Sources run the configured invocations (striped across sibling source
-/// instances), then signal EOS downstream. Sinks/relays consume data until
-/// every upstream instance has signalled EOS, then propagate EOS.
+/// Sources run the `range` window of global invocations (striped across
+/// sibling source instances), then signal EOS downstream. Sinks/relays
+/// consume data until every upstream instance has signalled EOS, then
+/// propagate EOS. The runner is borrowed, not consumed, so the checkpoint
+/// driver can snapshot it at the post-join quiescent point.
 ///
 /// When the sink is live (an observer is attached) events are flushed into
 /// it per emission burst, so downstream consumers see outputs while the
@@ -390,10 +449,11 @@ pub fn drain_batch_groups(
 /// and returns them for the runtime to fold at join time in dense-instance
 /// order — the deterministic batch profile, with one sink lock per worker.
 pub fn run_worker<T: Transport>(
-    mut runner: InstanceRunner,
+    runner: &mut InstanceRunner,
     mut transport: T,
     plan: &ConcretePlan,
     options: &super::RunOptions,
+    range: SourceRange,
     sink: &EventSink,
 ) -> Result<Vec<RunEvent>, DataflowError> {
     let pe = Arc::clone(&runner.node_name);
@@ -406,11 +466,17 @@ pub fn run_worker<T: Transport>(
         sink.extend(&mut events);
     }
     let mut emissions = Emissions::default();
+    let send_delay = options.faults.delay_send;
     let deliver = |emissions: &mut Emissions,
                    transport: &mut T,
                    events: &mut Vec<RunEvent>|
      -> Result<(), DataflowError> {
         if !emissions.routed.is_empty() {
+            // Injected latency seam: widen the in-flight window the epoch
+            // quiescence drain has to absorb (chaos tests only).
+            if let Some(d) = send_delay {
+                std::thread::sleep(d);
+            }
             transport.send_batch(&mut emissions.routed)?;
         }
         emissions_to_events(&pe, instance, &ports, emissions, events);
@@ -418,66 +484,97 @@ pub fn run_worker<T: Transport>(
     };
 
     let cancel = &options.cancel;
-    if runner.is_source() {
-        let siblings = plan.count(runner.inst.node);
-        let my_index = runner.inst.index;
-        let limit = options.bounded_invocations();
-        let pace = options.pace();
-        let mut i = 0usize;
-        // Cancellation is checked before every iteration: an unbounded
-        // source ([`super::RunInput::Unbounded`]) ends *only* here, and a
-        // bounded one stops early at an invocation boundary. Either way
-        // the source falls through to normal EOS propagation below, so
-        // downstream instances terminate cleanly.
-        loop {
-            if cancel.is_cancelled() {
-                break;
-            }
-            if limit.is_some_and(|n| i >= n) {
-                break;
-            }
-            if i % siblings == my_index {
-                runner.run_iteration(options.datum_for(i), &mut emissions)?;
-                deliver(&mut emissions, &mut transport, &mut events)?;
-                if live {
-                    sink.extend(&mut events);
+    // Outstanding upstream EOS signals, tracked outside the drive phase so
+    // the failure wind-down below knows how much is left to drain.
+    let mut remaining = runner.expected_eos;
+    let mut drive = |runner: &mut InstanceRunner,
+                     transport: &mut T,
+                     events: &mut Vec<RunEvent>|
+     -> Result<(), DataflowError> {
+        if runner.is_source() {
+            let siblings = plan.count(runner.inst.node);
+            let my_index = runner.inst.index;
+            let pace = options.pace();
+            let mut i = range.base;
+            // Cancellation is checked before every iteration: an unbounded
+            // source ([`super::RunInput::Unbounded`]) ends *only* here, and a
+            // bounded one stops early at an invocation boundary. Either way
+            // the source falls through to normal EOS propagation below, so
+            // downstream instances terminate cleanly.
+            loop {
+                if cancel.is_cancelled() {
+                    break;
                 }
-                if !pace.is_zero() && cancel.sleep_cancellable(pace) {
-                    break; // cancelled mid-pace: don't run another iteration
+                if range.end.is_some_and(|n| i >= n) {
+                    break;
                 }
-            }
-            i += 1;
-        }
-    } else {
-        let mut remaining = runner.expected_eos;
-        // Once cancellation is observed the instance stops *processing*
-        // but keeps *draining*: in-flight data is discarded until every
-        // upstream EOS arrives, so no peer ever blocks on a full or
-        // closed channel and the shutdown stays deadlock-free.
-        let mut discard = false;
-        while remaining > 0 {
-            match transport.recv()? {
-                TransportMsg::Data(items) => {
-                    for (port, value) in items {
-                        if !discard && cancel.is_cancelled() {
-                            discard = true;
-                        }
-                        if discard {
-                            continue;
-                        }
-                        runner.run_datum(port, Value::unshare(value), &mut emissions)?;
-                        deliver(&mut emissions, &mut transport, &mut events)?;
-                        if live {
-                            sink.extend(&mut events);
-                        }
+                if i % siblings == my_index {
+                    runner.run_iteration(options.datum_for(i), &mut emissions)?;
+                    deliver(&mut emissions, transport, events)?;
+                    if live {
+                        sink.extend(events);
+                    }
+                    if !pace.is_zero() && cancel.sleep_cancellable(pace) {
+                        break; // cancelled mid-pace: don't run another iteration
                     }
                 }
-                TransportMsg::Eos => remaining -= 1,
+                i += 1;
+            }
+        } else {
+            // Once cancellation is observed the instance stops *processing*
+            // but keeps *draining*: in-flight data is discarded until every
+            // upstream EOS arrives, so no peer ever blocks on a full or
+            // closed channel and the shutdown stays deadlock-free.
+            let mut discard = false;
+            while remaining > 0 {
+                match transport.recv()? {
+                    TransportMsg::Data(items) => {
+                        for (port, value) in items {
+                            if !discard && cancel.is_cancelled() {
+                                discard = true;
+                            }
+                            if discard {
+                                continue;
+                            }
+                            runner.run_datum(port, Value::unshare(value), &mut emissions)?;
+                            deliver(&mut emissions, transport, events)?;
+                            if live {
+                                sink.extend(events);
+                            }
+                        }
+                    }
+                    TransportMsg::Eos => remaining -= 1,
+                }
+            }
+        }
+        Ok(())
+    };
+    let failure = drive(runner, &mut transport, &mut events).err();
+    if failure.is_some() {
+        // A failing instance must not strand its peers: its receiver stays
+        // open while it drains the remaining upstream EOS signals
+        // (discarding data), and it still propagates EOS downstream before
+        // surfacing the error. Without this wind-down a relay waiting on
+        // the dead instance blocks in `recv` forever — every worker holds
+        // senders to every channel (including its own), so the channel
+        // never disconnects and the whole enactment deadlocks. Transport
+        // errors during wind-down are secondary: the PE failure wins.
+        while remaining > 0 {
+            match transport.recv() {
+                Ok(TransportMsg::Eos) => remaining -= 1,
+                Ok(TransportMsg::Data(_)) => {}
+                Err(_) => break,
             }
         }
     }
     for dest in runner.eos_targets(plan) {
-        transport.send_eos(dest)?;
+        let sent = transport.send_eos(dest);
+        if failure.is_none() {
+            sent?;
+        }
+    }
+    if let Some(e) = failure {
+        return Err(e);
     }
     // A cancelled run makes no completeness claim: suppress the final
     // counters so the emitted stream stays a clean prefix (terminated by

@@ -96,6 +96,22 @@ pub trait Pe: Send {
     /// any compiled fast path (see [`crate::mapping::RunOptions::interpret_scripts`]).
     /// Must be called before [`Pe::setup`]; no-op for PEs with one backend.
     fn use_interpreter(&mut self) {}
+
+    /// Capture the instance's durable cross-invocation state for an epoch
+    /// checkpoint, or `None` if this PE kind has nothing snapshotable
+    /// (native closure PEs). For scripted PEs the snapshot covers the
+    /// script's `state.*` value — which is where group-by tables live —
+    /// plus the backend RNG, and both backends (VM and interpreter) must
+    /// produce byte-identical snapshots for the same history.
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restore state captured by [`Pe::snapshot_state`]. Called after
+    /// [`Pe::setup`] (so `init` has run and the backend exists); the
+    /// restored state overwrites whatever `init` produced. No-op for PEs
+    /// that return `None` from `snapshot_state`.
+    fn restore_state(&mut self, _snapshot: &Value) {}
 }
 
 /// A cloneable recipe producing fresh [`Pe`] instances; the graph stores
@@ -308,6 +324,31 @@ impl Pe for ScriptPe {
         self.prefer_interp = true;
         debug_assert!(self.backend.is_none(), "use_interpreter must precede setup");
     }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        // The backend's entire cross-invocation footprint: the script's
+        // `state.*` value and the RNG position. Fuel resets every
+        // invocation and VM scratch buffers are cleared, so neither is
+        // state. The shape is backend-independent by construction — the
+        // parity proptests pin it byte-for-byte.
+        let rng = match self.backend.as_ref()? {
+            ScriptBackend::Vm(vm) => vm.rng_state(),
+            ScriptBackend::Interp(interp) => interp.rng_state(),
+        };
+        let mut snap = Value::Null;
+        snap.set("state", self.state.clone()).set("rng", rng as i64);
+        Some(snap)
+    }
+
+    fn restore_state(&mut self, snapshot: &Value) {
+        self.state = snapshot["state"].clone();
+        let rng = snapshot["rng"].as_i64().unwrap_or(0) as u64;
+        match self.backend.as_mut() {
+            Some(ScriptBackend::Vm(vm)) => vm.set_rng_state(rng),
+            Some(ScriptBackend::Interp(interp)) => interp.set_rng_state(rng),
+            None => {}
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +558,52 @@ mod tests {
         a.process(None, 0, &mut sa).unwrap();
         b.process(None, 0, &mut sb).unwrap();
         assert_ne!(sa.emitted, sb.emitted, "instance RNGs must differ");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_state_and_rng_on_both_backends() {
+        let src = r#"
+            pe S : iterative {
+                input x; output output;
+                init { state.n = 0; }
+                process { state.n = state.n + 1; emit([state.n, randint(0, 1000000)]); }
+            }
+        "#;
+        for interp in [false, true] {
+            let f = ScriptPeFactory::from_source(src, "S").unwrap().with_seed(7);
+            let mut live = f.instantiate();
+            if interp {
+                live.use_interpreter();
+            }
+            let mut sink = VecSink::default();
+            live.setup(0, 1, &mut sink).unwrap();
+            live.process(Some(("x", Value::Int(0))), 0, &mut sink).unwrap();
+            live.process(Some(("x", Value::Int(0))), 1, &mut sink).unwrap();
+            let snap = live.snapshot_state().expect("scripted PEs snapshot");
+            assert_eq!(snap["state"]["n"].as_i64(), Some(2));
+            // A fresh instance restored from the snapshot continues the
+            // exact counter and RNG stream of the live one.
+            let mut resumed = f.instantiate();
+            if interp {
+                resumed.use_interpreter();
+            }
+            let mut rsink = VecSink::default();
+            resumed.setup(0, 1, &mut rsink).unwrap();
+            resumed.restore_state(&snap);
+            rsink.emitted.clear();
+            let mut live_sink = VecSink::default();
+            live.process(Some(("x", Value::Int(0))), 2, &mut live_sink).unwrap();
+            resumed.process(Some(("x", Value::Int(0))), 2, &mut rsink).unwrap();
+            assert_eq!(live_sink.emitted, rsink.emitted, "interp={interp}");
+        }
+    }
+
+    #[test]
+    fn native_pes_have_no_snapshot() {
+        let prod = producer_fn("Nums", Value::Int);
+        let mut p = prod.instantiate();
+        assert!(p.snapshot_state().is_none());
+        p.restore_state(&Value::Int(1)); // no-op, must not panic
     }
 
     #[test]

@@ -37,6 +37,18 @@ impl Router {
         self.grouping
     }
 
+    /// The round-robin cursor — the router's only mutable state, captured
+    /// by epoch checkpoints so a resumed shuffle continues where the
+    /// original left off.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Restore a cursor captured by [`Router::cursor`].
+    pub fn set_cursor(&mut self, cursor: usize) {
+        self.cursor = cursor % self.n_dest;
+    }
+
     /// Destination instance indices for `datum`. One element except for
     /// `OneToAll`.
     pub fn route(&mut self, datum: &Value) -> Vec<usize> {

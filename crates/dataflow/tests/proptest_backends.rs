@@ -10,8 +10,10 @@
 //! under Simple / Multi / MPI / Redis — including stateful group-by
 //! PEs, prints, seeded RNG, and scripts that fail mid-run.
 
+use std::sync::Arc;
+
 use laminar_dataflow::mapping::{Mapping, MpiMapping, MultiMapping, RedisMapping, SimpleMapping};
-use laminar_dataflow::{RunOptions, RunResult, WorkflowGraph};
+use laminar_dataflow::{RecordingObserver, RunEvent, RunObserver, RunOptions, RunResult, WorkflowGraph};
 use proptest::prelude::*;
 
 /// Producer → stateful group-by aggregator → formatter with prints.
@@ -72,6 +74,22 @@ fn sorted_prints(r: &RunResult) -> Vec<String> {
     let mut p = r.printed.clone();
     p.sort();
     p
+}
+
+/// Run checkpointed and collect every epoch marker as `(id, serialized
+/// state)` — string comparison makes divergence a *byte* difference, the
+/// contract the journal depends on.
+fn epoch_states(mapping: &dyn Mapping, g: &WorkflowGraph, opts: &RunOptions) -> Vec<(u64, String)> {
+    let recorder = RecordingObserver::new();
+    mapping.execute_observed(g, opts, Some(recorder.clone() as Arc<dyn RunObserver>)).unwrap();
+    recorder
+        .take()
+        .into_iter()
+        .filter_map(|(_, _, e)| match e {
+            RunEvent::Epoch { id, state } => Some((id, laminar_json::to_string(&state))),
+            _ => None,
+        })
+        .collect()
 }
 
 proptest! {
@@ -166,6 +184,46 @@ proptest! {
                 sorted_strings(&interp, "Tag"),
                 "{} rng streams diverged", mapping.kind()
             );
+        }
+    }
+
+    /// Checkpoint parity: the epoch snapshots a checkpointed run emits
+    /// must be *byte-identical* between the compiled backend and the
+    /// interpreter, under every mapping. This is the property the
+    /// durable journal leans on — a checkpoint written by one backend
+    /// must be resumable by the other, so serialized `state.*`, RNG
+    /// cursors, and group-by tables may not differ even in map ordering.
+    #[test]
+    fn epoch_snapshots_are_byte_identical_across_backends(
+        op in prop::sample::select(vec!["+", "*"]),
+        k in 1..9i64,
+        nkeys in 2..4usize,
+        chunk in 2..6usize,
+        epochs in 2..5u64,
+        procs in 2..5usize,
+    ) {
+        // One extra iteration past the last full chunk: the partial tail
+        // must not grow an epoch of its own.
+        let iters = (chunk as u64 * epochs) as i64 + 1;
+        let src = workload_source(op, k, nkeys);
+        let g = build_workload(&src);
+
+        for mapping in [
+            &SimpleMapping as &dyn Mapping,
+            &MultiMapping,
+            &MpiMapping,
+            &RedisMapping::default(),
+        ] {
+            let opts = RunOptions::iterations(iters).with_processes(procs).with_checkpoints(chunk);
+            let vm = epoch_states(mapping, &g, &opts);
+            let interp = epoch_states(mapping, &g, &opts.clone().with_interpreter(true));
+            let ids: Vec<u64> = vm.iter().map(|(id, _)| *id).collect();
+            prop_assert_eq!(
+                ids,
+                (1..=epochs).collect::<Vec<u64>>(),
+                "{} epoch ids off", mapping.kind()
+            );
+            prop_assert_eq!(vm, interp, "{} snapshots diverged between backends", mapping.kind());
         }
     }
 

@@ -346,6 +346,12 @@ impl ExecutionEngine {
 
         let mut options = RunOptions::iterations(0).with_processes(req.processes).with_cancel(cancel.clone());
         options.input = req.input.clone();
+        options.checkpoint_every = req.checkpoint_every;
+        // Fault injection never crosses the wire, so no remote request can
+        // ask the engine to kill itself: in-process chaos tests set
+        // `req.faults`; deployments arm `LAMINAR_FAULTS` in the environment.
+        options.faults = req.faults.clone().unwrap_or_else(laminar_dataflow::FaultPlan::from_env);
+        options.resume = req.resume.clone();
 
         if let Some(wf) = target_workflow {
             let graph = WorkflowGraph::from_script_with_host(&req.source, &wf, host)?;

@@ -16,6 +16,7 @@
 pub mod engine;
 pub mod env;
 pub mod hosts;
+pub mod journal;
 pub mod netmodel;
 pub mod pool;
 pub mod request;
@@ -23,8 +24,9 @@ pub mod request;
 pub use engine::{ExecutionEngine, ExecutionOutput};
 pub use env::{EnvironmentManager, InstallReport};
 pub use hosts::HostRegistry;
+pub use journal::{JournalError, JournalStore, ResumeData};
 pub use netmodel::NetModel;
 pub use pool::{EnginePool, EventPage, JobEventLog, JobInfo, JobPhase, JobResult, PoolError, PoolStats};
 pub use request::ExecutionRequest;
 
-pub use laminar_dataflow::{CancelToken, RunInput};
+pub use laminar_dataflow::{CancelToken, FaultPlan, RunInput};

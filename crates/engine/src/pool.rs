@@ -14,11 +14,14 @@
 //! as HTTP 429 by the server) instead of building unbounded backlog.
 
 use crate::engine::{ExecutionEngine, ExecutionOutput};
+use crate::journal::{JournalError, JournalStore, JournalWriter, ResumeData};
 use crate::request::ExecutionRequest;
-use laminar_dataflow::{CancelToken, DataflowError, RunEvent, RunObserver};
+use laminar_dataflow::mapping::ResumePoint;
+use laminar_dataflow::{CancelToken, DataflowError, FaultPlan, RunEvent, RunObserver};
 use laminar_json::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -141,14 +144,28 @@ impl JobEventLog {
 }
 
 /// The worker-side bridge: converts each [`RunEvent`] to its wire form
-/// and appends it to the job's log the moment it happens.
-struct LogObserver {
-    log: Arc<JobEventLog>,
+/// and fans it out to the job's in-memory log (streamed jobs) and its
+/// on-disk journal (checkpointed jobs under a durable pool).
+///
+/// The journal is written *first*: by the time an epoch marker becomes
+/// observable through `/events`, its snapshot is already durable, so the
+/// injected-kill fault (which fires right after the marker) models a
+/// crash strictly after persistence. Journal I/O errors are swallowed —
+/// a failing disk degrades durability, it must not kill a healthy run.
+struct JobObserver {
+    log: Option<Arc<JobEventLog>>,
+    journal: Option<Mutex<JournalWriter>>,
 }
 
-impl RunObserver for LogObserver {
+impl RunObserver for JobObserver {
     fn on_event(&self, seq: u64, event: &RunEvent) {
-        self.log.append(event.to_value(seq));
+        let wire = event.to_value(seq);
+        if let Some(journal) = &self.journal {
+            let _ = journal.lock().record(&wire);
+        }
+        if let Some(log) = &self.log {
+            log.append(wire);
+        }
     }
 }
 
@@ -360,6 +377,10 @@ struct PoolInner {
     done_cv: Condvar,
     shutdown: AtomicBool,
     capacity: usize,
+    /// Per-job epoch journals (durable pools only). Jobs with
+    /// `checkpoint_every > 0` journal their event stream here and can be
+    /// resumed across pool restarts.
+    journal: Option<JournalStore>,
     next_id: AtomicI64,
     running: AtomicU64,
     submitted: AtomicU64,
@@ -378,8 +399,50 @@ pub struct EnginePool {
 
 impl EnginePool {
     /// Start `workers` engines forked from `prototype`, with a queue bound
-    /// of `queue_capacity` jobs.
+    /// of `queue_capacity` jobs. No journal: checkpointed jobs still emit
+    /// epochs, but nothing is persisted and jobs cannot be resumed.
     pub fn start(prototype: ExecutionEngine, workers: usize, queue_capacity: usize) -> EnginePool {
+        Self::start_inner(prototype, workers, queue_capacity, None)
+    }
+
+    /// Start a *durable* pool: checkpointed jobs (`checkpoint_every > 0`)
+    /// journal every epoch under `journal_root`, and any journals left
+    /// behind by a previous pool — interrupted by [`EnginePool::stop`] or
+    /// a crash — are automatically re-enqueued from their last complete
+    /// epoch (journals flagged failed are kept for explicit
+    /// [`EnginePool::resume_job`] but not auto-resumed, since a
+    /// deterministic failure would just fail again).
+    pub fn start_durable(
+        prototype: ExecutionEngine,
+        workers: usize,
+        queue_capacity: usize,
+        journal_root: &Path,
+    ) -> Result<EnginePool, JournalError> {
+        let journal = JournalStore::open(journal_root)?;
+        let pending: Vec<i64> = journal
+            .jobs()
+            .into_iter()
+            .filter(|(_, meta)| meta["failed"].as_bool() != Some(true))
+            .map(|(id, _)| id)
+            .collect();
+        let pool = Self::start_inner(prototype, workers, queue_capacity, Some(journal));
+        for id in pending {
+            let journal = pool.inner.journal.as_ref().expect("durable pool has a journal");
+            if let Some(data) = journal.load(id) {
+                if let Err(e) = pool.enqueue_resume(id, data) {
+                    eprintln!("journal: auto-resume of job {id} failed: {e}");
+                }
+            }
+        }
+        Ok(pool)
+    }
+
+    fn start_inner(
+        prototype: ExecutionEngine,
+        workers: usize,
+        queue_capacity: usize,
+        journal: Option<JournalStore>,
+    ) -> EnginePool {
         let workers = workers.max(1);
         let inner = Arc::new(PoolInner {
             queue: Mutex::new(VecDeque::new()),
@@ -390,6 +453,7 @@ impl EnginePool {
             done_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             capacity: queue_capacity.max(1),
+            journal,
             next_id: AtomicI64::new(1),
             running: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -568,6 +632,11 @@ impl EnginePool {
             // Free the queue slot (admission control) — the worker-side
             // phase check makes this safe against a concurrent pop.
             self.inner.queue.lock().retain(|(qid, _)| *qid != id);
+            // An explicit cancel abandons the job's journal too (a queued
+            // resumed job still has one from its interrupted run).
+            if let Some(journal) = &self.inner.journal {
+                journal.remove(id);
+            }
             self.inner.done_cv.notify_all();
             evict_finished(&self.inner, id);
         }
@@ -587,6 +656,86 @@ impl EnginePool {
             Arc::clone(&rec.events)
         };
         Some(log.page(since))
+    }
+
+    /// Resume an interrupted checkpointed job from its journal (the
+    /// `POST .../job/{id}/resume` path). The job is re-enqueued **under
+    /// its original id** with its event log pre-filled from the journaled
+    /// prefix, so existing `/events` cursors stay valid; enactment
+    /// restarts from the last complete epoch's snapshots and re-executes
+    /// only the partial round after it.
+    ///
+    /// Fails with [`PoolError::Unknown`] when the pool has no journal,
+    /// the job was never journaled (or already completed and was cleaned
+    /// up), or the owner does not match. A job currently queued, running
+    /// or done in *this* pool is refused — resume is for interrupted jobs.
+    pub fn resume_job(&self, owner: &str, id: i64) -> Result<i64, PoolError> {
+        if self.inner.shutdown.load(Ordering::SeqCst) {
+            return Err(PoolError::ShutDown);
+        }
+        let journal = self.inner.journal.as_ref().ok_or(PoolError::Unknown(id))?;
+        // Chaos harness: an env-armed truncation fault tears the segment
+        // tail before recovery reads it, modelling a crash that raced the
+        // sealing rename.
+        if let Some((epoch, bytes)) = FaultPlan::from_env().truncate_segment {
+            let _ = journal.truncate_segment(id, epoch, bytes);
+        }
+        let data = journal.load(id).ok_or(PoolError::Unknown(id))?;
+        if data.meta["owner"].as_str() != Some(owner) {
+            return Err(PoolError::Unknown(id));
+        }
+        if let Some(rec) = self.inner.jobs.lock().get(&id) {
+            if !matches!(rec.phase, JobPhase::Failed | JobPhase::Cancelled) {
+                return Err(PoolError::Failed(format!(
+                    "job {id} is {}; only interrupted jobs can be resumed",
+                    rec.phase.as_str()
+                )));
+            }
+        }
+        self.enqueue_resume(id, data)
+    }
+
+    /// Re-enqueue a journaled job under its original id.
+    fn enqueue_resume(&self, id: i64, data: ResumeData) -> Result<i64, PoolError> {
+        let mut req = ExecutionRequest::from_value(&data.meta["request"])
+            .ok_or_else(|| PoolError::Failed(format!("job {id}: corrupt journal meta")))?;
+        let owner = data.meta["owner"].as_str().unwrap_or("anonymous").to_string();
+        let replayed: Vec<RunEvent> = data.events.iter().filter_map(RunEvent::from_value).collect();
+        req.resume = Some(ResumePoint { epoch: data.epoch, snapshots: data.snapshots, events: replayed });
+
+        let mut queue = self.inner.queue.lock();
+        if queue.len() >= self.inner.capacity {
+            self.inner.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(PoolError::QueueFull { capacity: self.inner.capacity });
+        }
+        // Keep the id allocator ahead of resurrected ids so fresh
+        // submissions never collide with a journaled job.
+        self.inner.next_id.fetch_max(id + 1, Ordering::SeqCst);
+        let log = JobEventLog::new();
+        for ev in data.events {
+            log.append(ev);
+        }
+        self.inner.jobs.lock().insert(
+            id,
+            JobRecord {
+                owner,
+                phase: JobPhase::Queued,
+                submitted: Instant::now(),
+                queue_wait: Duration::ZERO,
+                run_time: Duration::ZERO,
+                worker: None,
+                output: None,
+                error: None,
+                events: log,
+                streaming: req.stream_events,
+                cancel: CancelToken::new(),
+            },
+        );
+        queue.push_back((id, req));
+        drop(queue);
+        self.inner.submitted.fetch_add(1, Ordering::SeqCst);
+        self.inner.work_cv.notify_one();
+        Ok(id)
     }
 
     /// Deterministic shutdown: every job still queued is *cancelled*
@@ -685,7 +834,7 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
         let Some((id, req)) = job else { return };
 
         let picked = Instant::now();
-        let (log, streaming, cancel) = {
+        let (log, streaming, cancel, owner) = {
             let mut jobs = inner.jobs.lock();
             match jobs.get_mut(&id) {
                 // A job cancelled while queued stays cancelled: its
@@ -696,14 +845,28 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                     rec.phase = JobPhase::Running;
                     rec.queue_wait = picked.duration_since(rec.submitted);
                     rec.worker = Some(worker_id);
-                    (Arc::clone(&rec.events), rec.streaming, rec.cancel.clone())
+                    (Arc::clone(&rec.events), rec.streaming, rec.cancel.clone(), rec.owner.clone())
                 }
-                None => (JobEventLog::new(), false, CancelToken::new()),
+                None => (JobEventLog::new(), false, CancelToken::new(), String::new()),
             }
         };
         inner.running.fetch_add(1, Ordering::SeqCst);
-        let observer: Option<Arc<dyn RunObserver>> =
-            streaming.then(|| Arc::new(LogObserver { log: Arc::clone(&log) }) as Arc<dyn RunObserver>);
+        // Durable pools journal checkpointed jobs: the journal writer sits
+        // behind the same observer as the event log, so epochs hit disk in
+        // stream order. `create` reopens an existing journal on resume
+        // (truncating the stale partial-round tail).
+        let journaled = inner.journal.is_some() && req.checkpoint_every > 0;
+        let journal_writer = inner.journal.as_ref().filter(|_| journaled).and_then(|store| {
+            let mut meta = Value::Null;
+            meta.set("owner", owner.as_str()).set("request", req.to_value());
+            store.create(id, &meta).map_err(|e| eprintln!("journal: job {id}: {e}")).ok()
+        });
+        let observer: Option<Arc<dyn RunObserver>> = (streaming || journal_writer.is_some()).then(|| {
+            Arc::new(JobObserver {
+                log: streaming.then(|| Arc::clone(&log)),
+                journal: journal_writer.map(Mutex::new),
+            }) as Arc<dyn RunObserver>
+        });
         let result = engine.run_controlled(&req, observer, &cancel);
         inner.running.fetch_sub(1, Ordering::SeqCst);
         let run_time = picked.elapsed();
@@ -720,6 +883,10 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         rec.phase = JobPhase::Done;
                         log.close(terminal_event("done", None));
                         inner.completed.fetch_add(1, Ordering::SeqCst);
+                        // A completed job needs no recovery state.
+                        if let Some(journal) = &inner.journal {
+                            journal.remove(id);
+                        }
                     }
                     Err(DataflowError::Cancelled) => {
                         // The streaming observer already logged the
@@ -728,6 +895,14 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         rec.phase = JobPhase::Cancelled;
                         log.close_cancelled();
                         inner.cancelled.fetch_add(1, Ordering::SeqCst);
+                        // User cancellation abandons the job — drop its
+                        // journal. Shutdown cancellation keeps it so a
+                        // restarted durable pool auto-resumes the run.
+                        if !inner.shutdown.load(Ordering::SeqCst) {
+                            if let Some(journal) = &inner.journal {
+                                journal.remove(id);
+                            }
+                        }
                     }
                     Err(e) => {
                         let message = e.to_string();
@@ -735,6 +910,12 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         rec.error = Some(message);
                         rec.phase = JobPhase::Failed;
                         inner.failed.fetch_add(1, Ordering::SeqCst);
+                        // Keep the journal for post-mortems and explicit
+                        // resume, but flag it so auto-resume skips a job
+                        // that would just crash again.
+                        if let Some(journal) = &inner.journal {
+                            journal.mark_failed(id);
+                        }
                     }
                 }
             }
@@ -1185,5 +1366,162 @@ mod tests {
             JobResult::Done(..) => {}
             other => panic!("done job unaffected by late cancel, got {other:?}"),
         }
+    }
+
+    /// A workflow whose downstream PE carries every kind of resumable
+    /// state (group-by tallies, a running scalar, the PRNG stream) — if a
+    /// resume loses any of it, the outputs diverge from the batch run.
+    const STATEFUL_SRC: &str = r#"
+        pe Words : producer {
+            output output;
+            process {
+                let words = ["a", "b", "c"];
+                emit([words[iteration % 3], iteration]);
+            }
+        }
+        pe Tally : generic {
+            input input groupby 0;
+            output output;
+            init { state.seen = {}; state.noise = 0; }
+            process {
+                let w = input[0];
+                state.seen[w] = get(state.seen, w, 0) + 1;
+                state.noise = state.noise + randint(0, 9);
+                emit([w, state.seen[w], state.noise]);
+            }
+        }
+        workflow TallyRun {
+            nodes { w = Words; t = Tally; }
+            connect w.output -> t.input;
+        }
+    "#;
+
+    fn journal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("laminar-pool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_pool_resumes_a_killed_job_and_refolds_to_batch() {
+        let dir = journal_dir("refold");
+        let pool = EnginePool::start_durable(ExecutionEngine::instant(), 2, 16, &dir).unwrap();
+        let req = ExecutionRequest::simple("u", STATEFUL_SRC, 10)
+            .with_checkpoints(3)
+            .with_faults(FaultPlan::parse("kill_at_epoch=2"));
+        let id = pool.submit("u", req).unwrap();
+        match pool.wait("u", id, Duration::from_secs(20)).unwrap() {
+            JobResult::Failed(message, info) => {
+                assert!(message.contains("injected"), "{message}");
+                assert_eq!(info.phase, JobPhase::Failed);
+            }
+            other => panic!("expected the injected kill, got {other:?}"),
+        }
+        // The crash left a journal behind, flagged failed so auto-resume
+        // skips it; explicit resume is still allowed.
+        assert!(dir.join(format!("job-{id}")).exists());
+        let resumed = pool.resume_job("u", id).unwrap();
+        assert_eq!(resumed, id, "resume keeps the original job id");
+        let out = match pool.wait("u", id, Duration::from_secs(20)).unwrap() {
+            JobResult::Done(out, _) => out,
+            other => panic!("expected the resumed job to finish, got {other:?}"),
+        };
+        // Refold identity: the resumed run's outputs equal a plain batch
+        // enactment of the same request (state, rng and tallies survived).
+        let batch = ExecutionEngine::instant().run(&ExecutionRequest::simple("u", STATEFUL_SRC, 10)).unwrap();
+        assert_eq!(out.port_values("Tally", "output"), batch.port_values("Tally", "output"));
+        assert_eq!(out.processed, batch.processed);
+        assert_eq!(out.emitted, batch.emitted);
+        // Completion cleans the journal up.
+        assert!(!dir.join(format!("job-{id}")).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_and_restart_auto_resumes_an_interrupted_unbounded_job() {
+        let dir = journal_dir("restart");
+        let engine = ExecutionEngine::instant();
+        let mut pool = EnginePool::start_durable(engine.fork(), 1, 8, &dir).unwrap();
+        let req = ExecutionRequest::simple("u", STATEFUL_SRC, 0)
+            .with_unbounded(Duration::from_micros(200))
+            .with_checkpoints(4)
+            .with_events(true);
+        let id = pool.submit("u", req).unwrap();
+        // Let the run cross at least one epoch so there is a snapshot to
+        // resume from, then shut the pool down mid-stream.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let journaled_epochs = loop {
+            let page = pool.events("u", id, 0).unwrap();
+            let epochs = page.events.iter().filter(|e| e["type"].as_str() == Some("epoch")).count();
+            if epochs >= 1 {
+                break epochs;
+            }
+            assert!(Instant::now() < deadline, "unbounded job never reached an epoch");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        pool.stop();
+        // Shutdown keeps the journal: the job was interrupted, not
+        // abandoned.
+        assert!(dir.join(format!("job-{id}")).exists());
+
+        // A fresh durable pool over the same root resumes it unasked,
+        // under its original id, with the journaled prefix replayed into
+        // the event log.
+        let pool2 = EnginePool::start_durable(engine.fork(), 1, 8, &dir).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let page = pool2.events("u", id, 0).expect("resumed job is visible under its old id");
+            let epochs = page.events.iter().filter(|e| e["type"].as_str() == Some("epoch")).count();
+            if epochs > journaled_epochs {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resumed job never progressed past the journal");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // New submissions never collide with the resurrected id.
+        let fresh = pool2.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        assert!(fresh > id);
+        // Cancelling the resumed job is a user action: the journal goes.
+        pool2.cancel("u", id).expect("own job");
+        match pool2.wait("u", id, Duration::from_secs(20)).unwrap() {
+            JobResult::Cancelled(_) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while dir.join(format!("job-{id}")).exists() {
+            assert!(Instant::now() < deadline, "cancel left the journal behind");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_unknown_foreign_and_live_jobs() {
+        // A pool without a journal cannot resume anything.
+        let plain = instant_pool(1, 4);
+        assert_eq!(plain.resume_job("u", 1), Err(PoolError::Unknown(1)));
+
+        let dir = journal_dir("reject");
+        let pool = EnginePool::start_durable(ExecutionEngine::instant(), 1, 8, &dir).unwrap();
+        assert_eq!(pool.resume_job("u", 42), Err(PoolError::Unknown(42)), "no journal on disk");
+        let req = ExecutionRequest::simple("alice", STATEFUL_SRC, 8)
+            .with_checkpoints(3)
+            .with_faults(FaultPlan::parse("kill_at_epoch=1"));
+        let id = pool.submit("alice", req).unwrap();
+        match pool.wait("alice", id, Duration::from_secs(20)).unwrap() {
+            JobResult::Failed(..) => {}
+            other => panic!("expected the injected kill, got {other:?}"),
+        }
+        // Tenant isolation mirrors every other job endpoint.
+        assert_eq!(pool.resume_job("mallory", id), Err(PoolError::Unknown(id)));
+        // A completed job's journal is removed, so resume finds nothing.
+        let done =
+            pool.submit("u", ExecutionRequest::simple("u", STATEFUL_SRC, 6).with_checkpoints(3)).unwrap();
+        match pool.wait("u", done, Duration::from_secs(20)).unwrap() {
+            JobResult::Done(..) => {}
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(pool.resume_job("u", done), Err(PoolError::Unknown(done)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

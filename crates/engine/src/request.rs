@@ -29,6 +29,20 @@ pub struct ExecutionRequest {
     /// endpoint (live terminal outputs, prints, progress). Off by default:
     /// batch jobs skip per-event wire conversion.
     pub stream_events: bool,
+    /// Checkpoint interval in source iterations: `n > 0` makes the
+    /// enactment emit an epoch snapshot every `n` iterations, journaled
+    /// per-job when the pool has a journal store. `0` (default) disables
+    /// checkpointing.
+    pub checkpoint_every: usize,
+    /// Resume point injected by [`crate::EnginePool`]'s resume path.
+    /// Never crosses the wire: clients POST `/resume` and the pool
+    /// reconstructs this from the job's journal.
+    pub resume: Option<laminar_dataflow::mapping::ResumePoint>,
+    /// Fault plan for the chaos harness. Never crosses the wire (a remote
+    /// request cannot ask the engine to kill itself): in-process tests set
+    /// it directly; deployments arm `LAMINAR_FAULTS` in the environment,
+    /// which applies when this is `None`.
+    pub faults: Option<laminar_dataflow::FaultPlan>,
 }
 
 impl ExecutionRequest {
@@ -44,6 +58,9 @@ impl ExecutionRequest {
             processes: 1,
             resources: Vec::new(),
             stream_events: false,
+            checkpoint_every: 0,
+            resume: None,
+            faults: None,
         }
     }
 
@@ -87,6 +104,18 @@ impl ExecutionRequest {
         self
     }
 
+    /// Checkpoint the enactment every `n` source iterations (0 = off).
+    pub fn with_checkpoints(mut self, n: usize) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    /// Arm an in-process fault plan (chaos tests only — see the field doc).
+    pub fn with_faults(mut self, faults: laminar_dataflow::FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Serialize to the JSON envelope the wire protocol uses.
     pub fn to_value(&self) -> Value {
         let mut v = Value::Null;
@@ -96,6 +125,9 @@ impl ExecutionRequest {
             .set("mapping", self.mapping.as_str())
             .set("processes", self.processes)
             .set("events", self.stream_events);
+        if self.checkpoint_every > 0 {
+            v.set("checkpoint_every", self.checkpoint_every);
+        }
         match &self.input {
             RunInput::Iterations(n) => {
                 v.set("input", *n);
@@ -150,6 +182,9 @@ impl ExecutionRequest {
             processes: v["processes"].as_i64().unwrap_or(5).max(1) as usize,
             resources,
             stream_events: v["events"].as_bool().unwrap_or(false),
+            checkpoint_every: v["checkpoint_every"].as_i64().unwrap_or(0).max(0) as usize,
+            resume: None,
+            faults: None,
         })
     }
 
@@ -209,6 +244,19 @@ mod tests {
         let mut v = req.to_value();
         v.set("input", laminar_json::jobj! { "mode" => "mystery" });
         assert!(ExecutionRequest::from_value(&v).is_none());
+    }
+
+    #[test]
+    fn checkpoint_interval_round_trips_but_resume_never_crosses_the_wire() {
+        let req = ExecutionRequest::simple("u", "src", 5).with_checkpoints(32);
+        let v = req.to_value();
+        let back = ExecutionRequest::from_value(&v).unwrap();
+        assert_eq!(back.checkpoint_every, 32);
+        assert!(back.resume.is_none());
+        // Absent field defaults to off.
+        let plain =
+            ExecutionRequest::from_value(&ExecutionRequest::simple("u", "src", 5).to_value()).unwrap();
+        assert_eq!(plain.checkpoint_every, 0);
     }
 
     #[test]

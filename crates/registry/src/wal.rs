@@ -9,7 +9,7 @@ use crate::error::RegistryError;
 use crate::store::Store;
 use laminar_json::{parse, to_string, Value};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Snapshot + WAL persistence for a [`Store`].
@@ -44,15 +44,75 @@ impl WalStore {
         }
         let wal_path = Self::wal_path(dir);
         if wal_path.exists() {
-            let file = File::open(&wal_path).map_err(|e| RegistryError::Storage(e.to_string()))?;
-            for line in BufReader::new(file).lines() {
-                let line = line.map_err(|e| RegistryError::Storage(e.to_string()))?;
+            let bytes = std::fs::read(&wal_path).map_err(|e| RegistryError::Storage(e.to_string()))?;
+            // A crash can tear the final append mid-record — even inside a
+            // multi-byte character — so decode the longest valid prefix
+            // and let the tail rule below judge the remainder.
+            let text = match String::from_utf8(bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    let valid = e.utf8_error().valid_up_to();
+                    let mut b = e.into_bytes();
+                    b.truncate(valid);
+                    String::from_utf8(b).expect("prefix up to valid_up_to is valid utf8")
+                }
+            };
+            // Bytes of fully-applied records: everything after them is a
+            // torn tail to be cut off so the next append starts clean.
+            let mut good_len = 0u64;
+            let segments: Vec<&str> = text.split_inclusive('\n').collect();
+            for (i, seg) in segments.iter().enumerate() {
+                let line = seg.trim_end_matches('\n').trim_end_matches('\r');
                 if line.trim().is_empty() {
+                    good_len += seg.len() as u64;
                     continue;
                 }
-                // A torn final line is a crash artifact, not corruption.
-                let Ok(op) = parse(&line) else { break };
-                apply_op(&mut store, &op)?;
+                match parse(line) {
+                    Ok(op) => {
+                        apply_op(&mut store, &op)?;
+                        good_len += seg.len() as u64;
+                    }
+                    // A torn *final* record is a crash artifact (the
+                    // append never completed), not corruption: stop
+                    // replaying at the last acknowledged op and log the
+                    // discard. Anything unparseable *before* other
+                    // records is real corruption — replaying past it
+                    // would silently resurrect a partial history.
+                    Err(_) if i + 1 == segments.len() => {
+                        eprintln!(
+                            "registry wal: discarding torn final record ({} bytes) after crash",
+                            line.len()
+                        );
+                        break;
+                    }
+                    Err(e) => {
+                        return Err(RegistryError::Storage(format!(
+                            "corrupt WAL record at line {}: {e}",
+                            i + 1
+                        )));
+                    }
+                }
+            }
+            // Drop the torn tail (if any) before reopening for append, so
+            // the next record is not glued onto garbage.
+            let disk_len =
+                std::fs::metadata(&wal_path).map_err(|e| RegistryError::Storage(e.to_string()))?.len();
+            if good_len < disk_len {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&wal_path)
+                    .map_err(|e| RegistryError::Storage(e.to_string()))?;
+                f.set_len(good_len).map_err(|e| RegistryError::Storage(e.to_string()))?;
+            } else if !text.is_empty() && !text.ends_with('\n') {
+                // A complete final record that lost only its newline (the
+                // crash landed between the bytes and the terminator): keep
+                // the op, restore the separator so the next append starts
+                // its own line.
+                let mut f = OpenOptions::new()
+                    .append(true)
+                    .open(&wal_path)
+                    .map_err(|e| RegistryError::Storage(e.to_string()))?;
+                writeln!(f).map_err(|e| RegistryError::Storage(e.to_string()))?;
             }
         }
         let wal = OpenOptions::new()
@@ -281,6 +341,71 @@ mod tests {
         }
         let (store, _) = WalStore::open(&dir).unwrap();
         assert_eq!(store.users.len(), 1, "torn record discarded, prior ops kept");
+        // Recovery cut the torn tail off, so appending resumes cleanly
+        // and a second recovery sees a healthy log.
+        let (store, _) = WalStore::open(&dir).unwrap();
+        assert_eq!(store.users.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_of_the_last_record_recovers() {
+        // Crash-consistency sweep: tear the WAL at *every* byte offset of
+        // its final record (newline included). Recovery must never fail,
+        // must keep every op before the tear, and must keep the final op
+        // exactly when its record survived complete (modulo the newline,
+        // which recovery restores).
+        let dir = tmpdir("everybyte");
+        let (full, second_start) = {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            let a = store.users.insert(jobj! { "userName" => "first" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", a, store.users.get(a).unwrap())).unwrap();
+            let second_start = std::fs::metadata(dir.join("registry.wal")).unwrap().len();
+            let b = store.users.insert(jobj! { "userName" => "second" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", b, store.users.get(b).unwrap())).unwrap();
+            (std::fs::metadata(dir.join("registry.wal")).unwrap().len(), second_start)
+        };
+        let pristine = std::fs::read(dir.join("registry.wal")).unwrap();
+        for cut in second_start..=full {
+            std::fs::write(dir.join("registry.wal"), &pristine[..cut as usize]).unwrap();
+            let (store, _) = WalStore::open(&dir).unwrap();
+            // The record is whole once all its bytes short of the newline
+            // are on disk.
+            let expected = if cut >= full - 1 { 2 } else { 1 };
+            assert_eq!(store.users.len(), expected, "cut at byte {cut} of {full}");
+            assert_eq!(store.users.find_unique("userName", "first"), Some(1));
+            // Whatever recovery left behind must itself recover: the torn
+            // tail was cut (or the newline restored), so a *second* open
+            // sees a clean log and agrees.
+            let (again, _) = WalStore::open(&dir).unwrap();
+            assert_eq!(again.users.len(), expected, "re-recovery after cut at {cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_silent_truncation() {
+        // Only the *final* record may be torn (a crash artifact). Garbage
+        // in the middle of the log means real corruption — replaying past
+        // it (or silently stopping at it, as the recovery used to) would
+        // resurrect a partial history behind the caller's back.
+        let dir = tmpdir("midfile");
+        {
+            let (mut store, mut wal) = WalStore::open(&dir).unwrap();
+            let a = store.users.insert(jobj! { "userName" => "ok" }, "userId").unwrap();
+            wal.append(&store, &ops::insert("users", a, store.users.get(a).unwrap())).unwrap();
+        }
+        {
+            let mut f = OpenOptions::new().append(true).open(dir.join("registry.wal")).unwrap();
+            writeln!(f, "this is not json").unwrap();
+            let op = ops::insert("users", 2, &jobj! { "userName" => "after", "userId" => 2 });
+            writeln!(f, "{}", to_string(&op)).unwrap();
+        }
+        match WalStore::open(&dir) {
+            Err(RegistryError::Storage(m)) => assert!(m.contains("corrupt WAL record"), "{m}"),
+            Err(other) => panic!("expected a Storage error, got {other:?}"),
+            Ok(_) => panic!("expected a corruption error, got a successful recovery"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

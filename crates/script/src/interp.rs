@@ -151,6 +151,18 @@ impl Interp {
         self.fuel
     }
 
+    /// Current RNG state, for checkpointing. The state word plus the
+    /// PE's `state.*` value is the interpreter's entire cross-invocation
+    /// footprint (fuel resets per invocation).
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restore an RNG state captured by [`Interp::rng_state`].
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng.set_state(state);
+    }
+
     /// Run a PE's `init` block against `state`.
     pub fn run_init(
         &mut self,

@@ -76,6 +76,18 @@ impl Vm {
         self.fuel
     }
 
+    /// Current RNG state, for checkpointing. The state word plus the
+    /// PE's `state.*` value is the VM's entire cross-invocation
+    /// footprint (fuel resets per invocation; stack/iters are scratch).
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restore an RNG state captured by [`Vm::rng_state`].
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng.set_state(state);
+    }
+
     fn burn(&mut self, line: usize) -> Result<(), ScriptError> {
         if self.fuel == 0 {
             return Err(ScriptError::at(

@@ -53,6 +53,22 @@ impl LaminarServer {
         }
     }
 
+    /// Server whose engine pool journals checkpointed jobs under
+    /// `journal_root`: interrupted jobs are auto-resumed on start and can
+    /// be resumed explicitly via `POST .../job/{id}/resume`.
+    pub fn with_durable_pool(
+        registry: Registry,
+        engine: ExecutionEngine,
+        workers: usize,
+        queue_capacity: usize,
+        journal_root: &std::path::Path,
+    ) -> Result<LaminarServer, laminar_engine::JournalError> {
+        Ok(LaminarServer {
+            registry: RwLock::new(registry),
+            pool: EnginePool::start_durable(engine, workers, queue_capacity, journal_root)?,
+        })
+    }
+
     /// Direct registry access (workload setup, tests).
     pub fn registry_mut(&mut self) -> &mut Registry {
         self.registry.get_mut()
@@ -133,6 +149,7 @@ impl LaminarServer {
             (Method::Get, ["execution", user, "job", id, "status"]) => self.job_status(user, id),
             (Method::Get, ["execution", user, "job", id, "result"]) => self.job_result(user, id),
             (Method::Delete, ["execution", user, "job", id]) => self.job_cancel(user, id),
+            (Method::Post, ["execution", user, "job", id, "resume"]) => self.job_resume(user, id),
             // `tail` is "events" or "events?since=<seq>" — the query stays
             // inside the percent-decoded final segment.
             (Method::Get, ["execution", user, "job", id, tail]) if is_events_segment(tail) => {
@@ -438,6 +455,19 @@ impl LaminarServer {
             .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
         let mut v = Value::Null;
         v.set("jobId", id).set("status", info.phase.as_str());
+        Ok(v)
+    }
+
+    /// `POST /execution/{user}/job/{id}/resume`: re-enqueue an interrupted
+    /// checkpointed job from its journal, under its original id. Answers
+    /// 404 when the pool has no journal, the job was never journaled (or
+    /// completed and was cleaned up), or the owner does not match; 400
+    /// when the job is live (queued/running/done) in this pool.
+    fn job_resume(&self, user: &str, id: &str) -> Result<Value, RegistryError> {
+        let id = Self::parse_job_id(id)?;
+        let id = self.pool.resume_job(user, id).map_err(Self::pool_error)?;
+        let mut v = Value::Null;
+        v.set("jobId", id).set("status", "queued");
         Ok(v)
     }
 }
@@ -1062,5 +1092,63 @@ mod tests {
         assert_eq!(stats.body["workers"].as_i64(), Some(DEFAULT_POOL_WORKERS as i64));
         assert!(stats.body["submitted"].as_i64().unwrap() >= 1);
         assert!(stats.body["completed"].as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn resume_endpoint_answers_404_without_a_journal() {
+        let s = server_with_user();
+        let r = s.handle(&ApiRequest::new(Method::Post, "/execution/zz46/job/1/resume", Value::Null));
+        assert_eq!(r.status, 404, "{r:?}");
+        let bad = s.handle(&ApiRequest::new(Method::Post, "/execution/zz46/job/x/resume", Value::Null));
+        assert_eq!(bad.status, 400);
+    }
+
+    #[test]
+    fn resume_endpoint_recovers_a_killed_checkpointed_job() {
+        let dir = std::env::temp_dir().join(format!("laminar-server-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s =
+            LaminarServer::with_durable_pool(Registry::in_memory(), ExecutionEngine::instant(), 2, 16, &dir)
+                .unwrap();
+        // Fault plans never cross the wire: arm the kill by submitting
+        // directly to the pool, then drive recovery through the API.
+        let req = ExecutionRequest::simple("zz46", WF_SRC, 9)
+            .with_workflow("IsPrimeFlow")
+            .with_checkpoints(3)
+            .with_faults(laminar_engine::FaultPlan::parse("kill_at_epoch=1"));
+        let id = s.pool().submit("zz46", req).unwrap();
+        match s.pool().wait("zz46", id, std::time::Duration::from_secs(20)).unwrap() {
+            laminar_engine::JobResult::Failed(..) => {}
+            other => panic!("expected the injected kill, got {other:?}"),
+        }
+        // A foreign tenant cannot resume the job.
+        let foreign =
+            s.handle(&ApiRequest::new(Method::Post, format!("/execution/eve/job/{id}/resume"), Value::Null));
+        assert_eq!(foreign.status, 404);
+        let r =
+            s.handle(&ApiRequest::new(Method::Post, format!("/execution/zz46/job/{id}/resume"), Value::Null));
+        assert!(r.is_ok(), "{r:?}");
+        assert_eq!(r.body["jobId"].as_i64(), Some(id));
+        assert_eq!(r.body["status"].as_str(), Some("queued"));
+        // The resumed run completes and matches a plain enactment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let result = loop {
+            let r = get(&s, &format!("/execution/zz46/job/{id}/result"));
+            assert!(r.is_ok(), "{r:?}");
+            if r.body["status"].as_str() == Some("done") {
+                break r;
+            }
+            assert!(std::time::Instant::now() < deadline, "resumed job never finished");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        let direct = ExecutionEngine::instant()
+            .run(&ExecutionRequest::simple("zz46", WF_SRC, 9).with_workflow("IsPrimeFlow"))
+            .unwrap();
+        assert_eq!(result.body["printed"].as_array().unwrap().len(), direct.printed.len(), "{result:?}");
+        // A done job's journal is gone; a second resume finds nothing.
+        let again =
+            s.handle(&ApiRequest::new(Method::Post, format!("/execution/zz46/job/{id}/resume"), Value::Null));
+        assert_eq!(again.status, 404, "a done job's journal is cleaned up: {again:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
