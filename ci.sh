@@ -19,8 +19,9 @@
 #   streaming    streaming + cancellation scenario tiers
 #   chaos        durability fault-injection suite at full proptest depth:
 #                crash/resume chaos, cross-backend epoch parity, torn
-#                journal segments, and the mid-stream worker-failure
-#                regression (PROPTEST_CASES env raises the depth)
+#                journal segments, the mid-stream worker-failure
+#                regression, and randomized slow/dead-consumer
+#                backpressure (PROPTEST_CASES env raises the depth)
 #   bench-smoke  bench compile, smoke runs, and the bench_check
 #                regression guard against the committed BENCH_PR*.json
 #   lint         rustfmt + clippy (warnings are errors)
@@ -70,6 +71,7 @@ tier_chaos() {
   cargo test -q -p laminar-dataflow --test proptest_backends
   cargo test -q -p laminar-engine --test chaos_truncation
   cargo test -q -p laminar-dataflow mid_stream_worker_error
+  cargo test -q -p laminar-engine --test proptest_slow_consumer
 }
 
 tier_bench_smoke() {
@@ -82,6 +84,8 @@ tier_bench_smoke() {
   test -s target/bench_streaming_smoke.json
   cargo run --release -p laminar-bench --bin durability_overhead -- --smoke --out target/bench_durability_smoke.json
   test -s target/bench_durability_smoke.json
+  cargo run --release -p laminar-bench --bin slow_consumer -- --smoke --out target/bench_slow_consumer_smoke.json
+  test -s target/bench_slow_consumer_smoke.json
   # The regression guard: fresh smoke vs the committed trajectory.
   cargo run --release -p laminar-bench --bin bench_check
 }

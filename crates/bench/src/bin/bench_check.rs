@@ -20,7 +20,11 @@
 //! * **checkpoint overhead** — `durability_overhead` checkpointed-vs-plain
 //!   runtime ratio per mapping must stay at or below
 //!   [`CHECKPOINT_OVERHEAD_CEILING`] (both sides from the same fresh
-//!   run, interleaved best-of-n, so no committed baseline is needed).
+//!   run, interleaved best-of-n, so no committed baseline is needed);
+//! * **slow-consumer policy** — `slow_consumer` must report zero lost
+//!   events, a matching refold, and a retained window within its own
+//!   configured horizon bound (all fresh-vs-config, no baseline: these
+//!   gate the backpressure *policy*, not machine speed).
 //!
 //! The 5× margin is deliberately coarse: smoke configs are smaller than
 //! the committed full runs and CI machines are noisy — this gate exists
@@ -96,6 +100,8 @@ fn main() {
         flag_value("--fresh-concurrent").unwrap_or_else(|| "target/bench_concurrent_smoke.json".into());
     let fresh_durability =
         flag_value("--fresh-durability").unwrap_or_else(|| "target/bench_durability_smoke.json".into());
+    let fresh_slow_consumer =
+        flag_value("--fresh-slow-consumer").unwrap_or_else(|| "target/bench_slow_consumer_smoke.json".into());
     let baseline_dir = flag_value("--baseline-dir").unwrap_or_else(|| ".".into());
     let out_path = flag_value("--out").unwrap_or_else(|| "target/bench_check.json".into());
 
@@ -103,6 +109,7 @@ fn main() {
     let streaming = load(&fresh_streaming);
     let concurrent = load(&fresh_concurrent);
     let durability = load(&fresh_durability);
+    let slow_consumer = load(&fresh_slow_consumer);
     let committed_perf = load(&format!("{baseline_dir}/BENCH_PR2.json"));
     let committed_concurrent = load(&format!("{baseline_dir}/BENCH_PR3.json"));
     let committed_streaming = load(&format!("{baseline_dir}/BENCH_PR4.json"));
@@ -178,6 +185,34 @@ fn main() {
             higher_is_better: false,
         });
     }
+
+    // Slow consumer: the checkpoint-horizon backpressure policy. All
+    // three bounds compare the fresh run against its own configuration —
+    // they hold at any machine speed or fail because the policy broke.
+    let paced = |key: &str| {
+        slow_consumer["paced"][key]
+            .as_f64()
+            .or_else(|| slow_consumer["paced"][key].as_i64().map(|v| v as f64))
+            .unwrap_or_else(|| panic!("{fresh_slow_consumer}: missing paced.{key}"))
+    };
+    checks.push(Check {
+        name: "slow consumer lost events (live reader)".into(),
+        fresh: paced("lost_events"),
+        limit: 0.0,
+        higher_is_better: false,
+    });
+    checks.push(Check {
+        name: "slow consumer max window / horizon bound".into(),
+        fresh: paced("max_window_ratio"),
+        limit: 1.0,
+        higher_is_better: false,
+    });
+    checks.push(Check {
+        name: "slow consumer refold matches batch (1 = yes)".into(),
+        fresh: if slow_consumer["paced"]["refold_matches"].as_bool() == Some(true) { 1.0 } else { 0.0 },
+        limit: 1.0,
+        higher_is_better: true,
+    });
 
     // Concurrent serving: pooled vs single-mutex jobs/s speedup.
     let fresh_speedup = concurrent["jobs_per_sec_speedup"]

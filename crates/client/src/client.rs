@@ -560,6 +560,7 @@ impl LaminarClient {
             next: resp["next"].as_i64().unwrap_or(0).max(0) as u64,
             first: resp["first"].as_i64().unwrap_or(0).max(0) as u64,
             closed: resp["closed"].as_bool().unwrap_or(false),
+            retained_epoch: resp["retained_epoch"].as_i64().map(|e| e.max(0) as u64),
         })
     }
 
@@ -667,17 +668,27 @@ impl Iterator for JobEventStream<'_> {
                 Ok(page) => {
                     // The server's log is bounded: if the oldest retained
                     // seq moved past our cursor, events were evicted before
-                    // we read them. A checkpointed job leaves epoch markers
-                    // in the stream, and an epoch's state summarizes every
-                    // event before it — so when the retained window holds
-                    // one, resume from the earliest marker (non-fatal,
-                    // iteration continues there). Without a checkpoint the
-                    // gap is unrecoverable: surface it instead of silently
-                    // yielding a divergent stream.
+                    // we read them. Recovery is engine-side for checkpointed
+                    // jobs: the horizon policy keeps an epoch marker as the
+                    // anchor and `retained_epoch` names it — the page
+                    // already starts at the marker, so re-anchor the fold
+                    // there (non-fatal, iteration continues). The marker
+                    // scan below is the fallback for older servers that
+                    // evict blindly but still retain a marker mid-window.
+                    // Without a checkpoint the gap is unrecoverable:
+                    // surface it instead of silently yielding a divergent
+                    // stream.
                     if self.cursor < page.first {
-                        let epoch_at = page.events.iter().position(|e| e["type"].as_str() == Some("epoch"));
+                        let epoch_at = match page.retained_epoch {
+                            Some(_) => Some(0),
+                            None => page.events.iter().position(|e| e["type"].as_str() == Some("epoch")),
+                        };
                         if let Some(pos) = epoch_at {
-                            let at_epoch = page.events[pos]["epoch"].as_i64().unwrap_or(0);
+                            let at_epoch = page
+                                .retained_epoch
+                                .map(|e| e as i64)
+                                .or_else(|| page.events.get(pos)?["epoch"].as_i64())
+                                .unwrap_or(0);
                             self.buffered.extend(page.events.into_iter().skip(pos));
                             self.cursor = page.next;
                             self.closed = page.closed;

@@ -244,6 +244,14 @@ impl RunEvent {
 pub trait RunObserver: Send + Sync {
     /// One event, with its stream sequence number. Called in `seq` order.
     fn on_event(&self, seq: u64, event: &RunEvent);
+
+    /// Backpressure seam: the runtime calls this at source-iteration
+    /// boundaries (never while holding the sink lock), giving the
+    /// observer a chance to *block the producer* until downstream has
+    /// capacity again. The engine's checkpoint-horizon event log parks
+    /// here while a slow consumer catches up; the default is a no-op so
+    /// plain observers (recorders, latency probes) cost nothing.
+    fn throttle(&self) {}
 }
 
 /// Fold an event stream back into a [`RunResult`] — the definition of the
@@ -404,6 +412,16 @@ impl EventSink {
         for ev in events {
             inner.seq += 1;
             inner.fold.push(ev);
+        }
+    }
+
+    /// Give the observer a chance to block this producer until downstream
+    /// capacity frees up ([`RunObserver::throttle`]). Deliberately does
+    /// *not* take the sink lock: a parked worker must never hold up peers
+    /// trying to push events.
+    pub fn throttle(&self) {
+        if let Some(observer) = &self.observer {
+            observer.throttle();
         }
     }
 
@@ -638,6 +656,39 @@ mod tests {
         assert_eq!(folded.outputs, plain.outputs);
         assert_eq!(folded.printed, plain.printed);
         assert_eq!(folded.stats, plain.stats, "Epoch is a marker, not data");
+    }
+
+    #[test]
+    fn throttle_reaches_the_observer_without_the_sink_lock() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Throttler {
+            calls: AtomicU64,
+        }
+        impl RunObserver for Throttler {
+            fn on_event(&self, _seq: u64, _event: &RunEvent) {}
+            fn throttle(&self) {
+                self.calls.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let obs = Arc::new(Throttler { calls: AtomicU64::new(0) });
+        let sink = EventSink::new(Some(Arc::clone(&obs) as Arc<dyn RunObserver>));
+        // Holding the sink lock while throttling must not deadlock: the
+        // seam bypasses the inner mutex entirely.
+        let _guard = sink.inner.lock();
+        sink.throttle();
+        sink.throttle();
+        assert_eq!(obs.calls.load(Ordering::SeqCst), 2);
+        // Observer-less sinks throttle for free.
+        let plain = EventSink::new(None);
+        plain.throttle();
+    }
+
+    #[test]
+    fn default_throttle_is_a_no_op() {
+        let recorder = RecordingObserver::new();
+        let sink = EventSink::new(Some(Arc::clone(&recorder) as Arc<dyn RunObserver>));
+        sink.throttle();
+        assert!(recorder.take().is_empty(), "default throttle emits nothing");
     }
 
     #[test]

@@ -200,6 +200,10 @@ impl<'a> Runtime<'a> {
                     }
                 }
                 i += 1;
+                // Backpressure seam: once per source iteration, outside the
+                // sink lock, let the observer park this producer until its
+                // consumer has capacity again (no-op for plain observers).
+                sink.throttle();
                 if !pace.is_zero() {
                     // Interruptible: a DELETE mid-pace stops the run within
                     // a sleep slice, not after the full (caller-chosen) pace.
@@ -828,6 +832,35 @@ mod tests {
                 r.port_values("Square", "output").iter().filter_map(Value::as_i64).collect();
             got.sort();
             assert_eq!(got, baseline, "{} diverged from Simple", mapping.kind());
+        }
+    }
+
+    #[test]
+    fn every_mapping_throttles_its_sources_once_per_iteration() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // The backpressure seam: a consumer-side observer must get one
+        // `throttle` call per source iteration on every mapping, so a
+        // bounded event log can pace the producer instead of losing data.
+        struct Pacer(AtomicU64);
+        impl super::super::RunObserver for Pacer {
+            fn on_event(&self, _seq: u64, _event: &RunEvent) {}
+            fn throttle(&self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let g = square_graph();
+        let iterations = 15;
+        for kind in [MappingKind::Simple, MappingKind::Multi, MappingKind::Mpi, MappingKind::Redis] {
+            let pacer = Arc::new(Pacer(AtomicU64::new(0)));
+            let opts = RunOptions::iterations(iterations).with_processes(4);
+            kind.build()
+                .execute_observed(&g, &opts, Some(Arc::clone(&pacer) as Arc<dyn super::super::RunObserver>))
+                .unwrap();
+            let calls = pacer.0.load(Ordering::SeqCst);
+            assert!(
+                calls >= iterations as u64,
+                "{kind}: {calls} throttle calls for {iterations} source iterations"
+            );
         }
     }
 }

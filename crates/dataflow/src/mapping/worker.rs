@@ -513,6 +513,11 @@ pub fn run_worker<T: Transport>(
                     deliver(&mut emissions, transport, events)?;
                     if live {
                         sink.extend(events);
+                        // Backpressure seam: sources (the rate-setters) park
+                        // here when the observer's consumer is behind. Relay
+                        // instances never throttle — they must keep draining
+                        // so upstream EOS always lands (deadlock freedom).
+                        sink.throttle();
                     }
                     if !pace.is_zero() && cancel.sleep_cancellable(pace) {
                         break; // cancelled mid-pace: don't run another iteration

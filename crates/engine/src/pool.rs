@@ -22,7 +22,7 @@ use laminar_json::Value;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,8 +30,22 @@ use std::time::{Duration, Instant};
 const RETAIN_FINISHED: usize = 4096;
 
 /// Events retained per job before the oldest are evicted (cursor clients
-/// detect the truncation via [`EventPage::first`]).
+/// detect the truncation via [`EventPage::first`]). Checkpointed jobs use
+/// the capacity as a *horizon* instead: undelivered events are never
+/// evicted while a consumer is live — the producer is throttled — and a
+/// dead consumer degrades the log to epoch granularity, never to silent
+/// data loss (see [`JobEventLog::wait_capacity`]).
 const EVENT_LOG_CAPACITY: usize = 8192;
+
+/// Default bounded wait a throttled producer spends on a full horizon log
+/// before declaring the consumer dead and degrading to epoch-granularity
+/// eviction. Cancel-aware — a DELETE lands within one wait slice — so a
+/// vanished reader can delay a worker, never wedge it.
+const BACKPRESSURE_WAIT: Duration = Duration::from_secs(5);
+
+/// Slice of one backpressure wait between cancellation re-checks
+/// ([`CancelToken`] has no waitable primitive to park on directly).
+const BACKPRESSURE_SLICE: Duration = Duration::from_millis(20);
 
 /// Finished streamed jobs whose full event logs stay replayable. Older
 /// finished logs are expired — events dropped, sequence bookkeeping kept
@@ -55,6 +69,12 @@ pub struct EventPage {
     /// Whether the stream is complete (the job reached a terminal phase
     /// and its last event is the `done`/`failed` marker).
     pub closed: bool,
+    /// Set when the caller's cursor fell below [`EventPage::first`] but a
+    /// checkpoint survived the eviction: the page starts at a retained
+    /// `epoch` marker (its first event) and this is that epoch's id. The
+    /// client re-anchors its fold at the checkpoint — engine-side
+    /// recovery at epoch granularity instead of unrecoverable data loss.
+    pub retained_epoch: Option<u64>,
 }
 
 struct EventLogInner {
@@ -62,25 +82,119 @@ struct EventLogInner {
     /// Sequence number of `events[0]`.
     first_seq: u64,
     closed: bool,
+    /// Retained `epoch` markers as `(seq, epoch id)`, in stream order.
+    /// Front entries are dropped as eviction overtakes their seq.
+    epoch_marks: VecDeque<(u64, u64)>,
+    /// High-water mark of delivery: the largest `next` cursor any
+    /// [`JobEventLog::page`] call has returned. Events below it have been
+    /// handed to a reader, so evicting them loses nothing.
+    reads: u64,
+    /// A `cancelled` marker was appended. Tracked as a flag (not by
+    /// inspecting the deque back) so the dedup in
+    /// [`JobEventLog::close_cancelled`] stays correct even after the
+    /// marker's neighbours — or, in a torn state, the region around it —
+    /// have been evicted.
+    has_cancelled: bool,
+    /// The backpressure wait expired on this horizon log: the consumer is
+    /// presumed dead and eviction has degraded to epoch granularity.
+    degraded: bool,
 }
 
 /// A bounded, sequenced log of one job's run events. Written by the
 /// worker's streaming observer, read by cursor through the `/events`
 /// endpoint.
+///
+/// Two retention policies share the structure:
+///
+/// * **Evict-and-truncate** (non-checkpointed jobs, `horizon = false`):
+///   over capacity, the oldest events are dropped; cursor clients detect
+///   the gap via [`EventPage::first`]. Today's behavior, kept as the
+///   documented fallback — without checkpoints there is nothing better
+///   to degrade to.
+/// * **Checkpoint horizon** (`horizon = true`): undelivered events are
+///   never evicted while the consumer is live; instead the producer is
+///   throttled ([`JobEventLog::wait_capacity`], reached through the
+///   [`RunObserver::throttle`] seam). If the bounded wait expires the
+///   consumer is presumed dead and the log *degrades*: events below the
+///   most recent retained `epoch` marker become evictable (the marker
+///   survives as the recovery anchor surfaced via
+///   [`EventPage::retained_epoch`]). Terminal markers are never evicted
+///   under either policy.
 pub struct JobEventLog {
     inner: Mutex<EventLogInner>,
+    /// Signalled when a reader advances `reads` (and on close), waking
+    /// producers parked in [`JobEventLog::wait_capacity`].
+    space_cv: Condvar,
+    /// Whether the checkpoint-horizon policy applies (jobs submitted with
+    /// `checkpoint_every > 0`).
+    horizon: bool,
+    /// Retention bound (soft for horizon logs: a producer may overshoot
+    /// by its burst between two throttle points).
+    capacity: usize,
+    /// Bounded backpressure wait before a horizon log degrades.
+    max_wait: Duration,
 }
 
 impl JobEventLog {
-    fn new() -> Arc<JobEventLog> {
+    fn new(horizon: bool, capacity: usize, max_wait: Duration) -> Arc<JobEventLog> {
         Arc::new(JobEventLog {
-            inner: Mutex::new(EventLogInner { events: VecDeque::new(), first_seq: 0, closed: false }),
+            inner: Mutex::new(EventLogInner {
+                events: VecDeque::new(),
+                first_seq: 0,
+                closed: false,
+                epoch_marks: VecDeque::new(),
+                reads: 0,
+                has_cancelled: false,
+                degraded: false,
+            }),
+            space_cv: Condvar::new(),
+            horizon,
+            capacity: capacity.max(1),
+            max_wait,
         })
+    }
+
+    /// Track policy-relevant markers of a just-stamped event.
+    fn note_markers(inner: &mut EventLogInner, event: &Value, seq: u64) {
+        match event["type"].as_str() {
+            Some("epoch") => {
+                let id = event["epoch"].as_i64().unwrap_or(0).max(0) as u64;
+                inner.epoch_marks.push_back((seq, id));
+            }
+            Some("cancelled") => inner.has_cancelled = true,
+            _ => {}
+        }
+    }
+
+    /// Evict from the front down to `capacity`, honoring the policy:
+    /// terminal markers are exempt; horizon logs evict only delivered
+    /// events (`seq < reads`) until degraded, then anything below the
+    /// latest retained epoch marker — and if a single round overflows the
+    /// whole log (no marker to anchor on), blindly, which is exactly the
+    /// non-checkpointed fallback.
+    fn evict(inner: &mut EventLogInner, horizon: bool, capacity: usize) {
+        while inner.events.len() > capacity {
+            let front_seq = inner.first_seq;
+            let front_type = inner.events.front().and_then(|e| e["type"].as_str());
+            if matches!(front_type, Some("cancelled" | "done" | "failed")) {
+                break;
+            }
+            if horizon && !inner.degraded && front_seq >= inner.reads {
+                break; // undelivered and the consumer is (still) live
+            }
+            inner.events.pop_front();
+            inner.first_seq += 1;
+            while inner.epoch_marks.front().is_some_and(|&(seq, _)| seq < inner.first_seq) {
+                inner.epoch_marks.pop_front();
+            }
+        }
     }
 
     /// Append one wire-form event, stamping it with the next sequence
     /// number (overwriting any `seq` the value carried — the log is the
-    /// authority on ordering).
+    /// authority on ordering). Never blocks: a horizon log over capacity
+    /// overshoots softly here and relies on the producer's next
+    /// [`JobEventLog::wait_capacity`] to park.
     fn append(&self, mut event: Value) {
         let mut inner = self.inner.lock();
         if inner.closed {
@@ -88,10 +202,73 @@ impl JobEventLog {
         }
         let seq = inner.first_seq + inner.events.len() as u64;
         event.set("seq", seq as i64);
+        Self::note_markers(&mut inner, &event, seq);
         inner.events.push_back(event);
-        while inner.events.len() > EVENT_LOG_CAPACITY {
-            inner.events.pop_front();
-            inner.first_seq += 1;
+        Self::evict(&mut inner, self.horizon, self.capacity);
+    }
+
+    /// Pre-fill a resumed job's log with its journaled prefix, honoring
+    /// the seqs the journal recorded — a resumed log must *not* restart
+    /// at `first_seq = 0` with re-stamped events, or a client holding an
+    /// attempt-1 cursor can be handed `next < since` and silently re-fold
+    /// duplicates. Journaled streams are contiguous in every normal flow;
+    /// on a discontinuity (a hand-mangled journal) stamping falls back to
+    /// sequential from that point so the log stays internally consistent.
+    ///
+    /// The prefix already streamed live once and is durable on disk, so
+    /// it counts as delivered: horizon eviction may reclaim it without
+    /// waiting on a cursor client that may be long gone.
+    fn preload_journal(&self, events: Vec<Value>) {
+        let mut inner = self.inner.lock();
+        let mut expected: Option<u64> = None;
+        for mut event in events {
+            let recorded = event["seq"].as_i64().map(|s| s.max(0) as u64);
+            let seq = match (recorded, expected) {
+                (Some(s), None) => s,              // first event seeds first_seq
+                (Some(s), Some(e)) if s == e => s, // contiguous: honor the record
+                (_, Some(e)) => e,                 // discontinuity: re-stamp
+                (None, None) => 0,
+            };
+            if expected.is_none() {
+                inner.first_seq = seq;
+            }
+            event.set("seq", seq as i64);
+            Self::note_markers(&mut inner, &event, seq);
+            inner.events.push_back(event);
+            expected = Some(seq + 1);
+        }
+        inner.reads = inner.first_seq + inner.events.len() as u64;
+        Self::evict(&mut inner, self.horizon, self.capacity);
+    }
+
+    /// Park the producer until the log has capacity again — the
+    /// backpressure half of the horizon policy, called from the job
+    /// observer's [`RunObserver::throttle`] at source-iteration
+    /// boundaries. Returns immediately for non-horizon, closed, degraded
+    /// or cancelled logs. When `max_wait` expires without the reader
+    /// catching up, the log flips to degraded (epoch-granularity
+    /// eviction) so a dead consumer delays a worker once, never wedges
+    /// it.
+    fn wait_capacity(&self, cancel: &CancelToken) {
+        if !self.horizon {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let deadline = Instant::now() + self.max_wait;
+        loop {
+            Self::evict(&mut inner, self.horizon, self.capacity);
+            if inner.events.len() <= self.capacity || inner.closed || inner.degraded || cancel.is_cancelled()
+            {
+                return;
+            }
+            if Instant::now() >= deadline {
+                inner.degraded = true;
+                Self::evict(&mut inner, self.horizon, self.capacity);
+                return;
+            }
+            // Sliced so cancellation lands promptly: CancelToken has no
+            // waitable primitive, and a reader's notify can race the park.
+            self.space_cv.wait_for(&mut inner, BACKPRESSURE_SLICE);
         }
     }
 
@@ -99,6 +276,7 @@ impl JobEventLog {
     fn close(&self, terminal: Value) {
         self.append(terminal);
         self.inner.lock().closed = true;
+        self.space_cv.notify_all();
     }
 
     /// Seal the log as cancelled. The [`RunEvent::Cancelled`] marker may
@@ -106,18 +284,22 @@ impl JobEventLog {
     /// streaming observer before unwinding); when it is not — queued jobs
     /// cancelled before a worker picked them, non-streamed jobs, shutdown
     /// — append it first, so a cancelled stream always ends in exactly
-    /// one `cancelled` marker.
+    /// one `cancelled` marker. The dedup keys off the `has_cancelled`
+    /// flag, not the deque back: eviction can never strip the marker
+    /// (terminal markers are exempt) nor fool the check.
     fn close_cancelled(&self) {
         let mut inner = self.inner.lock();
         if inner.closed {
             return;
         }
-        let sealed = inner.events.back().and_then(|e| e["type"].as_str()) == Some("cancelled");
-        if !sealed {
+        if !inner.has_cancelled {
             let seq = inner.first_seq + inner.events.len() as u64;
             inner.events.push_back(RunEvent::Cancelled.to_value(seq));
+            inner.has_cancelled = true;
         }
         inner.closed = true;
+        drop(inner);
+        self.space_cv.notify_all();
     }
 
     /// Drop every retained event, keeping the sequence bookkeeping (and
@@ -127,19 +309,60 @@ impl JobEventLog {
         let mut inner = self.inner.lock();
         inner.first_seq += inner.events.len() as u64;
         inner.events.clear();
+        inner.epoch_marks.clear();
     }
 
     /// Read a page of events starting at `since`.
+    ///
+    /// Honest at both edges: a cursor beyond the end returns an empty
+    /// page with `next = since` (never clamped backwards, never falsely
+    /// `closed` — the caller has not seen the trailing events); a cursor
+    /// below `first` re-anchors at the oldest retained epoch marker when
+    /// one survives, reported via [`EventPage::retained_epoch`].
     fn page(&self, since: u64) -> EventPage {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
         let first = inner.first_seq;
         let end_seq = first + inner.events.len() as u64;
-        let start = since.max(first).min(end_seq);
+        if since > end_seq {
+            return EventPage { events: Vec::new(), next: since, first, closed: false, retained_epoch: None };
+        }
+        let mut retained_epoch = None;
+        let mut start = since;
+        if since < first {
+            // The bounded log evicted events this cursor never saw. When a
+            // checkpoint survives, recovery is engine-side: restart the
+            // page at the oldest retained epoch marker.
+            if let Some(&(mark_seq, mark_id)) = inner.epoch_marks.front() {
+                start = mark_seq;
+                retained_epoch = Some(mark_id);
+            } else {
+                start = first;
+            }
+        }
         let take = ((end_seq - start) as usize).min(EVENT_PAGE_LIMIT);
         let offset = (start - first) as usize;
         let events: Vec<Value> = inner.events.iter().skip(offset).take(take).cloned().collect();
         let next = start + events.len() as u64;
-        EventPage { events, next, first, closed: inner.closed && next == end_seq }
+        let closed = inner.closed && next == end_seq;
+        let advanced = next > inner.reads;
+        if advanced {
+            inner.reads = next;
+        }
+        drop(inner);
+        if advanced {
+            // Delivery frees horizon capacity: wake throttled producers.
+            self.space_cv.notify_all();
+        }
+        EventPage { events, next, first, closed, retained_epoch }
+    }
+
+    /// The retained window as `(first, end)` sequence numbers —
+    /// `end - first` is the in-memory event count. Observability for the
+    /// slow-consumer bench and tests, which assert the window stays
+    /// bounded by the checkpoint horizon.
+    fn window(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.first_seq, inner.first_seq + inner.events.len() as u64)
     }
 }
 
@@ -151,20 +374,39 @@ impl JobEventLog {
 /// observable through `/events`, its snapshot is already durable, so the
 /// injected-kill fault (which fires right after the marker) models a
 /// crash strictly after persistence. Journal I/O errors are swallowed —
-/// a failing disk degrades durability, it must not kill a healthy run.
+/// a failing disk degrades durability, it must not kill a healthy run —
+/// but counted, so operators can see the degradation in pool stats
+/// ([`PoolStats::journal_errors`]) instead of discovering it at resume
+/// time.
 struct JobObserver {
     log: Option<Arc<JobEventLog>>,
     journal: Option<Mutex<JournalWriter>>,
+    /// The job's cooperative stop signal: a backpressure park must abort
+    /// when the job is cancelled.
+    cancel: CancelToken,
+    /// Pool-wide count of swallowed journal I/O errors.
+    journal_errors: Arc<AtomicU64>,
 }
 
 impl RunObserver for JobObserver {
     fn on_event(&self, seq: u64, event: &RunEvent) {
         let wire = event.to_value(seq);
         if let Some(journal) = &self.journal {
-            let _ = journal.lock().record(&wire);
+            if journal.lock().record(&wire).is_err() {
+                self.journal_errors.fetch_add(1, Ordering::SeqCst);
+            }
         }
         if let Some(log) = &self.log {
             log.append(wire);
+        }
+    }
+
+    /// The backpressure seam: the runtime calls this at source-iteration
+    /// boundaries; the horizon log parks the producer until the consumer
+    /// catches up (or the bounded wait degrades the log).
+    fn throttle(&self) {
+        if let Some(log) = &self.log {
+            log.wait_capacity(&self.cancel);
         }
     }
 }
@@ -311,6 +553,9 @@ pub struct PoolStats {
     pub cancelled: u64,
     /// Total submissions rejected by admission control.
     pub rejected: u64,
+    /// Journal I/O errors swallowed by job observers (a failing disk
+    /// degrades durability silently; this makes it visible).
+    pub journal_errors: u64,
 }
 
 impl PoolStats {
@@ -325,7 +570,8 @@ impl PoolStats {
             .set("completed", self.completed as i64)
             .set("failed", self.failed as i64)
             .set("cancelled", self.cancelled as i64)
-            .set("rejected", self.rejected as i64);
+            .set("rejected", self.rejected as i64)
+            .set("journal_errors", self.journal_errors as i64);
         v
     }
 }
@@ -388,6 +634,29 @@ struct PoolInner {
     failed: AtomicU64,
     cancelled: AtomicU64,
     rejected: AtomicU64,
+    /// Journal I/O errors swallowed by job observers.
+    journal_errors: Arc<AtomicU64>,
+    /// Per-job event-log capacity for jobs submitted from now on
+    /// (tests/benches shrink it to exercise the horizon policy without
+    /// producing 8k+ events).
+    event_log_capacity: AtomicUsize,
+    /// Bounded backpressure wait (milliseconds) before a horizon log
+    /// degrades, for jobs submitted from now on.
+    backpressure_wait_ms: AtomicU64,
+}
+
+impl PoolInner {
+    /// A fresh per-job log under the pool's current retention config.
+    /// `horizon` is true for checkpointed jobs (`checkpoint_every > 0`),
+    /// whose epochs give the log something better than eviction to
+    /// degrade to.
+    fn new_log(&self, horizon: bool) -> Arc<JobEventLog> {
+        JobEventLog::new(
+            horizon,
+            self.event_log_capacity.load(Ordering::SeqCst),
+            Duration::from_millis(self.backpressure_wait_ms.load(Ordering::SeqCst)),
+        )
+    }
 }
 
 /// A pool of engines serving jobs from a bounded queue.
@@ -461,6 +730,9 @@ impl EnginePool {
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            journal_errors: Arc::new(AtomicU64::new(0)),
+            event_log_capacity: AtomicUsize::new(EVENT_LOG_CAPACITY),
+            backpressure_wait_ms: AtomicU64::new(BACKPRESSURE_WAIT.as_millis() as u64),
         });
         let hosts = prototype.hosts().clone();
         let handles = (0..workers)
@@ -511,7 +783,7 @@ impl EnginePool {
                 worker: None,
                 output: None,
                 error: None,
-                events: JobEventLog::new(),
+                events: self.inner.new_log(req.checkpoint_every > 0),
                 streaming: req.stream_events,
                 cancel: CancelToken::new(),
             },
@@ -521,6 +793,38 @@ impl EnginePool {
         self.inner.submitted.fetch_add(1, Ordering::SeqCst);
         self.inner.work_cv.notify_one();
         Ok(id)
+    }
+
+    /// Override the per-job event-log capacity for jobs submitted after
+    /// the call (the checkpoint horizon for checkpointed jobs). Tests and
+    /// the `slow_consumer` bench shrink it to exercise the retention
+    /// policy without producing tens of thousands of events.
+    pub fn set_event_log_capacity(&self, capacity: usize) {
+        self.inner.event_log_capacity.store(capacity.max(1), Ordering::SeqCst);
+    }
+
+    /// Override the bounded backpressure wait for jobs submitted after
+    /// the call: how long a throttled producer parks on a full horizon
+    /// log before presuming the consumer dead and degrading to
+    /// epoch-granularity eviction.
+    pub fn set_backpressure_wait(&self, wait: Duration) {
+        self.inner.backpressure_wait_ms.store(wait.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// The retained event window of a job's log as `(first, end)`
+    /// sequence numbers — `end - first` events are in memory. `None` when
+    /// the id is unknown or owned by someone else. Observability for the
+    /// horizon policy: the slow-consumer gates assert `end - first` stays
+    /// bounded by the configured capacity (plus one producer burst).
+    pub fn event_log_window(&self, owner: &str, id: i64) -> Option<(u64, u64)> {
+        let jobs = self.inner.jobs.lock();
+        let rec = jobs.get(&id)?;
+        if rec.owner != owner {
+            return None;
+        }
+        let log = Arc::clone(&rec.events);
+        drop(jobs);
+        Some(log.window())
     }
 
     /// Current view of a job. `None` when the id is unknown or owned by
@@ -711,10 +1015,10 @@ impl EnginePool {
         // Keep the id allocator ahead of resurrected ids so fresh
         // submissions never collide with a journaled job.
         self.inner.next_id.fetch_max(id + 1, Ordering::SeqCst);
-        let log = JobEventLog::new();
-        for ev in data.events {
-            log.append(ev);
-        }
+        // Seed the resumed log from the journal *honoring recorded seqs*,
+        // so attempt-1 cursors stay monotone across the resume.
+        let log = self.inner.new_log(req.checkpoint_every > 0);
+        log.preload_journal(data.events);
         self.inner.jobs.lock().insert(
             id,
             JobRecord {
@@ -794,6 +1098,7 @@ impl EnginePool {
             failed: self.inner.failed.load(Ordering::SeqCst),
             cancelled: self.inner.cancelled.load(Ordering::SeqCst),
             rejected: self.inner.rejected.load(Ordering::SeqCst),
+            journal_errors: self.inner.journal_errors.load(Ordering::SeqCst),
         }
     }
 }
@@ -847,7 +1152,12 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                     rec.worker = Some(worker_id);
                     (Arc::clone(&rec.events), rec.streaming, rec.cancel.clone(), rec.owner.clone())
                 }
-                None => (JobEventLog::new(), false, CancelToken::new(), String::new()),
+                None => (
+                    JobEventLog::new(false, EVENT_LOG_CAPACITY, BACKPRESSURE_WAIT),
+                    false,
+                    CancelToken::new(),
+                    String::new(),
+                ),
             }
         };
         inner.running.fetch_add(1, Ordering::SeqCst);
@@ -865,6 +1175,8 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
             Arc::new(JobObserver {
                 log: streaming.then(|| Arc::clone(&log)),
                 journal: journal_writer.map(Mutex::new),
+                cancel: cancel.clone(),
+                journal_errors: Arc::clone(&inner.journal_errors),
             }) as Arc<dyn RunObserver>
         });
         let result = engine.run_controlled(&req, observer, &cancel);
@@ -1522,6 +1834,293 @@ mod tests {
             other => panic!("expected Done, got {other:?}"),
         }
         assert_eq!(pool.resume_job("u", done), Err(PoolError::Unknown(done)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- checkpoint-horizon backpressure & cursor honesty -------------------------------
+
+    fn data_event() -> Value {
+        let mut v = Value::Null;
+        v.set("type", "output").set("value", 1i64);
+        v
+    }
+
+    #[test]
+    fn page_is_honest_at_and_past_the_end() {
+        let log = JobEventLog::new(false, 16, Duration::from_millis(10));
+        for _ in 0..3 {
+            log.append(data_event()); // seqs 0, 1, 2
+        }
+        // since == end_seq: empty page, cursor parked, stream open.
+        let at_end = log.page(3);
+        assert!(at_end.events.is_empty());
+        assert_eq!(at_end.next, 3);
+        assert!(!at_end.closed);
+        // since == end_seq + 1: the cursor is preserved, never clamped
+        // backwards (the old clamp handed back `next < since`, silently
+        // re-folding duplicates) and never falsely closed.
+        let past = log.page(4);
+        assert!(past.events.is_empty());
+        assert_eq!(past.next, 4, "cursor preserved, not clamped to the end");
+        assert!(!past.closed, "closed must not be reported for events the client never saw");
+        assert!(past.retained_epoch.is_none());
+
+        log.close(terminal_event("done", None)); // seq 3; end_seq = 4
+        let at_end = log.page(4);
+        assert!(at_end.closed, "cursor at the end of a closed stream sees closure");
+        assert_eq!(at_end.next, 4);
+        let beyond = log.page(5);
+        assert!(!beyond.closed, "a cursor past the end has unseen (non-existent) events");
+        assert_eq!(beyond.next, 5);
+        assert!(beyond.events.is_empty());
+    }
+
+    #[test]
+    fn preload_honors_journal_seqs_and_tracks_epoch_marks() {
+        let log = JobEventLog::new(true, 16, Duration::from_millis(10));
+        let mut journaled: Vec<Value> = (0..4i64)
+            .map(|i| {
+                let mut v = data_event();
+                v.set("seq", i);
+                v
+            })
+            .collect();
+        journaled.insert(2, {
+            let mut v = RunEvent::Epoch { id: 1, state: Value::Null }.to_value(2);
+            v.set("seq", 2i64);
+            v
+        });
+        for (i, v) in journaled.iter_mut().enumerate() {
+            v.set("seq", i as i64);
+        }
+        log.preload_journal(journaled);
+        assert_eq!(log.window(), (0, 5));
+        let page = log.page(0);
+        let seqs: Vec<i64> = page.events.iter().filter_map(|e| e["seq"].as_i64()).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4], "recorded seqs honored");
+        assert_eq!(log.inner.lock().epoch_marks.front(), Some(&(2, 1)), "epoch mark recovered");
+        // Live appends continue the numbering.
+        log.append(data_event());
+        assert_eq!(log.page(5).events[0]["seq"].as_i64(), Some(5));
+    }
+
+    #[test]
+    fn resumed_job_cursors_never_move_backwards() {
+        let dir = journal_dir("monotone");
+        let pool = EnginePool::start_durable(ExecutionEngine::instant(), 1, 8, &dir).unwrap();
+        let req = ExecutionRequest::simple("u", STATEFUL_SRC, 10)
+            .with_checkpoints(3)
+            .with_events(true)
+            .with_faults(FaultPlan::parse("kill_at_epoch=2"));
+        let id = pool.submit("u", req).unwrap();
+        match pool.wait("u", id, Duration::from_secs(20)).unwrap() {
+            JobResult::Failed(..) => {}
+            other => panic!("expected the injected kill, got {other:?}"),
+        }
+        // Drain attempt 1 completely. The cursor ends past the journaled
+        // prefix: the partial round after epoch 2 and the `failed` marker
+        // streamed but were never journaled.
+        let mut cursor = 0;
+        loop {
+            let page = pool.events("u", id, cursor).unwrap();
+            cursor = page.next;
+            if page.closed && page.events.is_empty() {
+                break;
+            }
+        }
+        let attempt1_end = cursor;
+
+        assert_eq!(pool.resume_job("u", id).unwrap(), id);
+        // The regression: a resumed log restarting at first_seq = 0 handed
+        // this cursor `next < since` (silent duplicate re-fold). Monotone
+        // now, from the very first post-resume poll to stream close.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut collected: Vec<Value> = Vec::new();
+        loop {
+            let page = pool.events("u", id, cursor).unwrap();
+            assert!(page.next >= cursor, "cursor moved backwards: {} < {}", page.next, cursor);
+            collected.extend(page.events);
+            cursor = page.next;
+            if page.closed && collected.last().and_then(|e| e["type"].as_str()) == Some("done") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resumed job never finished");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(cursor >= attempt1_end, "the resumed stream continues past attempt 1's end");
+        // The journaled prefix stayed addressable under the original seqs,
+        // and folding the whole resumed stream reproduces the batch run.
+        let full = pool.events("u", id, 0).unwrap();
+        assert_eq!(full.first, 0, "resumed log keeps the journaled prefix at its recorded seqs");
+        let mut events: Vec<Value> = Vec::new();
+        let mut since = 0;
+        loop {
+            let page = pool.events("u", id, since).unwrap();
+            let drained = page.events.is_empty();
+            events.extend(page.events);
+            since = page.next;
+            if page.closed && drained {
+                break;
+            }
+        }
+        let folded = laminar_dataflow::fold_events(events.iter().filter_map(RunEvent::from_value));
+        let batch = ExecutionEngine::instant().run(&ExecutionRequest::simple("u", STATEFUL_SRC, 10)).unwrap();
+        assert_eq!(
+            folded.port_values("Tally", "output"),
+            batch.port_values("Tally", "output").as_slice(),
+            "refold identity across the resume"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_log_cancel_keeps_exactly_one_marker_on_every_mapping() {
+        use laminar_dataflow::MappingKind;
+        for (mapping, processes) in [
+            (MappingKind::Simple, 1),
+            (MappingKind::Multi, 3),
+            (MappingKind::Mpi, 3),
+            (MappingKind::Redis, 3),
+        ] {
+            let pool = instant_pool(1, 4);
+            pool.set_event_log_capacity(24);
+            let req = ExecutionRequest::simple("u", WF_SRC, 0)
+                .with_mapping(mapping, processes)
+                .with_unbounded(Duration::from_micros(100))
+                .with_events(true);
+            let id = pool.submit("u", req).unwrap();
+            // Let the bounded log wrap (non-checkpointed: blind eviction).
+            let deadline = Instant::now() + Duration::from_secs(20);
+            loop {
+                let (first, _) = pool.event_log_window("u", id).unwrap();
+                if first > 0 {
+                    break;
+                }
+                assert!(Instant::now() < deadline, "{mapping:?}: log never wrapped");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            pool.cancel("u", id).expect("own job");
+            match pool.wait("u", id, Duration::from_secs(20)).unwrap() {
+                JobResult::Cancelled(_) => {}
+                other => panic!("{mapping:?}: expected Cancelled, got {other:?}"),
+            }
+            // Drain the retained window: exactly one cancelled marker
+            // survives the full-log cancel, and it seals the stream.
+            let mut since = 0;
+            let mut types: Vec<String> = Vec::new();
+            loop {
+                let page = pool.events("u", id, since).unwrap();
+                types.extend(page.events.iter().filter_map(|e| e["type"].as_str().map(str::to_string)));
+                since = page.next;
+                if page.closed && page.events.is_empty() {
+                    break;
+                }
+            }
+            assert_eq!(
+                types.iter().filter(|t| *t == "cancelled").count(),
+                1,
+                "{mapping:?}: exactly one cancelled marker"
+            );
+            assert_eq!(types.last().map(String::as_str), Some("cancelled"), "{mapping:?}: marker seals");
+        }
+    }
+
+    #[test]
+    fn throttled_producer_loses_nothing_for_a_live_slow_consumer() {
+        let pool = instant_pool(1, 4);
+        pool.set_event_log_capacity(32);
+        // Never degrade within this test: a live consumer must see literal
+        // zero loss, with the producer paced to the consumer.
+        pool.set_backpressure_wait(Duration::from_secs(30));
+        let iterations = 120;
+        let req =
+            ExecutionRequest::simple("u", STATEFUL_SRC, iterations).with_checkpoints(10).with_events(true);
+        let id = pool.submit("u", req).unwrap();
+        let mut since = 0;
+        let mut events: Vec<Value> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let page = pool.events("u", id, since).unwrap();
+            assert!(since >= page.first, "live consumer saw eviction: {} < {}", since, page.first);
+            assert!(page.retained_epoch.is_none(), "no degraded recovery for a live consumer");
+            assert!(page.next >= since, "cursor monotone");
+            events.extend(page.events);
+            since = page.next;
+            if page.closed {
+                break;
+            }
+            assert!(Instant::now() < deadline, "throttled job never finished");
+            // A deliberately slow reader: the producer must wait, not win.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let folded = laminar_dataflow::fold_events(events.iter().filter_map(RunEvent::from_value));
+        let batch =
+            ExecutionEngine::instant().run(&ExecutionRequest::simple("u", STATEFUL_SRC, iterations)).unwrap();
+        assert_eq!(
+            folded.port_values("Tally", "output"),
+            batch.port_values("Tally", "output").as_slice(),
+            "zero data loss: the slow consumer folds the exact batch result"
+        );
+        assert_eq!(folded.printed, batch.printed);
+    }
+
+    #[test]
+    fn dead_consumer_degrades_to_epoch_granularity_with_bounded_memory() {
+        let pool = instant_pool(1, 4);
+        let capacity = 64;
+        pool.set_event_log_capacity(capacity);
+        pool.set_backpressure_wait(Duration::from_millis(100));
+        let req = ExecutionRequest::simple("u", STATEFUL_SRC, 200).with_checkpoints(10).with_events(true);
+        let id = pool.submit("u", req).unwrap();
+        // Nobody reads: the producer parks once for the bounded wait, the
+        // log degrades, and the job still completes (a dead consumer can
+        // delay a worker, never wedge it).
+        match pool.wait("u", id, Duration::from_secs(30)).unwrap() {
+            JobResult::Done(..) => {}
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let (first, end) = pool.event_log_window("u", id).unwrap();
+        assert!(first > 0, "the log did evict (degraded mode engaged)");
+        assert!(
+            (end - first) as usize <= capacity * 2,
+            "log memory bounded by the horizon: window {} > {}",
+            end - first,
+            capacity * 2
+        );
+        // A returning client recovers engine-side at a retained epoch
+        // marker: the page starts AT the marker and names its epoch.
+        let page = pool.events("u", id, 0).unwrap();
+        let epoch = page.retained_epoch.expect("a checkpoint survived the eviction");
+        assert_eq!(page.events[0]["type"].as_str(), Some("epoch"));
+        assert_eq!(page.events[0]["epoch"].as_i64(), Some(epoch as i64));
+    }
+
+    #[test]
+    fn swallowed_journal_errors_are_counted() {
+        let dir = journal_dir("joerr");
+        let store = JournalStore::open(&dir).unwrap();
+        let mut meta = Value::Null;
+        meta.set("owner", "u");
+        let writer = store.create(7, &meta).unwrap();
+        let errors = Arc::new(AtomicU64::new(0));
+        let observer = JobObserver {
+            log: None,
+            journal: Some(Mutex::new(writer)),
+            cancel: CancelToken::new(),
+            journal_errors: Arc::clone(&errors),
+        };
+        // Tear the job directory out from under the writer: the epoch
+        // record seals its segment by rename, which now has nowhere to go.
+        std::fs::remove_dir_all(dir.join("job-7")).unwrap();
+        observer.on_event(0, &RunEvent::Epoch { id: 1, state: Value::Null });
+        assert!(
+            errors.load(Ordering::SeqCst) >= 1,
+            "a swallowed journal I/O error must be counted, not lost"
+        );
+        // And the pool surfaces the counter (zero on a healthy pool).
+        let pool = instant_pool(1, 2);
+        assert_eq!(pool.stats().journal_errors, 0);
+        assert_eq!(pool.stats().to_value()["journal_errors"].as_i64(), Some(0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -391,8 +391,11 @@ impl LaminarServer {
     /// sequence number; the response's `next` is the cursor for the next
     /// poll, `first` the oldest retained seq (truncation detection), and
     /// `closed` flags a complete stream (its last event is the
-    /// `done`/`failed` marker). Touches only the pool — never the
-    /// registry lock — so event polling overlaps every other endpoint.
+    /// `done`/`failed` marker). When eviction overtook the cursor but a
+    /// checkpoint survived, `retained_epoch` names the epoch whose marker
+    /// the page restarts at — engine-side recovery for checkpointed jobs.
+    /// Touches only the pool — never the registry lock — so event polling
+    /// overlaps every other endpoint.
     fn job_events(&self, user: &str, id: &str, tail: &str, body: &Value) -> Result<Value, RegistryError> {
         let id = Self::parse_job_id(id)?;
         let since = match events_since(tail) {
@@ -415,6 +418,9 @@ impl LaminarServer {
             .set("next", page.next as i64)
             .set("first", page.first as i64)
             .set("closed", page.closed);
+        if let Some(epoch) = page.retained_epoch {
+            v.set("retained_epoch", epoch as i64);
+        }
         Ok(v)
     }
 

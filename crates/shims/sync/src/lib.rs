@@ -16,7 +16,7 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Mutual exclusion backed by [`std::sync::Mutex`].
 #[derive(Default)]
@@ -164,6 +164,12 @@ impl Condvar {
         let (inner, result) = self.0.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
         WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Block until notified or `timeout` elapses (the relative-time twin
+    /// of [`Condvar::wait_until`], matching parking_lot's API).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> WaitTimeoutResult {
+        self.wait_until(guard, Instant::now() + timeout)
     }
 }
 
