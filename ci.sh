@@ -16,6 +16,7 @@
 #                VM-vs-interpreter differential suite) at a reduced
 #                case count (PROPTEST_CASES=8)
 #   stress       the concurrency stress suite (unrestricted test threads)
+#                plus the registry search-index differential proptests
 #   streaming    streaming + cancellation scenario tiers
 #   chaos        durability fault-injection suite at full proptest depth:
 #                crash/resume chaos, cross-backend epoch parity, torn
@@ -52,6 +53,9 @@ tier_test_quick() {
 
 tier_stress() {
   cargo test -q -p laminar-server --test concurrent
+  # Registry search differential: indexed answers must equal the linear
+  # scan under randomized mutation histories, and survive WAL replay.
+  cargo test -q -p laminar-registry --test proptest_search
 }
 
 tier_streaming() {
@@ -86,6 +90,8 @@ tier_bench_smoke() {
   test -s target/bench_durability_smoke.json
   cargo run --release -p laminar-bench --bin slow_consumer -- --smoke --out target/bench_slow_consumer_smoke.json
   test -s target/bench_slow_consumer_smoke.json
+  cargo run --release -p laminar-bench --bin search_scale -- --smoke --out target/bench_search_smoke.json
+  test -s target/bench_search_smoke.json
   # The regression guard: fresh smoke vs the committed trajectory.
   cargo run --release -p laminar-bench --bin bench_check
 }
@@ -96,7 +102,7 @@ tier_lint() {
 }
 
 usage() {
-  sed -n '2,27p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,28p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 TIERS=()

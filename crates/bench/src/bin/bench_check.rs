@@ -24,7 +24,14 @@
 //! * **slow-consumer policy** — `slow_consumer` must report zero lost
 //!   events, a matching refold, and a retained window within its own
 //!   configured horizon bound (all fresh-vs-config, no baseline: these
-//!   gate the backpressure *policy*, not machine speed).
+//!   gate the backpressure *policy*, not machine speed);
+//! * **registry search** — `search_scale` indexed-vs-scan speedup must
+//!   stay at or above [`SEARCH_SPEEDUP_FLOOR`] per mode, indexed p99
+//!   at or below [`SEARCH_P99_CEILING_US`], per-registration index
+//!   maintenance at or below [`INDEX_MAINTENANCE_CEILING`], and the
+//!   indexed hits must match the scan oracle exactly (all from the same
+//!   fresh smoke run; the tighter full-corpus gates — 5x speedup,
+//!   sub-ms p99 — are enforced by `search_scale` itself on full runs).
 //!
 //! The 5× margin is deliberately coarse: smoke configs are smaller than
 //! the committed full runs and CI machines are noisy — this gate exists
@@ -61,6 +68,24 @@ const MIN_FRACTION_LIMIT: f64 = 0.20;
 /// the bound is tight by design: blowing past it means an epoch started
 /// costing a re-enactment instead of a snapshot and a reconnect.
 const CHECKPOINT_OVERHEAD_CEILING: f64 = 1.25;
+
+/// Indexed search must beat the linear scan by at least this factor in
+/// the smoke run. The full-corpus floor is 5x (enforced by
+/// `search_scale` on full runs); the smoke corpus is 50x smaller, so the
+/// scan side is proportionally cheaper and the observable gap narrower —
+/// this bound catches the index silently degrading to the scan path.
+const SEARCH_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Indexed search p99 in the smoke run must stay below this (µs). The
+/// committed full-corpus bound is 1ms at 100k PEs; a smoke corpus that
+/// can't answer in 2ms means the indexed path itself regressed.
+const SEARCH_P99_CEILING_US: f64 = 2000.0;
+
+/// Incremental index maintenance may cost at most this factor over
+/// registration with the index disabled. Both sides come from the same
+/// fresh `search_scale` run, warm-cache best-of-n, so the bound is tight
+/// by design.
+const INDEX_MAINTENANCE_CEILING: f64 = 1.25;
 
 const MAPPINGS: [&str; 4] = ["SIMPLE", "MULTI", "MPI", "REDIS"];
 
@@ -102,6 +127,8 @@ fn main() {
         flag_value("--fresh-durability").unwrap_or_else(|| "target/bench_durability_smoke.json".into());
     let fresh_slow_consumer =
         flag_value("--fresh-slow-consumer").unwrap_or_else(|| "target/bench_slow_consumer_smoke.json".into());
+    let fresh_search =
+        flag_value("--fresh-search").unwrap_or_else(|| "target/bench_search_smoke.json".into());
     let baseline_dir = flag_value("--baseline-dir").unwrap_or_else(|| ".".into());
     let out_path = flag_value("--out").unwrap_or_else(|| "target/bench_check.json".into());
 
@@ -110,6 +137,7 @@ fn main() {
     let concurrent = load(&fresh_concurrent);
     let durability = load(&fresh_durability);
     let slow_consumer = load(&fresh_slow_consumer);
+    let search = load(&fresh_search);
     let committed_perf = load(&format!("{baseline_dir}/BENCH_PR2.json"));
     let committed_concurrent = load(&format!("{baseline_dir}/BENCH_PR3.json"));
     let committed_streaming = load(&format!("{baseline_dir}/BENCH_PR4.json"));
@@ -210,6 +238,44 @@ fn main() {
     checks.push(Check {
         name: "slow consumer refold matches batch (1 = yes)".into(),
         fresh: if slow_consumer["paced"]["refold_matches"].as_bool() == Some(true) { 1.0 } else { 0.0 },
+        limit: 1.0,
+        higher_is_better: true,
+    });
+
+    // Registry search: indexed-vs-scan speedup, indexed tail latency,
+    // index-maintenance overhead and the differential oracle verdict —
+    // all fresh-vs-fresh from the same search_scale smoke run.
+    for mode in ["semantic", "text"] {
+        let metric = |key: &str| {
+            search[mode][key]
+                .as_f64()
+                .or_else(|| search[mode][key].as_i64().map(|v| v as f64))
+                .unwrap_or_else(|| panic!("{fresh_search}: missing {mode}.{key}"))
+        };
+        checks.push(Check {
+            name: format!("search speedup indexed vs scan [{mode}]"),
+            fresh: metric("speedup"),
+            limit: SEARCH_SPEEDUP_FLOOR,
+            higher_is_better: true,
+        });
+        checks.push(Check {
+            name: format!("search indexed p99 [{mode}] (us)"),
+            fresh: metric("indexed_p99_us"),
+            limit: SEARCH_P99_CEILING_US,
+            higher_is_better: false,
+        });
+    }
+    checks.push(Check {
+        name: "search index maintenance overhead per registration".into(),
+        fresh: search["registration"]["overhead_ratio"]
+            .as_f64()
+            .unwrap_or_else(|| panic!("{fresh_search}: missing registration.overhead_ratio")),
+        limit: INDEX_MAINTENANCE_CEILING,
+        higher_is_better: false,
+    });
+    checks.push(Check {
+        name: "search indexed hits match scan oracle (1 = yes)".into(),
+        fresh: if search["differential_match"].as_bool() == Some(true) { 1.0 } else { 0.0 },
         limit: 1.0,
         higher_is_better: true,
     });

@@ -361,15 +361,37 @@ impl LaminarClient {
         search_type: &str,
         query_type: &str,
     ) -> Result<Vec<Value>, ClientError> {
+        let resp = self.search_registry_detailed(search, search_type, query_type, None)?;
+        Ok(resp["hits"].as_array().unwrap_or(&[]).to_vec())
+    }
+
+    /// Search returning the full response envelope — the hits plus the
+    /// server's timing split (`search_us` total, `embed_us`, `rank_us`) —
+    /// with an optional hit limit.
+    pub fn search_registry_detailed(
+        &self,
+        search: &str,
+        search_type: &str,
+        query_type: &str,
+        limit: Option<usize>,
+    ) -> Result<Value, ClientError> {
         let user = self.current_user()?.to_string();
         let mut body = Value::Null;
         body.set("queryType", query_type);
-        let resp = self.call(&laminar_server::ApiRequest::new(
+        if let Some(limit) = limit {
+            body.set("limit", limit as i64);
+        }
+        self.call(&laminar_server::ApiRequest::new(
             laminar_server::api::Method::Get,
             format!("/registry/{user}/search/{search}/type/{search_type}"),
             body,
-        ))?;
-        Ok(resp.as_array().unwrap_or(&[]).to_vec())
+        ))
+    }
+
+    /// Registry-wide counters (`GET /registry/stats` — entity counts,
+    /// searches served, search-index shape).
+    pub fn registry_stats(&self) -> Result<Value, ClientError> {
+        self.call(&web::get("/registry/stats"))
     }
 
     // ---- 11 & 12: describe / get_Registry ------------------------------------------------
@@ -835,6 +857,14 @@ mod tests {
         for h in &hits {
             assert!(h["score"].as_f64().is_some());
         }
+        // The detailed variant exposes the timing split and honors limit.
+        let detailed = c.search_registry_detailed("prime", "pe", "text", Some(1)).unwrap();
+        assert_eq!(detailed["hits"].as_array().unwrap().len(), 1);
+        assert!(detailed["search_us"].as_i64().is_some());
+        assert!(detailed["embed_us"].as_i64().is_some());
+        // And the registry counted every search above.
+        let stats = c.registry_stats().unwrap();
+        assert_eq!(stats["searches"].as_i64(), Some(4));
     }
 
     #[test]

@@ -95,17 +95,176 @@ impl FeatureHasher {
     }
 }
 
+/// Fused dot product over raw slices.
+///
+/// Dispatches once per process: an AVX2+FMA kernel when the CPU has it
+/// (rustc's baseline x86-64 target only emits SSE2, which leaves ~8× on
+/// the table for the registry's 768/1024-dim matrix scans), otherwise
+/// the eight-accumulator scalar kernel. The chosen path is a pure
+/// function of the CPU, so within a process every caller — the
+/// linear-scan oracle and the registry's dense-vector index alike —
+/// gets bit-identical scores; that per-process consistency (not
+/// cross-machine bit equality, which floating point never promised) is
+/// the contract the differential search tests rely on.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot over mismatched lengths");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: the required CPU features were just detected.
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+/// Portable kernel, eight parallel accumulators.
+///
+/// A single `zip().map().sum()` chain is latency-bound: every add waits on
+/// the previous one, which caps a 768-dim dot at roughly one add-latency
+/// per element. Eight independent accumulator lanes let the FPU pipeline
+/// them. The lane structure (not the data order) fixes the rounding, so
+/// the result is deterministic.
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for lane in 0..8 {
+            acc[lane] += xa[lane] * xb[lane];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+}
+
+/// AVX2+FMA kernel: four 8-lane FMA accumulators (32 floats per
+/// iteration) to hide the ~4-cycle FMA latency, an 8-wide cleanup loop,
+/// a lane-tree horizontal reduction, and a scalar tail. Deterministic
+/// for a given input length — the block structure fixes the rounding.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = a.len().min(b.len());
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 32 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 8)), _mm256_loadu_ps(bp.add(i + 8)), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 16)), _mm256_loadu_ps(bp.add(i + 16)), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 24)), _mm256_loadu_ps(bp.add(i + 24)), acc3);
+        i += 32;
+    }
+    let mut acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+    while i + 8 <= n {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc);
+        i += 8;
+    }
+    let quad = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps::<1>(acc));
+    let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+    let one = _mm_add_ss(pair, _mm_shuffle_ps::<1>(pair, pair));
+    let mut sum = _mm_cvtss_f32(one);
+    while i < n {
+        sum += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    sum
+}
+
+/// L2 norm via the fused kernel — the norm the cosine family caches.
+pub fn l2_norm(v: &[f32]) -> f32 {
+    dot(v, v).sqrt()
+}
+
+/// Cosine with both norms supplied by the caller. The registry's vector
+/// index caches per-row norms at insert time and calls this per candidate,
+/// paying one fused dot instead of three passes. [`cosine`] routes through
+/// here, so precomputed-norm and from-scratch scores are bit-identical as
+/// long as the cached norms came from [`l2_norm`].
+pub fn cosine_prenorm(a: &[f32], na: f32, b: &[f32], nb: f32) -> f32 {
+    let d = dot(a, b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        d / (na * nb)
+    }
+}
+
 /// Cosine similarity. Normalized inputs make this a dot product, but the
 /// full formula keeps the function safe for un-normalized vectors too.
 pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
     assert_eq!(a.dim(), b.dim(), "cosine over mismatched dimensions");
-    let dot: f32 = a.values.iter().zip(&b.values).map(|(x, y)| x * y).sum();
-    let na: f32 = a.values.iter().map(|v| v * v).sum::<f32>().sqrt();
-    let nb: f32 = b.values.iter().map(|v| v * v).sum::<f32>().sqrt();
-    if na == 0.0 || nb == 0.0 {
-        0.0
-    } else {
-        dot / (na * nb)
+    cosine_prenorm(&a.values, l2_norm(&a.values), &b.values, l2_norm(&b.values))
+}
+
+/// A bounded best-`k` selector over `(id, score)` pairs.
+///
+/// Keeps at most `k` entries in a binary heap ordered worst-at-the-root
+/// (worse = lower score, ties toward the higher id), so a stream of `n`
+/// candidates costs `O(n log k)` and `k` slots of memory instead of the
+/// sort-everything `O(n log n)`. [`into_sorted`](TopK::into_sorted)
+/// returns winners best-first — score descending, ties toward the lower
+/// id — exactly the order a full sort by `(score desc, id asc)` followed
+/// by `truncate(k)` would produce, which is the contract registry search
+/// relies on for oracle equivalence.
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<TopKEntry>,
+}
+
+struct TopKEntry {
+    score: f64,
+    id: i64,
+}
+
+impl PartialEq for TopKEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for TopKEntry {}
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TopKEntry {
+    /// Greater = worse, so the max-heap root is the weakest survivor.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.score.partial_cmp(&self.score).unwrap_or(std::cmp::Ordering::Equal).then(self.id.cmp(&other.id))
+    }
+}
+
+impl TopK {
+    /// Selector keeping the best `k` entries.
+    pub fn new(k: usize) -> TopK {
+        TopK { k, heap: std::collections::BinaryHeap::with_capacity(k.saturating_add(1)) }
+    }
+
+    /// Offer one candidate.
+    pub fn push(&mut self, id: i64, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = TopKEntry { score, id };
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if entry < *self.heap.peek().expect("non-empty at capacity") {
+            self.heap.pop();
+            self.heap.push(entry);
+        }
+    }
+
+    /// Winners, best-first (score descending, ties toward the lower id).
+    pub fn into_sorted(self) -> Vec<(i64, f64)> {
+        self.heap.into_sorted_vec().into_iter().map(|e| (e.id, e.score)).collect()
     }
 }
 
@@ -187,5 +346,64 @@ mod tests {
         let a = embed(&[("a", 1.0)], 8);
         let b = embed(&[("a", 1.0)], 16);
         let _ = cosine(&a, &b);
+    }
+
+    #[test]
+    fn dot_handles_tails_and_matches_norm() {
+        // Exercise the remainder path (lengths not divisible by 8).
+        for len in [0usize, 1, 7, 8, 9, 16, 19] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32) * 0.25 - 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| 1.5 - (i as f32) * 0.5).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-4, "len {len}");
+        }
+        let v = vec![3.0f32, 4.0];
+        assert!((l2_norm(&v) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn simd_and_scalar_kernels_agree() {
+        // The dispatched kernel (AVX2 where the CPU has it) must agree
+        // with the portable one to FP tolerance at every tail shape; the
+        // *bit*-level contract is only per-process consistency, which
+        // holds because dispatch is a pure function of the CPU.
+        for len in [0usize, 1, 7, 8, 15, 31, 32, 33, 40, 63, 768, 1024, 1027] {
+            let a: Vec<f32> = (0..len).map(|i| ((i * 37 + 11) % 97) as f32 * 0.021 - 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| ((i * 53 + 29) % 89) as f32 * 0.017 - 0.7).collect();
+            let dispatched = dot(&a, &b);
+            let scalar = dot_scalar(&a, &b);
+            let tol = 1e-4 * (len as f32 + 1.0);
+            assert!((dispatched - scalar).abs() < tol, "len {len}: {dispatched} vs {scalar}");
+        }
+    }
+
+    #[test]
+    fn cosine_prenorm_is_bit_identical_to_cosine() {
+        let a = embed(&[("a", 1.0), ("b", 2.0)], 100);
+        let b = embed(&[("a", 1.0), ("c", 3.0)], 100);
+        let full = cosine(&a, &b);
+        let pre = cosine_prenorm(&a.values, l2_norm(&a.values), &b.values, l2_norm(&b.values));
+        assert_eq!(full.to_bits(), pre.to_bits());
+        // Zero-norm guard matches cosine's.
+        assert_eq!(cosine_prenorm(&[0.0; 4], 0.0, &b.values[..4], 1.0), 0.0);
+    }
+
+    #[test]
+    fn top_k_selector_matches_full_sort() {
+        let scored: Vec<(i64, f64)> =
+            vec![(5, 0.5), (1, 0.9), (9, 0.5), (2, 0.9), (7, 0.1), (3, 0.5), (8, 0.0)];
+        for k in 0..=scored.len() + 1 {
+            let mut sel = TopK::new(k);
+            for &(id, s) in &scored {
+                sel.push(id, s);
+            }
+            let mut oracle = scored.clone();
+            oracle.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            });
+            oracle.truncate(k);
+            assert_eq!(sel.into_sorted(), oracle, "k = {k}");
+        }
     }
 }

@@ -3,21 +3,50 @@
 
 use crate::entities::{PeEntity, UserEntity, WorkflowEntity};
 use crate::error::RegistryError;
+use crate::index::SearchIndex;
 use crate::store::Store;
 use crate::wal::{ops, WalStore};
 
-/// DAO facade bundling the store and its journal.
+/// DAO facade bundling the store, its journal and the search index.
+///
+/// The index is owned here — not by the search layer — because every
+/// mutation that must keep it consistent flows through these methods,
+/// inside the same registry write lock that journals the change. WAL
+/// replay mutates the store *below* this layer, so [`Dao::new`] rebuilds
+/// the index from whatever store it is handed (fresh or recovered); the
+/// incremental hooks keep it exact from then on.
 pub struct Dao {
     /// The table store.
     pub store: Store,
     /// The journal.
     pub wal: WalStore,
+    index: SearchIndex,
 }
 
 impl Dao {
-    /// Wrap a recovered store + journal.
+    /// Wrap a recovered store + journal; derives the search index from
+    /// the store.
     pub fn new(store: Store, wal: WalStore) -> Dao {
-        Dao { store, wal }
+        let index = SearchIndex::build(&store);
+        Dao { store, wal, index }
+    }
+
+    /// The search index (query side).
+    pub fn index(&self) -> &SearchIndex {
+        &self.index
+    }
+
+    /// Enable or disable index maintenance. Disabling drops the index
+    /// (searches fall back to the linear scan); re-enabling rebuilds it
+    /// from the store. This is the bench's baseline knob — production
+    /// code never turns it off.
+    pub fn set_index_enabled(&mut self, enabled: bool) {
+        self.index = if enabled { SearchIndex::build(&self.store) } else { SearchIndex::disabled() };
+    }
+
+    /// Force a snapshot to disk (durable mode only).
+    pub fn checkpoint(&mut self) -> Result<(), RegistryError> {
+        self.wal.snapshot(&self.store)
     }
 
     // ---- users -----------------------------------------------------------
@@ -75,6 +104,9 @@ impl Dao {
     pub fn link_user_pe(&mut self, user_id: i64, pe_id: i64) -> Result<(), RegistryError> {
         if self.store.user_pes.link(user_id, pe_id) {
             self.wal.append(&self.store, &ops::link("user_pes", user_id, pe_id))?;
+            if let Ok(pe) = self.pe_by_id(pe_id) {
+                self.index.add_pe(user_id, &pe);
+            }
         }
         Ok(())
     }
@@ -84,6 +116,28 @@ impl Dao {
         let row =
             self.store.pes.get(id).ok_or(RegistryError::NotFound { entity: "PE", key: id.to_string() })?;
         PeEntity::from_row(row).ok_or(RegistryError::Storage("corrupt PE row".into()))
+    }
+
+    /// The hit-visible fields of a PE row — `(name, description,
+    /// description_generated)` — read straight off the stored row.
+    /// The winners' materialization path after ranking: unlike
+    /// [`pe_by_id`](Dao::pe_by_id) it decodes neither embedding vector
+    /// nor the code blob, which dominate `from_row` cost and are not
+    /// part of a [`SearchHit`](crate::SearchHit).
+    pub fn pe_hit_fields(&self, id: i64) -> Option<(String, String, bool)> {
+        let row = self.store.pes.get(id)?;
+        Some((
+            row["peName"].as_str()?.to_string(),
+            row["description"].as_str().unwrap_or("").to_string(),
+            row["descriptionGenerated"].as_bool().unwrap_or(false),
+        ))
+    }
+
+    /// The hit-visible fields of a workflow row — `(entry_point,
+    /// description)` — without materializing the full entity.
+    pub fn workflow_hit_fields(&self, id: i64) -> Option<(String, String)> {
+        let row = self.store.workflows.get(id)?;
+        Some((row["entryPoint"].as_str()?.to_string(), row["description"].as_str().unwrap_or("").to_string()))
     }
 
     /// PE by unique name.
@@ -100,6 +154,9 @@ impl Dao {
     pub fn update_pe(&mut self, pe: &PeEntity) -> Result<(), RegistryError> {
         self.store.pes.update(pe.pe_id, pe.to_row())?;
         self.wal.append(&self.store, &ops::update("pes", pe.pe_id, &pe.to_row()))?;
+        for owner in self.store.user_pes.lefts_of(pe.pe_id) {
+            self.index.update_pe(owner, pe);
+        }
         Ok(())
     }
 
@@ -116,6 +173,7 @@ impl Dao {
         }
         self.store.user_pes.unlink(user_id, pe_id);
         self.wal.append(&self.store, &ops::unlink("user_pes", user_id, pe_id))?;
+        self.index.remove_pe(user_id, pe_id);
         if self.store.user_pes.lefts_of(pe_id).is_empty() {
             self.store.pes.delete(pe_id)?;
             self.wal.append(&self.store, &ops::delete("pes", pe_id))?;
@@ -148,6 +206,7 @@ impl Dao {
         )?;
         if self.store.user_workflows.link(owner_id, id) {
             self.wal.append(&self.store, &ops::link("user_workflows", owner_id, id))?;
+            self.index.add_workflow(owner_id, &wf);
         }
         Ok(wf)
     }
@@ -210,6 +269,7 @@ impl Dao {
         }
         self.store.user_workflows.unlink(user_id, workflow_id);
         self.wal.append(&self.store, &ops::unlink("user_workflows", user_id, workflow_id))?;
+        self.index.remove_workflow(user_id, workflow_id);
         if self.store.user_workflows.lefts_of(workflow_id).is_empty() {
             self.store.workflows.delete(workflow_id)?;
             self.wal.append(&self.store, &ops::delete("workflows", workflow_id))?;

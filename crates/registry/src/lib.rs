@@ -30,6 +30,7 @@
 pub mod dao;
 pub mod entities;
 pub mod error;
+pub mod index;
 pub mod search;
 pub mod service;
 pub mod store;
@@ -37,6 +38,7 @@ pub mod wal;
 
 pub use entities::{PeEntity, UserEntity, WorkflowEntity};
 pub use error::RegistryError;
-pub use search::{QueryType, SearchHit, SearchType};
-pub use service::Registry;
+pub use index::{SearchIndex, VecField};
+pub use search::{QueryType, SearchHit, SearchOptions, SearchType, DEFAULT_SEARCH_LIMIT};
+pub use service::{Registry, SearchResponse};
 pub use store::{Store, Table};

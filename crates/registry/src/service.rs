@@ -6,8 +6,8 @@ use crate::dao::Dao;
 use crate::entities::{decode_code, encode_code, hash_password, PeEntity, UserEntity, WorkflowEntity};
 use crate::error::RegistryError;
 use crate::search::{
-    completion_search_pes, semantic_search_pes, text_search_pes, text_search_workflows, QueryType, SearchHit,
-    SearchType,
+    ranked_pe_hits, text_search_pes, text_search_workflows, QueryType, SearchHit, SearchOptions, SearchType,
+    VecField,
 };
 use crate::store::Store;
 use crate::wal::WalStore;
@@ -17,6 +17,8 @@ use laminar_json::Value;
 use laminar_script::{parse_script, to_source};
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Key used by clients to address a PE or workflow: numeric id or name
 /// (the `Union[str, int]` of the Python client).
@@ -61,6 +63,19 @@ impl From<&str> for EntityKey {
     }
 }
 
+/// One search call's outcome: hits plus the embed/rank timing split the
+/// server puts on the wire (the read path's analogue of
+/// `plan_us`/`enact_us`/`collect_us`).
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The winners, best-first.
+    pub hits: Vec<SearchHit>,
+    /// Microseconds spent embedding the query (zero for text modes).
+    pub embed_us: u64,
+    /// Microseconds spent matching/ranking + materializing winners.
+    pub rank_us: u64,
+}
+
 /// The registry service.
 pub struct Registry {
     dao: Dao,
@@ -68,6 +83,8 @@ pub struct Registry {
     completion_model: Box<dyn EmbeddingModel>,
     sessions: HashMap<String, i64>,
     session_counter: u64,
+    /// Total search calls served (atomic: search holds only a read lock).
+    searches: AtomicU64,
 }
 
 impl Registry {
@@ -90,6 +107,7 @@ impl Registry {
             completion_model: model_by_name("ReACC-retriever-py").expect("model exists"),
             sessions: HashMap::new(),
             session_counter: 0,
+            searches: AtomicU64::new(0),
         }
     }
 
@@ -111,8 +129,12 @@ impl Registry {
 
     /// Force a snapshot to disk (durable mode only).
     pub fn checkpoint(&mut self) -> Result<(), RegistryError> {
-        let Dao { store, wal } = &mut self.dao;
-        wal.snapshot(store)
+        self.dao.checkpoint()
+    }
+
+    /// Enable or disable the search index (bench baseline knob).
+    pub fn set_index_enabled(&mut self, enabled: bool) {
+        self.dao.set_index_enabled(enabled);
     }
 
     // ---- auth -------------------------------------------------------------
@@ -385,7 +407,8 @@ impl Registry {
     // ---- search -------------------------------------------------------------
 
     /// The unified search entry point (client fn 10, endpoint
-    /// `GET /registry/{user}/search/{search}/type/{type}`).
+    /// `GET /registry/{user}/search/{search}/type/{type}`), with default
+    /// options.
     pub fn search(
         &self,
         user: &str,
@@ -393,28 +416,68 @@ impl Registry {
         search_type: SearchType,
         query_type: QueryType,
     ) -> Result<Vec<SearchHit>, RegistryError> {
+        Ok(self.search_with(user, query, search_type, query_type, &SearchOptions::default())?.hits)
+    }
+
+    /// Search with explicit options, returning the embed/rank timing
+    /// split alongside the hits.
+    pub fn search_with(
+        &self,
+        user: &str,
+        query: &str,
+        search_type: SearchType,
+        query_type: QueryType,
+        opts: &SearchOptions,
+    ) -> Result<SearchResponse, RegistryError> {
         let uid = self.user_id(user)?;
-        let mut hits = Vec::new();
-        match (search_type, query_type) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        let mut embed_us = 0u64;
+        let mut embed = |model: &dyn EmbeddingModel, code: bool| {
+            let t = Instant::now();
+            let q = if code { model.embed_code(query) } else { model.embed_text(query) };
+            embed_us = t.elapsed().as_micros() as u64;
+            q
+        };
+        let rank_start;
+        let hits = match (search_type, query_type) {
             (SearchType::Workflow, _) => {
-                hits.extend(text_search_workflows(&self.dao, uid, query));
+                rank_start = Instant::now();
+                text_search_workflows(&self.dao, uid, query, opts)
             }
             (SearchType::Pe, QueryType::Text) => {
-                hits.extend(semantic_search_pes(&self.dao, uid, query, self.search_model.as_ref()));
+                let q = embed(self.search_model.as_ref(), false);
+                rank_start = Instant::now();
+                ranked_pe_hits(&self.dao, uid, &q, VecField::Desc, opts)
             }
-            (SearchType::Pe, QueryType::Code) => {
-                hits.extend(completion_search_pes(&self.dao, uid, query, self.completion_model.as_ref()));
+            (SearchType::Pe, QueryType::Code) | (SearchType::Both, QueryType::Code) => {
+                let q = embed(self.completion_model.as_ref(), true);
+                rank_start = Instant::now();
+                ranked_pe_hits(&self.dao, uid, &q, VecField::Code, opts)
             }
             (SearchType::Both, QueryType::Text) => {
-                // Figure 6 behaviour: plain text match on both kinds.
-                hits.extend(text_search_pes(&self.dao, uid, query));
-                hits.extend(text_search_workflows(&self.dao, uid, query));
+                // Figure 6 behaviour: plain text match on both kinds, PE
+                // hits first; the limit applies to the combined list.
+                rank_start = Instant::now();
+                let mut hits = text_search_pes(&self.dao, uid, query, opts);
+                hits.extend(text_search_workflows(&self.dao, uid, query, opts));
+                hits.truncate(opts.limit);
+                hits
             }
-            (SearchType::Both, QueryType::Code) => {
-                hits.extend(completion_search_pes(&self.dao, uid, query, self.completion_model.as_ref()));
-            }
-        }
-        Ok(hits)
+        };
+        let rank_us = rank_start.elapsed().as_micros() as u64;
+        Ok(SearchResponse { hits, embed_us, rank_us })
+    }
+
+    /// Registry observability (`GET /registry/stats`): entity counts, the
+    /// search counter and the index's shape.
+    pub fn stats(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("users", self.dao.store.users.len() as i64)
+            .set("pes", self.dao.store.pes.len() as i64)
+            .set("workflows", self.dao.store.workflows.len() as i64)
+            .set("searches", self.searches.load(Ordering::Relaxed) as i64)
+            .set("index", self.dao.index().stats());
+        v
     }
 
     /// Registry dump (client fn 12 / `GET /registry/{user}/all`).

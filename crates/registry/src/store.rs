@@ -235,6 +235,12 @@ impl Junction {
         self.pairs.retain(|(_, r)| *r != right);
     }
 
+    /// Iterate every `(left, right)` pair in ascending order (used to
+    /// rebuild derived structures like the search index after recovery).
+    pub fn iter(&self) -> impl Iterator<Item = (i64, i64)> + '_ {
+        self.pairs.iter().copied()
+    }
+
     /// Number of links.
     pub fn len(&self) -> usize {
         self.pairs.len()

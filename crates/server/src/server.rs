@@ -10,7 +10,7 @@ use crate::api::{ApiRequest, ApiResponse, Method};
 use laminar_engine::{EnginePool, ExecutionEngine, ExecutionRequest, JobResult, PoolError};
 use laminar_json::Value;
 use laminar_registry::service::EntityKey;
-use laminar_registry::{QueryType, Registry, RegistryError, SearchType};
+use laminar_registry::{QueryType, Registry, RegistryError, SearchOptions, SearchType};
 use parking_lot::RwLock;
 
 /// Default engine-pool sizing: enough workers to overlap provisioning
@@ -137,6 +137,7 @@ impl LaminarServer {
             }
 
             // ---- Registry controller ----------------------------------------
+            (Method::Get, ["registry", "stats"]) => Ok(self.registry.read().stats()),
             (Method::Get, ["registry", user, "all"]) => self.registry_all(user),
             (Method::Get, ["registry", user, "search", search, "type", stype]) => {
                 self.registry_search(user, search, stype, &req.body)
@@ -291,8 +292,21 @@ impl LaminarServer {
             })?,
             None => QueryType::Text,
         };
-        let hits = self.registry.read().search(user, search, search_type, query_type)?;
-        Ok(hits
+        let mut opts = SearchOptions::default();
+        if !body["limit"].is_null() {
+            let limit = body["limit"].as_i64().filter(|l| (1..=10_000).contains(l)).ok_or(
+                RegistryError::Invalid { field: "limit", message: "must be an integer in 1..=10000".into() },
+            )?;
+            opts.limit = limit as usize;
+        }
+        if body["forceScan"].as_bool() == Some(true) {
+            opts.force_scan = true;
+        }
+        let started = std::time::Instant::now();
+        let resp = self.registry.read().search_with(user, search, search_type, query_type, &opts)?;
+        let search_us = started.elapsed().as_micros() as i64;
+        let hits: Value = resp
+            .hits
             .into_iter()
             .map(|h| {
                 let mut v = Value::Null;
@@ -304,7 +318,13 @@ impl LaminarServer {
                     .set("score", h.score);
                 v
             })
-            .collect())
+            .collect();
+        let mut out = Value::Null;
+        out.set("hits", hits)
+            .set("search_us", search_us)
+            .set("embed_us", resp.embed_us as i64)
+            .set("rank_us", resp.rank_us as i64);
+        Ok(out)
     }
 
     // ---- execution handlers -------------------------------------------------------------
@@ -653,10 +673,52 @@ mod tests {
         let r =
             s.handle(&ApiRequest::new(Method::Get, "/registry/zz46/search/prime/type/workflow", Value::Null));
         assert!(r.is_ok());
-        assert_eq!(r.body[0]["name"].as_str(), Some("isPrime"));
-        // Unknown search type → 400.
+        assert_eq!(r.body["hits"][0]["name"].as_str(), Some("isPrime"));
+        assert!(r.body["search_us"].as_i64().is_some(), "timing on the wire: {:?}", r.body);
+        assert!(r.body["rank_us"].as_i64().is_some());
+        // The scan oracle answers identically through the escape hatch.
+        let scan = s.handle(&ApiRequest::new(
+            Method::Get,
+            "/registry/zz46/search/prime/type/workflow",
+            jobj! { "forceScan" => true },
+        ));
+        assert_eq!(scan.body["hits"], r.body["hits"]);
+        // Unknown search type → 400; bad limit → 400.
         let r = s.handle(&ApiRequest::new(Method::Get, "/registry/zz46/search/x/type/weird", Value::Null));
         assert_eq!(r.status, 400);
+        let r = s.handle(&ApiRequest::new(
+            Method::Get,
+            "/registry/zz46/search/prime/type/workflow",
+            jobj! { "limit" => 0 },
+        ));
+        assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn search_limit_caps_hits_and_stats_count_searches() {
+        let s = server_with_user();
+        for i in 0..4 {
+            s.handle(&ApiRequest::new(
+                Method::Post,
+                "/registry/zz46/pe/add",
+                jobj! { "code" => format!(
+                    "pe Counter{i} : iterative {{ input x; output output; process {{ emit(x + {i}); }} }}"
+                ), "description" => format!("counter variant {i}") },
+            ));
+        }
+        let r = s.handle(&ApiRequest::new(
+            Method::Get,
+            "/registry/zz46/search/counter/type/both",
+            jobj! { "limit" => 2 },
+        ));
+        assert!(r.is_ok());
+        assert_eq!(r.body["hits"].as_array().unwrap().len(), 2);
+        let stats = s.handle(&ApiRequest::new(Method::Get, "/registry/stats", Value::Null));
+        assert!(stats.is_ok());
+        assert_eq!(stats.body["pes"].as_i64(), Some(4));
+        assert_eq!(stats.body["searches"].as_i64(), Some(1));
+        assert_eq!(stats.body["index"]["enabled"].as_bool(), Some(true));
+        assert!(stats.body["index"]["vectors"].as_i64().unwrap() >= 8);
     }
 
     #[test]

@@ -106,7 +106,7 @@ fn tenant_workload(addr: SocketAddr, tenant: usize) -> (String, i64) {
     // Search: only the tenant's own workflow comes back.
     let r = call(addr, Method::Get, format!("/registry/{user}/search/prime/type/workflow"), Value::Null);
     assert!(r.is_ok(), "search {user}: {r:?}");
-    let hits = r.body.as_array().unwrap();
+    let hits = r.body["hits"].as_array().unwrap();
     assert_eq!(hits.len(), 1, "{user} sees exactly their own workflow: {hits:?}");
     assert_eq!(hits[0]["name"].as_str(), Some(format!("primes{tenant}").as_str()));
 
