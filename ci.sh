@@ -92,6 +92,8 @@ tier_bench_smoke() {
   test -s target/bench_slow_consumer_smoke.json
   cargo run --release -p laminar-bench --bin search_scale -- --smoke --out target/bench_search_smoke.json
   test -s target/bench_search_smoke.json
+  cargo run --release -p laminar-bench --bin sustained_load -- --smoke --out target/bench_sustained_smoke.json
+  test -s target/bench_sustained_smoke.json
   # The regression guard: fresh smoke vs the committed trajectory.
   cargo run --release -p laminar-bench --bin bench_check
 }

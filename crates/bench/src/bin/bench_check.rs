@@ -25,6 +25,13 @@
 //!   events, a matching refold, and a retained window within its own
 //!   configured horizon bound (all fresh-vs-config, no baseline: these
 //!   gate the backpressure *policy*, not machine speed);
+//! * **sustained load** — `sustained_load` push-mode p99 first-event
+//!   latency must stay at or below [`SUSTAINED_RATIO_CEILING`]× the
+//!   polling baseline's, the cross-tenant fairness spread at or below
+//!   [`FAIRNESS_SPREAD_CEILING`], and lost events at zero (fresh run vs
+//!   its own polling leg and config); the committed `BENCH_PR10.json`
+//!   full run must additionally hold the tighter 0.5× ratio it was
+//!   gated on when it was produced;
 //! * **registry search** — `search_scale` indexed-vs-scan speedup must
 //!   stay at or above [`SEARCH_SPEEDUP_FLOOR`] per mode, indexed p99
 //!   at or below [`SEARCH_P99_CEILING_US`], per-registration index
@@ -87,6 +94,19 @@ const SEARCH_P99_CEILING_US: f64 = 2000.0;
 /// by design.
 const INDEX_MAINTENANCE_CEILING: f64 = 1.25;
 
+/// Push-mode p99 first-event latency in the sustained_load smoke run may
+/// cost at most this fraction of the polling baseline's. The full-run
+/// acceptance bound is 0.5 (enforced in-bin); the smoke run measures far
+/// fewer jobs on a noisy CI machine, so its bound is looser — it exists
+/// to catch push delivery silently degrading to polling, not drift.
+const SUSTAINED_RATIO_CEILING: f64 = 0.75;
+
+/// Cross-tenant fairness spread (max/min per-tenant completed jobs at
+/// the 50% drain mark) must stay at or below this, smoke and full alike:
+/// the deficit-round-robin scheduler serves equal-weight lanes equally
+/// or it is broken.
+const FAIRNESS_SPREAD_CEILING: f64 = 2.0;
+
 const MAPPINGS: [&str; 4] = ["SIMPLE", "MULTI", "MPI", "REDIS"];
 
 struct Check {
@@ -129,6 +149,8 @@ fn main() {
         flag_value("--fresh-slow-consumer").unwrap_or_else(|| "target/bench_slow_consumer_smoke.json".into());
     let fresh_search =
         flag_value("--fresh-search").unwrap_or_else(|| "target/bench_search_smoke.json".into());
+    let fresh_sustained =
+        flag_value("--fresh-sustained").unwrap_or_else(|| "target/bench_sustained_smoke.json".into());
     let baseline_dir = flag_value("--baseline-dir").unwrap_or_else(|| ".".into());
     let out_path = flag_value("--out").unwrap_or_else(|| "target/bench_check.json".into());
 
@@ -138,7 +160,9 @@ fn main() {
     let durability = load(&fresh_durability);
     let slow_consumer = load(&fresh_slow_consumer);
     let search = load(&fresh_search);
+    let sustained = load(&fresh_sustained);
     let committed_perf = load(&format!("{baseline_dir}/BENCH_PR2.json"));
+    let committed_sustained = load(&format!("{baseline_dir}/BENCH_PR10.json"));
     let committed_concurrent = load(&format!("{baseline_dir}/BENCH_PR3.json"));
     let committed_streaming = load(&format!("{baseline_dir}/BENCH_PR4.json"));
 
@@ -278,6 +302,42 @@ fn main() {
         fresh: if search["differential_match"].as_bool() == Some(true) { 1.0 } else { 0.0 },
         limit: 1.0,
         higher_is_better: true,
+    });
+
+    // Sustained load: push delivery must beat the polling baseline and
+    // the fair scheduler must serve tenants equally — fresh-vs-fresh
+    // (the push and poll legs come interleaved from the same smoke run).
+    let sustained_metric = |report: &Value, source: &str, section: &str, key: &str| {
+        report[section][key]
+            .as_f64()
+            .or_else(|| report[section][key].as_i64().map(|v| v as f64))
+            .unwrap_or_else(|| panic!("{source}: missing {section}.{key}"))
+    };
+    checks.push(Check {
+        name: "sustained push p99 / poll p99 first-event ratio".into(),
+        fresh: sustained_metric(&sustained, &fresh_sustained, "latency", "p99_ratio_push_vs_poll"),
+        limit: SUSTAINED_RATIO_CEILING,
+        higher_is_better: false,
+    });
+    checks.push(Check {
+        name: "sustained fairness spread (max/min tenant completions)".into(),
+        fresh: sustained_metric(&sustained, &fresh_sustained, "fairness", "spread"),
+        limit: FAIRNESS_SPREAD_CEILING,
+        higher_is_better: false,
+    });
+    checks.push(Check {
+        name: "sustained lost events".into(),
+        fresh: sustained_metric(&sustained, &fresh_sustained, "latency", "lost_events"),
+        limit: 0.0,
+        higher_is_better: false,
+    });
+    // And the committed full-run trajectory must itself still carry the
+    // tighter acceptance it was produced under.
+    checks.push(Check {
+        name: "committed BENCH_PR10 push/poll p99 ratio (full run)".into(),
+        fresh: sustained_metric(&committed_sustained, "BENCH_PR10.json", "latency", "p99_ratio_push_vs_poll"),
+        limit: 0.5,
+        higher_is_better: false,
     });
 
     // Concurrent serving: pooled vs single-mutex jobs/s speedup.

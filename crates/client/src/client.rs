@@ -16,10 +16,13 @@ pub enum ClientError {
     Api {
         /// HTTP-style status.
         status: u16,
-        /// Error type tag.
+        /// Error type tag (the envelope's machine-readable `code`).
         kind: String,
         /// Human-readable message.
         message: String,
+        /// The server's own backoff advice (`retryAfterMs`), present on
+        /// 429s: how long to wait before a retry could succeed.
+        retry_after_ms: Option<u64>,
     },
     /// The awaited job was cancelled (via [`LaminarClient::cancel_job`],
     /// another client, or server shutdown) — distinct from a failure:
@@ -45,7 +48,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Transport(m) => write!(f, "transport error: {m}"),
-            ClientError::Api { status, kind, message } => {
+            ClientError::Api { status, kind, message, .. } => {
                 write!(f, "server error {status} ({kind}): {message}")
             }
             ClientError::Cancelled { job } => write!(f, "job {job} was cancelled"),
@@ -86,6 +89,15 @@ pub struct RunConfig {
     /// emits an epoch snapshot every `n` iterations, journaled per-job on
     /// durable servers and resumable via [`LaminarClient::resume_job`].
     pub checkpoint_every: usize,
+    /// Intra-tenant scheduling priority (default 0): higher-priority jobs
+    /// run first within this user's queue lane, FIFO among equals. The
+    /// cross-tenant order is the server's fair scheduler's — priority
+    /// never cuts another tenant's line.
+    pub priority: i64,
+    /// Queue-wait deadline in milliseconds: a job still queued when the
+    /// deadline passes is failed fast (`deadline exceeded`) instead of
+    /// running uselessly late. `None` (default) waits indefinitely.
+    pub deadline_ms: Option<u64>,
 }
 
 impl RunConfig {
@@ -98,6 +110,8 @@ impl RunConfig {
             resources: vec![],
             stream_events: false,
             checkpoint_every: 0,
+            priority: 0,
+            deadline_ms: None,
         }
     }
 
@@ -110,6 +124,8 @@ impl RunConfig {
             resources: vec![],
             stream_events: false,
             checkpoint_every: 0,
+            priority: 0,
+            deadline_ms: None,
         }
     }
 
@@ -129,6 +145,8 @@ impl RunConfig {
             resources: vec![],
             stream_events: true,
             checkpoint_every: 0,
+            priority: 0,
+            deadline_ms: None,
         }
     }
 
@@ -154,6 +172,18 @@ impl RunConfig {
     /// Checkpoint the enactment every `n` source iterations (0 = off).
     pub fn with_checkpoints(mut self, n: usize) -> RunConfig {
         self.checkpoint_every = n;
+        self
+    }
+
+    /// Scheduling priority within this user's lane (higher runs first).
+    pub fn with_priority(mut self, priority: i64) -> RunConfig {
+        self.priority = priority;
+        self
+    }
+
+    /// Fail the job fast if it is still queued after `ms` milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> RunConfig {
+        self.deadline_ms = Some(ms);
         self
     }
 }
@@ -214,10 +244,27 @@ impl LaminarClient {
         if resp.is_ok() {
             Ok(resp.body)
         } else {
+            // The unified v1 envelope nests the detail under "error":
+            // {"error":{"code","status","message","retryAfterMs"?}}. Pre-v1
+            // servers answered the flat {"error":"<kind>","message":…}
+            // shape — keep decoding it so old deployments stay reachable.
+            let detail = &resp.body["error"];
+            let (kind, message) = if detail["code"].as_str().is_some() {
+                (
+                    detail["code"].as_str().unwrap_or("Unknown").to_string(),
+                    detail["message"].as_str().unwrap_or("").to_string(),
+                )
+            } else {
+                (
+                    resp.body["error"].as_str().unwrap_or("Unknown").to_string(),
+                    resp.body["message"].as_str().unwrap_or("").to_string(),
+                )
+            };
             Err(ClientError::Api {
                 status: resp.status,
-                kind: resp.body["error"].as_str().unwrap_or("Unknown").to_string(),
-                message: resp.body["message"].as_str().unwrap_or("").to_string(),
+                kind,
+                message,
+                retry_after_ms: detail["retryAfterMs"].as_i64().filter(|ms| *ms >= 0).map(|ms| ms as u64),
             })
         }
     }
@@ -227,6 +274,7 @@ impl LaminarClient {
             status: 401,
             kind: "Unauthorized".into(),
             message: "call login() first".into(),
+            retry_after_ms: None,
         })
     }
 
@@ -437,11 +485,22 @@ impl LaminarClient {
         }
         body.set("input", config.input.clone())
             .set("mapping", config.mapping.as_str())
-            .set("processes", config.processes)
-            .set("events", config.stream_events);
+            .set("processes", config.processes);
+        // The v1 nested options object — the server still accepts the
+        // deprecated flat `events`/`checkpoint_every` fields from older
+        // clients, but this client speaks v1.
+        let mut options = Value::Null;
+        options.set("events", config.stream_events);
         if config.checkpoint_every > 0 {
-            body.set("checkpoint_every", config.checkpoint_every);
+            options.set("checkpointEvery", config.checkpoint_every);
         }
+        if config.priority != 0 {
+            options.set("priority", config.priority);
+        }
+        if let Some(d) = config.deadline_ms {
+            options.set("deadlineMs", d as i64);
+        }
+        body.set("options", options);
         let resources: Value = config
             .resources
             .iter()
@@ -545,7 +604,10 @@ impl LaminarClient {
 
     /// Poll a job until it finishes or `timeout` passes. Polling backs
     /// off exponentially (2 ms doubling to a 50 ms cap), so long jobs
-    /// cost a handful of requests instead of hammering the server.
+    /// cost a handful of requests instead of hammering the server. A
+    /// throttled poll (429) is not fatal: the server's `retryAfterMs`
+    /// advice replaces the fixed ladder for that round, so a saturated
+    /// server sets the pace instead of being hammered at 50 ms.
     pub fn wait_job(
         &self,
         job_id: i64,
@@ -554,15 +616,22 @@ impl LaminarClient {
         let deadline = std::time::Instant::now() + timeout;
         let mut delay = std::time::Duration::from_millis(2);
         loop {
-            if let Some(output) = self.job_result(job_id)? {
-                return Ok(output);
-            }
+            let hint = match self.job_result(job_id) {
+                Ok(Some(output)) => return Ok(output),
+                Ok(None) => None,
+                Err(ClientError::Api { status: 429, retry_after_ms, .. }) => {
+                    Some(std::time::Duration::from_millis(retry_after_ms.unwrap_or(50).max(1)))
+                }
+                Err(e) => return Err(e),
+            };
             let now = std::time::Instant::now();
             if now >= deadline {
                 return Err(ClientError::Transport(format!("job {job_id} did not finish in {timeout:?}")));
             }
-            std::thread::sleep(delay.min(deadline - now));
-            delay = (delay * 2).min(std::time::Duration::from_millis(50));
+            std::thread::sleep(hint.unwrap_or(delay).min(deadline - now));
+            if hint.is_none() {
+                delay = (delay * 2).min(std::time::Duration::from_millis(50));
+            }
         }
     }
 
@@ -571,8 +640,28 @@ impl LaminarClient {
     /// Read one page of a job's event stream starting at cursor `since`
     /// (`GET /execution/{user}/job/{id}/events?since=<seq>`).
     pub fn job_events(&self, job_id: i64, since: u64) -> Result<EventPage, ClientError> {
+        self.job_events_wait(job_id, since, std::time::Duration::ZERO)
+    }
+
+    /// Read one page of a job's event stream, long-polling: when no event
+    /// past `since` exists yet, the server parks the request up to `wait`
+    /// (it caps the park at its own limit, 30 s) and answers the moment
+    /// one arrives — or immediately if the stream is already sealed
+    /// (`GET …/events?since=<seq>&wait_ms=<ms>`). `wait` of zero is a
+    /// plain poll, byte-identical to [`LaminarClient::job_events`].
+    pub fn job_events_wait(
+        &self,
+        job_id: i64,
+        since: u64,
+        wait: std::time::Duration,
+    ) -> Result<EventPage, ClientError> {
         let user = self.current_user()?.to_string();
-        let resp = self.call(&web::get(format!("/execution/{user}/job/{job_id}/events?since={since}")))?;
+        let mut path = format!("/execution/{user}/job/{job_id}/events?since={since}");
+        let wait_ms = wait.as_millis() as u64;
+        if wait_ms > 0 {
+            path.push_str(&format!("&wait_ms={wait_ms}"));
+        }
+        let resp = self.call(&web::get(path))?;
         let events = resp["events"]
             .as_array()
             .ok_or(ClientError::Transport("server returned a malformed event page".into()))?
@@ -603,7 +692,19 @@ impl LaminarClient {
             closed: false,
             failed: false,
             deadline: std::time::Instant::now() + timeout,
+            wait: std::time::Duration::ZERO,
         }
+    }
+
+    /// Like [`LaminarClient::event_stream`] but push-driven: each page
+    /// request long-polls ([`LaminarClient::job_events_wait`]) so events
+    /// are delivered the moment the server appends them, with no
+    /// client-side sleep between pages. Same items, same termination —
+    /// only the delivery latency and request count change.
+    pub fn event_stream_push(&self, job_id: i64, timeout: std::time::Duration) -> JobEventStream<'_> {
+        let mut stream = self.event_stream(job_id, timeout);
+        stream.wait = std::time::Duration::from_millis(10_000);
+        stream
     }
 
     /// Wait for a job like [`LaminarClient::wait_job`], invoking
@@ -650,6 +751,8 @@ pub struct JobEventStream<'a> {
     closed: bool,
     failed: bool,
     deadline: std::time::Instant,
+    /// Per-page long-poll budget: zero polls, non-zero parks server-side.
+    wait: std::time::Duration,
 }
 
 impl JobEventStream<'_> {
@@ -686,7 +789,8 @@ impl Iterator for JobEventStream<'_> {
             if self.closed || self.failed {
                 return None;
             }
-            match self.client.job_events(self.job_id, self.cursor) {
+            let budget = self.deadline.saturating_duration_since(std::time::Instant::now());
+            match self.client.job_events_wait(self.job_id, self.cursor, self.wait.min(budget)) {
                 Ok(page) => {
                     // The server's log is bounded: if the oldest retained
                     // seq moved past our cursor, events were evicted before
@@ -746,8 +850,12 @@ impl Iterator for JobEventStream<'_> {
                     self.job_id
                 ))));
             }
-            std::thread::sleep(delay.min(self.deadline - now));
-            delay = (delay * 2).min(std::time::Duration::from_millis(50));
+            // Push mode already waited server-side; re-request straight
+            // away. Poll mode paces itself with the 2→50 ms ladder.
+            if self.wait.is_zero() {
+                std::thread::sleep(delay.min(self.deadline - now));
+                delay = (delay * 2).min(std::time::Duration::from_millis(50));
+            }
         }
     }
 }
@@ -1203,6 +1311,161 @@ mod tests {
     fn resume_job_for_unknown_job_is_404() {
         let c = logged_in_client();
         assert!(matches!(c.resume_job(777), Err(ClientError::Api { status: 404, .. })));
+    }
+
+    #[test]
+    fn rate_limited_submit_surfaces_typed_429_with_retry_hint() {
+        let server = LaminarServer::in_memory();
+        server.pool().set_tenant_rate(1.0, 1.0);
+        let mut c = LaminarClient::in_process(server);
+        c.register("zz46", "password").unwrap();
+        c.login("zz46", "password").unwrap();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        // The burst token admits the first submit; the second is throttled
+        // with a typed hint — no string matching required.
+        let id = c.submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(2)).unwrap();
+        match c.submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(2)) {
+            Err(ClientError::Api { status: 429, kind, retry_after_ms: Some(ms), .. }) => {
+                assert_eq!(kind, "Busy");
+                assert!((1..=1001).contains(&ms), "refill of a 1/s bucket is under a second: {ms}");
+            }
+            other => panic!("expected a typed 429 with a retry hint, got {other:?}"),
+        }
+        c.wait_job(id, std::time::Duration::from_secs(20)).unwrap();
+    }
+
+    /// A transport that answers the next `throttle_next` job-result GETs
+    /// with a v1 429 envelope before delegating — the saturated-server
+    /// model for the backoff test.
+    struct ThrottlingTransport {
+        inner: InProcessTransport,
+        throttle_next: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        retry_after_ms: i64,
+    }
+
+    impl crate::web::Transport for ThrottlingTransport {
+        fn call(&self, request: &laminar_server::ApiRequest) -> Result<ApiResponse, String> {
+            use std::sync::atomic::Ordering;
+            let remaining = self.throttle_next.load(Ordering::SeqCst);
+            if remaining > 0 && request.path.ends_with("/result") {
+                self.throttle_next.store(remaining - 1, Ordering::SeqCst);
+                let mut detail = Value::Null;
+                detail
+                    .set("code", "Busy")
+                    .set("status", 429i64)
+                    .set("message", "server busy")
+                    .set("retryAfterMs", self.retry_after_ms);
+                let mut body = Value::Null;
+                body.set("error", detail);
+                return Ok(ApiResponse { status: 429, body });
+            }
+            self.inner.call(request)
+        }
+
+        fn endpoint(&self) -> String {
+            "throttling".to_string()
+        }
+    }
+
+    #[test]
+    fn wait_job_honors_the_server_retry_hint_on_429() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let throttle_next = Arc::new(AtomicUsize::new(0));
+        let transport = ThrottlingTransport {
+            inner: InProcessTransport::new(LaminarServer::in_memory()),
+            throttle_next: Arc::clone(&throttle_next),
+            retry_after_ms: 40,
+        };
+        let mut c = LaminarClient::with_transport(Box::new(transport));
+        c.register("zz46", "password").unwrap();
+        c.login("zz46", "password").unwrap();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c.submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(10)).unwrap();
+        // Two throttled polls: wait_job must ride them out, pacing itself
+        // by the server's 40 ms advice instead of failing or hammering.
+        throttle_next.store(2, Ordering::SeqCst);
+        let t0 = std::time::Instant::now();
+        let out = c.wait_job(id, std::time::Duration::from_secs(20)).unwrap();
+        assert_eq!(out.printed.len(), 4);
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(80), "slept 2×40 ms: {:?}", t0.elapsed());
+        assert_eq!(throttle_next.load(Ordering::SeqCst), 0, "both throttled responses were consumed");
+    }
+
+    /// A transport answering the pre-v1 flat error shape
+    /// (`{"error":"<kind>","message":…}`) — the old-server model for the
+    /// envelope-compatibility test.
+    struct LegacyErrorTransport;
+
+    impl crate::web::Transport for LegacyErrorTransport {
+        fn call(&self, _request: &laminar_server::ApiRequest) -> Result<ApiResponse, String> {
+            let mut body = Value::Null;
+            body.set("error", "NotFound").set("message", "job '9' not found");
+            Ok(ApiResponse { status: 404, body })
+        }
+
+        fn endpoint(&self) -> String {
+            "legacy".to_string()
+        }
+    }
+
+    #[test]
+    fn legacy_flat_error_envelope_still_parses() {
+        let mut c = LaminarClient::with_transport(Box::new(LegacyErrorTransport));
+        c.user = Some("zz46".into());
+        match c.job_status(9) {
+            Err(ClientError::Api { status: 404, kind, message, retry_after_ms: None }) => {
+                assert_eq!(kind, "NotFound");
+                assert!(message.contains("not found"));
+            }
+            other => panic!("expected the decoded legacy envelope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_event_stream_matches_polling_over_tcp() {
+        // The long-poll `&wait_ms=` query rides inside the percent-encoded
+        // segment over real HTTP, and push delivery yields exactly the
+        // same items as polling — only the transport rhythm differs.
+        let http = laminar_server::HttpServer::start(LaminarServer::in_memory()).unwrap();
+        let mut c = LaminarClient::connect(http.addr());
+        c.register("push-tcp", "password").unwrap();
+        c.login("push-tcp", "password").unwrap();
+        c.register_workflow(WF_SRC, "isPrime", None).unwrap();
+        let id = c
+            .submit(RunTarget::Registered("isPrime".into()), RunConfig::iterations(20).with_events(true))
+            .unwrap();
+        let pushed: Vec<Value> =
+            c.event_stream_push(id, std::time::Duration::from_secs(20)).collect::<Result<_, _>>().unwrap();
+        assert_eq!(pushed.last().unwrap()["type"].as_str(), Some("done"));
+        // Replaying the sealed stream by polling yields the identical
+        // sequence.
+        let polled: Vec<Value> =
+            c.event_stream(id, std::time::Duration::from_secs(20)).collect::<Result<_, _>>().unwrap();
+        assert_eq!(pushed, polled);
+        let seqs: Vec<i64> = pushed.iter().filter_map(|e| e["seq"].as_i64()).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1), "gap-free push stream: {seqs:?}");
+        http.stop();
+    }
+
+    #[test]
+    fn priority_and_deadline_ride_the_v1_options_object() {
+        let body = LaminarClient::run_body(
+            RunTarget::Registered("wf".into()),
+            &RunConfig::iterations(5).with_priority(7).with_deadline_ms(1500).with_checkpoints(4),
+        );
+        assert_eq!(body["options"]["priority"].as_i64(), Some(7));
+        assert_eq!(body["options"]["deadlineMs"].as_i64(), Some(1500));
+        assert_eq!(body["options"]["checkpointEvery"].as_i64(), Some(4));
+        assert_eq!(body["options"]["events"].as_bool(), Some(false));
+        // The deprecated flat fields are gone from the wire form.
+        assert!(body["events"].is_null());
+        assert!(body["checkpoint_every"].is_null());
+        // And the engine-side parser reads the nested object back.
+        let opts = laminar_engine::request::SubmitOptions::from_request_value(&body);
+        assert_eq!(opts.priority, 7);
+        assert_eq!(opts.deadline_ms, Some(1500));
+        assert_eq!(opts.checkpoint_every, 4);
     }
 
     #[test]

@@ -346,7 +346,7 @@ impl ExecutionEngine {
 
         let mut options = RunOptions::iterations(0).with_processes(req.processes).with_cancel(cancel.clone());
         options.input = req.input.clone();
-        options.checkpoint_every = req.checkpoint_every;
+        options.checkpoint_every = req.options.checkpoint_every;
         // Fault injection never crosses the wire, so no remote request can
         // ask the engine to kill itself: in-process chaos tests set
         // `req.faults`; deployments arm `LAMINAR_FAULTS` in the environment.

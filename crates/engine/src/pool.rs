@@ -125,6 +125,10 @@ pub struct JobEventLog {
     /// Signalled when a reader advances `reads` (and on close), waking
     /// producers parked in [`JobEventLog::wait_capacity`].
     space_cv: Condvar,
+    /// The read-direction twin of `space_cv`: signalled when the producer
+    /// appends (and on close/cancel/expiry), waking readers parked in
+    /// [`JobEventLog::page_wait`] — the long-poll `wait_ms` machinery.
+    data_cv: Condvar,
     /// Whether the checkpoint-horizon policy applies (jobs submitted with
     /// `checkpoint_every > 0`).
     horizon: bool,
@@ -148,6 +152,7 @@ impl JobEventLog {
                 degraded: false,
             }),
             space_cv: Condvar::new(),
+            data_cv: Condvar::new(),
             horizon,
             capacity: capacity.max(1),
             max_wait,
@@ -205,6 +210,8 @@ impl JobEventLog {
         Self::note_markers(&mut inner, &event, seq);
         inner.events.push_back(event);
         Self::evict(&mut inner, self.horizon, self.capacity);
+        drop(inner);
+        self.data_cv.notify_all();
     }
 
     /// Pre-fill a resumed job's log with its journaled prefix, honoring
@@ -239,6 +246,8 @@ impl JobEventLog {
         }
         inner.reads = inner.first_seq + inner.events.len() as u64;
         Self::evict(&mut inner, self.horizon, self.capacity);
+        drop(inner);
+        self.data_cv.notify_all();
     }
 
     /// Park the producer until the log has capacity again — the
@@ -277,6 +286,7 @@ impl JobEventLog {
         self.append(terminal);
         self.inner.lock().closed = true;
         self.space_cv.notify_all();
+        self.data_cv.notify_all();
     }
 
     /// Seal the log as cancelled. The [`RunEvent::Cancelled`] marker may
@@ -300,6 +310,7 @@ impl JobEventLog {
         inner.closed = true;
         drop(inner);
         self.space_cv.notify_all();
+        self.data_cv.notify_all();
     }
 
     /// Drop every retained event, keeping the sequence bookkeeping (and
@@ -310,6 +321,10 @@ impl JobEventLog {
         inner.first_seq += inner.events.len() as u64;
         inner.events.clear();
         inner.epoch_marks.clear();
+        drop(inner);
+        // A parked long-poll whose cursor just fell below `first` must
+        // observe the truncation, not sleep through it.
+        self.data_cv.notify_all();
     }
 
     /// Read a page of events starting at `since`.
@@ -354,6 +369,33 @@ impl JobEventLog {
             self.space_cv.notify_all();
         }
         EventPage { events, next, first, closed, retained_epoch }
+    }
+
+    /// [`JobEventLog::page`], in push mode: when the cursor is at the live
+    /// edge of an open stream, park on `data_cv` until the producer
+    /// appends, the log seals (terminal marker, cancel, shutdown), the
+    /// retained window truncates past the cursor, or `wait` elapses —
+    /// then answer exactly like a poll. `wait = 0` never parks and is
+    /// byte-identical to [`JobEventLog::page`]; an already-closed or
+    /// already-readable log answers immediately. This is the `wait_ms`
+    /// long-poll: PR 8's backpressure Condvar machinery run in the read
+    /// direction.
+    fn page_wait(&self, since: u64, wait: Duration) -> EventPage {
+        if !wait.is_zero() {
+            let deadline = Instant::now() + wait;
+            let mut inner = self.inner.lock();
+            loop {
+                let end_seq = inner.first_seq + inner.events.len() as u64;
+                let readable = inner.closed || since < inner.first_seq || since < end_seq;
+                if readable || self.data_cv.wait_until(&mut inner, deadline).timed_out() {
+                    break;
+                }
+            }
+        }
+        // Build the page through the one poll path so push and poll can
+        // never drift apart (re-locks; anything appended in the gap is a
+        // bonus, not a bug).
+        self.page(since)
     }
 
     /// The retained window as `(first, end)` sequence numbers —
@@ -506,6 +548,13 @@ pub enum PoolError {
         /// The configured queue bound.
         capacity: usize,
     },
+    /// Per-tenant admission control: the submitting tenant's token bucket
+    /// is empty — it exceeded its sustained submission rate (HTTP 429
+    /// upstream, with the retry hint in the envelope).
+    RateLimited {
+        /// The bucket's own estimate of when its next token lands.
+        retry_after_ms: u64,
+    },
     /// The execution itself failed.
     Failed(String),
     /// The job id is unknown (or belongs to another owner).
@@ -521,6 +570,9 @@ impl std::fmt::Display for PoolError {
         match self {
             PoolError::QueueFull { capacity } => {
                 write!(f, "engine pool queue is full ({capacity} jobs); retry later")
+            }
+            PoolError::RateLimited { retry_after_ms } => {
+                write!(f, "tenant rate limit exceeded; retry in {retry_after_ms}ms")
             }
             PoolError::Failed(m) => write!(f, "execution failed: {m}"),
             PoolError::Unknown(id) => write!(f, "no such job {id}"),
@@ -553,6 +605,12 @@ pub struct PoolStats {
     pub cancelled: u64,
     /// Total submissions rejected by admission control.
     pub rejected: u64,
+    /// Total submissions rejected by per-tenant rate limiting (counted
+    /// separately from queue-full `rejected`: a rate-limited tenant is
+    /// over *its* budget, not evidence the pool is saturated).
+    pub rate_limited: u64,
+    /// Tenants with jobs currently waiting (fair-queue lanes with work).
+    pub queued_tenants: usize,
     /// Journal I/O errors swallowed by job observers (a failing disk
     /// degrades durability silently; this makes it visible).
     pub journal_errors: u64,
@@ -571,8 +629,180 @@ impl PoolStats {
             .set("failed", self.failed as i64)
             .set("cancelled", self.cancelled as i64)
             .set("rejected", self.rejected as i64)
+            .set("rate_limited", self.rate_limited as i64)
+            .set("queued_tenants", self.queued_tenants)
             .set("journal_errors", self.journal_errors as i64);
         v
+    }
+}
+
+/// One job waiting in a tenant's lane.
+struct QueuedJob {
+    id: i64,
+    priority: i64,
+    req: ExecutionRequest,
+}
+
+/// One tenant's pending-job lane. Intra-tenant order is descending
+/// priority, FIFO among equals — priority jumps the tenant's *own* line,
+/// never another tenant's.
+#[derive(Default)]
+struct Lane {
+    jobs: VecDeque<QueuedJob>,
+    /// Remaining service credit in the lane's current scheduler visit.
+    credit: u64,
+}
+
+/// The pool's weighted-fair job queue: per-tenant FIFO lanes drained by
+/// deficit round-robin instead of one global FIFO. Each scheduler visit
+/// grants a lane `weight` pops (unit job cost), then rotates to the next
+/// lane with work — so a tenant that floods the queue gets exactly its
+/// share of worker pulls and can no longer starve the rest. Lanes exist
+/// only while they hold work; the map stays bounded by the number of
+/// tenants with queued jobs.
+struct FairQueue {
+    lanes: HashMap<String, Lane>,
+    /// Round-robin service order over lanes that currently hold work.
+    active: VecDeque<String>,
+    /// Configured per-tenant weights (jobs served per visit; default 1).
+    weights: HashMap<String, u64>,
+    len: usize,
+}
+
+impl FairQueue {
+    fn new() -> FairQueue {
+        FairQueue { lanes: HashMap::new(), active: VecDeque::new(), weights: HashMap::new(), len: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Tenants with work queued right now.
+    fn tenants(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn set_weight(&mut self, owner: &str, weight: u64) {
+        self.weights.insert(owner.to_string(), weight.max(1));
+    }
+
+    fn push(&mut self, owner: &str, id: i64, priority: i64, req: ExecutionRequest) {
+        let lane = self.lanes.entry(owner.to_string()).or_default();
+        if lane.jobs.is_empty() {
+            self.active.push_back(owner.to_string());
+            lane.credit = 0;
+        }
+        // Stable priority insert: after every job with >= priority.
+        let at = lane.jobs.iter().position(|j| j.priority < priority).unwrap_or(lane.jobs.len());
+        lane.jobs.insert(at, QueuedJob { id, priority, req });
+        self.len += 1;
+    }
+
+    /// Next job under the deficit-round-robin discipline.
+    fn pop(&mut self) -> Option<(i64, ExecutionRequest)> {
+        loop {
+            let owner = self.active.front()?.clone();
+            let Some(lane) = self.lanes.get_mut(&owner) else {
+                self.active.pop_front();
+                continue;
+            };
+            if lane.jobs.is_empty() {
+                self.lanes.remove(&owner);
+                self.active.pop_front();
+                continue;
+            }
+            if lane.credit == 0 {
+                lane.credit = self.weights.get(&owner).copied().unwrap_or(1).max(1);
+            }
+            let job = lane.jobs.pop_front().expect("non-empty lane");
+            lane.credit -= 1;
+            self.len -= 1;
+            let drained = lane.jobs.is_empty();
+            if drained {
+                self.lanes.remove(&owner);
+            }
+            if drained || self.lanes.get(&owner).is_none_or(|l| l.credit == 0) {
+                // Visit over: rotate to the next tenant with work.
+                self.active.pop_front();
+                if !drained {
+                    self.active.push_back(owner);
+                }
+            }
+            return Some((job.id, job.req));
+        }
+    }
+
+    /// Remove a queued job by id (cancellation frees the queue slot).
+    fn remove(&mut self, id: i64) {
+        let mut emptied: Option<String> = None;
+        for (owner, lane) in self.lanes.iter_mut() {
+            if let Some(pos) = lane.jobs.iter().position(|j| j.id == id) {
+                lane.jobs.remove(pos);
+                self.len -= 1;
+                if lane.jobs.is_empty() {
+                    emptied = Some(owner.clone());
+                }
+                break;
+            }
+        }
+        if let Some(owner) = emptied {
+            self.lanes.remove(&owner);
+            self.active.retain(|o| *o != owner);
+        }
+    }
+
+    /// Drain every lane (shutdown), returning the orphaned job ids.
+    fn drain(&mut self) -> Vec<i64> {
+        let ids: Vec<i64> = self.lanes.values().flat_map(|lane| lane.jobs.iter().map(|j| j.id)).collect();
+        self.lanes.clear();
+        self.active.clear();
+        self.len = 0;
+        ids
+    }
+}
+
+/// Token-bucket state for one tenant.
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Pool-wide per-tenant rate limiting (disabled by default — see
+/// [`EnginePool::set_tenant_rate`]). Classic token bucket: each tenant
+/// accrues `per_sec` tokens up to `burst`; a submission costs one. An
+/// empty bucket rejects with the bucket's own estimate of when the next
+/// token lands — the `retryAfterMs` hint clients back off on.
+struct RateLimiter {
+    enabled: bool,
+    per_sec: f64,
+    burst: f64,
+    buckets: HashMap<String, TokenBucket>,
+}
+
+impl RateLimiter {
+    fn new() -> RateLimiter {
+        RateLimiter { enabled: false, per_sec: 0.0, burst: 0.0, buckets: HashMap::new() }
+    }
+
+    /// Take one token for `owner`, or report how long until one lands.
+    fn try_take(&mut self, owner: &str) -> Result<(), u64> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let bucket =
+            self.buckets.entry(owner.to_string()).or_insert(TokenBucket { tokens: self.burst, last: now });
+        let elapsed = now.duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.per_sec).min(self.burst);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait_s = (1.0 - bucket.tokens) / self.per_sec.max(1e-9);
+            Err((wait_s * 1000.0).ceil().max(1.0) as u64)
+        }
     }
 }
 
@@ -609,8 +839,12 @@ impl JobRecord {
 }
 
 struct PoolInner {
-    /// Pending jobs. Lock order: `queue` before `jobs` when both are held.
-    queue: Mutex<VecDeque<(i64, ExecutionRequest)>>,
+    /// Pending jobs, one lane per tenant, drained by deficit round-robin.
+    /// Lock order: `queue` before `jobs` when both are held.
+    queue: Mutex<FairQueue>,
+    /// Per-tenant token buckets (checked before the queue; no-op unless
+    /// [`EnginePool::set_tenant_rate`] enabled them).
+    rate: Mutex<RateLimiter>,
     /// All known jobs (queued, running and a bounded tail of finished).
     jobs: Mutex<HashMap<i64, JobRecord>>,
     /// Finished ids in completion order, for eviction.
@@ -634,6 +868,13 @@ struct PoolInner {
     failed: AtomicU64,
     cancelled: AtomicU64,
     rejected: AtomicU64,
+    rate_limited: AtomicU64,
+    /// Total measured run time (ms) across completed/failed jobs, for the
+    /// queue-full `retryAfterMs` hint.
+    run_ms_total: AtomicU64,
+    /// Worker count, cached for the retry hint (the `workers` Vec lives
+    /// on `EnginePool`, not here).
+    worker_count: usize,
     /// Journal I/O errors swallowed by job observers.
     journal_errors: Arc<AtomicU64>,
     /// Per-job event-log capacity for jobs submitted from now on
@@ -714,7 +955,8 @@ impl EnginePool {
     ) -> EnginePool {
         let workers = workers.max(1);
         let inner = Arc::new(PoolInner {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(FairQueue::new()),
+            rate: Mutex::new(RateLimiter::new()),
             jobs: Mutex::new(HashMap::new()),
             finished_order: Mutex::new(VecDeque::new()),
             streamed_order: Mutex::new(VecDeque::new()),
@@ -730,6 +972,9 @@ impl EnginePool {
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            run_ms_total: AtomicU64::new(0),
+            worker_count: workers,
             journal_errors: Arc::new(AtomicU64::new(0)),
             event_log_capacity: AtomicUsize::new(EVENT_LOG_CAPACITY),
             backpressure_wait_ms: AtomicU64::new(BACKPRESSURE_WAIT.as_millis() as u64),
@@ -760,11 +1005,16 @@ impl EnginePool {
         self.workers.len()
     }
 
-    /// Enqueue a job. Fails fast with [`PoolError::QueueFull`] when the
-    /// queue is at capacity (admission control).
+    /// Enqueue a job. Fails fast with [`PoolError::RateLimited`] when the
+    /// tenant is over its token budget, or [`PoolError::QueueFull`] when
+    /// the queue is at capacity (admission control).
     pub fn submit(&self, owner: &str, req: ExecutionRequest) -> Result<i64, PoolError> {
         if self.inner.shutdown.load(Ordering::SeqCst) {
             return Err(PoolError::ShutDown);
+        }
+        if let Err(retry_after_ms) = self.inner.rate.lock().try_take(owner) {
+            self.inner.rate_limited.fetch_add(1, Ordering::SeqCst);
+            return Err(PoolError::RateLimited { retry_after_ms });
         }
         let mut queue = self.inner.queue.lock();
         if queue.len() >= self.inner.capacity {
@@ -783,16 +1033,48 @@ impl EnginePool {
                 worker: None,
                 output: None,
                 error: None,
-                events: self.inner.new_log(req.checkpoint_every > 0),
-                streaming: req.stream_events,
+                events: self.inner.new_log(req.options.checkpoint_every > 0),
+                streaming: req.options.events,
                 cancel: CancelToken::new(),
             },
         );
-        queue.push_back((id, req));
+        let priority = req.options.priority;
+        queue.push(owner, id, priority, req);
         drop(queue);
         self.inner.submitted.fetch_add(1, Ordering::SeqCst);
         self.inner.work_cv.notify_one();
         Ok(id)
+    }
+
+    /// Enable per-tenant token-bucket rate limiting: each tenant accrues
+    /// `per_sec` submissions per second up to a burst of `burst`. Applies
+    /// to submissions from now on; resuming an already-admitted job is
+    /// never rate limited. `per_sec <= 0` disables limiting again.
+    pub fn set_tenant_rate(&self, per_sec: f64, burst: f64) {
+        let mut rate = self.inner.rate.lock();
+        rate.enabled = per_sec > 0.0;
+        rate.per_sec = per_sec.max(0.0);
+        rate.burst = burst.max(1.0);
+        rate.buckets.clear();
+    }
+
+    /// Set a tenant's fair-share weight: how many queued jobs the
+    /// scheduler serves from that tenant's lane per round-robin visit
+    /// (default 1; values below 1 clamp to 1).
+    pub fn set_tenant_weight(&self, owner: &str, weight: u64) {
+        self.inner.queue.lock().set_weight(owner, weight);
+    }
+
+    /// How long a queue-full rejectee should plausibly wait before
+    /// retrying, from live queue depth and observed mean job runtime:
+    /// `queued × mean_run_ms / workers`, clamped to [25ms, 10s]. Crude,
+    /// but it scales with actual saturation instead of being a constant.
+    pub fn queue_retry_hint_ms(&self) -> u64 {
+        let queued = self.inner.queue.lock().len() as u64;
+        let done = self.inner.completed.load(Ordering::SeqCst) + self.inner.failed.load(Ordering::SeqCst);
+        let mean_run_ms =
+            self.inner.run_ms_total.load(Ordering::SeqCst).checked_div(done).map_or(25, |mean| mean.max(1));
+        (queued.max(1) * mean_run_ms / self.inner.worker_count.max(1) as u64).clamp(25, 10_000)
     }
 
     /// Override the per-job event-log capacity for jobs submitted after
@@ -935,7 +1217,7 @@ impl EnginePool {
         if newly_cancelled {
             // Free the queue slot (admission control) — the worker-side
             // phase check makes this safe against a concurrent pop.
-            self.inner.queue.lock().retain(|(qid, _)| *qid != id);
+            self.inner.queue.lock().remove(id);
             // An explicit cancel abandons the job's journal too (a queued
             // resumed job still has one from its interrupted run).
             if let Some(journal) = &self.inner.journal {
@@ -951,6 +1233,16 @@ impl EnginePool {
     /// `None` when the id is unknown or owned by someone else. Jobs
     /// submitted without `events=true` log only the terminal marker.
     pub fn events(&self, owner: &str, id: i64, since: u64) -> Option<EventPage> {
+        self.events_wait(owner, id, since, Duration::ZERO)
+    }
+
+    /// Long-poll variant of [`EnginePool::events`]: when the page at
+    /// `since` would be empty and the log is still open, park on the
+    /// log's condvar until something lands past the cursor, the stream
+    /// seals (done/failed/cancelled — including via [`EnginePool::stop`]),
+    /// or `wait` elapses. `wait = 0` is byte-identical to a plain poll.
+    /// No job lock is held while parked — only the per-job log's.
+    pub fn events_wait(&self, owner: &str, id: i64, since: u64, wait: Duration) -> Option<EventPage> {
         let log = {
             let jobs = self.inner.jobs.lock();
             let rec = jobs.get(&id)?;
@@ -959,7 +1251,7 @@ impl EnginePool {
             }
             Arc::clone(&rec.events)
         };
-        Some(log.page(since))
+        Some(log.page_wait(since, wait))
     }
 
     /// Resume an interrupted checkpointed job from its journal (the
@@ -1004,6 +1296,7 @@ impl EnginePool {
         let mut req = ExecutionRequest::from_value(&data.meta["request"])
             .ok_or_else(|| PoolError::Failed(format!("job {id}: corrupt journal meta")))?;
         let owner = data.meta["owner"].as_str().unwrap_or("anonymous").to_string();
+        let lane_owner = owner.clone();
         let replayed: Vec<RunEvent> = data.events.iter().filter_map(RunEvent::from_value).collect();
         req.resume = Some(ResumePoint { epoch: data.epoch, snapshots: data.snapshots, events: replayed });
 
@@ -1017,7 +1310,7 @@ impl EnginePool {
         self.inner.next_id.fetch_max(id + 1, Ordering::SeqCst);
         // Seed the resumed log from the journal *honoring recorded seqs*,
         // so attempt-1 cursors stay monotone across the resume.
-        let log = self.inner.new_log(req.checkpoint_every > 0);
+        let log = self.inner.new_log(req.options.checkpoint_every > 0);
         log.preload_journal(data.events);
         self.inner.jobs.lock().insert(
             id,
@@ -1031,11 +1324,12 @@ impl EnginePool {
                 output: None,
                 error: None,
                 events: log,
-                streaming: req.stream_events,
+                streaming: req.options.events,
                 cancel: CancelToken::new(),
             },
         );
-        queue.push_back((id, req));
+        let priority = req.options.priority;
+        queue.push(&lane_owner, id, priority, req);
         drop(queue);
         self.inner.submitted.fetch_add(1, Ordering::SeqCst);
         self.inner.work_cv.notify_one();
@@ -1055,7 +1349,7 @@ impl EnginePool {
         // Cancel everything a worker hasn't picked. A job popped before
         // the flag landed terminates through its token — either way every
         // submitted job reaches a terminal phase.
-        let orphaned: Vec<i64> = self.inner.queue.lock().drain(..).map(|(id, _)| id).collect();
+        let orphaned: Vec<i64> = self.inner.queue.lock().drain();
         for id in orphaned {
             let mut jobs = self.inner.jobs.lock();
             if let Some(rec) = jobs.get_mut(&id) {
@@ -1088,16 +1382,22 @@ impl EnginePool {
 
     /// Aggregate counters.
     pub fn stats(&self) -> PoolStats {
+        let (queued, queued_tenants) = {
+            let queue = self.inner.queue.lock();
+            (queue.len(), queue.tenants())
+        };
         PoolStats {
             workers: self.workers.len(),
             capacity: self.inner.capacity,
-            queued: self.inner.queue.lock().len(),
+            queued,
             running: self.inner.running.load(Ordering::SeqCst) as usize,
             submitted: self.inner.submitted.load(Ordering::SeqCst),
             completed: self.inner.completed.load(Ordering::SeqCst),
             failed: self.inner.failed.load(Ordering::SeqCst),
             cancelled: self.inner.cancelled.load(Ordering::SeqCst),
             rejected: self.inner.rejected.load(Ordering::SeqCst),
+            rate_limited: self.inner.rate_limited.load(Ordering::SeqCst),
+            queued_tenants,
             journal_errors: self.inner.journal_errors.load(Ordering::SeqCst),
         }
     }
@@ -1130,7 +1430,7 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                 if inner.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break Some(job);
                 }
                 inner.work_cv.wait(&mut queue);
@@ -1139,6 +1439,7 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
         let Some((id, req)) = job else { return };
 
         let picked = Instant::now();
+        let mut deadline_missed = false;
         let (log, streaming, cancel, owner) = {
             let mut jobs = inner.jobs.lock();
             match jobs.get_mut(&id) {
@@ -1147,10 +1448,31 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                 // queue entry is simply dropped.
                 Some(rec) if rec.phase != JobPhase::Queued => continue,
                 Some(rec) => {
-                    rec.phase = JobPhase::Running;
                     rec.queue_wait = picked.duration_since(rec.submitted);
-                    rec.worker = Some(worker_id);
-                    (Arc::clone(&rec.events), rec.streaming, rec.cancel.clone(), rec.owner.clone())
+                    // A submission deadline bounds *queue wait*: a job
+                    // that waited past it fails fast instead of burning a
+                    // worker on a result the submitter stopped wanting.
+                    if let Some(deadline_ms) = req.options.deadline_ms {
+                        if rec.queue_wait > Duration::from_millis(deadline_ms) {
+                            let msg = format!(
+                                "deadline exceeded: {deadline_ms}ms budget, \
+                                 {}ms in queue",
+                                rec.queue_wait.as_millis()
+                            );
+                            rec.events.close(terminal_event("failed", Some(&msg)));
+                            rec.error = Some(msg);
+                            rec.phase = JobPhase::Failed;
+                            inner.failed.fetch_add(1, Ordering::SeqCst);
+                            deadline_missed = true;
+                        }
+                    }
+                    if deadline_missed {
+                        (Arc::clone(&rec.events), false, CancelToken::new(), String::new())
+                    } else {
+                        rec.phase = JobPhase::Running;
+                        rec.worker = Some(worker_id);
+                        (Arc::clone(&rec.events), rec.streaming, rec.cancel.clone(), rec.owner.clone())
+                    }
                 }
                 None => (
                     JobEventLog::new(false, EVENT_LOG_CAPACITY, BACKPRESSURE_WAIT),
@@ -1160,12 +1482,20 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                 ),
             }
         };
+        if deadline_missed {
+            if let Some(journal) = &inner.journal {
+                journal.mark_failed(id);
+            }
+            inner.done_cv.notify_all();
+            evict_finished(inner, id);
+            continue;
+        }
         inner.running.fetch_add(1, Ordering::SeqCst);
         // Durable pools journal checkpointed jobs: the journal writer sits
         // behind the same observer as the event log, so epochs hit disk in
         // stream order. `create` reopens an existing journal on resume
         // (truncating the stale partial-round tail).
-        let journaled = inner.journal.is_some() && req.checkpoint_every > 0;
+        let journaled = inner.journal.is_some() && req.options.checkpoint_every > 0;
         let journal_writer = inner.journal.as_ref().filter(|_| journaled).and_then(|store| {
             let mut meta = Value::Null;
             meta.set("owner", owner.as_str()).set("request", req.to_value());
@@ -1195,6 +1525,7 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         rec.phase = JobPhase::Done;
                         log.close(terminal_event("done", None));
                         inner.completed.fetch_add(1, Ordering::SeqCst);
+                        inner.run_ms_total.fetch_add(run_time.as_millis() as u64, Ordering::SeqCst);
                         // A completed job needs no recovery state.
                         if let Some(journal) = &inner.journal {
                             journal.remove(id);
@@ -1222,6 +1553,7 @@ fn worker_loop(inner: &PoolInner, mut engine: ExecutionEngine, worker_id: usize)
                         rec.error = Some(message);
                         rec.phase = JobPhase::Failed;
                         inner.failed.fetch_add(1, Ordering::SeqCst);
+                        inner.run_ms_total.fetch_add(run_time.as_millis() as u64, Ordering::SeqCst);
                         // Keep the journal for post-mortems and explicit
                         // resume, but flag it so auto-resume skips a job
                         // that would just crash again.
@@ -2122,5 +2454,254 @@ mod tests {
         assert_eq!(pool.stats().journal_errors, 0);
         assert_eq!(pool.stats().to_value()["journal_errors"].as_i64(), Some(0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn queued_req() -> ExecutionRequest {
+        ExecutionRequest::simple("u", WF_SRC, 1)
+    }
+
+    #[test]
+    fn fair_queue_round_robins_across_tenants() {
+        // a floods 4 jobs, b holds 2, c holds 1: pops must interleave
+        // a,b,c,a,b,a,a — no tenant drains another's backlog position.
+        let mut q = FairQueue::new();
+        for id in [1, 2, 3, 4] {
+            q.push("a", id, 0, queued_req());
+        }
+        for id in [10, 11] {
+            q.push("b", id, 0, queued_req());
+        }
+        q.push("c", 20, 0, queued_req());
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(id, _)| id)).collect();
+        assert_eq!(order, vec![1, 10, 20, 2, 11, 3, 4]);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.tenants(), 0);
+    }
+
+    #[test]
+    fn fair_queue_weight_scales_service_share() {
+        // Weight 2 for a: the scheduler serves two of a's jobs per visit.
+        let mut q = FairQueue::new();
+        q.set_weight("a", 2);
+        for id in [1, 2, 3, 4] {
+            q.push("a", id, 0, queued_req());
+        }
+        for id in [10, 11] {
+            q.push("b", id, 0, queued_req());
+        }
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(id, _)| id)).collect();
+        assert_eq!(order, vec![1, 2, 10, 3, 4, 11]);
+    }
+
+    #[test]
+    fn fair_queue_priority_jumps_own_lane_only() {
+        let mut q = FairQueue::new();
+        q.push("a", 1, 0, queued_req());
+        q.push("a", 2, 5, queued_req()); // jumps a's lane
+        q.push("a", 3, 5, queued_req()); // FIFO among equal priority
+        q.push("b", 10, 100, queued_req()); // cannot jump a's round-robin turn
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(id, _)| id)).collect();
+        assert_eq!(order, vec![2, 10, 3, 1]);
+    }
+
+    #[test]
+    fn fair_queue_remove_frees_slot_and_lane() {
+        let mut q = FairQueue::new();
+        q.push("a", 1, 0, queued_req());
+        q.push("b", 2, 0, queued_req());
+        q.remove(1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.tenants(), 1);
+        let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(id, _)| id)).collect();
+        assert_eq!(order, vec![2]);
+    }
+
+    #[test]
+    fn fair_scheduling_lets_a_quiet_tenant_cut_a_noisy_backlog() {
+        // One deliberately slow worker. While it chews tenant "noisy"'s
+        // first job, noisy floods the queue and "quiet" submits one job.
+        // DRR serves quiet's lane on the very next rotation, so quiet's
+        // job completes while most of noisy's backlog is still queued.
+        let engine = ExecutionEngine::instant().with_provision_scale(150);
+        let pool = EnginePool::start(engine, 1, 16);
+        let first = pool.submit("noisy", ExecutionRequest::simple("noisy", WF_SRC, 1)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.status("noisy", first).unwrap().phase == JobPhase::Queued && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let backlog: Vec<i64> = (0..6)
+            .map(|_| pool.submit("noisy", ExecutionRequest::simple("noisy", WF_SRC, 1)).unwrap())
+            .collect();
+        let quiet = pool.submit("quiet", ExecutionRequest::simple("quiet", WF_SRC, 1)).unwrap();
+        assert!(pool.stats().queued_tenants >= 2);
+        pool.wait("quiet", quiet, Duration::from_secs(30)).unwrap();
+        let done: usize =
+            backlog.iter().filter(|id| pool.status("noisy", **id).unwrap().phase == JobPhase::Done).count();
+        assert!(
+            done <= 2,
+            "quiet tenant waited behind {done} of 6 noisy backlog jobs; fair \
+             scheduling should have served it on the first rotation"
+        );
+    }
+
+    #[test]
+    fn rate_limit_rejects_over_budget_tenant_with_retry_hint() {
+        let pool = instant_pool(1, 16);
+        pool.set_tenant_rate(1.0, 1.0); // 1 submission/s, burst 1
+        pool.submit("a", queued_req()).unwrap();
+        let err = pool.submit("a", queued_req()).unwrap_err();
+        match err {
+            PoolError::RateLimited { retry_after_ms } => {
+                assert!(retry_after_ms >= 1, "an empty bucket must hint a wait");
+                assert!(retry_after_ms <= 1_001, "hint beyond one token period: {retry_after_ms}");
+            }
+            other => panic!("expected RateLimited, got {other}"),
+        }
+        // Buckets are per tenant: b's budget is untouched by a's burn.
+        pool.submit("b", queued_req()).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.rate_limited, 1);
+        assert_eq!(stats.rejected, 0, "rate limiting is not queue-full");
+        assert_eq!(stats.to_value()["rate_limited"].as_i64(), Some(1));
+        // Disabling restores unmetered admission.
+        pool.set_tenant_rate(0.0, 0.0);
+        pool.submit("a", queued_req()).unwrap();
+    }
+
+    #[test]
+    fn deadline_fails_job_that_overstayed_the_queue() {
+        // One slow worker: the blocker occupies it long enough that the
+        // 1ms-deadline job behind it is stale by pick time. The worker
+        // fails it instead of running it.
+        let engine = ExecutionEngine::instant().with_provision_scale(150);
+        let pool = EnginePool::start(engine, 1, 8);
+        pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        let doomed = pool
+            .submit("u", ExecutionRequest::simple("u", WF_SRC, 1).with_events(true).with_deadline_ms(1))
+            .unwrap();
+        match pool.wait("u", doomed, Duration::from_secs(30)).unwrap() {
+            JobResult::Failed(msg, info) => {
+                assert!(msg.contains("deadline exceeded"), "{msg}");
+                assert_eq!(info.phase, JobPhase::Failed);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The stream is sealed with the failed terminal marker.
+        let page = pool.events("u", doomed, 0).unwrap();
+        assert!(page.closed);
+        let types: Vec<&str> = page.events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types, vec!["failed"], "never ran: only the terminal marker");
+        assert_eq!(pool.stats().failed, 1);
+    }
+
+    #[test]
+    fn long_poll_on_closed_log_returns_immediately() {
+        let pool = instant_pool(1, 4);
+        let id = pool.submit("u", queued_req().with_events(true)).unwrap();
+        pool.wait("u", id, Duration::from_secs(10)).unwrap();
+        let t0 = Instant::now();
+        let page = pool.events_wait("u", id, 0, Duration::from_secs(10)).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "closed log must not park the caller: {:?}",
+            t0.elapsed()
+        );
+        assert!(page.closed);
+        assert!(!page.events.is_empty());
+        // Same at a cursor past the end: terminal marker seen, no wait.
+        let t0 = Instant::now();
+        let tail = pool.events_wait("u", id, page.next, Duration::from_secs(10)).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        assert!(tail.closed);
+        assert!(tail.events.is_empty());
+    }
+
+    #[test]
+    fn long_poll_zero_wait_is_byte_identical_to_poll() {
+        let pool = instant_pool(1, 4);
+        let id = pool.submit("u", queued_req().with_events(true)).unwrap();
+        pool.wait("u", id, Duration::from_secs(10)).unwrap();
+        for since in [0u64, 2, 1_000] {
+            let poll = pool.events("u", id, since).unwrap();
+            let push = pool.events_wait("u", id, since, Duration::ZERO).unwrap();
+            assert_eq!(poll.events, push.events);
+            assert_eq!(poll.next, push.next);
+            assert_eq!(poll.first, push.first);
+            assert_eq!(poll.closed, push.closed);
+            assert_eq!(poll.retained_epoch, push.retained_epoch);
+        }
+    }
+
+    #[test]
+    fn long_poll_parks_until_events_arrive() {
+        // The job sits behind a slow blocker, so the waiter provably
+        // parks on an empty open log before the stream starts.
+        let engine = ExecutionEngine::instant().with_provision_scale(100);
+        let pool = Arc::new(EnginePool::start(engine, 1, 8));
+        pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        let id = pool.submit("u", queued_req().with_events(true)).unwrap();
+        let empty_now = pool.events("u", id, 0).unwrap();
+        assert!(empty_now.events.is_empty() && !empty_now.closed, "job not yet started");
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || pool.events_wait("u", id, 0, Duration::from_secs(30)).unwrap())
+        };
+        let page = waiter.join().unwrap();
+        assert!(!page.events.is_empty(), "waiter woke with data, not a timeout");
+    }
+
+    #[test]
+    fn cancel_wakes_parked_long_poll_waiter() {
+        // One busy worker; the watched job is queued with an empty log.
+        // Cancelling it must wake the parked waiter with the sealed
+        // cancelled page — not leave it hanging until timeout.
+        let engine = ExecutionEngine::instant().with_provision_scale(200);
+        let pool = Arc::new(EnginePool::start(engine, 1, 8));
+        pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        let id = pool.submit("u", queued_req().with_events(true)).unwrap();
+        let waiter = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let page = pool.events_wait("u", id, 0, Duration::from_secs(30)).unwrap();
+                (page, t0.elapsed())
+            })
+        };
+        // Let the waiter park before firing the cancel.
+        std::thread::sleep(Duration::from_millis(30));
+        pool.cancel("u", id).unwrap();
+        let (page, waited) = waiter.join().unwrap();
+        assert!(page.closed, "cancel seals the stream");
+        let types: Vec<&str> = page.events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types, vec!["cancelled"]);
+        assert!(waited < Duration::from_secs(10), "woke by cancel, not timeout: {waited:?}");
+    }
+
+    #[test]
+    fn stop_wakes_parked_waiter_with_sealed_terminal_page() {
+        // A waiter parked on a queued job's log must survive pool
+        // shutdown: stop() cancels the job, seals its log, and the
+        // notification reaches the waiter — which is parked on the log's
+        // own condvar, independent of the pool locks stop() takes.
+        let engine = ExecutionEngine::instant().with_provision_scale(200);
+        let mut pool = EnginePool::start(engine, 1, 8);
+        pool.submit("u", ExecutionRequest::simple("u", WF_SRC, 1)).unwrap();
+        let id = pool.submit("u", queued_req().with_events(true)).unwrap();
+        let log = {
+            let jobs = pool.inner.jobs.lock();
+            Arc::clone(&jobs.get(&id).unwrap().events)
+        };
+        let waiter = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let page = log.page_wait(0, Duration::from_secs(30));
+            (page, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        pool.stop();
+        let (page, waited) = waiter.join().unwrap();
+        assert!(page.closed, "stop seals every queued job's stream");
+        let types: Vec<&str> = page.events.iter().filter_map(|e| e["type"].as_str()).collect();
+        assert_eq!(types, vec!["cancelled"]);
+        assert!(waited < Duration::from_secs(10), "woke by stop, not timeout: {waited:?}");
     }
 }

@@ -6,6 +6,74 @@ use laminar_dataflow::mapping::RunInput;
 use laminar_dataflow::MappingKind;
 use laminar_json::Value;
 
+/// Per-submission options: the v1 API's single carrier for the knobs
+/// that used to ride the request as loose flags (`events`,
+/// `checkpoint_every`) plus the scheduling hints introduced with fair
+/// queuing (`priority`, `deadline_ms`). Mirrors the registry's
+/// `SearchOptions` pattern: one struct threaded end to end — client
+/// `RunConfig`, wire body, [`ExecutionRequest`] — instead of a growing
+/// list of positional/boolean parameters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Log the run's live event stream for the `/events` endpoint. Off by
+    /// default: batch jobs skip per-event wire conversion.
+    pub events: bool,
+    /// Checkpoint interval in source iterations: `n > 0` makes the
+    /// enactment emit an epoch snapshot every `n` iterations, journaled
+    /// per-job when the pool has a journal store. `0` (default) disables
+    /// checkpointing.
+    pub checkpoint_every: usize,
+    /// Intra-tenant scheduling priority: within the submitting tenant's
+    /// lane, higher-priority jobs run first (FIFO among equals). The
+    /// cross-tenant order is governed by the pool's fair scheduler, so
+    /// priority never lets one tenant cut another's line. Default 0.
+    pub priority: i64,
+    /// Queue-wait deadline in milliseconds: a job still waiting when the
+    /// deadline passes is failed fast (`deadline exceeded`) instead of
+    /// running uselessly late. `None` (default) waits indefinitely.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SubmitOptions {
+    /// Serialize as the nested `options` object of the v1 wire form.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::Null;
+        v.set("events", self.events);
+        if self.checkpoint_every > 0 {
+            v.set("checkpointEvery", self.checkpoint_every);
+        }
+        if self.priority != 0 {
+            v.set("priority", self.priority);
+        }
+        if let Some(d) = self.deadline_ms {
+            v.set("deadlineMs", d as i64);
+        }
+        v
+    }
+
+    /// Parse submission options out of a request envelope. Reads the v1
+    /// nested `options` object when present and falls back to the
+    /// deprecated flat fields (`events`, `checkpoint_every`) otherwise,
+    /// so pre-v1 wire bodies — and journals written by older pools —
+    /// keep parsing.
+    pub fn from_request_value(v: &Value) -> SubmitOptions {
+        let opts = &v["options"];
+        if opts.is_null() {
+            return SubmitOptions {
+                events: v["events"].as_bool().unwrap_or(false),
+                checkpoint_every: v["checkpoint_every"].as_i64().unwrap_or(0).max(0) as usize,
+                ..SubmitOptions::default()
+            };
+        }
+        SubmitOptions {
+            events: opts["events"].as_bool().unwrap_or(false),
+            checkpoint_every: opts["checkpointEvery"].as_i64().unwrap_or(0).max(0) as usize,
+            priority: opts["priority"].as_i64().unwrap_or(0),
+            deadline_ms: opts["deadlineMs"].as_i64().filter(|d| *d >= 0).map(|d| d as u64),
+        }
+    }
+}
+
 /// A serverless execution request.
 #[derive(Debug, Clone)]
 pub struct ExecutionRequest {
@@ -25,15 +93,9 @@ pub struct ExecutionRequest {
     pub processes: usize,
     /// Named resources to stage (`resources=True` + resources dir).
     pub resources: Vec<(String, Vec<u8>)>,
-    /// Whether the run's event stream should be logged for the `/events`
-    /// endpoint (live terminal outputs, prints, progress). Off by default:
-    /// batch jobs skip per-event wire conversion.
-    pub stream_events: bool,
-    /// Checkpoint interval in source iterations: `n > 0` makes the
-    /// enactment emit an epoch snapshot every `n` iterations, journaled
-    /// per-job when the pool has a journal store. `0` (default) disables
-    /// checkpointing.
-    pub checkpoint_every: usize,
+    /// Submission options: event streaming, checkpointing and scheduling
+    /// hints, carried as one struct (see [`SubmitOptions`]).
+    pub options: SubmitOptions,
     /// Resume point injected by [`crate::EnginePool`]'s resume path.
     /// Never crosses the wire: clients POST `/resume` and the pool
     /// reconstructs this from the job's journal.
@@ -57,8 +119,7 @@ impl ExecutionRequest {
             input: RunInput::Iterations(iterations),
             processes: 1,
             resources: Vec::new(),
-            stream_events: false,
-            checkpoint_every: 0,
+            options: SubmitOptions::default(),
             resume: None,
             faults: None,
         }
@@ -98,15 +159,35 @@ impl ExecutionRequest {
         self
     }
 
+    /// Replace the submission options wholesale.
+    pub fn with_options(mut self, options: SubmitOptions) -> Self {
+        self.options = options;
+        self
+    }
+
     /// Request a live event stream (the `/events` endpoint's source).
     pub fn with_events(mut self, stream: bool) -> Self {
-        self.stream_events = stream;
+        self.options.events = stream;
         self
     }
 
     /// Checkpoint the enactment every `n` source iterations (0 = off).
     pub fn with_checkpoints(mut self, n: usize) -> Self {
-        self.checkpoint_every = n;
+        self.options.checkpoint_every = n;
+        self
+    }
+
+    /// Intra-tenant scheduling priority (higher runs first in the
+    /// tenant's lane).
+    pub fn with_priority(mut self, priority: i64) -> Self {
+        self.options.priority = priority;
+        self
+    }
+
+    /// Queue-wait deadline: fail the job fast if no worker picks it
+    /// within `ms` milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.options.deadline_ms = Some(ms);
         self
     }
 
@@ -124,10 +205,7 @@ impl ExecutionRequest {
             .set("workflow", self.workflow.clone())
             .set("mapping", self.mapping.as_str())
             .set("processes", self.processes)
-            .set("events", self.stream_events);
-        if self.checkpoint_every > 0 {
-            v.set("checkpoint_every", self.checkpoint_every);
-        }
+            .set("options", self.options.to_value());
         match &self.input {
             RunInput::Iterations(n) => {
                 v.set("input", *n);
@@ -181,8 +259,7 @@ impl ExecutionRequest {
             input,
             processes: v["processes"].as_i64().unwrap_or(5).max(1) as usize,
             resources,
-            stream_events: v["events"].as_bool().unwrap_or(false),
-            checkpoint_every: v["checkpoint_every"].as_i64().unwrap_or(0).max(0) as usize,
+            options: SubmitOptions::from_request_value(v),
             resume: None,
             faults: None,
         })
@@ -239,7 +316,7 @@ mod tests {
             }
             other => panic!("expected unbounded input, got {other:?}"),
         }
-        assert!(back.stream_events);
+        assert!(back.options.events);
         // An object input without the unbounded mode tag is malformed.
         let mut v = req.to_value();
         v.set("input", laminar_json::jobj! { "mode" => "mystery" });
@@ -251,12 +328,48 @@ mod tests {
         let req = ExecutionRequest::simple("u", "src", 5).with_checkpoints(32);
         let v = req.to_value();
         let back = ExecutionRequest::from_value(&v).unwrap();
-        assert_eq!(back.checkpoint_every, 32);
+        assert_eq!(back.options.checkpoint_every, 32);
         assert!(back.resume.is_none());
         // Absent field defaults to off.
         let plain =
             ExecutionRequest::from_value(&ExecutionRequest::simple("u", "src", 5).to_value()).unwrap();
-        assert_eq!(plain.checkpoint_every, 0);
+        assert_eq!(plain.options.checkpoint_every, 0);
+    }
+
+    #[test]
+    fn submit_options_round_trip() {
+        let req = ExecutionRequest::simple("u", "src", 5)
+            .with_events(true)
+            .with_checkpoints(16)
+            .with_priority(3)
+            .with_deadline_ms(2500);
+        let back = ExecutionRequest::from_value(&req.to_value()).unwrap();
+        assert_eq!(back.options, req.options);
+        assert_eq!(back.options.priority, 3);
+        assert_eq!(back.options.deadline_ms, Some(2500));
+    }
+
+    #[test]
+    fn deprecated_flat_wire_bodies_still_parse() {
+        // The pre-v1 wire form carried `events` and `checkpoint_every` as
+        // flat fields. Old clients — and journals written before the
+        // options object existed — must keep parsing. Pinned: this is the
+        // v1 API's compatibility contract.
+        let mut v = Value::Null;
+        v.set("user", "legacy")
+            .set("source", "pe X : producer { output o; process { emit(1); } }")
+            .set("events", true)
+            .set("checkpoint_every", 12i64);
+        let req = ExecutionRequest::from_value(&v).unwrap();
+        assert!(req.options.events);
+        assert_eq!(req.options.checkpoint_every, 12);
+        assert_eq!(req.options.priority, 0, "flat form has no priority; defaults apply");
+        assert_eq!(req.options.deadline_ms, None);
+        // When both forms appear, the nested v1 object wins.
+        v.set("options", laminar_json::jobj! { "events" => false, "checkpointEvery" => 3i64 });
+        let req = ExecutionRequest::from_value(&v).unwrap();
+        assert!(!req.options.events);
+        assert_eq!(req.options.checkpoint_every, 3);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Registry error type — mirrors the server's structured error design
 //! (paper §3.2.5): every error carries a type, a code and the failing
-//! parameter, and serializes to the standard JSON envelope.
+//! parameter, and serializes to the unified v1 JSON envelope
+//! `{"error":{"code","status","message","parameter"?,"retryAfterMs"?}}`
+//! shared by every endpoint.
 
 use laminar_json::{jobj, Value};
 use std::fmt;
@@ -20,6 +22,10 @@ pub enum RegistryError {
     Storage(String),
     /// The server is saturated (admission control); retry later.
     Busy(String),
+    /// Admission control with a concrete backoff: queue-full and
+    /// per-tenant rate-limit 429s carry the server's own estimate of
+    /// when a retry could succeed (`retryAfterMs` on the wire).
+    Throttled { message: String, retry_after_ms: u64 },
     /// The requested work was cancelled on purpose (job cancel, pool
     /// shutdown) — terminal, but not a failure: the job's event log
     /// holds the valid prefix it produced.
@@ -36,6 +42,7 @@ impl RegistryError {
             RegistryError::Invalid { .. } => 400,
             RegistryError::Storage(_) => 500,
             RegistryError::Busy(_) => 429,
+            RegistryError::Throttled { .. } => 429,
             RegistryError::Cancelled(_) => 409,
         }
     }
@@ -49,29 +56,47 @@ impl RegistryError {
             RegistryError::Invalid { .. } => "Invalid",
             RegistryError::Storage(_) => "Storage",
             RegistryError::Busy(_) => "Busy",
+            RegistryError::Throttled { .. } => "Busy",
             RegistryError::Cancelled(_) => "Cancelled",
         }
     }
 
-    /// The standardized JSON error envelope of paper §3.2.5.
+    /// The server's advised retry backoff, when it has one (429s).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            RegistryError::Throttled { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+
+    /// The unified v1 error envelope (paper §3.2.5, redesigned in
+    /// PR 10): every endpoint answers errors as one nested object —
+    /// `code` is the stable machine-readable kind, `status` the HTTP
+    /// status it rides on, `parameter` the failing input when there is
+    /// one, and `retryAfterMs` the server's backoff advice on 429s.
     pub fn to_value(&self) -> Value {
-        let mut v = jobj! {
-            "error" => self.kind(),
-            "code" => self.code() as i64,
+        let mut detail = jobj! {
+            "code" => self.kind(),
+            "status" => self.code() as i64,
             "message" => self.to_string(),
         };
         match self {
             RegistryError::NotFound { key, .. } => {
-                v.set("parameter", key.as_str());
+                detail.set("parameter", key.as_str());
             }
             RegistryError::Duplicate { value, .. } => {
-                v.set("parameter", value.as_str());
+                detail.set("parameter", value.as_str());
             }
             RegistryError::Invalid { field, .. } => {
-                v.set("parameter", *field);
+                detail.set("parameter", *field);
+            }
+            RegistryError::Throttled { retry_after_ms, .. } => {
+                detail.set("retryAfterMs", *retry_after_ms as i64);
             }
             _ => {}
         }
+        let mut v = Value::Null;
+        v.set("error", detail);
         v
     }
 }
@@ -87,6 +112,9 @@ impl fmt::Display for RegistryError {
             RegistryError::Invalid { field, message } => write!(f, "invalid {field}: {message}"),
             RegistryError::Storage(m) => write!(f, "storage error: {m}"),
             RegistryError::Busy(m) => write!(f, "server busy: {m}"),
+            RegistryError::Throttled { message, retry_after_ms } => {
+                write!(f, "server busy: {message}; retry in {retry_after_ms}ms")
+            }
             RegistryError::Cancelled(m) => write!(f, "cancelled: {m}"),
         }
     }
@@ -103,10 +131,27 @@ mod tests {
         let e = RegistryError::NotFound { entity: "PE", key: "IsPrime".into() };
         assert_eq!(e.code(), 404);
         let v = e.to_value();
-        assert_eq!(v["error"].as_str(), Some("NotFound"));
-        assert_eq!(v["code"].as_i64(), Some(404));
-        assert_eq!(v["parameter"].as_str(), Some("IsPrime"));
-        assert!(v["message"].as_str().unwrap().contains("IsPrime"));
+        assert_eq!(v["error"]["code"].as_str(), Some("NotFound"));
+        assert_eq!(v["error"]["status"].as_i64(), Some(404));
+        assert_eq!(v["error"]["parameter"].as_str(), Some("IsPrime"));
+        assert!(v["error"]["message"].as_str().unwrap().contains("IsPrime"));
+        assert!(v["error"]["retryAfterMs"].as_i64().is_none());
+    }
+
+    #[test]
+    fn throttled_envelope_carries_retry_hint() {
+        let e = RegistryError::Throttled { message: "queue full".into(), retry_after_ms: 125 };
+        assert_eq!(e.code(), 429);
+        assert_eq!(e.kind(), "Busy");
+        assert_eq!(e.retry_after_ms(), Some(125));
+        let v = e.to_value();
+        assert_eq!(v["error"]["code"].as_str(), Some("Busy"));
+        assert_eq!(v["error"]["status"].as_i64(), Some(429));
+        assert_eq!(v["error"]["retryAfterMs"].as_i64(), Some(125));
+        assert!(v["error"]["message"].as_str().unwrap().contains("retry in 125ms"));
+        // Hint-less Busy omits the field rather than writing a zero.
+        let plain = RegistryError::Busy("shutting down".into()).to_value();
+        assert!(plain["error"]["retryAfterMs"].as_i64().is_none());
     }
 
     #[test]
@@ -118,6 +163,7 @@ mod tests {
             RegistryError::Invalid { field: "peCode", message: "parse error".into() },
             RegistryError::Storage("disk".into()),
             RegistryError::Busy("queue full".into()),
+            RegistryError::Throttled { message: "rate limit".into(), retry_after_ms: 50 },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

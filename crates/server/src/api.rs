@@ -81,18 +81,24 @@ impl ApiResponse {
         ApiResponse { status: e.code() as u16, body: e.to_value() }
     }
 
+    /// The unified v1 error envelope for errors minted outside the
+    /// registry error type (routing, HTTP parsing).
+    fn error_envelope(status: u16, code: &str, message: &str) -> ApiResponse {
+        let mut detail = Value::Null;
+        detail.set("code", code).set("status", status as i64).set("message", message);
+        let mut body = Value::Null;
+        body.set("error", detail);
+        ApiResponse { status, body }
+    }
+
     /// 404 for unknown routes.
     pub fn not_found(path: &str) -> ApiResponse {
-        let mut body = Value::Null;
-        body.set("error", "NoSuchEndpoint").set("code", 404).set("message", format!("no route for {path}"));
-        ApiResponse { status: 404, body }
+        Self::error_envelope(404, "NoSuchEndpoint", &format!("no route for {path}"))
     }
 
     /// 400 for malformed requests.
     pub fn bad_request(message: &str) -> ApiResponse {
-        let mut body = Value::Null;
-        body.set("error", "BadRequest").set("code", 400).set("message", message);
-        ApiResponse { status: 400, body }
+        Self::error_envelope(400, "BadRequest", message)
     }
 
     /// Whether the call succeeded.
@@ -129,6 +135,27 @@ mod tests {
         let e = laminar_registry::RegistryError::Unauthorized("bad".into());
         let r = ApiResponse::error(&e);
         assert_eq!(r.status, 401);
-        assert_eq!(r.body["error"].as_str(), Some("Unauthorized"));
+        assert_eq!(r.body["error"]["code"].as_str(), Some("Unauthorized"));
+    }
+
+    #[test]
+    fn every_error_constructor_answers_the_v1_envelope() {
+        // One envelope shape across routing errors, HTTP-parse errors and
+        // registry errors: {"error":{"code","status","message",...}}.
+        let responses = [
+            ApiResponse::not_found("/nope"),
+            ApiResponse::bad_request("unreadable"),
+            ApiResponse::error(&laminar_registry::RegistryError::Throttled {
+                message: "slow down".into(),
+                retry_after_ms: 40,
+            }),
+        ];
+        for r in &responses {
+            let detail = &r.body["error"];
+            assert!(detail["code"].as_str().is_some(), "{r:?}");
+            assert_eq!(detail["status"].as_i64(), Some(r.status as i64), "{r:?}");
+            assert!(detail["message"].as_str().is_some(), "{r:?}");
+        }
+        assert_eq!(responses[2].body["error"]["retryAfterMs"].as_i64(), Some(40));
     }
 }

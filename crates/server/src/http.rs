@@ -228,12 +228,22 @@ fn write_response(mut stream: TcpStream, response: &ApiResponse) -> std::io::Res
         429 => "Too Many Requests",
         _ => "Error",
     };
+    // 429s advertise the envelope's backoff as standard headers too, so
+    // plain HTTP clients back off without parsing the body. Retry-After
+    // is whole seconds (ceiling); the millisecond-precision hint rides
+    // the de-facto Retry-After-Ms extension.
+    let retry_after = response.body["error"]["retryAfterMs"]
+        .as_i64()
+        .filter(|ms| *ms >= 0)
+        .map(|ms| format!("Retry-After: {}\r\nRetry-After-Ms: {ms}\r\n", (ms as u64).div_ceil(1000)))
+        .unwrap_or_default();
     write!(
         stream,
-        "HTTP/1.0 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.0 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         response.status,
         reason,
         body.len(),
+        retry_after,
         body
     )?;
     stream.flush()
@@ -451,6 +461,60 @@ mod tests {
         let response = client.join().unwrap().expect("in-flight request completed during shutdown");
         assert!(response.is_ok(), "{response:?}");
         assert_eq!(response.body["printed"].as_array().map(<[Value]>::len), Some(0));
+    }
+
+    #[test]
+    fn rate_limited_429_carries_retry_after_headers() {
+        let server = LaminarServer::in_memory();
+        server.pool().set_tenant_rate(1.0, 1.0);
+        let http = HttpServer::start(server).unwrap();
+        let addr = http.addr();
+        http_call(
+            addr,
+            &ApiRequest::new(
+                Method::Post,
+                "/auth/register",
+                jobj! { "userName" => "rl", "password" => "password" },
+            ),
+        )
+        .unwrap();
+        let body = to_string(
+            &jobj! { "source" => "pe P : producer { output o; process { emit(1); } }", "input" => 1 },
+        );
+        let submit_raw = || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write!(s, "POST /execution/rl/submit HTTP/1.0\r\nContent-Length: {}\r\n\r\n{}", body.len(), body)
+                .unwrap();
+            s.flush().unwrap();
+            let mut reader = BufReader::new(s);
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if line.trim().is_empty() {
+                    break;
+                }
+                lines.push(line.trim().to_string());
+            }
+            lines
+        };
+        // The first submit burns rl's only token; the second is limited.
+        let first = submit_raw();
+        assert!(first[0].contains("200"), "{first:?}");
+        let headers = submit_raw();
+        assert!(headers[0].contains("429"), "{headers:?}");
+        let retry_ms = headers
+            .iter()
+            .find_map(|h| {
+                h.to_ascii_lowercase().strip_prefix("retry-after-ms:").map(str::trim).map(String::from)
+            })
+            .expect("Retry-After-Ms header on a 429");
+        assert!(retry_ms.parse::<u64>().unwrap() >= 1, "{headers:?}");
+        assert!(
+            headers.iter().any(|h| h.to_ascii_lowercase().starts_with("retry-after:")),
+            "whole-second Retry-After too: {headers:?}"
+        );
+        http.stop();
     }
 
     #[test]

@@ -151,8 +151,8 @@ impl LaminarServer {
             (Method::Get, ["execution", user, "job", id, "result"]) => self.job_result(user, id),
             (Method::Delete, ["execution", user, "job", id]) => self.job_cancel(user, id),
             (Method::Post, ["execution", user, "job", id, "resume"]) => self.job_resume(user, id),
-            // `tail` is "events" or "events?since=<seq>" — the query stays
-            // inside the percent-decoded final segment.
+            // `tail` is "events" or "events?since=<seq>&wait_ms=<ms>" —
+            // the query stays inside the percent-decoded final segment.
             (Method::Get, ["execution", user, "job", id, tail]) if is_events_segment(tail) => {
                 self.job_events(user, id, tail, &req.body)
             }
@@ -352,9 +352,19 @@ impl LaminarServer {
             .ok_or(RegistryError::Invalid { field: "request", message: "malformed execution request".into() })
     }
 
-    fn pool_error(e: PoolError) -> RegistryError {
+    fn pool_error(&self, e: PoolError) -> RegistryError {
         match e {
-            PoolError::QueueFull { .. } | PoolError::ShutDown => RegistryError::Busy(e.to_string()),
+            // Both 429 shapes carry a concrete backoff: the rate limiter
+            // knows when the tenant's next token lands, and a full queue
+            // hints from live depth × observed mean runtime.
+            PoolError::QueueFull { .. } => RegistryError::Throttled {
+                message: e.to_string(),
+                retry_after_ms: self.pool.queue_retry_hint_ms(),
+            },
+            PoolError::RateLimited { retry_after_ms } => {
+                RegistryError::Throttled { message: e.to_string(), retry_after_ms }
+            }
+            PoolError::ShutDown => RegistryError::Busy(e.to_string()),
             PoolError::Failed(m) => RegistryError::Invalid { field: "execution", message: m },
             // Distinct from Failed: a cancelled sync run answers the 409
             // "Cancelled" envelope, never the generic 400 failure shape.
@@ -377,7 +387,7 @@ impl LaminarServer {
                     .into(),
             });
         }
-        let output = self.pool.run_sync(user, req).map_err(Self::pool_error)?;
+        let output = self.pool.run_sync(user, req).map_err(|e| self.pool_error(e))?;
         Ok(output.to_value())
     }
 
@@ -385,7 +395,7 @@ impl LaminarServer {
     /// admission control rejects the job).
     fn execution_submit(&self, user: &str, body: &Value) -> Result<Value, RegistryError> {
         let req = self.resolve_request(user, body)?;
-        let id = self.pool.submit(user, req).map_err(Self::pool_error)?;
+        let id = self.pool.submit(user, req).map_err(|e| self.pool_error(e))?;
         let mut v = Value::Null;
         v.set("jobId", id).set("status", "queued");
         Ok(v)
@@ -418,7 +428,7 @@ impl LaminarServer {
     /// overlaps every other endpoint.
     fn job_events(&self, user: &str, id: &str, tail: &str, body: &Value) -> Result<Value, RegistryError> {
         let id = Self::parse_job_id(id)?;
-        let since = match events_since(tail) {
+        let since = match events_query(tail, "since") {
             Some(Ok(s)) => s,
             Some(Err(())) => {
                 return Err(RegistryError::Invalid {
@@ -428,9 +438,24 @@ impl LaminarServer {
             }
             None => body["since"].as_i64().unwrap_or(0).max(0) as u64,
         };
+        // Push mode: `wait_ms` parks the handler on the job log's condvar
+        // until something lands past the cursor, the stream seals, or the
+        // wait elapses. 0 (the default) is a plain poll; the cap keeps a
+        // parked connection thread bounded.
+        let wait_ms = match events_query(tail, "wait_ms") {
+            Some(Ok(w)) => w,
+            Some(Err(())) => {
+                return Err(RegistryError::Invalid {
+                    field: "wait_ms",
+                    message: "must be a non-negative integer".into(),
+                })
+            }
+            None => body["wait_ms"].as_i64().unwrap_or(0).max(0) as u64,
+        };
+        let wait = std::time::Duration::from_millis(wait_ms.min(LONG_POLL_MAX_WAIT_MS));
         let page = self
             .pool
-            .events(user, id, since)
+            .events_wait(user, id, since, wait)
             .ok_or(RegistryError::NotFound { entity: "Job", key: id.to_string() })?;
         let mut v = Value::Null;
         v.set("jobId", id)
@@ -491,7 +516,7 @@ impl LaminarServer {
     /// when the job is live (queued/running/done) in this pool.
     fn job_resume(&self, user: &str, id: &str) -> Result<Value, RegistryError> {
         let id = Self::parse_job_id(id)?;
-        let id = self.pool.resume_job(user, id).map_err(Self::pool_error)?;
+        let id = self.pool.resume_job(user, id).map_err(|e| self.pool_error(e))?;
         let mut v = Value::Null;
         v.set("jobId", id).set("status", "queued");
         Ok(v)
@@ -504,13 +529,18 @@ fn is_events_segment(tail: &str) -> bool {
     tail == "events" || tail.strip_prefix("events?").is_some()
 }
 
-/// Parse `since=<seq>` out of an `events?...` segment. `None` when no
-/// query carries `since`; `Some(Err(()))` when it is present but not a
+/// Ceiling on `wait_ms` long-poll parks: one HTTP/1.0 connection thread
+/// is held for the duration, so the server bounds it regardless of what
+/// the client asked for.
+pub const LONG_POLL_MAX_WAIT_MS: u64 = 30_000;
+
+/// Parse `<key>=<n>` out of an `events?...` segment. `None` when no
+/// query carries the key; `Some(Err(()))` when it is present but not a
 /// non-negative integer.
-fn events_since(tail: &str) -> Option<Result<u64, ()>> {
+fn events_query(tail: &str, key: &str) -> Option<Result<u64, ()>> {
     let query = tail.strip_prefix("events?")?;
     for pair in query.split('&') {
-        if let Some(raw) = pair.strip_prefix("since=") {
+        if let Some(raw) = pair.strip_prefix(key).and_then(|r| r.strip_prefix('=')) {
             return Some(raw.parse::<u64>().map_err(|_| ()));
         }
     }
@@ -599,7 +629,8 @@ mod tests {
             jobj! { "userName" => "zz46", "password" => "wrong" },
         ));
         assert_eq!(r.status, 401);
-        assert_eq!(r.body["error"].as_str(), Some("Unauthorized"));
+        assert_eq!(r.body["error"]["code"].as_str(), Some("Unauthorized"));
+        assert_eq!(r.body["error"]["status"].as_i64(), Some(401));
         // User list.
         let r = get(&s, "/auth/all");
         assert_eq!(r.body[0].as_str(), Some("zz46"));
@@ -770,7 +801,7 @@ mod tests {
         assert_eq!(get(&s, "/registry/zz46/nonsense").status, 404);
         let r = s.handle(&ApiRequest::new(Method::Post, "/auth/register", Value::Null));
         assert_eq!(r.status, 400);
-        assert_eq!(r.body["error"].as_str(), Some("Invalid"));
+        assert_eq!(r.body["error"]["code"].as_str(), Some("Invalid"));
     }
 
     #[test]
@@ -892,9 +923,36 @@ mod tests {
         assert!(submit().is_ok());
         let rejected = submit();
         assert_eq!(rejected.status, 429, "{rejected:?}");
-        assert_eq!(rejected.body["error"].as_str(), Some("Busy"));
+        assert_eq!(rejected.body["error"]["code"].as_str(), Some("Busy"));
+        assert!(
+            rejected.body["error"]["retryAfterMs"].as_i64().unwrap() >= 1,
+            "queue-full 429 must advise a backoff: {rejected:?}"
+        );
         let stats = get(&s, "/execution/pool/stats");
         assert_eq!(stats.body["rejected"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn rate_limited_submit_returns_429_with_retry_hint() {
+        let s = server_with_user();
+        s.pool().set_tenant_rate(1.0, 1.0);
+        let submit = || {
+            s.handle(&ApiRequest::new(
+                Method::Post,
+                "/execution/zz46/submit",
+                jobj! { "source" => WF_SRC, "input" => 1 },
+            ))
+        };
+        assert!(submit().is_ok());
+        let limited = submit();
+        assert_eq!(limited.status, 429, "{limited:?}");
+        assert_eq!(limited.body["error"]["code"].as_str(), Some("Busy"));
+        let hint = limited.body["error"]["retryAfterMs"].as_i64().unwrap();
+        assert!((1..=1_001).contains(&hint), "hint within one token period: {hint}");
+        assert!(limited.body["error"]["message"].as_str().unwrap().contains("rate limit"));
+        let stats = get(&s, "/execution/pool/stats");
+        assert_eq!(stats.body["rate_limited"].as_i64(), Some(1));
+        assert_eq!(stats.body["rejected"].as_i64(), Some(0));
     }
 
     #[test]
@@ -972,6 +1030,56 @@ mod tests {
 
     fn delete(s: &LaminarServer, path: &str) -> ApiResponse {
         s.handle(&ApiRequest::new(Method::Delete, path, Value::Null))
+    }
+
+    #[test]
+    fn events_long_poll_waits_for_data_but_never_on_a_closed_stream() {
+        // Slow provisioning: the long-poll provably arrives before the
+        // job has produced anything, parks, and wakes with real events
+        // instead of an empty page.
+        let s = LaminarServer::with_pool(
+            Registry::in_memory(),
+            ExecutionEngine::instant().with_provision_scale(100),
+            1,
+            4,
+        );
+        s.handle(&ApiRequest::new(
+            Method::Post,
+            "/auth/register",
+            jobj! { "userName" => "zz46", "password" => "password" },
+        ));
+        let r = s.handle(&ApiRequest::new(
+            Method::Post,
+            "/execution/zz46/submit",
+            jobj! { "source" => WF_SRC, "input" => 5, "events" => true },
+        ));
+        let id = r.body["jobId"].as_i64().unwrap();
+        let page = get(&s, &format!("/execution/zz46/job/{id}/events?since=0&wait_ms=20000"));
+        assert!(page.is_ok(), "{page:?}");
+        assert!(
+            !page.body["events"].as_array().unwrap().is_empty(),
+            "push mode returns data, not an empty poll page: {page:?}"
+        );
+        // Drain to the end; on the sealed stream a long-poll answers
+        // immediately instead of burning the full wait.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let mut since = page.body["next"].as_i64().unwrap();
+        loop {
+            let page = get(&s, &format!("/execution/zz46/job/{id}/events?since={since}&wait_ms=1000"));
+            since = page.body["next"].as_i64().unwrap();
+            if page.body["closed"].as_bool() == Some(true) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "stream never closed");
+        }
+        let t0 = std::time::Instant::now();
+        let sealed = get(&s, &format!("/execution/zz46/job/{id}/events?since={since}&wait_ms=20000"));
+        assert!(t0.elapsed() < std::time::Duration::from_secs(5), "{:?}", t0.elapsed());
+        assert_eq!(sealed.body["closed"].as_bool(), Some(true));
+        // Malformed wait_ms → the standard 400 envelope.
+        let bad = get(&s, &format!("/execution/zz46/job/{id}/events?wait_ms=soon"));
+        assert_eq!(bad.status, 400);
+        assert_eq!(bad.body["error"]["parameter"].as_str(), Some("wait_ms"));
     }
 
     #[test]
@@ -1122,16 +1230,23 @@ mod tests {
     fn cancelled_pool_error_maps_to_the_409_cancelled_envelope() {
         // A cancelled sync run must not wear the generic 400 failure
         // shape — callers distinguish "stopped on request" from errors.
-        let e = LaminarServer::pool_error(PoolError::Cancelled(7));
+        let s = LaminarServer::in_memory();
+        let e = s.pool_error(PoolError::Cancelled(7));
         assert_eq!(e.code(), 409);
         assert_eq!(e.kind(), "Cancelled");
         let v = e.to_value();
-        assert_eq!(v["error"].as_str(), Some("Cancelled"));
-        assert!(v["message"].as_str().unwrap().contains("7"));
+        assert_eq!(v["error"]["code"].as_str(), Some("Cancelled"));
+        assert!(v["error"]["message"].as_str().unwrap().contains("7"));
         // Failures keep their 400 shape.
-        let f = LaminarServer::pool_error(PoolError::Failed("boom".into()));
+        let f = s.pool_error(PoolError::Failed("boom".into()));
         assert_eq!(f.code(), 400);
         assert_eq!(f.kind(), "Invalid");
+        // Both 429 shapes advise a backoff.
+        let q = s.pool_error(PoolError::QueueFull { capacity: 1 });
+        assert_eq!(q.code(), 429);
+        assert!(q.retry_after_ms().unwrap() >= 25);
+        let r = s.pool_error(PoolError::RateLimited { retry_after_ms: 77 });
+        assert_eq!(r.retry_after_ms(), Some(77));
     }
 
     #[test]
@@ -1144,7 +1259,7 @@ mod tests {
             jobj! { "source" => src, "input" => jobj! { "mode" => "unbounded", "pace_us" => 100 } },
         ));
         assert_eq!(r.status, 400, "{r:?}");
-        assert!(r.body["message"].as_str().unwrap().contains("submit"), "{r:?}");
+        assert!(r.body["error"]["message"].as_str().unwrap().contains("submit"), "{r:?}");
     }
 
     #[test]

@@ -151,7 +151,7 @@ fn tenant_workload(addr: SocketAddr, tenant: usize) -> (String, i64) {
     // A malformed request still gets a well-formed 400 envelope under load.
     let r = call(addr, Method::Post, "/auth/register".into(), Value::Null);
     assert_eq!(r.status, 400);
-    assert_eq!(r.body["error"].as_str(), Some("Invalid"));
+    assert_eq!(r.body["error"]["code"].as_str(), Some("Invalid"));
 
     (user, job)
 }

@@ -11,10 +11,13 @@
 //!   writer/parser standing in for astropy;
 //! * [`streaming`] — a long-running source-driven sensor scenario
 //!   (windowed aggregation + live alerts) exercising the enactment event
-//!   stream: first results surface long before the run completes.
+//!   stream: first results surface long before the run completes;
+//! * [`sustained`] — the many-tenants serving pulse of the
+//!   `sustained_load` bench: tiny jobs, full event-stream structure.
 
 pub mod astro;
 pub mod isprime;
 pub mod streaming;
+pub mod sustained;
 pub mod votable;
 pub mod wordcount;

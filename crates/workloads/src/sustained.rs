@@ -1,0 +1,36 @@
+//! The sustained-load serving workload (the `sustained_load` bench of
+//! PR 10): a minimal one-PE pulse, cheap enough to submit tens of
+//! thousands of times, that still exercises the full event pipeline —
+//! a `plan` marker, one `output` event per emitted datum (the producer's
+//! port is terminal) and the sealed `done` marker — so first-event
+//! latency and loss accounting have real stream structure to measure.
+
+/// LamScript: a bare producer whose terminal `output` port turns every
+/// emission into a streamed `output` event.
+pub const SOURCE: &str = r#"
+    pe Pulse : producer { output output; process { emit(iteration + 1); } }
+    workflow Beat { nodes { p = Pulse; } }
+"#;
+
+/// Entry point of [`SOURCE`].
+pub const WORKFLOW: &str = "Beat";
+
+/// `output` events a streamed run of `iterations` appends — one per
+/// emission; the `plan`/`finished`/`done` markers ride on top.
+pub fn expected_outputs(iterations: i64) -> usize {
+    iterations.max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_builds_a_single_node_graph() {
+        let g = laminar_dataflow::WorkflowGraph::from_script(SOURCE, WORKFLOW).expect("valid source");
+        assert_eq!(g.len(), 1);
+        assert!(g.validate().is_ok());
+        assert_eq!(expected_outputs(25), 25);
+        assert_eq!(expected_outputs(-3), 0);
+    }
+}
